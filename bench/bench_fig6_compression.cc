@@ -1,0 +1,66 @@
+// Reproduces Fig. 6 of the paper: "Degree of compression of benchmarked
+// corpora", for the synthetic corpus stand-ins.
+//
+// For each corpus, two rows:
+//   "-"  tags ignored (bare structure), matching the paper's upper rows
+//   "+"  all tags included, matching the lower rows
+// Columns: |V^T|, |V^M(T)|, |E^M(T)|, |E^M|/|E^T|, plus the paper's
+// measured values for the real corpus so shape can be compared directly.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+namespace xcq::bench {
+namespace {
+
+void Run(const BenchArgs& args) {
+  std::printf("Fig. 6 — degree of compression (synthetic corpora, scale=%g)\n",
+              args.scale);
+  std::printf("%-12s %1s %12s %10s %10s %8s | %10s %10s %8s\n", "corpus",
+              "", "|V_T|", "|V_M|", "|E_M|", "ratio", "paper|V_M|",
+              "paper|E_M|", "ratio");
+  PrintRule(104);
+
+  for (const corpus::CorpusGenerator* corpus : corpus::AllCorpora()) {
+    if (!args.Selected(*corpus)) continue;
+    corpus::GenerateOptions gen;
+    gen.target_nodes = args.TargetNodes(*corpus);
+    gen.seed = args.seed;
+    const std::string xml = corpus->Generate(gen);
+    const corpus::PaperFigures paper = corpus->paper_figures();
+
+    for (const bool with_tags : {false, true}) {
+      CompressOptions options;
+      options.mode = with_tags ? LabelMode::kAllTags : LabelMode::kNone;
+      const Instance inst =
+          Unwrap(CompressXml(xml, options), "compress");
+      const CompressionStats stats = ComputeCompressionStats(inst);
+      std::printf(
+          "%-12s %1s %12s %10s %10s %7.1f%% | %10s %10s %7.1f%%\n",
+          with_tags ? "" : std::string(corpus->name()).c_str(),
+          with_tags ? "+" : "-", WithCommas(stats.tree_nodes).c_str(),
+          WithCommas(stats.dag_vertices).c_str(),
+          WithCommas(stats.dag_rle_edges).c_str(), stats.edge_ratio * 100,
+          WithCommas(with_tags ? paper.vm_tags : paper.vm_bare).c_str(),
+          WithCommas(with_tags ? paper.em_tags : paper.em_bare).c_str(),
+          (with_tags ? paper.ratio_tags : paper.ratio_bare) * 100);
+    }
+    std::printf("%-12s   (document: %s; paper corpus: %s, %s nodes)\n", "",
+                HumanBytes(xml.size()).c_str(),
+                HumanBytes(paper.bytes).c_str(),
+                WithCommas(paper.tree_nodes).c_str());
+  }
+  PrintRule(104);
+  std::printf(
+      "Shape check: regular corpora (DBLP, Baseball, TPC-D, OMIM) compress\n"
+      "far below 10%%; TreeBank is the outlier, as in the paper.\n");
+}
+
+}  // namespace
+}  // namespace xcq::bench
+
+int main(int argc, char** argv) {
+  xcq::bench::Run(xcq::bench::BenchArgs::Parse(argc, argv));
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Reproduces the introduction's motivating example: an XML-encoded
+// relational table with R rows and C columns has a skeleton of size
+// O(C*R), a shared-subtree compression of size O(C+R), and O(C+log R)
+// once consecutive multi-edges collapse into counted edges (Fig. 1 (c)).
+//
+// The table sweeps R and C and reports all three sizes, plus parse time.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "xcq/util/timer.h"
+
+namespace xcq::bench {
+namespace {
+
+std::string TableXml(int rows, int columns) {
+  std::string xml = "<table>";
+  for (int r = 0; r < rows; ++r) {
+    xml += "<row>";
+    for (int c = 0; c < columns; ++c) {
+      xml += "<c" + std::to_string(c) + "/>";
+    }
+    xml += "</row>";
+  }
+  xml += "</table>";
+  return xml;
+}
+
+void Run() {
+  std::printf(
+      "Relational-table compression: O(C*R) -> O(C+R) -> O(C+log R)\n\n");
+  std::printf("%8s %5s %12s %12s %12s %10s\n", "rows", "cols", "|V_T|",
+              "|E| no-mult", "|E| mult", "parse");
+  PrintRule(68);
+  for (const int columns : {4, 16}) {
+    for (const int rows : {16, 256, 4096, 65536}) {
+      const std::string xml = TableXml(rows, columns);
+      Timer timer;
+      CompressOptions options;
+      options.mode = LabelMode::kAllTags;
+      const Instance inst = Unwrap(CompressXml(xml, options), "compress");
+      const double seconds = timer.Seconds();
+      std::printf("%8s %5d %12s %12s %12s %9.4fs\n",
+                  WithCommas(rows).c_str(), columns,
+                  WithCommas(TreeNodeCount(inst)).c_str(),
+                  WithCommas(ExpandedDagEdgeCount(inst)).c_str(),
+                  WithCommas(inst.rle_edge_count()).c_str(), seconds);
+    }
+  }
+  PrintRule(68);
+  std::printf(
+      "Shape check: |E| with multiplicities is constant in R (the row\n"
+      "multiplicity lives in one counted edge), while the multiplicity-\n"
+      "free DAG grows with R only through that single edge's expansion.\n");
+}
+
+}  // namespace
+}  // namespace xcq::bench
+
+int main(int argc, char** argv) {
+  (void)xcq::bench::BenchArgs::Parse(argc, argv);
+  xcq::bench::Run();
+  return 0;
+}

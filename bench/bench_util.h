@@ -1,0 +1,90 @@
+#ifndef XCQ_BENCH_BENCH_UTIL_H_
+#define XCQ_BENCH_BENCH_UTIL_H_
+
+/// \file bench_util.h
+/// Shared plumbing for the table-reproduction benchmark binaries.
+///
+/// Every binary accepts:
+///   --scale=<float>   multiplier on each corpus' default node budget
+///                     (default 1.0; the defaults are a laptop-scale
+///                     fraction of the paper's corpora — see DESIGN.md)
+///   --seed=<uint>     generator seed (default 42)
+///   --corpus=<name>   restrict to one corpus where applicable
+///
+/// Output convention: plain-text tables with the same columns as the
+/// paper's figure, so EXPERIMENTS.md can cite rows verbatim.
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "xcq/api.h"
+#include "xcq/util/string_util.h"
+
+namespace xcq::bench {
+
+struct BenchArgs {
+  double scale = 1.0;
+  uint64_t seed = 42;
+  std::string corpus;  // empty = all
+
+  static BenchArgs Parse(int argc, char** argv) {
+    BenchArgs args;
+    for (int i = 1; i < argc; ++i) {
+      const std::string_view arg = argv[i];
+      if (arg.rfind("--scale=", 0) == 0) {
+        args.scale = std::atof(arg.substr(8).data());
+      } else if (arg.rfind("--seed=", 0) == 0) {
+        args.seed = std::strtoull(arg.substr(7).data(), nullptr, 10);
+      } else if (arg.rfind("--corpus=", 0) == 0) {
+        args.corpus = std::string(arg.substr(9));
+      } else if (arg == "--help" || arg == "-h") {
+        std::printf(
+            "usage: %s [--scale=F] [--seed=N] [--corpus=NAME]\n", argv[0]);
+        std::exit(0);
+      }
+    }
+    if (args.scale <= 0) args.scale = 1.0;
+    return args;
+  }
+
+  uint64_t TargetNodes(const corpus::CorpusGenerator& corpus) const {
+    const double nodes =
+        static_cast<double>(corpus.default_target_nodes()) * scale;
+    return nodes < 100 ? 100 : static_cast<uint64_t>(nodes);
+  }
+
+  bool Selected(const corpus::CorpusGenerator& generator) const {
+    return corpus.empty() || generator.name() == corpus;
+  }
+};
+
+/// Dies loudly on error — benches are experiments, not servers.
+template <typename T>
+T Unwrap(Result<T> result, const char* what) {
+  if (!result.ok()) {
+    std::fprintf(stderr, "FATAL %s: %s\n", what,
+                 result.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(result).Value();
+}
+
+inline void Check(const Status& status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "FATAL %s: %s\n", what,
+                 status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+inline void PrintRule(int width = 100) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+}  // namespace xcq::bench
+
+#endif  // XCQ_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,207 @@
+#include "xcq/algebra/compiler.h"
+
+#include <map>
+#include <tuple>
+#include <utility>
+
+#include "xcq/instance/schema.h"
+#include "xcq/xpath/parser.h"
+
+namespace xcq::algebra {
+
+namespace {
+
+using xpath::Axis;
+using xpath::Condition;
+using xpath::LocationPath;
+using xpath::Step;
+
+/// Builds a plan with hash-consed ops (structurally identical
+/// subexpressions compile to one op).
+class PlanBuilder {
+ public:
+  int32_t Relation(std::string name) {
+    Op op;
+    op.kind = OpKind::kRelation;
+    op.relation = std::move(name);
+    return Emit(std::move(op));
+  }
+  int32_t Leaf(OpKind kind) {
+    Op op;
+    op.kind = kind;
+    return Emit(std::move(op));
+  }
+  int32_t ApplyAxis(Axis axis, int32_t input) {
+    Op op;
+    op.kind = OpKind::kAxis;
+    op.axis = axis;
+    op.input0 = input;
+    return Emit(std::move(op));
+  }
+  int32_t Binary(OpKind kind, int32_t a, int32_t b) {
+    // Union/intersection are commutative; canonical operand order
+    // improves sharing.
+    if ((kind == OpKind::kUnion || kind == OpKind::kIntersect) && a > b) {
+      std::swap(a, b);
+    }
+    Op op;
+    op.kind = kind;
+    op.input0 = a;
+    op.input1 = b;
+    return Emit(std::move(op));
+  }
+  int32_t RootFilter(int32_t input) {
+    Op op;
+    op.kind = OpKind::kRootFilter;
+    op.input0 = input;
+    return Emit(std::move(op));
+  }
+
+  QueryPlan Finish(int32_t result) {
+    // The result must be the last op; if sharing placed it earlier, add a
+    // no-op union with itself? Instead simply rotate: evaluation order is
+    // already topological, and the engine returns ops.back() — so append
+    // an alias only when needed.
+    if (result != static_cast<int32_t>(plan_.ops.size()) - 1) {
+      Op op;
+      op.kind = OpKind::kUnion;
+      op.input0 = result;
+      op.input1 = result;
+      plan_.ops.push_back(std::move(op));
+    }
+    return std::move(plan_);
+  }
+
+ private:
+  using Key = std::tuple<OpKind, Axis, std::string, int32_t, int32_t>;
+
+  int32_t Emit(Op op) {
+    Key key{op.kind, op.axis, op.relation, op.input0, op.input1};
+    auto it = memo_.find(key);
+    if (it != memo_.end()) return it->second;
+    const int32_t index = static_cast<int32_t>(plan_.ops.size());
+    plan_.ops.push_back(std::move(op));
+    memo_.emplace(std::move(key), index);
+    return index;
+  }
+
+  QueryPlan plan_;
+  std::map<Key, int32_t> memo_;
+};
+
+class Compiler {
+ public:
+  Result<QueryPlan> Run(const xpath::Query& query) {
+    const int32_t start =
+        builder_.Leaf(query.path.absolute ? OpKind::kRoot : OpKind::kContext);
+    XCQ_ASSIGN_OR_RETURN(const int32_t result,
+                         CompileForward(query.path, start));
+    return builder_.Finish(result);
+  }
+
+ private:
+  /// Forward compilation of the main path: each step applies its axis to
+  /// the running set, then filters by node test and predicates.
+  Result<int32_t> CompileForward(const LocationPath& path, int32_t start) {
+    int32_t cur = start;
+    for (const Step& step : path.steps) {
+      cur = builder_.ApplyAxis(step.axis, cur);
+      if (step.node_test != "*") {
+        cur = builder_.Binary(OpKind::kIntersect, cur,
+                              builder_.Relation(step.node_test));
+      }
+      for (const auto& predicate : step.predicates) {
+        XCQ_ASSIGN_OR_RETURN(const int32_t cond,
+                             CompileCondition(*predicate));
+        cur = builder_.Binary(OpKind::kIntersect, cur, cond);
+      }
+    }
+    return cur;
+  }
+
+  /// Compiles a condition to the set of nodes at which it holds.
+  Result<int32_t> CompileCondition(const Condition& condition) {
+    switch (condition.kind) {
+      case Condition::Kind::kAnd: {
+        XCQ_ASSIGN_OR_RETURN(const int32_t l,
+                             CompileCondition(*condition.lhs));
+        XCQ_ASSIGN_OR_RETURN(const int32_t r,
+                             CompileCondition(*condition.rhs));
+        return builder_.Binary(OpKind::kIntersect, l, r);
+      }
+      case Condition::Kind::kOr: {
+        XCQ_ASSIGN_OR_RETURN(const int32_t l,
+                             CompileCondition(*condition.lhs));
+        XCQ_ASSIGN_OR_RETURN(const int32_t r,
+                             CompileCondition(*condition.rhs));
+        return builder_.Binary(OpKind::kUnion, l, r);
+      }
+      case Condition::Kind::kNot: {
+        XCQ_ASSIGN_OR_RETURN(const int32_t inner,
+                             CompileCondition(*condition.lhs));
+        return builder_.Binary(OpKind::kDifference,
+                               builder_.Leaf(OpKind::kAllNodes), inner);
+      }
+      case Condition::Kind::kString:
+        return builder_.Relation(
+            Schema::StringRelationName(condition.string_pattern));
+      case Condition::Kind::kPath:
+        return CompilePathCondition(condition.path);
+    }
+    return Status::Internal("unreachable condition kind");
+  }
+
+  /// Reversed compilation of an existential path test (Sec. 3.1):
+  ///
+  ///   S_k     = nodes matching the last step's test + predicates
+  ///   S_i     = test_i ∩ preds_i ∩ Inverse(axis_{i+1})(S_{i+1})
+  ///   result  = Inverse(axis_1)(S_1)          -- relative paths
+  ///   result  = V|root(Inverse(axis_1)(S_1))  -- absolute paths
+  Result<int32_t> CompilePathCondition(const LocationPath& path) {
+    if (path.steps.empty()) {
+      return Status::Internal("empty path inside a predicate");
+    }
+    int32_t cur = -1;
+    for (size_t i = path.steps.size(); i-- > 0;) {
+      const Step& step = path.steps[i];
+      int32_t set = -1;
+      if (step.node_test != "*") {
+        set = builder_.Relation(step.node_test);
+      }
+      for (const auto& predicate : step.predicates) {
+        XCQ_ASSIGN_OR_RETURN(const int32_t cond,
+                             CompileCondition(*predicate));
+        set = set < 0 ? cond
+                      : builder_.Binary(OpKind::kIntersect, set, cond);
+      }
+      if (cur >= 0) {
+        const int32_t stepped = builder_.ApplyAxis(
+            xpath::InverseAxis(path.steps[i + 1].axis), cur);
+        set = set < 0 ? stepped
+                      : builder_.Binary(OpKind::kIntersect, set, stepped);
+      }
+      if (set < 0) set = builder_.Leaf(OpKind::kAllNodes);
+      cur = set;
+    }
+    cur = builder_.ApplyAxis(xpath::InverseAxis(path.steps[0].axis), cur);
+    if (path.absolute) cur = builder_.RootFilter(cur);
+    return cur;
+  }
+
+  PlanBuilder builder_;
+};
+
+}  // namespace
+
+Result<QueryPlan> Compile(const xpath::Query& query) {
+  Compiler compiler;
+  return compiler.Run(query);
+}
+
+Result<QueryPlan> CompileString(std::string_view query_text) {
+  XCQ_ASSIGN_OR_RETURN(const xpath::Query query,
+                       xpath::ParseQuery(query_text));
+  return Compile(query);
+}
+
+}  // namespace xcq::algebra

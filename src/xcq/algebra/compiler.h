@@ -1,0 +1,30 @@
+#ifndef XCQ_ALGEBRA_COMPILER_H_
+#define XCQ_ALGEBRA_COMPILER_H_
+
+/// \file compiler.h
+/// Compiles Core XPath ASTs into the set algebra of Sec. 3.1.
+///
+/// The central idea (from [14]): the main path is computed *forward* from
+/// the root / context, while predicate paths are *reversed* — every axis
+/// inside a condition becomes its inverse, so the whole query evaluates
+/// with node sets only, never binary relations. Fig. 3 of the paper shows
+/// the resulting query tree for
+/// `/descendant::a/child::b[child::c/child::d or not(following::*)]`; this
+/// compiler reproduces exactly that shape (with common subexpressions
+/// shared).
+
+#include "xcq/algebra/op.h"
+#include "xcq/util/result.h"
+#include "xcq/xpath/ast.h"
+
+namespace xcq::algebra {
+
+/// \brief Compiles a parsed query into an executable plan.
+Result<QueryPlan> Compile(const xpath::Query& query);
+
+/// \brief Convenience: parse + compile.
+Result<QueryPlan> CompileString(std::string_view query_text);
+
+}  // namespace xcq::algebra
+
+#endif  // XCQ_ALGEBRA_COMPILER_H_

@@ -1,0 +1,79 @@
+#include "xcq/algebra/op.h"
+
+#include "xcq/util/string_util.h"
+
+namespace xcq::algebra {
+
+const char* OpKindName(OpKind kind) {
+  switch (kind) {
+    case OpKind::kRelation:
+      return "Relation";
+    case OpKind::kRoot:
+      return "Root";
+    case OpKind::kAllNodes:
+      return "AllNodes";
+    case OpKind::kContext:
+      return "Context";
+    case OpKind::kAxis:
+      return "Axis";
+    case OpKind::kUnion:
+      return "Union";
+    case OpKind::kIntersect:
+      return "Intersect";
+    case OpKind::kDifference:
+      return "Difference";
+    case OpKind::kRootFilter:
+      return "RootFilter";
+  }
+  return "?";
+}
+
+std::string QueryPlan::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < ops.size(); ++i) {
+    const Op& op = ops[i];
+    switch (op.kind) {
+      case OpKind::kRelation:
+        out += StrFormat("%3zu: Relation(%s)\n", i, op.relation.c_str());
+        break;
+      case OpKind::kRoot:
+        out += StrFormat("%3zu: Root\n", i);
+        break;
+      case OpKind::kAllNodes:
+        out += StrFormat("%3zu: AllNodes\n", i);
+        break;
+      case OpKind::kContext:
+        out += StrFormat("%3zu: Context\n", i);
+        break;
+      case OpKind::kAxis:
+        out += StrFormat("%3zu: %s(%d)\n", i, xpath::AxisName(op.axis),
+                         op.input0);
+        break;
+      case OpKind::kUnion:
+        out += StrFormat("%3zu: Union(%d, %d)\n", i, op.input0, op.input1);
+        break;
+      case OpKind::kIntersect:
+        out += StrFormat("%3zu: Intersect(%d, %d)\n", i, op.input0,
+                         op.input1);
+        break;
+      case OpKind::kDifference:
+        out += StrFormat("%3zu: Difference(%d, %d)\n", i, op.input0,
+                         op.input1);
+        break;
+      case OpKind::kRootFilter:
+        out += StrFormat("%3zu: RootFilter(%d)\n", i, op.input0);
+        break;
+    }
+  }
+  return out;
+}
+
+size_t QueryPlan::SplittingAxisCount() const {
+  size_t count = 0;
+  for (const Op& op : ops) {
+    if (op.kind == OpKind::kAxis && !xpath::IsUpwardAxis(op.axis)) ++count;
+  }
+  return count;
+}
+
+}  // namespace xcq::algebra

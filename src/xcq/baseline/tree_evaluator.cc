@@ -1,0 +1,205 @@
+#include "xcq/baseline/tree_evaluator.h"
+
+#include <string_view>
+#include <vector>
+
+#include "xcq/instance/schema.h"
+
+namespace xcq::baseline {
+
+namespace {
+
+using algebra::Op;
+using algebra::OpKind;
+using xpath::Axis;
+
+/// All axis functions are single linear passes exploiting the preorder id
+/// assignment of `TreeSkeleton` (parents precede children).
+class TreeRunner {
+ public:
+  TreeRunner(const LabeledTree& labeled, const TreeEvalOptions& options)
+      : labeled_(labeled),
+        tree_(labeled.tree),
+        n_(labeled.tree.node_count()),
+        options_(options) {}
+
+  Result<DynamicBitset> Run(const algebra::QueryPlan& plan) {
+    std::vector<DynamicBitset> sets(plan.ops.size());
+    for (size_t i = 0; i < plan.ops.size(); ++i) {
+      const Op& op = plan.ops[i];
+      switch (op.kind) {
+        case OpKind::kRelation:
+          sets[i] = RelationSet(op.relation);
+          break;
+        case OpKind::kRoot: {
+          sets[i] = DynamicBitset(n_);
+          sets[i].Set(tree_.root());
+          break;
+        }
+        case OpKind::kAllNodes: {
+          sets[i] = DynamicBitset(n_);
+          sets[i].SetAll();
+          break;
+        }
+        case OpKind::kContext: {
+          if (options_.context != nullptr) {
+            if (options_.context->size() != n_) {
+              return Status::InvalidArgument(
+                  "context bitset size does not match the tree");
+            }
+            sets[i] = *options_.context;
+          } else {
+            sets[i] = DynamicBitset(n_);
+            sets[i].Set(tree_.root());
+          }
+          break;
+        }
+        case OpKind::kUnion:
+          sets[i] = sets[op.input0];
+          sets[i] |= sets[op.input1];
+          break;
+        case OpKind::kIntersect:
+          sets[i] = sets[op.input0];
+          sets[i] &= sets[op.input1];
+          break;
+        case OpKind::kDifference:
+          sets[i] = sets[op.input0];
+          sets[i] -= sets[op.input1];
+          break;
+        case OpKind::kRootFilter: {
+          sets[i] = DynamicBitset(n_);
+          if (sets[op.input0].Test(tree_.root())) sets[i].SetAll();
+          break;
+        }
+        case OpKind::kAxis:
+          sets[i] = ApplyAxis(op.axis, sets[op.input0]);
+          break;
+      }
+    }
+    return std::move(sets.back());
+  }
+
+ private:
+  DynamicBitset RelationSet(std::string_view name) const {
+    std::string_view pattern;
+    if (Schema::ParseStringRelationName(name, &pattern)) {
+      return labeled_.NodesMatching(pattern);
+    }
+    return tree_.NodesWithTag(name);
+  }
+
+  DynamicBitset ApplyAxis(Axis axis, const DynamicBitset& src) const {
+    switch (axis) {
+      case Axis::kSelf:
+        return src;
+      case Axis::kChild:
+        return Child(src);
+      case Axis::kDescendant:
+        return Descendant(src, /*or_self=*/false);
+      case Axis::kDescendantOrSelf:
+        return Descendant(src, /*or_self=*/true);
+      case Axis::kParent:
+        return Parent(src);
+      case Axis::kAncestor:
+        return Ancestor(src, /*or_self=*/false);
+      case Axis::kAncestorOrSelf:
+        return Ancestor(src, /*or_self=*/true);
+      case Axis::kFollowingSibling:
+        return FollowingSibling(src);
+      case Axis::kPrecedingSibling:
+        return PrecedingSibling(src);
+      case Axis::kFollowing:
+        return Descendant(
+            FollowingSibling(Ancestor(src, /*or_self=*/true)),
+            /*or_self=*/true);
+      case Axis::kPreceding:
+        return Descendant(
+            PrecedingSibling(Ancestor(src, /*or_self=*/true)),
+            /*or_self=*/true);
+    }
+    return DynamicBitset(n_);
+  }
+
+  DynamicBitset Child(const DynamicBitset& src) const {
+    DynamicBitset out(n_);
+    for (TreeNodeId v = 1; v < n_; ++v) {
+      if (src.Test(tree_.Parent(v))) out.Set(v);
+    }
+    return out;
+  }
+
+  DynamicBitset Descendant(const DynamicBitset& src, bool or_self) const {
+    DynamicBitset out(n_);
+    // Preorder: out[parent] is final before any child reads it.
+    for (TreeNodeId v = 1; v < n_; ++v) {
+      const TreeNodeId p = tree_.Parent(v);
+      if (src.Test(p) || out.Test(p)) out.Set(v);
+    }
+    if (or_self) out |= src;
+    return out;
+  }
+
+  DynamicBitset Parent(const DynamicBitset& src) const {
+    DynamicBitset out(n_);
+    src.ForEach([&](size_t v) {
+      if (v != tree_.root()) out.Set(tree_.Parent(static_cast<TreeNodeId>(v)));
+    });
+    return out;
+  }
+
+  DynamicBitset Ancestor(const DynamicBitset& src, bool or_self) const {
+    DynamicBitset out(n_);
+    // Reverse preorder: children processed before their parent.
+    for (TreeNodeId v = static_cast<TreeNodeId>(n_); v-- > 1;) {
+      if (src.Test(v) || out.Test(v)) out.Set(tree_.Parent(v));
+    }
+    if (or_self) out |= src;
+    return out;
+  }
+
+  DynamicBitset FollowingSibling(const DynamicBitset& src) const {
+    DynamicBitset out(n_);
+    src.ForEach([&](size_t v) {
+      for (TreeNodeId s = tree_.NextSibling(static_cast<TreeNodeId>(v));
+           s != kNoTreeNode; s = tree_.NextSibling(s)) {
+        if (out.Test(s)) break;  // the rest of the chain is already marked
+        out.Set(s);
+      }
+    });
+    return out;
+  }
+
+  DynamicBitset PrecedingSibling(const DynamicBitset& src) const {
+    DynamicBitset out(n_);
+    src.ForEach([&](size_t v) {
+      for (TreeNodeId s = tree_.PrevSibling(static_cast<TreeNodeId>(v));
+           s != kNoTreeNode; s = tree_.PrevSibling(s)) {
+        if (out.Test(s)) break;
+        out.Set(s);
+      }
+    });
+    return out;
+  }
+
+  const LabeledTree& labeled_;
+  const TreeSkeleton& tree_;
+  const size_t n_;
+  const TreeEvalOptions& options_;
+};
+
+}  // namespace
+
+Result<DynamicBitset> Evaluate(const LabeledTree& labeled,
+                               const algebra::QueryPlan& plan,
+                               const TreeEvalOptions& options) {
+  if (plan.ops.empty()) {
+    return Status::InvalidArgument("Evaluate: empty plan");
+  }
+  if (labeled.tree.empty()) {
+    return Status::InvalidArgument("Evaluate: empty tree");
+  }
+  TreeRunner runner(labeled, options);
+  return runner.Run(plan);
+}
+
+}  // namespace xcq::baseline

@@ -1,0 +1,34 @@
+#ifndef XCQ_BASELINE_TREE_EVALUATOR_H_
+#define XCQ_BASELINE_TREE_EVALUATOR_H_
+
+/// \file tree_evaluator.h
+/// The uncompressed baseline: Core XPath over a plain tree skeleton in
+/// O(|Q|·|T|) time (Sec. 3.1, following [14]).
+///
+/// It interprets the *same* compiled `QueryPlan` as the DAG engine, which
+/// makes it both the comparison system for the paper's performance claims
+/// and the differential-testing oracle for the DAG engine: on any
+/// document, decompressing the DAG engine's result must yield exactly
+/// this evaluator's node set.
+
+#include "xcq/algebra/op.h"
+#include "xcq/tree/tree_builder.h"
+#include "xcq/util/bitset.h"
+#include "xcq/util/result.h"
+
+namespace xcq::baseline {
+
+struct TreeEvalOptions {
+  /// Context node set; null means {root}.
+  const DynamicBitset* context = nullptr;
+};
+
+/// \brief Evaluates `plan` over `labeled` and returns the selected node
+/// set (bitset over tree node ids).
+Result<DynamicBitset> Evaluate(const LabeledTree& labeled,
+                               const algebra::QueryPlan& plan,
+                               const TreeEvalOptions& options = {});
+
+}  // namespace xcq::baseline
+
+#endif  // XCQ_BASELINE_TREE_EVALUATOR_H_

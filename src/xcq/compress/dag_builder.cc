@@ -1,0 +1,128 @@
+#include "xcq/compress/dag_builder.h"
+
+#include <cassert>
+
+#include "xcq/util/hash.h"
+#include "xcq/util/string_util.h"
+
+namespace xcq {
+
+namespace {
+
+uint64_t HashVertexData(std::span<const RelationId> labels,
+                        std::span<const Edge> edges) {
+  Hasher hasher;
+  hasher.Add(labels.size());
+  for (RelationId label : labels) hasher.Add(label);
+  hasher.Add(edges.size());
+  for (const Edge& e : edges) {
+    hasher.Add(e.child);
+    hasher.Add(e.count);
+  }
+  return hasher.Finish();
+}
+
+}  // namespace
+
+DagBuilder::DagBuilder()
+    : interned_(16, VertexHash{this}, VertexEq{this}) {}
+
+uint64_t DagBuilder::HashOf(VertexId v) const {
+  return v == kStaged ? staged_hash_ : records_[v].hash;
+}
+
+std::span<const RelationId> DagBuilder::LabelsOf(VertexId v) const {
+  if (v == kStaged) return staged_labels_;
+  const Record& r = records_[v];
+  return {labels_.data() + r.label_offset, r.label_length};
+}
+
+std::span<const Edge> DagBuilder::EdgesOf(VertexId v) const {
+  if (v == kStaged) return staged_edges_;
+  const Record& r = records_[v];
+  return {edges_.data() + r.edge_offset, r.edge_length};
+}
+
+size_t DagBuilder::VertexHash::operator()(VertexId v) const {
+  return static_cast<size_t>(builder->HashOf(v));
+}
+
+bool DagBuilder::VertexEq::operator()(VertexId a, VertexId b) const {
+  if (a == b) return true;
+  const std::span<const RelationId> la = builder->LabelsOf(a);
+  const std::span<const RelationId> lb = builder->LabelsOf(b);
+  if (la.size() != lb.size()) return false;
+  const std::span<const Edge> ea = builder->EdgesOf(a);
+  const std::span<const Edge> eb = builder->EdgesOf(b);
+  if (ea.size() != eb.size()) return false;
+  for (size_t i = 0; i < la.size(); ++i) {
+    if (la[i] != lb[i]) return false;
+  }
+  for (size_t i = 0; i < ea.size(); ++i) {
+    if (ea[i] != eb[i]) return false;
+  }
+  return true;
+}
+
+VertexId DagBuilder::Intern(std::span<const RelationId> labels,
+                            std::span<const Edge> edges) {
+  staged_hash_ = HashVertexData(labels, edges);
+  staged_labels_ = labels;
+  staged_edges_ = edges;
+  const auto it = interned_.find(kStaged);
+  if (it != interned_.end()) return *it;
+
+  const VertexId id = static_cast<VertexId>(records_.size());
+  Record record;
+  record.hash = staged_hash_;
+  record.label_offset = static_cast<uint32_t>(labels_.size());
+  record.label_length = static_cast<uint32_t>(labels.size());
+  record.edge_offset = edges_.size();
+  record.edge_length = static_cast<uint32_t>(edges.size());
+  labels_.insert(labels_.end(), labels.begin(), labels.end());
+  edges_.insert(edges_.end(), edges.begin(), edges.end());
+  records_.push_back(record);
+  interned_.insert(id);
+  return id;
+}
+
+Result<Instance> DagBuilder::Finish(
+    VertexId root, const std::vector<std::string>& relation_names) {
+  if (root >= records_.size()) {
+    return Status::InvalidArgument("DagBuilder::Finish: bad root id");
+  }
+  Instance instance;
+  for (size_t v = 0; v < records_.size(); ++v) {
+    const VertexId id = instance.AddVertex();
+    (void)id;
+    assert(id == v);
+  }
+  for (VertexId v = 0; v < records_.size(); ++v) {
+    instance.SetEdges(v, EdgesOf(v));
+  }
+  for (size_t r = 0; r < relation_names.size(); ++r) {
+    const RelationId id = instance.AddRelation(relation_names[r]);
+    if (id != r) {
+      return Status::InvalidArgument(StrFormat(
+          "duplicate relation name '%s'", relation_names[r].c_str()));
+    }
+  }
+  for (VertexId v = 0; v < records_.size(); ++v) {
+    for (RelationId label : LabelsOf(v)) {
+      if (label >= relation_names.size()) {
+        return Status::InvalidArgument(
+            StrFormat("label id %u has no relation name", label));
+      }
+      instance.SetBit(label, v);
+    }
+  }
+  instance.SetRoot(root);
+
+  interned_.clear();
+  records_.clear();
+  labels_.clear();
+  edges_.clear();
+  return instance;
+}
+
+}  // namespace xcq

@@ -1,0 +1,102 @@
+#include "xcq/compress/decompress.h"
+
+#include "xcq/util/string_util.h"
+
+namespace xcq {
+
+DynamicBitset DecompressedTree::RelationSet(std::string_view name) const {
+  for (size_t i = 0; i < relation_names.size(); ++i) {
+    if (relation_names[i] == name) return relation_sets[i];
+  }
+  return DynamicBitset(tree.node_count());
+}
+
+Result<DecompressedTree> Decompress(const Instance& instance,
+                                    const DecompressOptions& options) {
+  if (instance.vertex_count() == 0 || instance.root() == kNoVertex) {
+    return Status::InvalidArgument("Decompress: empty instance");
+  }
+
+  DecompressedTree out;
+  const std::vector<RelationId> live = instance.LiveRelations();
+
+  // Synthesized tags: the unique non-"str:" relation of a vertex, if any.
+  std::vector<TagId> vertex_tag(instance.vertex_count(),
+                                TagTable::kNoTag);
+  {
+    const TagId fallback = out.tree.tag_table().Intern("#node");
+    std::vector<uint8_t> tag_count(instance.vertex_count(), 0);
+    for (RelationId r : live) {
+      std::string_view pattern;
+      if (Schema::ParseStringRelationName(instance.schema().Name(r),
+                                          &pattern)) {
+        continue;
+      }
+      const TagId tag = out.tree.tag_table().Intern(instance.schema().Name(r));
+      instance.RelationBits(r).ForEach([&](size_t v) {
+        vertex_tag[v] = tag_count[v] == 0 ? tag : fallback;
+        if (tag_count[v] < 2) ++tag_count[v];
+      });
+    }
+    for (VertexId v = 0; v < instance.vertex_count(); ++v) {
+      if (vertex_tag[v] == TagTable::kNoTag) vertex_tag[v] = fallback;
+    }
+  }
+
+  // Iterative preorder expansion with multiplicities.
+  struct StackEntry {
+    VertexId vertex;
+    TreeNodeId tree_node;
+    uint32_t run_index;       ///< Next child run of `vertex` to expand.
+    uint64_t run_remaining;   ///< Occurrences left in the current run.
+  };
+  std::vector<StackEntry> stack;
+  const TreeNodeId root =
+      out.tree.AppendNode(kNoTreeNode, vertex_tag[instance.root()]);
+  out.origin.push_back(instance.root());
+  stack.push_back(StackEntry{instance.root(), root, 0, 0});
+  uint64_t produced = 1;
+
+  while (!stack.empty()) {
+    StackEntry& top = stack.back();
+    const std::span<const Edge> children = instance.Children(top.vertex);
+    if (top.run_remaining == 0) {
+      if (top.run_index >= children.size()) {
+        out.tree.SealNode(top.tree_node);
+        stack.pop_back();
+        continue;
+      }
+      top.run_remaining = children[top.run_index].count;
+    }
+    const VertexId child_vertex = children[top.run_index].child;
+    --top.run_remaining;
+    if (top.run_remaining == 0) ++top.run_index;
+
+    if (++produced > options.max_nodes) {
+      return Status::ResourceExhausted(
+          StrFormat("decompression exceeds %llu nodes",
+                    static_cast<unsigned long long>(options.max_nodes)));
+    }
+    const TreeNodeId child_node =
+        out.tree.AppendNode(top.tree_node, vertex_tag[child_vertex]);
+    out.origin.push_back(child_vertex);
+    stack.push_back(StackEntry{child_vertex, child_node, 0, 0});
+  }
+
+  // Transport relations: tree node n is in R iff origin[n] is.
+  out.relation_names.reserve(live.size());
+  out.relation_sets.reserve(live.size());
+  for (RelationId r : live) {
+    out.relation_names.push_back(instance.schema().Name(r));
+    DynamicBitset bits(out.tree.node_count());
+    const DynamicBitset& vertex_bits = instance.RelationBits(r);
+    for (TreeNodeId n = 0; n < out.tree.node_count(); ++n) {
+      if (vertex_bits.Test(out.origin[n])) bits.Set(n);
+    }
+    out.relation_sets.push_back(std::move(bits));
+  }
+  XCQ_RETURN_IF_ERROR(out.tree.Validate());
+  return out;
+}
+
+}  // namespace xcq

@@ -1,0 +1,53 @@
+#ifndef XCQ_COMPRESS_DECOMPRESS_H_
+#define XCQ_COMPRESS_DECOMPRESS_H_
+
+/// \file decompress.h
+/// Full decompression: materializes the unique tree-instance T(I)
+/// equivalent to a DAG instance (Prop. 2.2).
+///
+/// Decompression can blow up exponentially (Sec. 3.4), so it is guarded
+/// by a node budget and fails with `kResourceExhausted` when exceeded.
+/// Production code should prefer the DAG-arithmetic counters in
+/// instance/stats.h; full decompression exists for result decoding,
+/// round-trip tests, and the differential-testing oracle.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "xcq/instance/instance.h"
+#include "xcq/tree/tree_skeleton.h"
+#include "xcq/util/bitset.h"
+#include "xcq/util/result.h"
+
+namespace xcq {
+
+/// \brief T(I) with relations transported to tree nodes.
+struct DecompressedTree {
+  /// Shape of T(I). Tags are synthesized: if the originating vertex is a
+  /// member of exactly one non-`str:` relation, that relation's name is
+  /// the tag; otherwise "#node".
+  TreeSkeleton tree;
+  /// For each tree node, the DAG vertex it expands (|Π(v)| fibers).
+  std::vector<VertexId> origin;
+  /// Live relation names of the instance, in instance id order.
+  std::vector<std::string> relation_names;
+  /// Per relation, the set of tree nodes whose origin vertex is a member.
+  std::vector<DynamicBitset> relation_sets;
+
+  /// The node set for `name`; empty set if unknown.
+  DynamicBitset RelationSet(std::string_view name) const;
+};
+
+struct DecompressOptions {
+  /// Abort with kResourceExhausted when T(I) would exceed this many nodes.
+  uint64_t max_nodes = 50'000'000;
+};
+
+/// \brief Expands `instance` to its equivalent tree.
+Result<DecompressedTree> Decompress(const Instance& instance,
+                                    const DecompressOptions& options = {});
+
+}  // namespace xcq
+
+#endif  // XCQ_COMPRESS_DECOMPRESS_H_

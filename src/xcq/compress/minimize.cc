@@ -1,0 +1,96 @@
+#include "xcq/compress/minimize.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "xcq/compress/dag_builder.h"
+#include "xcq/util/string_util.h"
+
+namespace xcq {
+
+Result<Instance> Minimize(const Instance& input) {
+  if (input.vertex_count() == 0 || input.root() == kNoVertex) {
+    return Status::InvalidArgument("Minimize: empty instance");
+  }
+
+  // Dense label ids for live relations, in schema-id order; names carry
+  // over to the output so equivalence is preserved relation-by-relation.
+  const std::vector<RelationId> live = input.LiveRelations();
+  std::vector<std::string> names;
+  names.reserve(live.size());
+  for (RelationId r : live) names.push_back(input.schema().Name(r));
+
+  // Per-vertex sorted label lists, built column-by-column: the outer loop
+  // ascends over dense ids, so each vertex's list is already sorted.
+  std::vector<std::vector<RelationId>> labels(input.vertex_count());
+  for (size_t dense = 0; dense < live.size(); ++dense) {
+    input.RelationBits(live[dense]).ForEach([&](size_t v) {
+      labels[v].push_back(static_cast<RelationId>(dense));
+    });
+  }
+
+  DagBuilder builder;
+  std::vector<VertexId> remap(input.vertex_count(), kNoVertex);
+  std::vector<Edge> edges_scratch;
+  for (VertexId v : input.PostOrder()) {
+    edges_scratch.clear();
+    for (const Edge& e : input.Children(v)) {
+      // Children interned first (post-order); merging runs here re-joins
+      // edges whose distinct children collapsed to one canonical vertex.
+      AppendEdgeRle(&edges_scratch, Edge{remap[e.child], e.count});
+    }
+    remap[v] = builder.Intern(labels[v], edges_scratch);
+  }
+  return builder.Finish(remap[input.root()], names);
+}
+
+Result<Instance> InstanceFromTree(const LabeledTree& labeled,
+                                  const TreeInstanceOptions& options) {
+  const TreeSkeleton& tree = labeled.tree;
+  if (tree.empty()) {
+    return Status::InvalidArgument("InstanceFromTree: empty tree");
+  }
+
+  Instance instance;
+  // Vertex ids coincide with tree node ids (both preorder).
+  for (TreeNodeId n = 0; n < tree.node_count(); ++n) instance.AddVertex();
+
+  std::vector<Edge> edges;
+  for (TreeNodeId n = 0; n < tree.node_count(); ++n) {
+    edges.clear();
+    for (TreeNodeId c = tree.FirstChild(n); c != kNoTreeNode;
+         c = tree.NextSibling(c)) {
+      // Distinct tree nodes: every run has multiplicity 1 by construction.
+      edges.push_back(Edge{c, 1});
+    }
+    instance.SetEdges(n, edges);
+  }
+  instance.SetRoot(tree.root());
+
+  // Pattern relations.
+  for (size_t p = 0; p < labeled.patterns.size(); ++p) {
+    const RelationId r = instance.AddRelation(
+        Schema::StringRelationName(labeled.patterns[p]));
+    instance.MutableRelationBits(r) = labeled.pattern_sets[p];
+  }
+
+  // Tag relations.
+  if (options.all_tags) {
+    for (TreeNodeId n = 0; n < tree.node_count(); ++n) {
+      const RelationId r = instance.AddRelation(tree.TagName(n));
+      instance.SetBit(r, n);
+    }
+  } else {
+    for (const std::string& tag : options.tags) {
+      const RelationId r = instance.AddRelation(tag);
+      const TagId tag_id = tree.tag_table().Find(tag);
+      if (tag_id == TagTable::kNoTag) continue;
+      for (TreeNodeId n = 0; n < tree.node_count(); ++n) {
+        if (tree.Tag(n) == tag_id) instance.SetBit(r, n);
+      }
+    }
+  }
+  return instance;
+}
+
+}  // namespace xcq

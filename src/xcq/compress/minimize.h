@@ -1,0 +1,46 @@
+#ifndef XCQ_COMPRESS_MINIMIZE_H_
+#define XCQ_COMPRESS_MINIMIZE_H_
+
+/// \file minimize.h
+/// Movement inside the lattice of bisimilarity relations (Sec. 2.2).
+///
+/// Every class of equivalent instances forms a lattice whose maximum is
+/// the tree-instance T(I) and whose minimum is the unique minimal
+/// instance M(I). `Minimize` maps any instance to M(I) without
+/// decompressing; `InstanceFromTree` produces the maximum element from a
+/// labeled tree (used by tests and the uncompressed baseline).
+
+#include <string>
+#include <vector>
+
+#include "xcq/instance/instance.h"
+#include "xcq/tree/tree_builder.h"
+#include "xcq/util/result.h"
+
+namespace xcq {
+
+/// \brief Computes the minimal instance equivalent to `input`
+/// (Prop. 2.5/2.6): hash-consing over the reachable vertices in
+/// children-first order. Unreachable vertices are dropped; live relations
+/// are preserved by name.
+Result<Instance> Minimize(const Instance& input);
+
+/// \brief Builds the (uncompressed) tree-instance of a labeled tree:
+/// one vertex per tree node, no sharing.
+///
+/// Relations: in kAllTags mode one per distinct tag; in kSchema mode one
+/// per listed tag; plus one `str:` relation per pattern of the
+/// `LabeledTree`. Minimizing the result equals the streaming compressor's
+/// output on the same document — a property the tests rely on.
+struct TreeInstanceOptions {
+  bool all_tags = true;
+  /// Tags to label when `all_tags` is false.
+  std::vector<std::string> tags;
+};
+
+Result<Instance> InstanceFromTree(const LabeledTree& labeled,
+                                  const TreeInstanceOptions& options = {});
+
+}  // namespace xcq
+
+#endif  // XCQ_COMPRESS_MINIMIZE_H_

@@ -1,0 +1,107 @@
+#include "xcq/compress/verify.h"
+
+#include <algorithm>
+
+#include "xcq/compress/minimize.h"
+#include "xcq/util/string_util.h"
+
+namespace xcq {
+
+Result<bool> IsMinimal(const Instance& instance) {
+  XCQ_ASSIGN_OR_RETURN(const Instance minimal, Minimize(instance));
+  return minimal.vertex_count() == instance.ReachableCount();
+}
+
+Result<bool> AreEquivalent(const Instance& a, const Instance& b) {
+  XCQ_ASSIGN_OR_RETURN(const Instance ma, Minimize(a));
+  XCQ_ASSIGN_OR_RETURN(const Instance mb, Minimize(b));
+  if (ma.vertex_count() != mb.vertex_count()) return false;
+
+  // Live relation name sets must coincide.
+  std::vector<std::string> names_a = ma.schema().LiveNames();
+  std::vector<std::string> names_b = mb.schema().LiveNames();
+  std::sort(names_a.begin(), names_a.end());
+  std::sort(names_b.begin(), names_b.end());
+  if (names_a != names_b) return false;
+
+  // Align relation ids by name.
+  std::vector<std::pair<RelationId, RelationId>> aligned;
+  for (RelationId ra : ma.LiveRelations()) {
+    const RelationId rb = mb.FindRelation(ma.schema().Name(ra));
+    aligned.emplace_back(ra, rb);
+  }
+
+  // Simultaneous DFS: a consistent, structure-preserving pairing of two
+  // *minimal* instances is exactly an isomorphism (Prop. 2.5 uniqueness).
+  std::vector<VertexId> mapped(ma.vertex_count(), kNoVertex);
+  std::vector<std::pair<VertexId, VertexId>> stack;
+  mapped[ma.root()] = mb.root();
+  stack.emplace_back(ma.root(), mb.root());
+  while (!stack.empty()) {
+    const auto [va, vb] = stack.back();
+    stack.pop_back();
+    for (const auto& [ra, rb] : aligned) {
+      if (ma.Test(ra, va) != mb.Test(rb, vb)) return false;
+    }
+    const std::span<const Edge> ea = ma.Children(va);
+    const std::span<const Edge> eb = mb.Children(vb);
+    if (ea.size() != eb.size()) return false;
+    for (size_t i = 0; i < ea.size(); ++i) {
+      if (ea[i].count != eb[i].count) return false;
+      const VertexId ca = ea[i].child;
+      const VertexId cb = eb[i].child;
+      if (mapped[ca] == kNoVertex) {
+        mapped[ca] = cb;
+        stack.emplace_back(ca, cb);
+      } else if (mapped[ca] != cb) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+namespace {
+
+struct PathEnumerator {
+  const Instance& instance;
+  RelationId relation;
+  uint64_t limit;
+  uint64_t visited = 0;
+  std::set<std::vector<uint64_t>> paths;
+  std::vector<uint64_t> current;
+
+  Status Visit(VertexId v) {
+    if (++visited > limit) {
+      return Status::ResourceExhausted(
+          "edge-path enumeration exceeds the configured limit");
+    }
+    if (relation == kNoRelation || instance.Test(relation, v)) {
+      paths.insert(current);
+    }
+    uint64_t position = 0;
+    for (const Edge& e : instance.Children(v)) {
+      for (uint64_t k = 0; k < e.count; ++k) {
+        ++position;
+        current.push_back(position);
+        XCQ_RETURN_IF_ERROR(Visit(e.child));
+        current.pop_back();
+      }
+    }
+    return Status::OK();
+  }
+};
+
+}  // namespace
+
+Result<std::set<std::vector<uint64_t>>> EnumerateEdgePaths(
+    const Instance& instance, RelationId r, uint64_t limit) {
+  if (instance.vertex_count() == 0 || instance.root() == kNoVertex) {
+    return Status::InvalidArgument("EnumerateEdgePaths: empty instance");
+  }
+  PathEnumerator enumerator{instance, r, limit, 0, {}, {}};
+  XCQ_RETURN_IF_ERROR(enumerator.Visit(instance.root()));
+  return std::move(enumerator.paths);
+}
+
+}  // namespace xcq

@@ -1,0 +1,40 @@
+#ifndef XCQ_COMPRESS_VERIFY_H_
+#define XCQ_COMPRESS_VERIFY_H_
+
+/// \file verify.h
+/// Semantic checkers for the formal notions of Sec. 2: instance
+/// equivalence (Def. 2.1), minimality (Prop. 2.5), and the edge-path
+/// semantics Π used to define both. These are the oracles the test suite
+/// leans on; the enumeration-based checks are exponential and exist only
+/// for small instances.
+
+#include <set>
+#include <vector>
+
+#include "xcq/instance/instance.h"
+#include "xcq/util/result.h"
+
+namespace xcq {
+
+/// \brief True iff the reachable part of `instance` is minimal: no two
+/// distinct reachable vertices are bisimilar (Sec. 2.2).
+Result<bool> IsMinimal(const Instance& instance);
+
+/// \brief True iff `a` and `b` are equivalent in the sense of Def. 2.1:
+/// Π(V^a) = Π(V^b) and Π(S^a) = Π(S^b) for every relation name S (live
+/// relation name sets must coincide).
+///
+/// Decided in linear time by minimizing both sides and checking DAG
+/// isomorphism (the minimal instance is unique up to isomorphism).
+Result<bool> AreEquivalent(const Instance& a, const Instance& b);
+
+/// \brief Enumerates Π(S) — every edge-path from the root to a vertex in
+/// relation `r` — as explicit integer sequences (1-based positions, per
+/// the paper). Exponential; fails with kResourceExhausted past `limit`
+/// paths. Pass `r == kNoRelation` for Π(V), the paths to all vertices.
+Result<std::set<std::vector<uint64_t>>> EnumerateEdgePaths(
+    const Instance& instance, RelationId r, uint64_t limit = 1u << 20);
+
+}  // namespace xcq
+
+#endif  // XCQ_COMPRESS_VERIFY_H_

@@ -1,0 +1,38 @@
+#include "xcq/corpus/generator.h"
+
+namespace xcq::corpus {
+
+std::string_view RandomWord(Rng& rng) {
+  static const std::vector<std::string> kWords = {
+      "the",      "market",   "company",  "shares",   "report",
+      "children", "granting", "access",   "yesterday", "analysts",
+      "said",     "new",      "york",     "stock",    "exchange",
+      "growth",   "quarter",  "billion",  "index",    "trading",
+      "interest", "rates",    "federal",  "board",    "plan",
+      "program",  "results",  "little",   "change",   "investors",
+      "while",    "against",  "because",  "between",  "system",
+      "value",    "price",    "percent",  "director", "officer",
+  };
+  return kWords[rng.SkewedIndex(kWords.size(), 4.0)];
+}
+
+std::string RandomSentence(Rng& rng, size_t words) {
+  std::string out;
+  for (size_t i = 0; i < words; ++i) {
+    if (i != 0) out.push_back(' ');
+    out.append(RandomWord(rng));
+  }
+  return out;
+}
+
+std::string RandomProteinSequence(Rng& rng, size_t len) {
+  static constexpr std::string_view kAminoAcids = "ACDEFGHIKLMNPQRSTVWY";
+  std::string out;
+  out.reserve(len);
+  for (size_t i = 0; i < len; ++i) {
+    out.push_back(kAminoAcids[rng.Uniform(0, kAminoAcids.size() - 1)]);
+  }
+  return out;
+}
+
+}  // namespace xcq::corpus

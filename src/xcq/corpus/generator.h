@@ -1,0 +1,99 @@
+#ifndef XCQ_CORPUS_GENERATOR_H_
+#define XCQ_CORPUS_GENERATOR_H_
+
+/// \file generator.h
+/// Synthetic stand-ins for the paper's benchmark corpora (Sec. 5).
+///
+/// The real corpora (SwissProt, DBLP, Penn TreeBank, OMIM, XMark,
+/// Shakespeare, 1998 Baseball, TPC-D) are not redistributable here, so
+/// each generator reproduces the *structural* signature that drives the
+/// paper's results: element vocabulary, nesting shape, fan-out/depth
+/// distributions, and — crucially for subtree-sharing compression — the
+/// degree of regularity (how many distinct subtree shapes occur and how
+/// often they repeat). Each generator also plants the strings that the
+/// Appendix-A queries match ("Codd", "MARK ANTONY", "Eukaryota", ...), so
+/// every benchmark query selects at least one node, as in the paper.
+///
+/// Generators are deterministic in (target_nodes, seed).
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "xcq/util/result.h"
+#include "xcq/util/rng.h"
+#include "xcq/xml/writer.h"
+
+namespace xcq::corpus {
+
+/// \brief Reference numbers from the paper (Fig. 6) for one corpus.
+struct PaperFigures {
+  uint64_t tree_nodes = 0;     ///< |V^T|
+  uint64_t bytes = 0;          ///< document size on disk
+  uint64_t vm_bare = 0;        ///< |V^{M(T)}|, tags ignored ("−")
+  uint64_t em_bare = 0;        ///< |E^{M(T)}|, tags ignored
+  double ratio_bare = 0.0;     ///< |E^M|/|E^T|, tags ignored
+  uint64_t vm_tags = 0;        ///< |V^{M(T)}|, all tags ("+")
+  uint64_t em_tags = 0;        ///< |E^{M(T)}|, all tags
+  double ratio_tags = 0.0;     ///< |E^M|/|E^T|, all tags
+};
+
+struct GenerateOptions {
+  /// Approximate number of skeleton nodes to produce (excluding #doc).
+  uint64_t target_nodes = 100000;
+  uint64_t seed = 42;
+};
+
+/// \brief Interface implemented by the eight corpus generators.
+class CorpusGenerator {
+ public:
+  virtual ~CorpusGenerator() = default;
+
+  /// Corpus name as used in the paper's tables, e.g. "SwissProt".
+  virtual std::string_view name() const = 0;
+
+  /// The paper's measured numbers for the real corpus (Fig. 6).
+  virtual PaperFigures paper_figures() const = 0;
+
+  /// Default node budget used by the benchmark harnesses (a laptop-scale
+  /// fraction of the paper's corpus size).
+  virtual uint64_t default_target_nodes() const = 0;
+
+  /// Produces the XML document text.
+  virtual std::string Generate(const GenerateOptions& options) const = 0;
+};
+
+/// \brief Uniform word source for generated text content (lowercase
+/// English-ish words from a fixed pool).
+std::string_view RandomWord(Rng& rng);
+
+/// \brief Space-separated words, no trailing space.
+std::string RandomSentence(Rng& rng, size_t words);
+
+/// \brief Uppercase amino-acid letter string of length `len`.
+std::string RandomProteinSequence(Rng& rng, size_t len);
+
+/// \brief Helper base carrying the writer boilerplate shared by all
+/// generators.
+class GeneratorBase : public CorpusGenerator {
+ protected:
+  /// Hands a writer over `out` (no indentation — dense documents like the
+  /// real corpora) to `body`, asserting balanced elements.
+  template <typename Body>
+  static std::string Emit(Body&& body) {
+    std::string out;
+    xml::XmlWriter writer(&out, xml::WriterOptions{
+                                    .indent = false,
+                                    .declaration = true,
+                                });
+    body(writer);
+    // Generators are trusted internal code; an unbalanced document is a
+    // programming error surfaced loudly in tests via parse failure.
+    return out;
+  }
+};
+
+}  // namespace xcq::corpus
+
+#endif  // XCQ_CORPUS_GENERATOR_H_

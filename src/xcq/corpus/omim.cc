@@ -1,0 +1,127 @@
+#include <algorithm>
+
+#include "xcq/corpus/generator.h"
+#include "xcq/corpus/registry.h"
+
+namespace xcq::corpus {
+
+namespace {
+
+/// OMIM: Online Mendelian Inheritance in Man — gene/disorder records
+/// with titles, long text sections, and clinical synopses. Highly
+/// regular (5.8% / 7.0% in the paper) with few distinct shapes.
+class OmimGenerator : public GeneratorBase {
+ public:
+  std::string_view name() const override { return "OMIM"; }
+
+  PaperFigures paper_figures() const override {
+    PaperFigures f;
+    f.tree_nodes = 206454;
+    f.bytes = 29674700;  // 28.3 MB
+    f.vm_bare = 962;
+    f.em_bare = 11921;
+    f.ratio_bare = 0.058;
+    f.vm_tags = 975;
+    f.em_tags = 14416;
+    f.ratio_tags = 0.070;
+    return f;
+  }
+
+  uint64_t default_target_nodes() const override { return 200000; }
+
+  std::string Generate(const GenerateOptions& options) const override {
+    Rng rng(options.seed);
+    const uint64_t kNodesPerRecord = 18;
+    const uint64_t records =
+        std::max<uint64_t>(1, options.target_nodes / kNodesPerRecord);
+    return Emit([&](xml::XmlWriter& w) {
+      static const std::vector<std::string> kParts = {
+          "Metabolic", "Neuro", "Cardiac", "Skin", "Growth", "Heme",
+      };
+      static const std::vector<std::string> kSynops = {
+          "Lactic acidosis",      "Seizures",          "Hypotonia",
+          "Cardiomyopathy",       "Short stature",     "Anemia",
+          "Developmental delay",  "Hepatomegaly",
+      };
+
+      w.StartElement("ROOT");
+      for (uint64_t r = 0; r < records; ++r) {
+        w.StartElement("Record");
+        w.TextElement("No", std::to_string(100000 + r));
+
+        std::string title = RandomSentence(rng, 3);
+        // ~3% of titles carry the Q3/Q4 marker.
+        if (rng.Chance(0.03)) title += " LETHAL FORM";
+        w.TextElement("Title", title);
+
+        // Records carry a long-tailed number of text paragraphs; the
+        // paragraph-count distribution drives OMIM's shape diversity.
+        w.StartElement("Text");
+        uint64_t paragraphs = rng.GeometricCount(1, 5, 0.45);
+        if (rng.Chance(0.06)) paragraphs += rng.Uniform(2, 12);
+        for (uint64_t p = 0; p < paragraphs; ++p) {
+          std::string text = RandomSentence(rng, 15 + rng.Uniform(0, 25));
+          if (p == 0 && rng.Chance(0.05)) {
+            text += " reported in offspring of consanguineous parents";
+          }
+          w.TextElement("P", text);
+        }
+        w.EndElement();  // Text
+
+        if (rng.Chance(0.7)) {
+          w.StartElement("Clinical_Synop");
+          const uint64_t parts = rng.GeometricCount(1, 3, 0.5);
+          for (uint64_t p = 0; p < parts; ++p) {
+            const bool plant = p == 0 && rng.Chance(0.06);
+            w.TextElement("Part", plant ? kParts[0] : rng.Pick(kParts));
+            const uint64_t synops = rng.GeometricCount(1, 4, 0.45);
+            for (uint64_t s = 0; s < synops; ++s) {
+              // The Q5 pattern: Part["Metabolic"] followed (as sibling)
+              // by a Synop containing "Lactic acidosis".
+              w.TextElement("Synop", plant && s == 0
+                                         ? kSynops[0]
+                                         : rng.Pick(kSynops));
+            }
+          }
+          w.EndElement();  // Clinical_Synop
+        }
+
+        // Optional allelic-variant entries (two layouts).
+        if (rng.Chance(0.12)) {
+          const uint64_t variants = rng.GeometricCount(1, 3, 0.6);
+          for (uint64_t v = 0; v < variants; ++v) {
+            w.StartElement("AV");
+            w.TextElement("Mutation", RandomSentence(rng, 2));
+            if (rng.Chance(0.3)) {
+              w.TextElement("Description", RandomSentence(rng, 8));
+            }
+            w.EndElement();
+          }
+        }
+
+        const uint64_t refs = rng.GeometricCount(0, 3, 0.5);
+        for (uint64_t k = 0; k < refs; ++k) {
+          w.TextElement("Reference", RandomSentence(rng, 6));
+        }
+        if (rng.Chance(0.2)) {
+          const uint64_t edits = rng.GeometricCount(1, 3, 0.7);
+          for (uint64_t e = 0; e < edits; ++e) {
+            w.TextElement("Edited",
+                          "curator" + std::to_string(rng.Uniform(1, 20)));
+          }
+        }
+        w.EndElement();  // Record
+      }
+      w.EndElement();  // ROOT
+    });
+  }
+};
+
+}  // namespace
+
+const CorpusGenerator& Omim() {
+  static const OmimGenerator kInstance;
+  return kInstance;
+}
+
+}  // namespace xcq::corpus

@@ -1,0 +1,88 @@
+#include "xcq/corpus/queries.h"
+
+#include "xcq/util/string_util.h"
+
+namespace xcq::corpus {
+
+const std::vector<QuerySet>& AppendixAQueries() {
+  static const std::vector<QuerySet> kQueries = {
+      {"SwissProt",
+       {
+           "/self::*[ROOT/Record/comment/topic]",
+           "/ROOT/Record/comment/topic",
+           "//Record/protein[taxo[\"Eukaryota\"]]",
+           "//Record[sequence/seq[\"MMSARGDFLN\"] and "
+           "protein/from[\"Rattus norvegicus\"]]",
+           "//Record/comment[topic[\"TISSUE SPECIFICITY\"] and "
+           "following-sibling::comment/topic[\"DEVELOPMENTAL STAGE\"]]",
+       }},
+      {"DBLP",
+       {
+           "/self::*[dblp/article/url]",
+           "/dblp/article/url",
+           "//article[author[\"Codd\"]]",
+           "/dblp/article[author[\"Chandra\"] and "
+           "author[\"Harel\"]]/title",
+           "/dblp/article[author[\"Chandra\" and "
+           "following-sibling::author[\"Harel\"]]]/title",
+       }},
+      {"TreeBank",
+       {
+           "/self::*[alltreebank/FILE/EMPTY/S/VP/S/VP/NP]",
+           "/alltreebank/FILE/EMPTY/S/VP/S/VP/NP",
+           "//S//S[descendant::NNS[\"children\"]]",
+           "//VP[\"granting\" and descendant::NP[\"access\"]]",
+           "//VP/NP/VP/NP[following::NP/VP/NP/PP]",
+       }},
+      {"OMIM",
+       {
+           "/self::*[ROOT/Record/Title]",
+           "/ROOT/Record/Title",
+           "//Title[\"LETHAL\"]",
+           "//Record[Text[\"consanguineous parents\"]]/Title[\"LETHAL\"]",
+           "//Record[Clinical_Synop/Part[\"Metabolic\"]/"
+           "following-sibling::Synop[\"Lactic acidosis\"]]",
+       }},
+      {"XMark",
+       {
+           "/self::*[site/regions/africa/item/"
+           "description/parlist/listitem/text]",
+           "/site/regions/africa/item/description/parlist/listitem/text",
+           "//item[payment[\"Creditcard\"]]",
+           "//item[location[\"United States\"] and parent::africa]",
+           "//item/description/parlist/listitem[\"cassio\" and "
+           "following-sibling::*[\"portia\"]]",
+       }},
+      {"Shakespeare",
+       {
+           "/self::*[all/PLAY/ACT/SCENE/SPEECH/LINE]",
+           "/all/PLAY/ACT/SCENE/SPEECH/LINE",
+           "//SPEECH[SPEAKER[\"MARK ANTONY\"]]/LINE",
+           "//SPEECH[SPEAKER[\"CLEOPATRA\"] or LINE[\"Cleopatra\"]]",
+           "//SPEECH[SPEAKER[\"CLEOPATRA\"] and "
+           "preceding-sibling::SPEECH[SPEAKER[\"MARK ANTONY\"]]]",
+       }},
+      {"Baseball",
+       {
+           "/self::*[SEASON/LEAGUE/DIVISION/TEAM/PLAYER]",
+           "/SEASON/LEAGUE/DIVISION/TEAM/PLAYER",
+           "//PLAYER[THROWS[\"Right\"]]",
+           "//PLAYER[ancestor::TEAM[TEAM_CITY[\"Atlanta\"]] or "
+           "(HOME_RUNS[\"5\"] and STEALS[\"1\"])]",
+           "//PLAYER[POSITION[\"First Base\"] and "
+           "following-sibling::PLAYER[POSITION[\"Starting Pitcher\"]]]",
+       }},
+  };
+  return kQueries;
+}
+
+Result<QuerySet> QueriesFor(std::string_view corpus) {
+  for (const QuerySet& set : AppendixAQueries()) {
+    if (set.corpus == corpus) return set;
+  }
+  return Status::NotFound(StrFormat("no benchmark queries for '%.*s'",
+                                    static_cast<int>(corpus.size()),
+                                    corpus.data()));
+}
+
+}  // namespace xcq::corpus

@@ -1,0 +1,35 @@
+#ifndef XCQ_CORPUS_QUERIES_H_
+#define XCQ_CORPUS_QUERIES_H_
+
+/// \file queries.h
+/// The paper's Appendix-A benchmark queries, verbatim.
+///
+/// For each corpus: Q1 is a tree-pattern query (upward-only algebra — no
+/// decompression, Cor. 3.7), Q2 the same path selecting its endpoint,
+/// Q3 adds descendant axes and string constraints, Q4 adds branching
+/// predicates, Q5 uses the remaining axes (sibling / following /
+/// preceding). TPC-D has no queries (excluded in the paper too).
+
+#include <array>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "xcq/util/result.h"
+
+namespace xcq::corpus {
+
+struct QuerySet {
+  std::string_view corpus;
+  std::array<std::string_view, 5> queries;  ///< Q1..Q5.
+};
+
+/// \brief All query sets, in Fig. 7 corpus order.
+const std::vector<QuerySet>& AppendixAQueries();
+
+/// \brief The query set for `corpus` (kNotFound for TPC-D / unknown).
+Result<QuerySet> QueriesFor(std::string_view corpus);
+
+}  // namespace xcq::corpus
+
+#endif  // XCQ_CORPUS_QUERIES_H_

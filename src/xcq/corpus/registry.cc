@@ -1,0 +1,24 @@
+#include "xcq/corpus/registry.h"
+
+#include "xcq/util/string_util.h"
+
+namespace xcq::corpus {
+
+const std::vector<const CorpusGenerator*>& AllCorpora() {
+  static const std::vector<const CorpusGenerator*> kAll = {
+      &SwissProt(), &Dblp(),        &TreeBank(), &Omim(),
+      &XMark(),     &Shakespeare(), &Baseball(), &Tpcd(),
+  };
+  return kAll;
+}
+
+Result<const CorpusGenerator*> FindCorpus(std::string_view name) {
+  for (const CorpusGenerator* corpus : AllCorpora()) {
+    if (corpus->name() == name) return corpus;
+  }
+  return Status::NotFound(StrFormat("unknown corpus '%.*s'",
+                                    static_cast<int>(name.size()),
+                                    name.data()));
+}
+
+}  // namespace xcq::corpus

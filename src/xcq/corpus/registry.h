@@ -1,0 +1,35 @@
+#ifndef XCQ_CORPUS_REGISTRY_H_
+#define XCQ_CORPUS_REGISTRY_H_
+
+/// \file registry.h
+/// Lookup of the eight benchmark corpora by name.
+
+#include <string_view>
+#include <vector>
+
+#include "xcq/corpus/generator.h"
+#include "xcq/util/result.h"
+
+namespace xcq::corpus {
+
+/// \brief All corpora, in the order of the paper's Fig. 6 (largest
+/// first): SwissProt, DBLP, TreeBank, OMIM, XMark, Shakespeare,
+/// Baseball, TPC-D.
+const std::vector<const CorpusGenerator*>& AllCorpora();
+
+/// \brief Finds a corpus by (case-sensitive) name.
+Result<const CorpusGenerator*> FindCorpus(std::string_view name);
+
+// Accessors for the individual generators (used by targeted tests).
+const CorpusGenerator& SwissProt();
+const CorpusGenerator& Dblp();
+const CorpusGenerator& TreeBank();
+const CorpusGenerator& Omim();
+const CorpusGenerator& XMark();
+const CorpusGenerator& Shakespeare();
+const CorpusGenerator& Baseball();
+const CorpusGenerator& Tpcd();
+
+}  // namespace xcq::corpus
+
+#endif  // XCQ_CORPUS_REGISTRY_H_

@@ -1,0 +1,116 @@
+#include <algorithm>
+
+#include "xcq/corpus/generator.h"
+#include "xcq/corpus/registry.h"
+
+namespace xcq::corpus {
+
+namespace {
+
+/// Shakespeare's collected works (the classic Bosak XML): plays divided
+/// into acts, scenes and speeches. Speeches are highly uniform
+/// (SPEAKER + LINE*), giving decent compression (16.1% / 17.8%).
+class ShakespeareGenerator : public GeneratorBase {
+ public:
+  std::string_view name() const override { return "Shakespeare"; }
+
+  PaperFigures paper_figures() const override {
+    PaperFigures f;
+    f.tree_nodes = 179691;
+    f.bytes = 8283750;  // 7.9 MB
+    f.vm_bare = 1121;
+    f.em_bare = 29006;
+    f.ratio_bare = 0.161;
+    f.vm_tags = 1534;
+    f.em_tags = 31910;
+    f.ratio_tags = 0.178;
+    return f;
+  }
+
+  uint64_t default_target_nodes() const override { return 180000; }
+
+  std::string Generate(const GenerateOptions& options) const override {
+    Rng rng(options.seed);
+    const uint64_t kNodesPerSpeech = 7;
+    const uint64_t speeches =
+        std::max<uint64_t>(1, options.target_nodes / kNodesPerSpeech);
+    const uint64_t kSpeechesPerScene = 20;
+    const uint64_t kScenesPerAct = 5;
+    const uint64_t kActsPerPlay = 5;
+    return Emit([&](xml::XmlWriter& w) {
+      static const std::vector<std::string> kSpeakers = {
+          "MARK ANTONY", "CLEOPATRA", "OCTAVIUS CAESAR", "CHARMIAN",
+          "ENOBARBUS",   "LEPIDUS",   "First Messenger", "DOLABELLA",
+      };
+
+      w.StartElement("all");
+      uint64_t emitted = 0;
+      uint64_t play_no = 0;
+      while (emitted < speeches) {
+        w.StartElement("PLAY");
+        w.TextElement("TITLE",
+                      "The Tragedie " + std::to_string(++play_no));
+        w.StartElement("PERSONAE");
+        for (const std::string& speaker : kSpeakers) {
+          w.TextElement("PERSONA", speaker);
+        }
+        w.EndElement();  // PERSONAE
+        for (uint64_t act = 0; act < kActsPerPlay && emitted < speeches;
+             ++act) {
+          w.StartElement("ACT");
+          w.TextElement("TITLE", "ACT " + std::to_string(act + 1));
+          for (uint64_t scene = 0;
+               scene < kScenesPerAct && emitted < speeches; ++scene) {
+            w.StartElement("SCENE");
+            w.TextElement("TITLE", "SCENE " + std::to_string(scene + 1));
+            if (rng.Chance(0.5)) {
+              w.TextElement("STAGEDIR", RandomSentence(rng, 4));
+            }
+            const uint64_t batch = std::min<uint64_t>(
+                kSpeechesPerScene, speeches - emitted);
+            for (uint64_t s = 0; s < batch; ++s) {
+              // ~5% of speech pairs are MARK ANTONY followed by
+              // CLEOPATRA (the Q5 pattern).
+              if (s + 1 < batch && rng.Chance(0.05)) {
+                EmitSpeech(w, rng, "MARK ANTONY");
+                EmitSpeech(w, rng, "CLEOPATRA");
+                ++s;
+                emitted += 2;
+                continue;
+              }
+              EmitSpeech(w, rng, rng.Pick(kSpeakers));
+              ++emitted;
+            }
+            w.EndElement();  // SCENE
+          }
+          w.EndElement();  // ACT
+        }
+        w.EndElement();  // PLAY
+      }
+      w.EndElement();  // all
+    });
+  }
+
+ private:
+  void EmitSpeech(xml::XmlWriter& w, Rng& rng,
+                  std::string_view speaker) const {
+    w.StartElement("SPEECH");
+    w.TextElement("SPEAKER", speaker);
+    const uint64_t lines = rng.GeometricCount(1, 6, 0.4);
+    for (uint64_t l = 0; l < lines; ++l) {
+      std::string line = RandomSentence(rng, 6);
+      if (rng.Chance(0.03)) line += " o Cleopatra";  // Q4's line marker
+      w.TextElement("LINE", line);
+    }
+    w.EndElement();  // SPEECH
+  }
+};
+
+}  // namespace
+
+const CorpusGenerator& Shakespeare() {
+  static const ShakespeareGenerator kInstance;
+  return kInstance;
+}
+
+}  // namespace xcq::corpus

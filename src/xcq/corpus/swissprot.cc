@@ -1,0 +1,173 @@
+#include <algorithm>
+
+#include "xcq/corpus/generator.h"
+#include "xcq/corpus/registry.h"
+
+namespace xcq::corpus {
+
+namespace {
+
+/// SwissProt: a protein database. Deep regular records with a protein
+/// header, a sequence, a variable number of comment/feature/reference
+/// blocks. Moderately regular — the paper measures 7.3% ("−") / 10.1%
+/// ("+") edge ratios on 10.9M nodes.
+class SwissProtGenerator : public GeneratorBase {
+ public:
+  std::string_view name() const override { return "SwissProt"; }
+
+  PaperFigures paper_figures() const override {
+    PaperFigures f;
+    f.tree_nodes = 10903569;
+    f.bytes = 479662899;  // 457.4 MB
+    f.vm_bare = 83427;
+    f.em_bare = 792620;
+    f.ratio_bare = 0.073;
+    f.vm_tags = 85712;
+    f.em_tags = 1100648;
+    f.ratio_tags = 0.101;
+    return f;
+  }
+
+  uint64_t default_target_nodes() const override { return 500000; }
+
+  std::string Generate(const GenerateOptions& options) const override {
+    Rng rng(options.seed);
+    const uint64_t kNodesPerRecord = 34;
+    const uint64_t records =
+        std::max<uint64_t>(1, options.target_nodes / kNodesPerRecord);
+    return Emit([&](xml::XmlWriter& w) {
+      static const std::vector<std::string> kOrganisms = {
+          "Homo sapiens",   "Rattus norvegicus", "Mus musculus",
+          "Gallus gallus",  "Escherichia coli",  "Bos taurus",
+          "Xenopus laevis", "Drosophila melanogaster",
+      };
+      static const std::vector<std::string> kLineages = {
+          "Eukaryota; Metazoa; Chordata; Mammalia",
+          "Eukaryota; Metazoa; Chordata; Aves",
+          "Bacteria; Proteobacteria; Enterobacteriaceae",
+          "Eukaryota; Metazoa; Arthropoda; Insecta",
+          "Eukaryota; Fungi; Ascomycota",
+      };
+      static const std::vector<std::string> kTopics = {
+          "FUNCTION",       "SUBUNIT",           "SUBCELLULAR LOCATION",
+          "SIMILARITY",     "TISSUE SPECIFICITY", "DEVELOPMENTAL STAGE",
+          "PTM",            "DISEASE",           "CATALYTIC ACTIVITY",
+      };
+      static const std::vector<std::string> kFeatureTypes = {
+          "DOMAIN", "CHAIN", "SIGNAL", "TRANSMEM", "BINDING", "ACT_SITE",
+      };
+
+      w.StartElement("ROOT");
+      for (uint64_t r = 0; r < records; ++r) {
+        w.StartElement("Record");
+
+        // Protein header: 1-3 names, optional gene, organism, lineage.
+        w.StartElement("protein");
+        const uint64_t names = rng.GeometricCount(1, 2, 0.85);
+        for (uint64_t n = 0; n < names; ++n) {
+          w.TextElement("name", RandomSentence(rng, 2));
+        }
+        if (rng.Chance(0.3)) {
+          w.TextElement("gene", RandomSentence(rng, 1));
+        }
+        w.TextElement("from", rng.Pick(kOrganisms));
+        w.TextElement("taxo", rng.Pick(kLineages));
+        w.EndElement();
+
+        w.StartElement("sequence");
+        std::string seq =
+            RandomProteinSequence(rng, 40 + rng.Uniform(0, 80));
+        // Plant the Q4 motif in ~2% of sequences.
+        if (rng.Chance(0.02)) seq.insert(seq.size() / 2, "MMSARGDFLN");
+        w.TextElement("seq", seq);
+        w.TextElement("length", std::to_string(seq.size()));
+        if (rng.Chance(0.15)) {
+          w.TextElement("checksum",
+                        std::to_string(rng.Uniform(1000, 99999)));
+        }
+        w.EndElement();
+
+        const uint64_t keywords = rng.GeometricCount(0, 4, 0.6);
+        for (uint64_t k = 0; k < keywords; ++k) {
+          w.TextElement("keyword", RandomSentence(rng, 1));
+        }
+
+        const uint64_t comments = rng.GeometricCount(1, 6, 0.45);
+        bool planted_pair = false;
+        for (uint64_t c = 0; c < comments; ++c) {
+          // ~4% of records carry the Q5 adjacent topic pair.
+          if (!planted_pair && c + 1 < comments && rng.Chance(0.04)) {
+            planted_pair = true;
+            w.StartElement("comment");
+            w.TextElement("topic", "TISSUE SPECIFICITY");
+            w.TextElement("text", RandomSentence(rng, 8));
+            w.EndElement();
+            ++c;
+            w.StartElement("comment");
+            w.TextElement("topic", "DEVELOPMENTAL STAGE");
+            w.TextElement("text", RandomSentence(rng, 8));
+            w.EndElement();
+            continue;
+          }
+          w.StartElement("comment");
+          w.TextElement("topic", rng.Pick(kTopics));
+          w.TextElement("text", RandomSentence(rng, 6 + rng.Uniform(0, 8)));
+          if (rng.Chance(0.1)) {
+            w.TextElement("evidence",
+                          "E" + std::to_string(rng.Uniform(1, 40)));
+          }
+          w.EndElement();
+        }
+
+        // Features come in two layouts, as in the real corpus: ranged
+        // (from/to) and point (location), with an optional description.
+        const uint64_t features = rng.GeometricCount(1, 8, 0.4);
+        for (uint64_t f = 0; f < features; ++f) {
+          w.StartElement("feature");
+          w.TextElement("type", rng.Pick(kFeatureTypes));
+          if (rng.Chance(0.3)) {
+            const uint64_t from = rng.Uniform(1, 800);
+            w.TextElement("from", std::to_string(from));
+            w.TextElement("to",
+                          std::to_string(from + rng.Uniform(1, 90)));
+          } else {
+            w.TextElement("location",
+                          std::to_string(rng.Uniform(1, 900)));
+          }
+          if (rng.Chance(0.2)) {
+            w.TextElement("description", RandomSentence(rng, 4));
+          }
+          w.EndElement();
+        }
+
+        const uint64_t refs = rng.GeometricCount(1, 4, 0.5);
+        for (uint64_t k = 0; k < refs; ++k) {
+          w.StartElement("reference");
+          const uint64_t authors = rng.GeometricCount(1, 4, 0.6);
+          for (uint64_t a = 0; a < authors; ++a) {
+            w.TextElement("author", RandomSentence(rng, 2));
+          }
+          w.TextElement("title", RandomSentence(rng, 5));
+          if (rng.Chance(0.25)) {
+            w.TextElement("cite",
+                          "MEDLINE " + std::to_string(rng.Uniform(
+                                           70000000, 99999999)));
+          }
+          w.EndElement();
+        }
+
+        w.EndElement();  // Record
+      }
+      w.EndElement();  // ROOT
+    });
+  }
+};
+
+}  // namespace
+
+const CorpusGenerator& SwissProt() {
+  static const SwissProtGenerator kInstance;
+  return kInstance;
+}
+
+}  // namespace xcq::corpus

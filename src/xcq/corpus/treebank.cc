@@ -1,0 +1,204 @@
+#include <algorithm>
+
+#include "xcq/corpus/generator.h"
+#include "xcq/corpus/registry.h"
+
+namespace xcq::corpus {
+
+namespace {
+
+/// Penn TreeBank: manually annotated parse trees of Wall Street Journal
+/// text. Deep, irregular structure — the paper's notable compression
+/// outlier (34.9% "−" / 53.2% "+"): random-ish parse trees share few
+/// subtrees. The generator expands a small probabilistic grammar whose
+/// derivations are deliberately varied.
+class TreeBankGenerator : public GeneratorBase {
+ public:
+  std::string_view name() const override { return "TreeBank"; }
+
+  PaperFigures paper_figures() const override {
+    PaperFigures f;
+    f.tree_nodes = 2447728;
+    f.bytes = 58510540;  // 55.8 MB
+    f.vm_bare = 323256;
+    f.em_bare = 853242;
+    f.ratio_bare = 0.349;
+    f.vm_tags = 475366;
+    f.em_tags = 1301690;
+    f.ratio_tags = 0.532;
+    return f;
+  }
+
+  uint64_t default_target_nodes() const override { return 250000; }
+
+  std::string Generate(const GenerateOptions& options) const override {
+    Rng rng(options.seed);
+    const uint64_t kNodesPerSentence = 40;
+    const uint64_t sentences =
+        std::max<uint64_t>(1, options.target_nodes / kNodesPerSentence);
+    const uint64_t kSentencesPerFile = 50;
+    return Emit([&](xml::XmlWriter& w) {
+      w.StartElement("alltreebank");
+      uint64_t emitted = 0;
+      while (emitted < sentences) {
+        w.StartElement("FILE");
+        w.StartElement("EMPTY");  // the corpus' wrapper element
+        const uint64_t batch =
+            std::min<uint64_t>(kSentencesPerFile, sentences - emitted);
+        for (uint64_t s = 0; s < batch; ++s) {
+          // Every ~25th sentence starts with the Q1/Q2 spine
+          // S/VP/S/VP/NP so the path queries select nodes.
+          EmitS(w, rng, /*depth=*/0,
+                /*force_spine=*/(emitted + s) % 25 == 0);
+        }
+        emitted += batch;
+        w.EndElement();  // EMPTY
+        w.EndElement();  // FILE
+      }
+      w.EndElement();  // alltreebank
+    });
+  }
+
+ private:
+  static constexpr int kMaxDepth = 18;
+
+  /// S -> NP VP | VP | S SBAR | NP VP PP
+  void EmitS(xml::XmlWriter& w, Rng& rng, int depth,
+             bool force_spine = false) const {
+    w.StartElement("S");
+    if (force_spine) {
+      // S / VP / S / VP / NP, then a following clause with NP VP NP PP
+      // material for Q5.
+      w.StartElement("VP");
+      EmitTerminal(w, rng, "VB");
+      w.StartElement("S");
+      w.StartElement("VP");
+      EmitTerminal(w, rng, "VBD");
+      EmitNP(w, rng, depth + 4);
+      w.EndElement();  // inner VP
+      w.EndElement();  // inner S
+      w.EndElement();  // outer VP
+      EmitNP(w, rng, depth + 1);
+      w.EndElement();  // S
+      return;
+    }
+    if (depth >= kMaxDepth) {
+      EmitTerminal(w, rng, "NN");
+      w.EndElement();
+      return;
+    }
+    const double roll = rng.UniformReal();
+    if (roll < 0.45) {
+      EmitNP(w, rng, depth + 1);
+      EmitVP(w, rng, depth + 1);
+    } else if (roll < 0.65) {
+      EmitVP(w, rng, depth + 1);
+    } else if (roll < 0.85) {
+      EmitNP(w, rng, depth + 1);
+      EmitVP(w, rng, depth + 1);
+      EmitPP(w, rng, depth + 1);
+    } else {
+      EmitS(w, rng, depth + 1);
+      w.StartElement("SBAR");
+      EmitTerminal(w, rng, "IN");
+      EmitS(w, rng, depth + 2);
+      w.EndElement();
+    }
+    w.EndElement();  // S
+  }
+
+  /// NP -> DT NN | NNS | NP PP | NP S | NP VP | JJ NN
+  /// (NP -> NP VP models the Penn TreeBank's reduced relative clauses,
+  /// and gives Q5's VP/NP/VP/NP chains a chance to occur.)
+  void EmitNP(xml::XmlWriter& w, Rng& rng, int depth) const {
+    w.StartElement("NP");
+    if (depth >= kMaxDepth) {
+      EmitTerminal(w, rng, "NNS");
+      w.EndElement();
+      return;
+    }
+    const double roll = rng.UniformReal();
+    if (roll < 0.35) {
+      EmitTerminal(w, rng, "DT");
+      EmitTerminal(w, rng, "NN");
+    } else if (roll < 0.55) {
+      EmitTerminal(w, rng, "NNS");
+    } else if (roll < 0.72) {
+      EmitNP(w, rng, depth + 1);
+      EmitPP(w, rng, depth + 1);
+    } else if (roll < 0.80) {
+      EmitNP(w, rng, depth + 1);
+      EmitS(w, rng, depth + 1);
+    } else if (roll < 0.90) {
+      EmitNP(w, rng, depth + 1);
+      EmitVP(w, rng, depth + 1);
+    } else {
+      EmitTerminal(w, rng, "JJ");
+      EmitTerminal(w, rng, "NN");
+    }
+    w.EndElement();  // NP
+  }
+
+  /// VP -> VB NP | VBD NP PP | VB S | VP NP
+  void EmitVP(xml::XmlWriter& w, Rng& rng, int depth) const {
+    w.StartElement("VP");
+    if (depth >= kMaxDepth) {
+      EmitTerminal(w, rng, "VB");
+      w.EndElement();
+      return;
+    }
+    const double roll = rng.UniformReal();
+    if (roll < 0.4) {
+      EmitTerminal(w, rng, "VB");
+      EmitNP(w, rng, depth + 1);
+    } else if (roll < 0.65) {
+      EmitTerminal(w, rng, "VBD");
+      EmitNP(w, rng, depth + 1);
+      EmitPP(w, rng, depth + 1);
+    } else if (roll < 0.85) {
+      EmitTerminal(w, rng, "VB");
+      EmitS(w, rng, depth + 1);
+    } else {
+      EmitVP(w, rng, depth + 1);
+      EmitNP(w, rng, depth + 1);
+    }
+    w.EndElement();  // VP
+  }
+
+  /// PP -> IN NP
+  void EmitPP(xml::XmlWriter& w, Rng& rng, int depth) const {
+    w.StartElement("PP");
+    EmitTerminal(w, rng, "IN");
+    EmitNP(w, rng, std::min(depth + 1, kMaxDepth));
+    w.EndElement();
+  }
+
+  /// Terminals vary within their category (the Penn tag set has ~45
+  /// POS tags); this drives the "+"-mode diversity the paper measures.
+  void EmitTerminal(xml::XmlWriter& w, Rng& rng,
+                    std::string_view pos) const {
+    std::string_view tag = pos;
+    const double roll = rng.UniformReal();
+    if (pos == "NN" && roll < 0.3) {
+      tag = roll < 0.15 ? "NNP" : "CD";
+    } else if (pos == "VB" && roll < 0.4) {
+      tag = roll < 0.15 ? "VBZ" : (roll < 0.3 ? "VBG" : "MD");
+    } else if (pos == "DT" && roll < 0.25) {
+      tag = "PRP";
+    } else if (pos == "IN" && roll < 0.3) {
+      tag = roll < 0.15 ? "TO" : "CC";
+    } else if (pos == "JJ" && roll < 0.3) {
+      tag = "RB";
+    }
+    w.TextElement(tag, RandomWord(rng));
+  }
+};
+
+}  // namespace
+
+const CorpusGenerator& TreeBank() {
+  static const TreeBankGenerator kInstance;
+  return kInstance;
+}
+
+}  // namespace xcq::corpus

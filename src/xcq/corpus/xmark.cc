@@ -1,0 +1,205 @@
+#include <algorithm>
+
+#include "xcq/corpus/generator.h"
+#include "xcq/corpus/registry.h"
+
+namespace xcq::corpus {
+
+namespace {
+
+/// XMark: the standard XML auction benchmark — regions with item
+/// listings, people, and auctions. Item descriptions use nested
+/// parlist/listitem markup whose text (in the real generator) is drawn
+/// from Shakespeare, hence the "cassio"/"portia" query constants.
+class XMarkGenerator : public GeneratorBase {
+ public:
+  std::string_view name() const override { return "XMark"; }
+
+  PaperFigures paper_figures() const override {
+    PaperFigures f;
+    f.tree_nodes = 190488;
+    f.bytes = 10066330;  // 9.6 MB
+    f.vm_bare = 3642;
+    f.em_bare = 11837;
+    f.ratio_bare = 0.062;
+    f.vm_tags = 6692;
+    f.em_tags = 27438;
+    f.ratio_tags = 0.144;
+    return f;
+  }
+
+  uint64_t default_target_nodes() const override { return 190000; }
+
+  std::string Generate(const GenerateOptions& options) const override {
+    Rng rng(options.seed);
+    // Per item: ~17 nodes of its own (incl. nested parlists and mailbox)
+    // plus ~5 more from the associated people (items/2) and auction
+    // (items/3) entries.
+    const uint64_t kNodesPerItem = 22;
+    const uint64_t items =
+        std::max<uint64_t>(6, options.target_nodes / kNodesPerItem);
+    const uint64_t people = items / 2;
+    const uint64_t auctions = items / 3;
+    return Emit([&](xml::XmlWriter& w) {
+      static const std::vector<std::string> kRegions = {
+          "africa", "asia", "australia", "europe", "namerica", "samerica",
+      };
+      static const std::vector<std::string> kLocations = {
+          "United States", "Germany", "Japan", "Kenya", "Brazil",
+          "Australia",
+      };
+      static const std::vector<std::string> kPayments = {
+          "Creditcard", "Cash", "Money order", "Personal Check",
+      };
+      static const std::vector<std::string> kShakespeareWords = {
+          "cassio", "portia", "brutus", "iago", "ophelia", "yorick",
+          "laertes", "desdemona",
+      };
+
+      w.StartElement("site");
+      w.StartElement("regions");
+      uint64_t item_id = 0;
+      for (const std::string& region : kRegions) {
+        w.StartElement(region);
+        const uint64_t region_items = items / kRegions.size() + 1;
+        for (uint64_t i = 0; i < region_items; ++i) {
+          w.StartElement("item");
+          w.Attribute("id", "item" + std::to_string(item_id++));
+          w.TextElement("location", rng.Pick(kLocations));
+          w.TextElement("quantity", std::to_string(rng.Uniform(1, 9)));
+          w.TextElement("name", RandomSentence(rng, 3));
+          w.TextElement("payment", rng.Pick(kPayments));
+          w.StartElement("description");
+          EmitParlist(w, rng, kShakespeareWords, /*depth=*/0,
+                      /*plant=*/rng.Chance(0.04));
+          w.EndElement();  // description
+          if (rng.Chance(0.35)) {
+            w.StartElement("mailbox");
+            const uint64_t mails = rng.GeometricCount(1, 3, 0.55);
+            for (uint64_t m = 0; m < mails; ++m) {
+              w.StartElement("mail");
+              w.TextElement("from", RandomSentence(rng, 2));
+              w.TextElement("to", RandomSentence(rng, 2));
+              w.TextElement("date",
+                            std::to_string(rng.Uniform(1, 28)) + "/" +
+                                std::to_string(rng.Uniform(1, 12)) +
+                                "/1998");
+              w.TextElement("text", RandomSentence(rng, 8));
+              w.EndElement();
+            }
+            w.EndElement();  // mailbox
+          }
+          if (rng.Chance(0.25)) {
+            w.TextElement("reserve",
+                          std::to_string(rng.Uniform(20, 900)) + ".00");
+          }
+          const uint64_t cats = rng.GeometricCount(1, 3, 0.5);
+          for (uint64_t c = 0; c < cats; ++c) {
+            w.StartElement("incategory");
+            w.Attribute("category",
+                        "category" + std::to_string(rng.Uniform(0, 40)));
+            w.EndElement();
+          }
+          w.EndElement();  // item
+        }
+        w.EndElement();  // region
+      }
+      w.EndElement();  // regions
+
+      w.StartElement("people");
+      for (uint64_t p = 0; p < people; ++p) {
+        w.StartElement("person");
+        w.Attribute("id", "person" + std::to_string(p));
+        w.TextElement("name", RandomSentence(rng, 2));
+        w.TextElement("emailaddress",
+                      "mailto:person" + std::to_string(p) + "@example.org");
+        if (rng.Chance(0.4)) {
+          w.TextElement("phone", std::to_string(rng.Uniform(1000000, 9999999)));
+        }
+        if (rng.Chance(0.3)) {
+          w.StartElement("address");
+          w.TextElement("street", RandomSentence(rng, 2));
+          w.TextElement("city", RandomSentence(rng, 1));
+          w.TextElement("country", rng.Pick(kLocations));
+          w.EndElement();
+        }
+        if (rng.Chance(0.25)) {
+          w.StartElement("profile");
+          const uint64_t interests = rng.GeometricCount(1, 4, 0.5);
+          for (uint64_t i = 0; i < interests; ++i) {
+            w.StartElement("interest");
+            w.Attribute("category",
+                        "category" + std::to_string(rng.Uniform(0, 40)));
+            w.EndElement();
+          }
+          if (rng.Chance(0.5)) {
+            w.TextElement("education", RandomSentence(rng, 2));
+          }
+          w.TextElement("income",
+                        std::to_string(rng.Uniform(20000, 120000)));
+          w.EndElement();
+        }
+        w.EndElement();
+      }
+      w.EndElement();  // people
+
+      w.StartElement("open_auctions");
+      for (uint64_t a = 0; a < auctions; ++a) {
+        w.StartElement("open_auction");
+        w.Attribute("id", "auction" + std::to_string(a));
+        w.TextElement("initial",
+                      std::to_string(rng.Uniform(10, 300)) + ".00");
+        const uint64_t bids = rng.GeometricCount(0, 5, 0.4);
+        for (uint64_t b = 0; b < bids; ++b) {
+          w.StartElement("bidder");
+          w.TextElement("increase",
+                        std::to_string(rng.Uniform(1, 30)) + ".00");
+          w.EndElement();
+        }
+        w.TextElement("current",
+                      std::to_string(rng.Uniform(10, 900)) + ".00");
+        w.EndElement();
+      }
+      w.EndElement();  // open_auctions
+      w.EndElement();  // site
+    });
+  }
+
+ private:
+  /// Emits a parlist whose listitems may recursively contain nested
+  /// parlists (as the real XMark generator produces). When `plant` is
+  /// set, the first two top-level listitems carry the Q5 anchor pair.
+  static void EmitParlist(xml::XmlWriter& w, Rng& rng,
+                          const std::vector<std::string>& words, int depth,
+                          bool plant) {
+    w.StartElement("parlist");
+    uint64_t listitems = rng.GeometricCount(1, 4, 0.45);
+    if (plant && listitems < 2) listitems = 2;
+    for (uint64_t li = 0; li < listitems; ++li) {
+      w.StartElement("listitem");
+      std::string text = RandomSentence(rng, 5);
+      if (plant && li == 0) {
+        text += " quoth cassio";  // Q5 anchor
+      } else if (plant && li == 1) {
+        text += " quoth portia";  // Q5 following sibling
+      } else if (rng.Chance(0.15)) {
+        text += " quoth " + rng.Pick(words);
+      }
+      w.TextElement("text", text);
+      if (depth < 2 && rng.Chance(0.18)) {
+        EmitParlist(w, rng, words, depth + 1, /*plant=*/false);
+      }
+      w.EndElement();  // listitem
+    }
+    w.EndElement();  // parlist
+  }
+};
+
+}  // namespace
+
+const CorpusGenerator& XMark() {
+  static const XMarkGenerator kInstance;
+  return kInstance;
+}
+
+}  // namespace xcq::corpus

@@ -1,0 +1,45 @@
+#ifndef XCQ_ENGINE_AXES_H_
+#define XCQ_ENGINE_AXES_H_
+
+/// \file axes.h
+/// The per-axis operators on compressed instances (Sec. 3.2).
+///
+/// Each operator reads a source selection `src` and fills a destination
+/// selection `dst` (an existing, zeroed relation of the instance).
+/// Upward axes and set operations never change the DAG (Prop. 3.3);
+/// downward and sibling axes may split vertices (partial decompression),
+/// at most doubling the instance (Prop. 3.2 / Thm. 3.6). `following` and
+/// `preceding` are compositions (Sec. 3.2) handled by the evaluator.
+
+#include "xcq/instance/instance.h"
+#include "xcq/util/result.h"
+#include "xcq/xpath/ast.h"
+
+namespace xcq::engine {
+
+/// \brief Counters exposed to the experiment harnesses.
+struct AxisStats {
+  uint64_t visited = 0;  ///< Vertices visited by the traversal.
+  uint64_t splits = 0;   ///< Vertices cloned (partial decompression).
+};
+
+/// \brief child / descendant / descendant-or-self — the Fig. 4 algorithm,
+/// implemented iteratively.
+Status ApplyDownwardAxis(Instance* instance, xpath::Axis axis,
+                         RelationId src, RelationId dst,
+                         AxisStats* stats = nullptr);
+
+/// \brief self / parent / ancestor / ancestor-or-self — single bottom-up
+/// pass, never splits.
+Status ApplyUpwardAxis(Instance* instance, xpath::Axis axis, RelationId src,
+                       RelationId dst);
+
+/// \brief following-sibling / preceding-sibling — one pass over child
+/// lists, multiplicity-aware run splitting.
+Status ApplySiblingAxis(Instance* instance, xpath::Axis axis,
+                        RelationId src, RelationId dst,
+                        AxisStats* stats = nullptr);
+
+}  // namespace xcq::engine
+
+#endif  // XCQ_ENGINE_AXES_H_

@@ -1,0 +1,91 @@
+#include "xcq/engine/axes.h"
+
+namespace xcq::engine {
+
+using xpath::Axis;
+
+/// The paper's Fig. 4 procedure, de-recursed.
+///
+/// Invariants maintained (they carry the correctness argument):
+///  * every vertex is *visited* at most once; visiting assigns its `dst`
+///    bit and schedules a scan of its child runs;
+///  * `aux[w]` links a vertex to its unique counterpart with the opposite
+///    `dst` bit (and vice versa), so each vertex is copied at most once
+///    and the instance at most doubles;
+///  * a conflict (visited child whose bit differs from the required one)
+///    can only involve a child whose own scan has finished, because in a
+///    DFS over a DAG any repeated child of an ancestor frame is reached
+///    again only after its subtree completed — hence clones always copy
+///    final, rewritten child lists.
+Status ApplyDownwardAxis(Instance* instance, Axis axis, RelationId src,
+                         RelationId dst, AxisStats* stats) {
+  if (axis != Axis::kChild && axis != Axis::kDescendant &&
+      axis != Axis::kDescendantOrSelf) {
+    return Status::InvalidArgument("ApplyDownwardAxis: not a downward axis");
+  }
+  if (instance->root() == kNoVertex) {
+    return Status::InvalidArgument("ApplyDownwardAxis: empty instance");
+  }
+  const bool inherit = axis != Axis::kChild;          // descendant / d-o-s
+  const bool or_self = axis == Axis::kDescendantOrSelf;
+
+  std::vector<uint8_t> visited(instance->vertex_count(), 0);
+  std::vector<VertexId> aux(instance->vertex_count(), kNoVertex);
+  std::vector<std::pair<VertexId, uint32_t>> stack;  // (vertex, next run)
+
+  const auto push_visit = [&](VertexId v, bool sv) {
+    visited[v] = 1;
+    instance->AssignBit(dst, v, sv);
+    stack.emplace_back(v, 0);
+    if (stats != nullptr) ++stats->visited;
+  };
+
+  const VertexId root = instance->root();
+  push_visit(root, or_self && instance->Test(src, root));
+
+  while (!stack.empty()) {
+    const VertexId v = stack.back().first;
+    const uint32_t i = stack.back().second;
+    if (i >= instance->Children(v).size()) {
+      stack.pop_back();
+      continue;
+    }
+    stack.back().second = i + 1;
+
+    const VertexId w = instance->Children(v)[i].child;
+    // Fig. 4 line 4: the child's new selection. Identical for every
+    // occurrence in the run — multiplicities are orthogonal here.
+    const bool sv = instance->Test(dst, v);
+    const bool sw = instance->Test(src, v) || (inherit && sv) ||
+                    (or_self && instance->Test(src, w));
+
+    if (!visited[w]) {
+      push_visit(w, sw);
+      continue;
+    }
+    if (instance->Test(dst, w) == sw) continue;
+
+    // Conflict: the required bit differs. Reuse or create the counterpart.
+    VertexId counterpart = aux[w];
+    if (counterpart == kNoVertex) {
+      counterpart = instance->CloneVertex(w);
+      visited.push_back(0);
+      aux.push_back(kNoVertex);
+      aux[w] = counterpart;
+      aux[counterpart] = w;
+      if (stats != nullptr) ++stats->splits;
+      if (inherit) {
+        // Descendants of the copy must see the new inherited selection.
+        push_visit(counterpart, sw);
+      } else {
+        visited[counterpart] = 1;
+        instance->AssignBit(dst, counterpart, sw);
+        if (stats != nullptr) ++stats->visited;
+      }
+    }
+    instance->MutableChildren(v)[i].child = counterpart;
+  }
+  return Status::OK();
+}
+
+}  // namespace xcq::engine

@@ -1,0 +1,141 @@
+#include "xcq/engine/enumerate.h"
+
+#include <functional>
+#include <limits>
+
+#include "xcq/instance/stats.h"
+
+namespace xcq::engine {
+
+namespace {
+
+constexpr uint64_t kMax = std::numeric_limits<uint64_t>::max();
+
+}  // namespace
+
+Status EnumerateSelection(
+    const Instance& instance, RelationId r, const EnumerateOptions& options,
+    const std::function<void(const SelectedNode&)>& fn) {
+  if (instance.vertex_count() == 0 || instance.root() == kNoVertex) {
+    return Status::InvalidArgument("EnumerateSelection: empty instance");
+  }
+  if (r >= instance.schema().size()) {
+    return Status::InvalidArgument("EnumerateSelection: bad relation id");
+  }
+
+  // Per-vertex subtree size (tree nodes, saturating) and whether the
+  // subtree contains any selected vertex.
+  const size_t n = instance.vertex_count();
+  std::vector<uint64_t> subtree_size(n, 0);
+  std::vector<uint8_t> has_selected(n, 0);
+  const DynamicBitset& selected = instance.RelationBits(r);
+  for (VertexId v : instance.PostOrder()) {
+    uint64_t total = 1;
+    uint8_t any = selected.Test(v) ? 1 : 0;
+    for (const Edge& e : instance.Children(v)) {
+      total = SaturatingAdd(total,
+                            SaturatingMul(e.count, subtree_size[e.child]));
+      any |= has_selected[e.child];
+    }
+    subtree_size[v] = total;
+    has_selected[v] = any;
+  }
+  if (!has_selected[instance.root()]) return Status::OK();
+
+  struct Frame {
+    VertexId vertex;
+    uint32_t run_index = 0;
+    uint64_t run_remaining = 0;
+    uint64_t position = 0;  ///< Expanded child positions consumed so far.
+  };
+  std::vector<Frame> stack;
+  std::vector<uint64_t> path;  // 1-based positions, parallel to depth
+  uint64_t preorder = 0;
+  uint64_t emitted = 0;
+  // Skipping a doubly-exponentially large unselected subtree can push
+  // the preorder counter past uint64; that only matters if a node is
+  // *emitted* afterwards, so poison the counter instead of failing
+  // eagerly.
+  bool preorder_poisoned = false;
+  Status emit_status = Status::OK();
+  SelectedNode node;
+
+  const auto visit = [&](VertexId v) -> bool {
+    // Returns false once the emission limit is reached.
+    const uint64_t my_preorder = preorder++;
+    if (selected.Test(v)) {
+      if (preorder_poisoned) {
+        emit_status = Status::ResourceExhausted(
+            "preorder indices exceed uint64 range");
+        return false;
+      }
+      node.preorder = my_preorder;
+      node.vertex = v;
+      if (options.with_paths) {
+        node.edge_path = path;
+      } else {
+        node.edge_path.clear();
+      }
+      fn(node);
+      ++emitted;
+      if (options.limit != 0 && emitted >= options.limit) return false;
+    }
+    stack.push_back(Frame{v});
+    return true;
+  };
+
+  if (!visit(instance.root())) return emit_status;
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    const std::span<const Edge> runs = instance.Children(frame.vertex);
+    if (frame.run_remaining == 0) {
+      // Advance over runs, skipping entire unselected subtrees in O(1).
+      bool advanced = false;
+      while (frame.run_index < runs.size()) {
+        const Edge& run = runs[frame.run_index];
+        if (!has_selected[run.child]) {
+          const uint64_t skipped =
+              SaturatingMul(run.count, subtree_size[run.child]);
+          if (skipped == kMax || preorder > kMax - skipped) {
+            preorder_poisoned = true;
+          } else {
+            preorder += skipped;
+          }
+          frame.position += run.count;
+          ++frame.run_index;
+          continue;
+        }
+        frame.run_remaining = run.count;
+        advanced = true;
+        break;
+      }
+      if (!advanced) {
+        stack.pop_back();
+        if (!path.empty()) path.pop_back();
+        continue;
+      }
+    }
+    // Expand one occurrence of the current run.
+    const VertexId child = runs[frame.run_index].child;
+    --frame.run_remaining;
+    if (frame.run_remaining == 0) ++frame.run_index;
+    path.push_back(++frame.position);
+    if (!visit(child)) return emit_status;
+    // `visit` pushed the child frame; its path entry is popped when the
+    // frame finishes.
+  }
+  return Status::OK();
+}
+
+Result<std::vector<SelectedNode>> CollectSelection(
+    const Instance& instance, RelationId r, uint64_t limit) {
+  std::vector<SelectedNode> out;
+  EnumerateOptions options;
+  options.limit = limit;
+  XCQ_RETURN_IF_ERROR(EnumerateSelection(
+      instance, r, options,
+      [&out](const SelectedNode& node) { out.push_back(node); }));
+  return out;
+}
+
+}  // namespace xcq::engine

@@ -1,0 +1,231 @@
+#include "xcq/engine/evaluator.h"
+
+#include <vector>
+
+#include "xcq/engine/axes.h"
+#include "xcq/util/string_util.h"
+#include "xcq/util/timer.h"
+
+namespace xcq::engine {
+
+namespace {
+
+using algebra::Op;
+using algebra::OpKind;
+using xpath::Axis;
+
+/// Reachable vertex / RLE-edge counts (split leftovers excluded).
+void ReachableSizes(const Instance& instance, uint64_t* vertices,
+                    uint64_t* edges) {
+  uint64_t v_count = 0;
+  uint64_t e_count = 0;
+  for (VertexId v : instance.PostOrder()) {
+    ++v_count;
+    e_count += instance.Children(v).size();
+  }
+  *vertices = v_count;
+  *edges = e_count;
+}
+
+class PlanRunner {
+ public:
+  PlanRunner(Instance* instance, const EvalOptions& options,
+             EvalStats* stats)
+      : instance_(instance), options_(options), stats_(stats) {}
+
+  Result<RelationId> Run(const algebra::QueryPlan& plan) {
+    op_relation_.assign(plan.ops.size(), kNoRelation);
+    for (size_t i = 0; i < plan.ops.size(); ++i) {
+      XCQ_RETURN_IF_ERROR(RunOp(plan, i));
+    }
+
+    // Persist the final selection under the public result name.
+    instance_->RemoveRelation(kResultRelation);
+    const RelationId result = instance_->AddRelation(kResultRelation);
+    instance_->MutableRelationBits(result) =
+        instance_->RelationBits(op_relation_.back());
+
+    if (options_.remove_temporaries) {
+      for (const std::string& name : temporaries_) {
+        instance_->RemoveRelation(name);
+      }
+    }
+    return result;
+  }
+
+ private:
+  /// Allocates the temporary relation backing op `i`'s node set. The
+  /// column is zeroed even if a relation of the same name survived an
+  /// earlier evaluation with `remove_temporaries = false`.
+  RelationId NewTemporary(size_t i) {
+    std::string name = StrFormat("xcq:tmp%zu", i);
+    const RelationId id = instance_->AddRelation(name);
+    instance_->MutableRelationBits(id).ResetAll();
+    temporaries_.push_back(std::move(name));
+    return id;
+  }
+
+  Status RunOp(const algebra::QueryPlan& plan, size_t i) {
+    const Op& op = plan.ops[i];
+    switch (op.kind) {
+      case OpKind::kRelation: {
+        const RelationId existing = instance_->FindRelation(op.relation);
+        if (existing != kNoRelation) {
+          op_relation_[i] = existing;
+          return Status::OK();
+        }
+        // A tag that never occurs (or was not tracked) denotes the empty
+        // set; materialize it as an empty temporary.
+        op_relation_[i] = NewTemporary(i);
+        return Status::OK();
+      }
+      case OpKind::kRoot: {
+        const RelationId id = NewTemporary(i);
+        instance_->SetBit(id, instance_->root());
+        op_relation_[i] = id;
+        return Status::OK();
+      }
+      case OpKind::kAllNodes: {
+        const RelationId id = NewTemporary(i);
+        instance_->MutableRelationBits(id).SetAll();
+        op_relation_[i] = id;
+        return Status::OK();
+      }
+      case OpKind::kContext: {
+        if (options_.context_relation.empty()) {
+          const RelationId id = NewTemporary(i);
+          instance_->SetBit(id, instance_->root());
+          op_relation_[i] = id;
+          return Status::OK();
+        }
+        const RelationId ctx =
+            instance_->FindRelation(options_.context_relation);
+        if (ctx == kNoRelation) {
+          return Status::NotFound(
+              StrFormat("context relation '%s' not present in instance",
+                        options_.context_relation.c_str()));
+        }
+        op_relation_[i] = ctx;
+        return Status::OK();
+      }
+      case OpKind::kUnion:
+      case OpKind::kIntersect:
+      case OpKind::kDifference: {
+        const RelationId id = NewTemporary(i);
+        DynamicBitset& out = instance_->MutableRelationBits(id);
+        out = instance_->RelationBits(op_relation_[op.input0]);
+        const DynamicBitset& rhs =
+            instance_->RelationBits(op_relation_[op.input1]);
+        if (op.kind == OpKind::kUnion) {
+          out |= rhs;
+        } else if (op.kind == OpKind::kIntersect) {
+          out &= rhs;
+        } else {
+          out -= rhs;
+        }
+        op_relation_[i] = id;
+        return Status::OK();
+      }
+      case OpKind::kRootFilter: {
+        const RelationId id = NewTemporary(i);
+        if (instance_->Test(op_relation_[op.input0], instance_->root())) {
+          instance_->MutableRelationBits(id).SetAll();
+        }
+        op_relation_[i] = id;
+        return Status::OK();
+      }
+      case OpKind::kAxis: {
+        XCQ_ASSIGN_OR_RETURN(op_relation_[i],
+                             RunAxis(op.axis, op_relation_[op.input0], i));
+        return Status::OK();
+      }
+    }
+    return Status::Internal("unreachable op kind");
+  }
+
+  Result<RelationId> RunAxis(Axis axis, RelationId src, size_t i) {
+    AxisStats axis_stats;
+    RelationId dst = kNoRelation;
+    switch (axis) {
+      case Axis::kSelf:
+      case Axis::kParent:
+      case Axis::kAncestor:
+      case Axis::kAncestorOrSelf:
+        dst = NewTemporary(i);
+        XCQ_RETURN_IF_ERROR(ApplyUpwardAxis(instance_, axis, src, dst));
+        break;
+      case Axis::kChild:
+      case Axis::kDescendant:
+      case Axis::kDescendantOrSelf:
+        dst = NewTemporary(i);
+        XCQ_RETURN_IF_ERROR(
+            ApplyDownwardAxis(instance_, axis, src, dst, &axis_stats));
+        break;
+      case Axis::kFollowingSibling:
+      case Axis::kPrecedingSibling:
+        dst = NewTemporary(i);
+        XCQ_RETURN_IF_ERROR(
+            ApplySiblingAxis(instance_, axis, src, dst, &axis_stats));
+        break;
+      case Axis::kFollowing:
+      case Axis::kPreceding: {
+        // Sec. 3.2: following = d-o-s ∘ following-sibling ∘ a-o-s (and
+        // mirrored for preceding).
+        const Axis sibling = axis == Axis::kFollowing
+                                 ? Axis::kFollowingSibling
+                                 : Axis::kPrecedingSibling;
+        const RelationId up = NewTemporary(i * 3 + 1000000);
+        XCQ_RETURN_IF_ERROR(
+            ApplyUpwardAxis(instance_, Axis::kAncestorOrSelf, src, up));
+        const RelationId side = NewTemporary(i * 3 + 1000001);
+        XCQ_RETURN_IF_ERROR(
+            ApplySiblingAxis(instance_, sibling, up, side, &axis_stats));
+        dst = NewTemporary(i);
+        AxisStats down_stats;
+        XCQ_RETURN_IF_ERROR(ApplyDownwardAxis(instance_,
+                                              Axis::kDescendantOrSelf, side,
+                                              dst, &down_stats));
+        axis_stats.splits += down_stats.splits;
+        break;
+      }
+    }
+    if (stats_ != nullptr) stats_->splits += axis_stats.splits;
+    return dst;
+  }
+
+  Instance* instance_;
+  const EvalOptions& options_;
+  EvalStats* stats_;
+  std::vector<RelationId> op_relation_;
+  std::vector<std::string> temporaries_;
+};
+
+}  // namespace
+
+Result<RelationId> Evaluate(Instance* instance,
+                            const algebra::QueryPlan& plan,
+                            const EvalOptions& options, EvalStats* stats) {
+  if (instance == nullptr) {
+    return Status::InvalidArgument("Evaluate: instance is null");
+  }
+  if (plan.ops.empty()) {
+    return Status::InvalidArgument("Evaluate: empty plan");
+  }
+  if (instance->vertex_count() == 0 || instance->root() == kNoVertex) {
+    return Status::InvalidArgument("Evaluate: empty instance");
+  }
+  Timer timer;
+  if (stats != nullptr) {
+    ReachableSizes(*instance, &stats->vertices_before,
+                   &stats->edges_before);
+  }
+  PlanRunner runner(instance, options, stats);
+  XCQ_ASSIGN_OR_RETURN(const RelationId result, runner.Run(plan));
+  if (stats != nullptr) {
+    ReachableSizes(*instance, &stats->vertices_after, &stats->edges_after);
+    stats->seconds = timer.Seconds();
+  }
+  return result;
+}
+
+}  // namespace xcq::engine

@@ -1,0 +1,62 @@
+#ifndef XCQ_ENGINE_EVALUATOR_H_
+#define XCQ_ENGINE_EVALUATOR_H_
+
+/// \file evaluator.h
+/// Query evaluation on compressed instances (Sec. 3.3).
+///
+/// The evaluator interprets a compiled `QueryPlan` op by op, adding each
+/// intermediate node set as a (temporary) relation of the instance —
+/// exactly the paper's evaluation mode: "we process one expression after
+/// the other, always adding the resulting selection to the resulting
+/// instance for future use (and possibly partial decompression)". Vertex
+/// splits automatically keep every earlier selection consistent because
+/// selections are relation columns and splits copy them.
+///
+/// Guarantees carried over from the paper:
+///  * upward-only plans never change the DAG (Cor. 3.7),
+///  * each splitting axis at most doubles vertices and edges, so a plan
+///    with k splitting axes grows the instance at most 2^k-fold
+///    (Thm. 3.6) — and never beyond |T(I)|.
+
+#include <string>
+
+#include "xcq/algebra/op.h"
+#include "xcq/instance/instance.h"
+#include "xcq/util/result.h"
+
+namespace xcq::engine {
+
+/// \brief Name of the relation holding the final query result.
+inline constexpr std::string_view kResultRelation = "xcq:result";
+
+struct EvalOptions {
+  /// Relation holding the query context (the paper's user-defined initial
+  /// selection); empty means {root}.
+  std::string context_relation;
+  /// Drop the temporary per-op selections after evaluation, keeping only
+  /// the result (mirrors the paper's note that intermediate selections
+  /// "can be removed from an instance").
+  bool remove_temporaries = true;
+};
+
+struct EvalStats {
+  uint64_t vertices_before = 0;
+  uint64_t vertices_after = 0;   ///< Reachable vertices after the query.
+  uint64_t edges_before = 0;     ///< RLE edges (reachable) before.
+  uint64_t edges_after = 0;      ///< RLE edges (reachable) after.
+  uint64_t splits = 0;           ///< Vertices cloned during evaluation.
+  double seconds = 0.0;
+};
+
+/// \brief Evaluates `plan` on `*instance` (mutating it: the result and —
+/// if requested — intermediate selections are added; splitting axes may
+/// partially decompress). Returns the id of the result relation
+/// (`kResultRelation`).
+Result<RelationId> Evaluate(Instance* instance,
+                            const algebra::QueryPlan& plan,
+                            const EvalOptions& options = {},
+                            EvalStats* stats = nullptr);
+
+}  // namespace xcq::engine
+
+#endif  // XCQ_ENGINE_EVALUATOR_H_

@@ -1,0 +1,153 @@
+#include "xcq/engine/axes.h"
+
+#include <algorithm>
+
+namespace xcq::engine {
+
+using xpath::Axis;
+
+namespace {
+
+/// Variant resolution shared by both sibling directions. A "variant" of
+/// vertex `w` is `w` itself or its clone, carrying a required `dst` bit.
+/// Fresh vertices (first visit) adopt the requested bit; a conflicting
+/// request returns the aux-linked counterpart, cloning it on first use.
+///
+/// Unlike the downward axes, a sibling selection does not propagate into
+/// the subtree, but a clone may be taken from a vertex whose own child
+/// list has not been rewritten yet; therefore clones are scheduled for
+/// (idempotent) processing as well.
+class VariantResolver {
+ public:
+  VariantResolver(Instance* instance, RelationId src, RelationId dst,
+                  AxisStats* stats)
+      : instance_(instance),
+        src_(src),
+        dst_(dst),
+        stats_(stats),
+        visited_(instance->vertex_count(), 0),
+        aux_(instance->vertex_count(), kNoVertex) {}
+
+  bool InSource(VertexId w) const { return instance_->Test(src_, w); }
+
+  VertexId Resolve(VertexId w, bool bit) {
+    if (!visited_[w]) {
+      Adopt(w, bit);
+      return w;
+    }
+    if (instance_->Test(dst_, w) == bit) return w;
+    if (aux_[w] == kNoVertex) {
+      const VertexId clone = instance_->CloneVertex(w);
+      visited_.push_back(0);
+      aux_.push_back(kNoVertex);
+      aux_[w] = clone;
+      aux_[clone] = w;
+      if (stats_ != nullptr) ++stats_->splits;
+      Adopt(clone, bit);
+    }
+    return aux_[w];
+  }
+
+  bool HasWork() const { return !work_.empty(); }
+  VertexId PopWork() {
+    const VertexId v = work_.back();
+    work_.pop_back();
+    return v;
+  }
+
+  void AdoptRoot(VertexId root) { Adopt(root, false); }
+
+ private:
+  void Adopt(VertexId v, bool bit) {
+    visited_[v] = 1;
+    instance_->AssignBit(dst_, v, bit);
+    work_.push_back(v);
+    if (stats_ != nullptr) ++stats_->visited;
+  }
+
+  Instance* instance_;
+  RelationId src_;
+  RelationId dst_;
+  AxisStats* stats_;
+  std::vector<uint8_t> visited_;
+  std::vector<VertexId> aux_;
+  std::vector<VertexId> work_;
+};
+
+}  // namespace
+
+/// following-sibling: an occurrence is selected iff an earlier occurrence
+/// in the same (expanded) child list is in `src`; preceding-sibling is
+/// the mirror image. A run `(w, c)` with `w` in `src` straddles the
+/// boundary — its first (resp. last) occurrence may differ from the rest,
+/// splitting the run in two (this is the multiplicity subtlety the paper
+/// mentions under Prop. 3.4).
+Status ApplySiblingAxis(Instance* instance, Axis axis, RelationId src,
+                        RelationId dst, AxisStats* stats) {
+  if (axis != Axis::kFollowingSibling && axis != Axis::kPrecedingSibling) {
+    return Status::InvalidArgument("ApplySiblingAxis: not a sibling axis");
+  }
+  if (instance->root() == kNoVertex) {
+    return Status::InvalidArgument("ApplySiblingAxis: empty instance");
+  }
+  const bool forward = axis == Axis::kFollowingSibling;
+
+  VariantResolver resolver(instance, src, dst, stats);
+  resolver.AdoptRoot(instance->root());
+
+  std::vector<Edge> rewritten;
+  std::vector<Edge> original;
+  while (resolver.HasWork()) {
+    const VertexId v = resolver.PopWork();
+    const std::span<const Edge> current = instance->Children(v);
+    if (current.empty()) continue;
+    original.assign(current.begin(), current.end());
+    rewritten.clear();
+
+    bool seen = false;  // a source occurrence before (after) the cursor
+    const auto emit_run = [&](VertexId w, uint64_t count, bool boundary_bit,
+                              bool bulk_bit) {
+      // `boundary_bit` selects the occurrence adjacent to `seen` history
+      // (first for forward, last for backward); the remaining `count - 1`
+      // occurrences follow (precede) a same-vertex occurrence.
+      if (count == 1 || boundary_bit == bulk_bit) {
+        AppendEdgeRle(&rewritten, Edge{resolver.Resolve(w, boundary_bit),
+                                       count});
+        return;
+      }
+      // Forward lists are assembled left-to-right and want
+      // [boundary, bulk]; backward lists are assembled right-to-left and
+      // reversed, so appending [boundary, bulk] here also lands the
+      // boundary occurrence last in document order. Same code either way.
+      AppendEdgeRle(&rewritten, Edge{resolver.Resolve(w, boundary_bit), 1});
+      AppendEdgeRle(&rewritten,
+                    Edge{resolver.Resolve(w, bulk_bit), count - 1});
+    };
+
+    if (forward) {
+      for (const Edge& run : original) {
+        const bool in_src = resolver.InSource(run.child);
+        emit_run(run.child, run.count, seen, seen || in_src);
+        seen = seen || in_src;
+      }
+    } else {
+      // Process right-to-left, then reverse the assembled list.
+      for (size_t i = original.size(); i-- > 0;) {
+        const Edge& run = original[i];
+        const bool in_src = resolver.InSource(run.child);
+        emit_run(run.child, run.count, seen, seen || in_src);
+        seen = seen || in_src;
+      }
+      std::reverse(rewritten.begin(), rewritten.end());
+      // Reversal may have put mergeable runs adjacent; re-canonicalize.
+      std::vector<Edge> canonical;
+      canonical.reserve(rewritten.size());
+      for (const Edge& e : rewritten) AppendEdgeRle(&canonical, e);
+      rewritten.swap(canonical);
+    }
+    instance->SetEdges(v, rewritten);
+  }
+  return Status::OK();
+}
+
+}  // namespace xcq::engine

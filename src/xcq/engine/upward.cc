@@ -1,0 +1,61 @@
+#include "xcq/engine/axes.h"
+
+namespace xcq::engine {
+
+using xpath::Axis;
+
+/// Upward axes never split (Prop. 3.3): whether some tree node below a
+/// shared vertex is selected is a property of the vertex itself (the
+/// whole point of bisimulation-based sharing is that the subtree below a
+/// vertex is the same for all of its occurrences), so one bottom-up pass
+/// suffices.
+Status ApplyUpwardAxis(Instance* instance, Axis axis, RelationId src,
+                       RelationId dst) {
+  if (!xpath::IsUpwardAxis(axis)) {
+    return Status::InvalidArgument("ApplyUpwardAxis: not an upward axis");
+  }
+  if (instance->root() == kNoVertex) {
+    return Status::InvalidArgument("ApplyUpwardAxis: empty instance");
+  }
+
+  switch (axis) {
+    case Axis::kSelf: {
+      instance->MutableRelationBits(dst) = instance->RelationBits(src);
+      return Status::OK();
+    }
+    case Axis::kParent: {
+      // v is a parent of a selected node iff one of its children is
+      // selected; reachability restriction keeps split leftovers silent.
+      for (VertexId v : instance->PostOrder()) {
+        for (const Edge& e : instance->Children(v)) {
+          if (instance->Test(src, e.child)) {
+            instance->SetBit(dst, v);
+            break;
+          }
+        }
+      }
+      return Status::OK();
+    }
+    case Axis::kAncestor:
+    case Axis::kAncestorOrSelf: {
+      // Children-first: dst[child] is final before any parent reads it.
+      for (VertexId v : instance->PostOrder()) {
+        for (const Edge& e : instance->Children(v)) {
+          if (instance->Test(src, e.child) ||
+              instance->Test(dst, e.child)) {
+            instance->SetBit(dst, v);
+            break;
+          }
+        }
+      }
+      if (axis == Axis::kAncestorOrSelf) {
+        instance->MutableRelationBits(dst) |= instance->RelationBits(src);
+      }
+      return Status::OK();
+    }
+    default:
+      return Status::Internal("unhandled upward axis");
+  }
+}
+
+}  // namespace xcq::engine

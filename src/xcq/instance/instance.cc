@@ -1,0 +1,221 @@
+#include "xcq/instance/instance.h"
+
+#include <algorithm>
+
+#include "xcq/util/string_util.h"
+
+namespace xcq {
+
+VertexId Instance::AddVertex() {
+  const VertexId id = static_cast<VertexId>(spans_.size());
+  spans_.push_back(EdgeSpan{});
+  for (size_t r = 0; r < relations_.size(); ++r) {
+    if (relation_live_[r]) relations_[r].PushBack(false);
+  }
+  return id;
+}
+
+void Instance::SetEdges(VertexId v, std::span<const Edge> edges) {
+  // The input may alias this instance's own edge arena (e.g. a caller
+  // passing another vertex's Children()); reallocation or in-place reuse
+  // would then corrupt the source, so detach aliased inputs first.
+  const bool aliased = !edges_.empty() && !edges.empty() &&
+                       edges.data() >= edges_.data() &&
+                       edges.data() < edges_.data() + edges_.size();
+  std::vector<Edge> detached;
+  if (aliased) {
+    detached.assign(edges.begin(), edges.end());
+    edges = detached;
+  }
+  live_edge_count_ -= spans_[v].length;
+  if (edges.size() <= spans_[v].length) {
+    // Reuse the existing span in place.
+    std::copy(edges.begin(), edges.end(), edges_.begin() + spans_[v].offset);
+    spans_[v].length = static_cast<uint32_t>(edges.size());
+  } else {
+    spans_[v].offset = edges_.size();
+    spans_[v].length = static_cast<uint32_t>(edges.size());
+    edges_.insert(edges_.end(), edges.begin(), edges.end());
+  }
+  live_edge_count_ += spans_[v].length;
+}
+
+VertexId Instance::CloneVertex(VertexId v) {
+  const VertexId id = static_cast<VertexId>(spans_.size());
+  // Deep-copy the edge span: the clone's children may later be rewritten
+  // independently of the original's.
+  const EdgeSpan src = spans_[v];
+  EdgeSpan dst;
+  dst.offset = edges_.size();
+  dst.length = src.length;
+  edges_.insert(edges_.end(), edges_.begin() + src.offset,
+                edges_.begin() + src.offset + src.length);
+  spans_.push_back(dst);
+  live_edge_count_ += dst.length;
+  for (size_t r = 0; r < relations_.size(); ++r) {
+    if (relation_live_[r]) relations_[r].PushBack(relations_[r].Test(v));
+  }
+  return id;
+}
+
+void Instance::CompactEdges() {
+  std::vector<Edge> packed;
+  packed.reserve(live_edge_count_);
+  for (EdgeSpan& span : spans_) {
+    const uint64_t new_offset = packed.size();
+    packed.insert(packed.end(), edges_.begin() + span.offset,
+                  edges_.begin() + span.offset + span.length);
+    span.offset = new_offset;
+  }
+  edges_ = std::move(packed);
+}
+
+RelationId Instance::AddRelation(std::string_view name) {
+  const RelationId existing = schema_.Find(name);
+  if (existing != kNoRelation) return existing;
+  const RelationId id = schema_.Intern(name);
+  if (id == relations_.size()) {
+    relations_.emplace_back(vertex_count());
+    relation_live_.push_back(1);
+  } else {
+    // Intern reused a slot? Schema ids are append-only, so this cannot
+    // happen; guard for safety.
+    relations_.resize(schema_.size());
+    relation_live_.resize(schema_.size(), 1);
+    relations_[id] = DynamicBitset(vertex_count());
+    relation_live_[id] = 1;
+  }
+  return id;
+}
+
+bool Instance::RemoveRelation(std::string_view name) {
+  const RelationId id = schema_.Find(name);
+  if (id == kNoRelation) return false;
+  schema_.Remove(name);
+  relations_[id] = DynamicBitset();  // release storage; tombstone stays
+  relation_live_[id] = 0;
+  return true;
+}
+
+std::vector<RelationId> Instance::LiveRelations() const {
+  std::vector<RelationId> out;
+  out.reserve(schema_.live_count());
+  for (RelationId r = 0; r < schema_.size(); ++r) {
+    if (!schema_.Name(r).empty()) out.push_back(r);
+  }
+  return out;
+}
+
+std::vector<VertexId> Instance::PostOrder() const {
+  std::vector<VertexId> order;
+  if (root_ == kNoVertex || vertex_count() == 0) return order;
+  order.reserve(vertex_count());
+  std::vector<uint8_t> visited(vertex_count(), 0);
+  // Iterative DFS; frame = (vertex, index of next child run to visit).
+  std::vector<std::pair<VertexId, uint32_t>> stack;
+  stack.emplace_back(root_, 0);
+  visited[root_] = 1;
+  while (!stack.empty()) {
+    auto& [v, next] = stack.back();
+    const std::span<const Edge> children = Children(v);
+    bool descended = false;
+    while (next < children.size()) {
+      const VertexId child = children[next].child;
+      ++next;
+      if (!visited[child]) {
+        visited[child] = 1;
+        stack.emplace_back(child, 0);
+        descended = true;
+        break;
+      }
+    }
+    if (!descended && next >= children.size()) {
+      order.push_back(v);
+      stack.pop_back();
+    }
+  }
+  return order;
+}
+
+std::vector<VertexId> Instance::TopologicalOrder() const {
+  std::vector<VertexId> order = PostOrder();
+  std::reverse(order.begin(), order.end());
+  return order;
+}
+
+Status Instance::Validate() const {
+  const size_t n = vertex_count();
+  if (n == 0) {
+    return root_ == kNoVertex
+               ? Status::OK()
+               : Status::Corruption("empty instance has a root");
+  }
+  if (root_ >= n) return Status::Corruption("root vertex out of range");
+  for (VertexId v = 0; v < n; ++v) {
+    if (spans_[v].offset + spans_[v].length > edges_.size()) {
+      return Status::Corruption(
+          StrFormat("vertex %u edge span out of range", v));
+    }
+    const std::span<const Edge> children = Children(v);
+    for (size_t i = 0; i < children.size(); ++i) {
+      if (children[i].child >= n) {
+        return Status::Corruption(
+            StrFormat("vertex %u has out-of-range child", v));
+      }
+      if (children[i].count == 0) {
+        return Status::Corruption(
+            StrFormat("vertex %u has a zero-count edge", v));
+      }
+      if (i > 0 && children[i].child == children[i - 1].child) {
+        return Status::Corruption(
+            StrFormat("vertex %u has adjacent runs of the same child "
+                      "(not RLE-canonical)",
+                      v));
+      }
+    }
+  }
+  for (const DynamicBitset& column : relations_) {
+    if (!column.empty() && column.size() != n) {
+      return Status::Corruption("relation column size mismatch");
+    }
+  }
+  // Acyclicity: DFS with colors (0 = new, 1 = on stack, 2 = done).
+  std::vector<uint8_t> color(n, 0);
+  std::vector<std::pair<VertexId, uint32_t>> stack;
+  for (VertexId start = 0; start < n; ++start) {
+    if (color[start] != 0) continue;
+    stack.emplace_back(start, 0);
+    color[start] = 1;
+    while (!stack.empty()) {
+      auto& [v, next] = stack.back();
+      const std::span<const Edge> children = Children(v);
+      if (next < children.size()) {
+        const VertexId child = children[next].child;
+        ++next;
+        if (color[child] == 1) {
+          return Status::Corruption(
+              StrFormat("cycle through vertex %u", child));
+        }
+        if (color[child] == 0) {
+          color[child] = 1;
+          stack.emplace_back(child, 0);
+        }
+      } else {
+        color[v] = 2;
+        stack.pop_back();
+      }
+    }
+  }
+  return Status::OK();
+}
+
+size_t Instance::MemoryFootprint() const {
+  size_t bytes = spans_.capacity() * sizeof(EdgeSpan) +
+                 edges_.capacity() * sizeof(Edge);
+  for (const DynamicBitset& column : relations_) {
+    bytes += column.words().capacity() * sizeof(uint64_t);
+  }
+  return bytes;
+}
+
+}  // namespace xcq

@@ -1,0 +1,164 @@
+#ifndef XCQ_INSTANCE_INSTANCE_H_
+#define XCQ_INSTANCE_INSTANCE_H_
+
+/// \file instance.h
+/// σ-instances (Sec. 2.1): rooted DAGs whose vertices carry a sequence of
+/// children and memberships in the schema's unary relations. Both the
+/// original tree skeleton and all of its (partially) compressed versions
+/// are instances; queries map instances to instances.
+///
+/// Representation notes:
+///  * Child sequences are run-length encoded: consecutive occurrences of
+///    the same child are one `Edge{child, count}` (Fig. 1 (c)). The paper
+///    reports edge counts in this representation and we follow it.
+///  * Edge lists live in one flat arena; each vertex owns a span. Query
+///    operators rewrite spans in place (same length) or append fresh
+///    spans (splits); `CompactEdges()` reclaims abandoned spans.
+///  * Relations are columnar bitsets indexed by vertex id, so set
+///    operations are word-parallel and a vertex split copies its bits in
+///    O(live relations).
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "xcq/instance/schema.h"
+#include "xcq/util/bitset.h"
+#include "xcq/util/result.h"
+
+namespace xcq {
+
+using VertexId = uint32_t;
+inline constexpr VertexId kNoVertex = UINT32_MAX;
+
+/// \brief A run of `count` consecutive edges to the same child.
+struct Edge {
+  VertexId child = kNoVertex;
+  uint64_t count = 1;
+
+  bool operator==(const Edge&) const = default;
+};
+
+/// \brief A rooted DAG over a schema of unary relations.
+class Instance {
+ public:
+  Instance() = default;
+
+  // --- Vertices and edges -------------------------------------------------
+
+  size_t vertex_count() const { return spans_.size(); }
+
+  VertexId root() const { return root_; }
+  void SetRoot(VertexId v) { root_ = v; }
+
+  /// Appends a leaf vertex (no edges, no relation memberships).
+  VertexId AddVertex();
+
+  /// Replaces v's child sequence. The new sequence must be RLE-canonical
+  /// (no two adjacent edges with the same child, all counts >= 1); use
+  /// `AppendEdgeRle` to build such sequences incrementally.
+  void SetEdges(VertexId v, std::span<const Edge> edges);
+
+  /// Duplicates `v`: same child sequence, same memberships in every live
+  /// relation. This is the "split" primitive of partial decompression.
+  VertexId CloneVertex(VertexId v);
+
+  /// The child runs of `v`, in order.
+  std::span<const Edge> Children(VertexId v) const {
+    return {edges_.data() + spans_[v].offset, spans_[v].length};
+  }
+
+  /// Mutable access for in-place child rewrites (length is fixed).
+  std::span<Edge> MutableChildren(VertexId v) {
+    return {edges_.data() + spans_[v].offset, spans_[v].length};
+  }
+
+  bool IsLeaf(VertexId v) const { return spans_[v].length == 0; }
+
+  /// Number of RLE edges currently owned by vertices (|E| of the paper).
+  uint64_t rle_edge_count() const { return live_edge_count_; }
+
+  /// Drops abandoned edge spans (after heavy splitting).
+  void CompactEdges();
+
+  // --- Relations -----------------------------------------------------------
+
+  const Schema& schema() const { return schema_; }
+
+  /// Id of `name`, interning and allocating an empty column if new.
+  RelationId AddRelation(std::string_view name);
+
+  /// Id of `name`, or kNoRelation.
+  RelationId FindRelation(std::string_view name) const {
+    return schema_.Find(name);
+  }
+
+  /// Drops a relation (its column becomes a tombstone). False if absent.
+  bool RemoveRelation(std::string_view name);
+
+  const DynamicBitset& RelationBits(RelationId r) const {
+    return relations_[r];
+  }
+  DynamicBitset& MutableRelationBits(RelationId r) { return relations_[r]; }
+
+  bool Test(RelationId r, VertexId v) const { return relations_[r].Test(v); }
+  void SetBit(RelationId r, VertexId v) { relations_[r].Set(v); }
+  void AssignBit(RelationId r, VertexId v, bool value) {
+    relations_[r].Assign(v, value);
+  }
+
+  /// Live relation ids in id order (skips tombstones).
+  std::vector<RelationId> LiveRelations() const;
+
+  // --- Traversal helpers ---------------------------------------------------
+
+  /// Reachable vertices, parents before children (reverse DFS post-order).
+  std::vector<VertexId> TopologicalOrder() const;
+
+  /// Reachable vertices, children before parents (DFS post-order).
+  std::vector<VertexId> PostOrder() const;
+
+  /// Number of vertices reachable from the root.
+  size_t ReachableCount() const { return PostOrder().size(); }
+
+  // --- Integrity -----------------------------------------------------------
+
+  /// Checks structural invariants: valid ids, RLE canonical form,
+  /// acyclicity, root in range, relation columns sized to vertex_count.
+  Status Validate() const;
+
+  /// Estimated heap footprint in bytes (for the experiment reports).
+  size_t MemoryFootprint() const;
+
+ private:
+  struct EdgeSpan {
+    uint64_t offset = 0;
+    uint32_t length = 0;
+  };
+
+  Schema schema_;
+  std::vector<EdgeSpan> spans_;
+  std::vector<Edge> edges_;
+  std::vector<DynamicBitset> relations_;
+  /// Parallel to relations_: false for tombstoned columns, which stay
+  /// empty and must be skipped by vertex-growth operations.
+  std::vector<uint8_t> relation_live_;
+  VertexId root_ = kNoVertex;
+  uint64_t live_edge_count_ = 0;
+};
+
+/// \brief Appends `edge` to an RLE sequence, merging with the last run if
+/// it has the same child.
+inline void AppendEdgeRle(std::vector<Edge>* edges, Edge edge) {
+  if (!edges->empty() && edges->back().child == edge.child) {
+    edges->back().count += edge.count;
+  } else {
+    edges->push_back(edge);
+  }
+}
+
+}  // namespace xcq
+
+#endif  // XCQ_INSTANCE_INSTANCE_H_

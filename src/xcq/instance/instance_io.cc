@@ -1,0 +1,225 @@
+#include "xcq/instance/instance_io.h"
+
+#include <cstring>
+
+#include "xcq/util/string_util.h"
+#include "xcq/xml/sax_parser.h"
+
+namespace xcq {
+
+namespace {
+
+constexpr char kMagic[4] = {'X', 'C', 'Q', 'I'};
+constexpr uint32_t kVersion = 1;
+
+void PutVarint(std::string* out, uint64_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<char>((v & 0x7F) | 0x80));
+    v >>= 7;
+  }
+  out->push_back(static_cast<char>(v));
+}
+
+void PutU32(std::string* out, uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  out->append(buf, 4);
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out->append(buf, 8);
+}
+
+class Reader {
+ public:
+  explicit Reader(std::string_view bytes) : bytes_(bytes) {}
+
+  Status GetVarint(uint64_t* out) {
+    uint64_t value = 0;
+    int shift = 0;
+    while (true) {
+      if (pos_ >= bytes_.size()) {
+        return Status::Corruption("truncated varint");
+      }
+      const auto byte = static_cast<unsigned char>(bytes_[pos_++]);
+      if (shift >= 63 && byte > 1) {
+        return Status::Corruption("varint overflow");
+      }
+      value |= static_cast<uint64_t>(byte & 0x7F) << shift;
+      if ((byte & 0x80) == 0) break;
+      shift += 7;
+    }
+    *out = value;
+    return Status::OK();
+  }
+
+  Status GetU32(uint32_t* out) {
+    if (pos_ + 4 > bytes_.size()) return Status::Corruption("truncated u32");
+    std::memcpy(out, bytes_.data() + pos_, 4);
+    pos_ += 4;
+    return Status::OK();
+  }
+
+  Status GetU64(uint64_t* out) {
+    if (pos_ + 8 > bytes_.size()) return Status::Corruption("truncated u64");
+    std::memcpy(out, bytes_.data() + pos_, 8);
+    pos_ += 8;
+    return Status::OK();
+  }
+
+  Status GetBytes(size_t n, std::string_view* out) {
+    if (pos_ + n > bytes_.size()) return Status::Corruption("truncated bytes");
+    *out = bytes_.substr(pos_, n);
+    pos_ += n;
+    return Status::OK();
+  }
+
+  bool AtEnd() const { return pos_ == bytes_.size(); }
+
+ private:
+  std::string_view bytes_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string SerializeInstance(const Instance& instance) {
+  std::string out;
+  out.append(kMagic, 4);
+  PutU32(&out, kVersion);
+  PutVarint(&out, instance.vertex_count());
+  PutVarint(&out, instance.root() == kNoVertex ? 0 : instance.root() + 1);
+
+  const std::vector<RelationId> live = instance.LiveRelations();
+  PutVarint(&out, live.size());
+  for (RelationId r : live) {
+    const std::string& name = instance.schema().Name(r);
+    PutVarint(&out, name.size());
+    out.append(name);
+  }
+
+  for (VertexId v = 0; v < instance.vertex_count(); ++v) {
+    const std::span<const Edge> children = instance.Children(v);
+    PutVarint(&out, children.size());
+    for (const Edge& e : children) {
+      PutVarint(&out, e.child);
+      PutVarint(&out, e.count);
+    }
+  }
+
+  const size_t words = (instance.vertex_count() + 63) / 64;
+  for (RelationId r : live) {
+    const DynamicBitset& bits = instance.RelationBits(r);
+    for (size_t w = 0; w < words; ++w) {
+      PutU64(&out, w < bits.words().size() ? bits.words()[w] : 0);
+    }
+  }
+  return out;
+}
+
+Result<Instance> DeserializeInstance(std::string_view bytes) {
+  Reader reader(bytes);
+  std::string_view magic;
+  XCQ_RETURN_IF_ERROR(reader.GetBytes(4, &magic));
+  if (std::memcmp(magic.data(), kMagic, 4) != 0) {
+    return Status::Corruption("bad magic; not an xcq instance file");
+  }
+  uint32_t version = 0;
+  XCQ_RETURN_IF_ERROR(reader.GetU32(&version));
+  if (version != kVersion) {
+    return Status::Corruption(
+        StrFormat("unsupported instance format version %u", version));
+  }
+
+  uint64_t vertex_count = 0;
+  uint64_t root_plus1 = 0;
+  XCQ_RETURN_IF_ERROR(reader.GetVarint(&vertex_count));
+  XCQ_RETURN_IF_ERROR(reader.GetVarint(&root_plus1));
+  if (vertex_count > UINT32_MAX) {
+    return Status::Corruption("vertex count exceeds 32-bit id space");
+  }
+  if (root_plus1 > vertex_count) {
+    return Status::Corruption("root vertex out of range");
+  }
+
+  uint64_t relation_count = 0;
+  XCQ_RETURN_IF_ERROR(reader.GetVarint(&relation_count));
+  if (relation_count > 1u << 20) {
+    return Status::Corruption("implausible relation count");
+  }
+  std::vector<std::string> names;
+  names.reserve(relation_count);
+  for (uint64_t i = 0; i < relation_count; ++i) {
+    uint64_t len = 0;
+    XCQ_RETURN_IF_ERROR(reader.GetVarint(&len));
+    if (len > 1u << 16) return Status::Corruption("relation name too long");
+    std::string_view name;
+    XCQ_RETURN_IF_ERROR(reader.GetBytes(len, &name));
+    names.emplace_back(name);
+  }
+
+  Instance instance;
+  for (uint64_t v = 0; v < vertex_count; ++v) instance.AddVertex();
+  std::vector<Edge> edges;
+  for (uint64_t v = 0; v < vertex_count; ++v) {
+    uint64_t runs = 0;
+    XCQ_RETURN_IF_ERROR(reader.GetVarint(&runs));
+    if (runs > vertex_count) {
+      // A canonical RLE list cannot repeat children adjacently, but it can
+      // still be long; bound it by remaining input to avoid OOM on fuzz.
+      if (runs > bytes.size()) {
+        return Status::Corruption("implausible edge run count");
+      }
+    }
+    edges.clear();
+    edges.reserve(runs);
+    for (uint64_t i = 0; i < runs; ++i) {
+      uint64_t child = 0;
+      uint64_t count = 0;
+      XCQ_RETURN_IF_ERROR(reader.GetVarint(&child));
+      XCQ_RETURN_IF_ERROR(reader.GetVarint(&count));
+      if (child >= vertex_count) {
+        return Status::Corruption("edge child out of range");
+      }
+      if (count == 0) return Status::Corruption("zero edge multiplicity");
+      edges.push_back(Edge{static_cast<VertexId>(child), count});
+    }
+    instance.SetEdges(static_cast<VertexId>(v), edges);
+  }
+  if (root_plus1 > 0) {
+    instance.SetRoot(static_cast<VertexId>(root_plus1 - 1));
+  }
+
+  const size_t words = (vertex_count + 63) / 64;
+  for (const std::string& name : names) {
+    const RelationId r = instance.AddRelation(name);
+    DynamicBitset& bits = instance.MutableRelationBits(r);
+    for (size_t w = 0; w < words; ++w) {
+      uint64_t word = 0;
+      XCQ_RETURN_IF_ERROR(reader.GetU64(&word));
+      for (int b = 0; b < 64; ++b) {
+        const size_t idx = w * 64 + static_cast<size_t>(b);
+        if (idx < vertex_count && ((word >> b) & 1) != 0) bits.Set(idx);
+      }
+    }
+  }
+  if (!reader.AtEnd()) {
+    return Status::Corruption("trailing bytes after instance data");
+  }
+  XCQ_RETURN_IF_ERROR(instance.Validate());
+  return instance;
+}
+
+Status SaveInstance(const Instance& instance, const std::string& path) {
+  return xml::WriteStringToFile(path, SerializeInstance(instance));
+}
+
+Result<Instance> LoadInstance(const std::string& path) {
+  XCQ_ASSIGN_OR_RETURN(const std::string bytes,
+                       xml::ReadFileToString(path));
+  return DeserializeInstance(bytes);
+}
+
+}  // namespace xcq

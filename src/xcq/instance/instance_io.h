@@ -1,0 +1,41 @@
+#ifndef XCQ_INSTANCE_INSTANCE_IO_H_
+#define XCQ_INSTANCE_INSTANCE_IO_H_
+
+/// \file instance_io.h
+/// Binary serialization of compressed instances.
+///
+/// The paper's motivating use is to keep skeletons of very large
+/// documents resident in main memory; persisting the compressed instance
+/// lets an application parse + compress once and reload the (small) DAG
+/// afterwards. The format is a little-endian, varint-compressed dump:
+///
+///   magic "XCQI" | u32 version | varint vertex_count | varint root
+///   | varint relation_count | (name_len name_bytes)*      -- live schema
+///   | per vertex: varint run_count, (varint child, varint count)*
+///   | per relation: bitset words
+///
+/// `LoadInstance` validates everything (ids, acyclicity, RLE form) before
+/// returning, so corrupt files surface as `StatusCode::kCorruption`.
+
+#include <string>
+
+#include "xcq/instance/instance.h"
+#include "xcq/util/result.h"
+
+namespace xcq {
+
+/// \brief Serializes `instance` (live relations only) to bytes.
+std::string SerializeInstance(const Instance& instance);
+
+/// \brief Parses bytes produced by `SerializeInstance`.
+Result<Instance> DeserializeInstance(std::string_view bytes);
+
+/// \brief Serializes to a file.
+Status SaveInstance(const Instance& instance, const std::string& path);
+
+/// \brief Loads and validates an instance file.
+Result<Instance> LoadInstance(const std::string& path);
+
+}  // namespace xcq
+
+#endif  // XCQ_INSTANCE_INSTANCE_IO_H_

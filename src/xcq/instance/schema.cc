@@ -1,0 +1,55 @@
+#include "xcq/instance/schema.h"
+
+#include "xcq/util/string_util.h"
+
+namespace xcq {
+
+namespace {
+constexpr std::string_view kStringRelationPrefix = "str:";
+}  // namespace
+
+RelationId Schema::Intern(std::string_view name) {
+  auto it = index_.find(std::string(name));
+  if (it != index_.end()) return it->second;
+  const RelationId id = static_cast<RelationId>(names_.size());
+  names_.emplace_back(name);
+  index_.emplace(names_.back(), id);
+  return id;
+}
+
+RelationId Schema::Find(std::string_view name) const {
+  auto it = index_.find(std::string(name));
+  return it == index_.end() ? kNoRelation : it->second;
+}
+
+bool Schema::Remove(std::string_view name) {
+  auto it = index_.find(std::string(name));
+  if (it == index_.end()) return false;
+  names_[it->second].clear();
+  index_.erase(it);
+  return true;
+}
+
+std::vector<std::string> Schema::LiveNames() const {
+  std::vector<std::string> out;
+  out.reserve(index_.size());
+  for (const std::string& name : names_) {
+    if (!name.empty()) out.push_back(name);
+  }
+  return out;
+}
+
+std::string Schema::StringRelationName(std::string_view pattern) {
+  std::string out(kStringRelationPrefix);
+  out.append(pattern);
+  return out;
+}
+
+bool Schema::ParseStringRelationName(std::string_view name,
+                                     std::string_view* pattern) {
+  if (!StartsWith(name, kStringRelationPrefix)) return false;
+  *pattern = name.substr(kStringRelationPrefix.size());
+  return true;
+}
+
+}  // namespace xcq

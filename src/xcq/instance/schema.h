@@ -1,0 +1,64 @@
+#ifndef XCQ_INSTANCE_SCHEMA_H_
+#define XCQ_INSTANCE_SCHEMA_H_
+
+/// \file schema.h
+/// Schemas are finite sets of unary relation names (Sec. 2.1). A relation
+/// may mark nodes with a tag, nodes whose string value contains a query
+/// constant, or nodes selected by a (sub)query — the model treats all of
+/// them uniformly.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace xcq {
+
+using RelationId = uint32_t;
+inline constexpr RelationId kNoRelation = UINT32_MAX;
+
+/// \brief Relation-name registry. Ids are stable for the life of the
+/// schema; removed names leave a tombstone so other ids never shift.
+class Schema {
+ public:
+  /// Returns the id of `name`, interning it if new. Re-interning a
+  /// removed name creates a fresh id.
+  RelationId Intern(std::string_view name);
+
+  /// Id of `name`, or `kNoRelation`.
+  RelationId Find(std::string_view name) const;
+
+  /// Name of relation `id`; empty string for tombstones.
+  const std::string& Name(RelationId id) const { return names_[id]; }
+
+  /// Forgets `name` (tombstone). Returns false if absent.
+  bool Remove(std::string_view name);
+
+  /// Total slots, including tombstones. Iterate 0..size() and skip
+  /// `Name(i).empty()`.
+  size_t size() const { return names_.size(); }
+
+  /// Number of live (non-tombstone) relations.
+  size_t live_count() const { return index_.size(); }
+
+  /// Live relation names, in id order.
+  std::vector<std::string> LiveNames() const;
+
+  /// Naming convention for string-constraint relations: the relation
+  /// holding nodes whose string value contains `pattern`.
+  static std::string StringRelationName(std::string_view pattern);
+
+  /// Inverse of StringRelationName; returns false if `name` is not a
+  /// string-constraint relation.
+  static bool ParseStringRelationName(std::string_view name,
+                                      std::string_view* pattern);
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, RelationId> index_;
+};
+
+}  // namespace xcq
+
+#endif  // XCQ_INSTANCE_SCHEMA_H_

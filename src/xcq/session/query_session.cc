@@ -1,0 +1,94 @@
+#include "xcq/session/query_session.h"
+
+#include <algorithm>
+
+#include "xcq/algebra/compiler.h"
+#include "xcq/compress/common_extension.h"
+#include "xcq/compress/minimize.h"
+#include "xcq/instance/stats.h"
+#include "xcq/util/timer.h"
+#include "xcq/xpath/parser.h"
+
+namespace xcq {
+
+Result<QuerySession> QuerySession::Open(std::string xml,
+                                        SessionOptions options) {
+  return QuerySession(std::move(xml), options);
+}
+
+Status QuerySession::EnsureLabels(const std::vector<std::string>& tags,
+                                  const std::vector<std::string>& patterns,
+                                  double* seconds) {
+  Timer timer;
+  std::vector<std::string> missing_tags;
+  std::vector<std::string> missing_patterns;
+  for (const std::string& tag : tags) {
+    if (!tags_.count(tag)) missing_tags.push_back(tag);
+  }
+  for (const std::string& pattern : patterns) {
+    if (!patterns_.count(pattern)) missing_patterns.push_back(pattern);
+  }
+
+  const bool fresh = !instance_.has_value() || !options_.reuse_instance;
+  if (!fresh && missing_tags.empty() && missing_patterns.empty()) {
+    *seconds = timer.Seconds();
+    return Status::OK();  // everything already present — no re-parse
+  }
+
+  CompressOptions copts;
+  copts.mode = LabelMode::kSchema;
+  if (fresh) {
+    // First query (or per-query mode): one scan with the full label set.
+    copts.tags = tags;
+    copts.patterns = patterns;
+    XCQ_ASSIGN_OR_RETURN(Instance inst, CompressXml(xml_, copts));
+    instance_ = std::move(inst);
+    tags_ = {tags.begin(), tags.end()};
+    patterns_ = {patterns.begin(), patterns.end()};
+    if (!options_.reuse_instance) {
+      // The per-query mode never accumulates.
+      tags_.clear();
+      patterns_.clear();
+    }
+    *seconds = timer.Seconds();
+    return Status::OK();
+  }
+
+  // Reuse mode with missing labels: distill a small instance carrying
+  // only what is missing, and merge it in (Sec. 2.3).
+  copts.tags = missing_tags;
+  copts.patterns = missing_patterns;
+  XCQ_ASSIGN_OR_RETURN(const Instance addition, CompressXml(xml_, copts));
+  XCQ_ASSIGN_OR_RETURN(Instance merged,
+                       CommonExtension(*instance_, addition));
+  if (options_.minimize_after_merge) {
+    XCQ_ASSIGN_OR_RETURN(merged, Minimize(merged));
+  }
+  instance_ = std::move(merged);
+  tags_.insert(missing_tags.begin(), missing_tags.end());
+  patterns_.insert(missing_patterns.begin(), missing_patterns.end());
+  *seconds = timer.Seconds();
+  return Status::OK();
+}
+
+Result<QueryOutcome> QuerySession::Run(std::string_view query_text) {
+  XCQ_ASSIGN_OR_RETURN(const xpath::Query query,
+                       xpath::ParseQuery(query_text));
+  XCQ_ASSIGN_OR_RETURN(const algebra::QueryPlan plan,
+                       algebra::Compile(query));
+  const xpath::QueryRequirements reqs = CollectRequirements(query);
+
+  QueryOutcome outcome;
+  XCQ_RETURN_IF_ERROR(
+      EnsureLabels(reqs.tags, reqs.patterns, &outcome.label_seconds));
+
+  XCQ_ASSIGN_OR_RETURN(
+      const RelationId result,
+      engine::Evaluate(&*instance_, plan, engine::EvalOptions{},
+                       &outcome.stats));
+  outcome.selected_dag_nodes = SelectedDagNodeCount(*instance_, result);
+  outcome.selected_tree_nodes = SelectedTreeNodeCount(*instance_, result);
+  return outcome;
+}
+
+}  // namespace xcq

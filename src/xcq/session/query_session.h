@@ -1,0 +1,91 @@
+#ifndef XCQ_SESSION_QUERY_SESSION_H_
+#define XCQ_SESSION_QUERY_SESSION_H_
+
+/// \file query_session.h
+/// High-level query interface over one document — the evaluation mode of
+/// Sec. 4 of the paper, packaged for downstream use.
+///
+/// The paper's prototype re-parses the document for every query,
+/// extracting exactly the tags and string constraints the query needs.
+/// `QuerySession` supports that mode (`reuse_instance = false`) and the
+/// mode the paper describes as the natural next step (Sec. 2.3 + Sec. 4):
+/// keep one accumulated compressed instance; when a query needs labels
+/// that are not yet present, distill a small instance carrying only the
+/// missing labels in one scan and merge it in with the common-extension
+/// (product) algorithm, then evaluate purely in main memory.
+
+#include <optional>
+#include <set>
+#include <string>
+#include <string_view>
+
+#include "xcq/compress/compressor.h"
+#include "xcq/engine/evaluator.h"
+#include "xcq/instance/instance.h"
+#include "xcq/util/result.h"
+
+namespace xcq {
+
+struct SessionOptions {
+  /// Accumulate one instance across queries, merging in missing labels
+  /// via common extensions; false re-compresses per query (the paper's
+  /// prototype behaviour).
+  bool reuse_instance = true;
+  /// Re-minimize the accumulated instance after each merge (splits from
+  /// earlier queries may otherwise linger; cf. Sec. 3.3's re-compression
+  /// remark).
+  bool minimize_after_merge = false;
+};
+
+/// \brief Result summary of one query execution.
+struct QueryOutcome {
+  /// Reachable instance vertices selected.
+  uint64_t selected_dag_nodes = 0;
+  /// Tree nodes those vertices represent (decoded by path counting).
+  uint64_t selected_tree_nodes = 0;
+  /// Engine counters (splits, sizes, time).
+  engine::EvalStats stats;
+  /// Seconds spent parsing/merging to obtain the labeled instance.
+  double label_seconds = 0.0;
+};
+
+/// \brief One document, many queries.
+class QuerySession {
+ public:
+  /// Takes ownership of the document text.
+  static Result<QuerySession> Open(std::string xml,
+                                   SessionOptions options = {});
+
+  /// Parses, compiles, and evaluates `query_text`; returns the outcome.
+  /// The result selection also remains available as the
+  /// `engine::kResultRelation` relation of `instance()`.
+  Result<QueryOutcome> Run(std::string_view query_text);
+
+  /// The current accumulated instance (reuse mode), or the instance of
+  /// the most recent query. Invalid before the first `Run`.
+  const Instance& instance() const { return *instance_; }
+  bool has_instance() const { return instance_.has_value(); }
+
+  /// Labels currently present in the accumulated instance.
+  size_t tracked_tag_count() const { return tags_.size(); }
+  size_t tracked_pattern_count() const { return patterns_.size(); }
+
+ private:
+  QuerySession(std::string xml, SessionOptions options)
+      : xml_(std::move(xml)), options_(options) {}
+
+  /// Ensures `instance_` carries all of `tags` / `patterns`.
+  Status EnsureLabels(const std::vector<std::string>& tags,
+                      const std::vector<std::string>& patterns,
+                      double* seconds);
+
+  std::string xml_;
+  SessionOptions options_;
+  std::optional<Instance> instance_;
+  std::set<std::string> tags_;
+  std::set<std::string> patterns_;
+};
+
+}  // namespace xcq
+
+#endif  // XCQ_SESSION_QUERY_SESSION_H_

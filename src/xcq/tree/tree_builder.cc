@@ -1,0 +1,135 @@
+#include "xcq/tree/tree_builder.h"
+
+#include <optional>
+
+#include "xcq/util/string_util.h"
+#include "xcq/xml/sax_parser.h"
+#include "xcq/xml/string_matcher.h"
+
+namespace xcq {
+
+namespace {
+
+/// SAX handler that appends nodes in document order and assigns each
+/// completed pattern match to the deepest element whose string value
+/// contains it; matches propagate to ancestors when elements close.
+class BuilderHandler : public xml::SaxHandler {
+ public:
+  BuilderHandler(LabeledTree* out, xml::StringMatcher* matcher)
+      : out_(out), matcher_(matcher) {}
+
+  Status OnStartDocument() override {
+    const TagId tag = out_->tree.tag_table().Intern(kDocumentTag);
+    const TreeNodeId root = out_->tree.AppendNode(kNoTreeNode, tag);
+    stack_.push_back(Frame{root, 0, 0});
+    node_masks_.push_back(0);
+    return Status::OK();
+  }
+
+  Status OnStartElement(std::string_view name,
+                        const std::vector<xml::Attribute>&) override {
+    const TagId tag = out_->tree.tag_table().Intern(name);
+    const TreeNodeId node = out_->tree.AppendNode(stack_.back().node, tag);
+    stack_.push_back(
+        Frame{node, matcher_ ? matcher_->offset() : 0, 0});
+    node_masks_.push_back(0);
+    return Status::OK();
+  }
+
+  Status OnCharacters(std::string_view text) override {
+    if (matcher_ == nullptr) return Status::OK();
+    matcher_->Feed(text, [this](const xml::PatternMatch& m) {
+      // The deepest open element opened at or before the match start is
+      // the deepest node whose string value contains the whole match.
+      for (size_t i = stack_.size(); i-- > 0;) {
+        if (stack_[i].open_offset <= m.start_offset) {
+          stack_[i].pattern_mask |= uint64_t{1} << m.pattern;
+          break;
+        }
+      }
+    });
+    return Status::OK();
+  }
+
+  Status OnEndElement(std::string_view) override {
+    PopFrame();
+    return Status::OK();
+  }
+
+  Status OnEndDocument() override {
+    PopFrame();  // the #doc frame
+    if (!stack_.empty()) {
+      return Status::Internal("tree builder stack not empty at end");
+    }
+    return Status::OK();
+  }
+
+  const std::vector<uint64_t>& node_masks() const { return node_masks_; }
+
+ private:
+  struct Frame {
+    TreeNodeId node;
+    uint64_t open_offset;   ///< Global text offset when the element opened.
+    uint64_t pattern_mask;  ///< Patterns matched within this element.
+  };
+
+  void PopFrame() {
+    const Frame frame = stack_.back();
+    stack_.pop_back();
+    node_masks_[frame.node] = frame.pattern_mask;
+    out_->tree.SealNode(frame.node);
+    if (!stack_.empty()) {
+      // The parent's string value contains this element's string value.
+      stack_.back().pattern_mask |= frame.pattern_mask;
+    }
+  }
+
+  LabeledTree* out_;
+  xml::StringMatcher* matcher_;
+  std::vector<Frame> stack_;
+  std::vector<uint64_t> node_masks_;
+};
+
+}  // namespace
+
+DynamicBitset LabeledTree::NodesMatching(std::string_view pattern) const {
+  for (size_t i = 0; i < patterns.size(); ++i) {
+    if (patterns[i] == pattern) return pattern_sets[i];
+  }
+  return DynamicBitset(tree.node_count());
+}
+
+Result<LabeledTree> TreeBuilder::Build(std::string_view xml,
+                                       std::vector<std::string> patterns) {
+  if (patterns.size() > 64) {
+    return Status::InvalidArgument(
+        "at most 64 string patterns are supported per document pass");
+  }
+  LabeledTree out;
+  out.patterns = patterns;
+
+  std::optional<xml::StringMatcher> matcher;
+  if (!patterns.empty()) {
+    XCQ_ASSIGN_OR_RETURN(matcher, xml::StringMatcher::Build(patterns));
+  }
+
+  BuilderHandler handler(&out, matcher ? &*matcher : nullptr);
+  xml::SaxParser parser;
+  XCQ_RETURN_IF_ERROR(parser.Parse(xml, &handler));
+  XCQ_RETURN_IF_ERROR(out.tree.Validate());
+
+  out.pattern_sets.assign(patterns.size(),
+                          DynamicBitset(out.tree.node_count()));
+  const std::vector<uint64_t>& masks = handler.node_masks();
+  for (TreeNodeId n = 0; n < out.tree.node_count(); ++n) {
+    uint64_t mask = masks[n];
+    while (mask != 0) {
+      const int p = __builtin_ctzll(mask);
+      out.pattern_sets[static_cast<size_t>(p)].Set(n);
+      mask &= mask - 1;
+    }
+  }
+  return out;
+}
+
+}  // namespace xcq

@@ -1,0 +1,46 @@
+#ifndef XCQ_TREE_TREE_BUILDER_H_
+#define XCQ_TREE_TREE_BUILDER_H_
+
+/// \file tree_builder.h
+/// Builds an uncompressed, labeled tree skeleton from XML text.
+///
+/// This is the input side of the *baseline* system (Sec. 3.1): the same
+/// document and the same labeling information (tags + string-constraint
+/// matches) as the compressor produces, but as a plain tree. The DAG
+/// engine and the tree engine are differential-tested against each other
+/// on these two views of one document.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "xcq/tree/tree_skeleton.h"
+#include "xcq/util/bitset.h"
+#include "xcq/util/result.h"
+
+namespace xcq {
+
+/// \brief A tree skeleton plus, per string pattern, the set of nodes whose
+/// XPath string value contains the pattern.
+struct LabeledTree {
+  TreeSkeleton tree;
+  std::vector<std::string> patterns;
+  std::vector<DynamicBitset> pattern_sets;
+
+  /// The node set for a pattern; empty set for unknown patterns.
+  DynamicBitset NodesMatching(std::string_view pattern) const;
+};
+
+/// \brief One-pass SAX construction of a `LabeledTree`.
+class TreeBuilder {
+ public:
+  /// Parses `xml` into a labeled skeleton. `patterns` are the string
+  /// constraints to match (at most 64; the paper's queries use <= 4).
+  static Result<LabeledTree> Build(std::string_view xml,
+                                   std::vector<std::string> patterns = {});
+};
+
+}  // namespace xcq
+
+#endif  // XCQ_TREE_TREE_BUILDER_H_

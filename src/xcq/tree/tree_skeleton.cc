@@ -1,0 +1,104 @@
+#include "xcq/tree/tree_skeleton.h"
+
+#include "xcq/util/string_util.h"
+
+namespace xcq {
+
+TagId TagTable::Intern(std::string_view name) {
+  auto it = index_.find(std::string(name));
+  if (it != index_.end()) return it->second;
+  const TagId id = static_cast<TagId>(names_.size());
+  names_.emplace_back(name);
+  index_.emplace(names_.back(), id);
+  return id;
+}
+
+TagId TagTable::Find(std::string_view name) const {
+  auto it = index_.find(std::string(name));
+  return it == index_.end() ? kNoTag : it->second;
+}
+
+TreeNodeId TreeSkeleton::AppendNode(TreeNodeId parent, TagId tag) {
+  const TreeNodeId id = static_cast<TreeNodeId>(node_count());
+  tags_.push_back(tag);
+  parent_.push_back(parent);
+  first_child_.push_back(kNoTreeNode);
+  last_child_.push_back(kNoTreeNode);
+  next_sibling_.push_back(kNoTreeNode);
+  prev_sibling_.push_back(kNoTreeNode);
+  subtree_end_.push_back(id + 1);
+  if (parent != kNoTreeNode) {
+    if (first_child_[parent] == kNoTreeNode) {
+      first_child_[parent] = id;
+    } else {
+      next_sibling_[last_child_[parent]] = id;
+      prev_sibling_[id] = last_child_[parent];
+    }
+    last_child_[parent] = id;
+  }
+  return id;
+}
+
+DynamicBitset TreeSkeleton::NodesWithTag(std::string_view tag) const {
+  DynamicBitset out(node_count());
+  const TagId id = tag_table_.Find(tag);
+  if (id == TagTable::kNoTag) return out;
+  for (TreeNodeId n = 0; n < node_count(); ++n) {
+    if (tags_[n] == id) out.Set(n);
+  }
+  return out;
+}
+
+size_t TreeSkeleton::ChildCount(TreeNodeId n) const {
+  size_t count = 0;
+  for (TreeNodeId c = FirstChild(n); c != kNoTreeNode; c = NextSibling(c)) {
+    ++count;
+  }
+  return count;
+}
+
+size_t TreeSkeleton::Depth() const {
+  if (empty()) return 0;
+  std::vector<uint32_t> depth(node_count(), 1);
+  size_t max_depth = 1;
+  // Preorder ids: a parent always precedes its children.
+  for (TreeNodeId n = 1; n < node_count(); ++n) {
+    depth[n] = depth[parent_[n]] + 1;
+    if (depth[n] > max_depth) max_depth = depth[n];
+  }
+  return max_depth;
+}
+
+Status TreeSkeleton::Validate() const {
+  if (empty()) return Status::OK();
+  if (parent_[0] != kNoTreeNode) {
+    return Status::Corruption("root node has a parent");
+  }
+  for (TreeNodeId n = 1; n < node_count(); ++n) {
+    if (parent_[n] == kNoTreeNode) {
+      return Status::Corruption(
+          StrFormat("node %u is a second root", n));
+    }
+    if (parent_[n] >= n) {
+      return Status::Corruption(
+          StrFormat("node %u has non-preorder parent %u", n, parent_[n]));
+    }
+    if (subtree_end_[n] <= n || subtree_end_[n] > node_count()) {
+      return Status::Corruption(
+          StrFormat("node %u has bad subtree end %u", n, subtree_end_[n]));
+    }
+    if (subtree_end_[n] > subtree_end_[parent_[n]]) {
+      return Status::Corruption(
+          StrFormat("node %u subtree extends past its parent's", n));
+    }
+    if (tags_[n] >= tag_table_.size()) {
+      return Status::Corruption(StrFormat("node %u has bad tag id", n));
+    }
+  }
+  if (subtree_end_[0] != node_count()) {
+    return Status::Corruption("root subtree does not span the tree");
+  }
+  return Status::OK();
+}
+
+}  // namespace xcq

@@ -1,0 +1,123 @@
+#ifndef XCQ_TREE_TREE_SKELETON_H_
+#define XCQ_TREE_TREE_SKELETON_H_
+
+/// \file tree_skeleton.h
+/// The uncompressed skeleton of an XML document (Sec. 1 of the paper):
+/// the ordered, node-labeled tree obtained by stripping all character
+/// data, with one extra `#doc` vertex above the document element so that
+/// absolute XPath expressions (`/self::*`, `/tag/...`) have a context
+/// node, mirroring the XPath document node.
+///
+/// The representation is flat arrays indexed by `TreeNodeId`, with ids
+/// assigned in document (pre-) order. Each node additionally records the
+/// exclusive end of its preorder subtree range, which makes descendant
+/// tests O(1) and descendant sweeps cache-friendly — this is what lets
+/// the baseline engine hit the paper's O(|Q|·|T|) bound with a small
+/// constant.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "xcq/util/bitset.h"
+#include "xcq/util/result.h"
+
+namespace xcq {
+
+using TreeNodeId = uint32_t;
+using TagId = uint32_t;
+
+inline constexpr TreeNodeId kNoTreeNode = UINT32_MAX;
+
+/// Tag used for the synthetic node above the document element.
+inline constexpr std::string_view kDocumentTag = "#doc";
+
+/// \brief Interned element-name table shared by all nodes of a skeleton.
+class TagTable {
+ public:
+  /// Returns the id for `name`, interning it on first use.
+  TagId Intern(std::string_view name);
+
+  /// Returns the id for `name`, or `kNoTag` if never interned.
+  TagId Find(std::string_view name) const;
+
+  const std::string& Name(TagId id) const { return names_[id]; }
+  size_t size() const { return names_.size(); }
+
+  static constexpr TagId kNoTag = UINT32_MAX;
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, TagId> index_;
+};
+
+/// \brief Ordered labeled tree in preorder array form.
+class TreeSkeleton {
+ public:
+  TreeSkeleton() = default;
+
+  /// The synthetic `#doc` node; always id 0 in a non-empty skeleton.
+  TreeNodeId root() const { return 0; }
+  size_t node_count() const { return tags_.size(); }
+  bool empty() const { return tags_.empty(); }
+
+  TreeNodeId Parent(TreeNodeId n) const { return parent_[n]; }
+  TreeNodeId FirstChild(TreeNodeId n) const { return first_child_[n]; }
+  TreeNodeId NextSibling(TreeNodeId n) const { return next_sibling_[n]; }
+  TreeNodeId PrevSibling(TreeNodeId n) const { return prev_sibling_[n]; }
+
+  /// Exclusive end of n's preorder subtree: descendants of n are exactly
+  /// the ids in (n, SubtreeEnd(n)).
+  TreeNodeId SubtreeEnd(TreeNodeId n) const { return subtree_end_[n]; }
+
+  /// True if `d` is a proper descendant of `a`.
+  bool IsDescendant(TreeNodeId d, TreeNodeId a) const {
+    return d > a && d < subtree_end_[a];
+  }
+
+  TagId Tag(TreeNodeId n) const { return tags_[n]; }
+  const std::string& TagName(TreeNodeId n) const {
+    return tag_table_.Name(tags_[n]);
+  }
+
+  const TagTable& tag_table() const { return tag_table_; }
+  TagTable& tag_table() { return tag_table_; }
+
+  /// Bitset of all nodes labeled `tag` (empty set if tag unknown).
+  DynamicBitset NodesWithTag(std::string_view tag) const;
+
+  /// Number of children of `n` (O(#children)).
+  size_t ChildCount(TreeNodeId n) const;
+
+  /// Maximum depth (root = 1).
+  size_t Depth() const;
+
+  /// Appends a node in document order. `parent` must be `kNoTreeNode` for
+  /// the first (root) node and an existing open ancestor otherwise; the
+  /// builder guarantees this. Returns the new id.
+  TreeNodeId AppendNode(TreeNodeId parent, TagId tag);
+
+  /// Records the subtree end of `n` once all descendants are appended.
+  void SealNode(TreeNodeId n) {
+    subtree_end_[n] = static_cast<TreeNodeId>(node_count());
+  }
+
+  /// Structural validation (used by tests and after deserialization).
+  Status Validate() const;
+
+ private:
+  TagTable tag_table_;
+  std::vector<TagId> tags_;
+  std::vector<TreeNodeId> parent_;
+  std::vector<TreeNodeId> first_child_;
+  std::vector<TreeNodeId> last_child_;
+  std::vector<TreeNodeId> next_sibling_;
+  std::vector<TreeNodeId> prev_sibling_;
+  std::vector<TreeNodeId> subtree_end_;
+};
+
+}  // namespace xcq
+
+#endif  // XCQ_TREE_TREE_SKELETON_H_

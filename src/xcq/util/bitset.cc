@@ -1,0 +1,120 @@
+#include "xcq/util/bitset.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+namespace xcq {
+
+namespace {
+size_t WordsFor(size_t bits) { return (bits + 63) / 64; }
+}  // namespace
+
+DynamicBitset::DynamicBitset(size_t size, bool value) { Resize(size, value); }
+
+void DynamicBitset::Resize(size_t size, bool value) {
+  const size_t old_size = size_;
+  words_.resize(WordsFor(size), value ? ~uint64_t{0} : 0);
+  size_ = size;
+  if (value && size > old_size && old_size % 64 != 0) {
+    // The tail of the old last word was zeroed; set the newly valid bits.
+    const size_t w = old_size / 64;
+    words_[w] |= ~uint64_t{0} << (old_size % 64);
+  }
+  TrimTail();
+}
+
+void DynamicBitset::PushBack(bool value) {
+  if (size_ % 64 == 0) words_.push_back(0);
+  ++size_;
+  if (value) Set(size_ - 1);
+}
+
+void DynamicBitset::ResetAll() {
+  std::fill(words_.begin(), words_.end(), uint64_t{0});
+}
+
+void DynamicBitset::SetAll() {
+  std::fill(words_.begin(), words_.end(), ~uint64_t{0});
+  TrimTail();
+}
+
+void DynamicBitset::TrimTail() {
+  if (size_ % 64 != 0 && !words_.empty()) {
+    words_.back() &= (uint64_t{1} << (size_ % 64)) - 1;
+  }
+}
+
+size_t DynamicBitset::Count() const {
+  size_t n = 0;
+  for (uint64_t w : words_) n += static_cast<size_t>(std::popcount(w));
+  return n;
+}
+
+bool DynamicBitset::None() const {
+  for (uint64_t w : words_) {
+    if (w != 0) return false;
+  }
+  return true;
+}
+
+size_t DynamicBitset::FindFirst() const { return FindNext(0); }
+
+size_t DynamicBitset::FindNext(size_t from) const {
+  if (from >= size_) return size_;
+  size_t w = from / 64;
+  uint64_t word = words_[w] & (~uint64_t{0} << (from % 64));
+  while (true) {
+    if (word != 0) {
+      const size_t i = w * 64 + static_cast<size_t>(std::countr_zero(word));
+      return i < size_ ? i : size_;
+    }
+    if (++w >= words_.size()) return size_;
+    word = words_[w];
+  }
+}
+
+DynamicBitset& DynamicBitset::operator|=(const DynamicBitset& other) {
+  assert(size_ == other.size_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  return *this;
+}
+
+DynamicBitset& DynamicBitset::operator&=(const DynamicBitset& other) {
+  assert(size_ == other.size_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  return *this;
+}
+
+DynamicBitset& DynamicBitset::operator-=(const DynamicBitset& other) {
+  assert(size_ == other.size_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= ~other.words_[i];
+  return *this;
+}
+
+void DynamicBitset::Flip() {
+  for (uint64_t& w : words_) w = ~w;
+  TrimTail();
+}
+
+bool DynamicBitset::operator==(const DynamicBitset& other) const {
+  return size_ == other.size_ && words_ == other.words_;
+}
+
+bool DynamicBitset::IsSubsetOf(const DynamicBitset& other) const {
+  assert(size_ == other.size_);
+  for (size_t i = 0; i < words_.size(); ++i) {
+    if ((words_[i] & ~other.words_[i]) != 0) return false;
+  }
+  return true;
+}
+
+bool DynamicBitset::Intersects(const DynamicBitset& other) const {
+  assert(size_ == other.size_);
+  for (size_t i = 0; i < words_.size(); ++i) {
+    if ((words_[i] & other.words_[i]) != 0) return true;
+  }
+  return false;
+}
+
+}  // namespace xcq

@@ -1,0 +1,15 @@
+#include "xcq/util/hash.h"
+
+namespace xcq {
+
+uint64_t HashBytes(const void* data, size_t len) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint64_t h = UINT64_C(0xcbf29ce484222325);  // FNV offset basis
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= UINT64_C(0x100000001b3);  // FNV prime
+  }
+  return Mix64(h);
+}
+
+}  // namespace xcq

@@ -1,0 +1,62 @@
+#ifndef XCQ_UTIL_HASH_H_
+#define XCQ_UTIL_HASH_H_
+
+/// \file hash.h
+/// Hash utilities used by the hash-consing DAG builder (Sec. 2.2).
+///
+/// The compression algorithm's inner loop is "have we already built a
+/// vertex with these labels and this child sequence?" — a hash-table probe
+/// whose key is a variable-length record. These helpers provide a fast
+/// 64-bit mixing function with good avalanche behaviour.
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace xcq {
+
+/// \brief 64-bit finalizer from MurmurHash3 (fmix64); full avalanche.
+inline uint64_t Mix64(uint64_t x) {
+  x ^= x >> 33;
+  x *= UINT64_C(0xff51afd7ed558ccd);
+  x ^= x >> 33;
+  x *= UINT64_C(0xc4ceb9fe1a85ec53);
+  x ^= x >> 33;
+  return x;
+}
+
+/// \brief Combines an accumulated hash with one more 64-bit value.
+inline uint64_t HashCombine(uint64_t seed, uint64_t value) {
+  // boost::hash_combine layout with a 64-bit golden-ratio constant,
+  // strengthened by a final mix at each step via Mix64 of the operand.
+  return seed ^ (Mix64(value) + UINT64_C(0x9e3779b97f4a7c15) + (seed << 6) +
+                 (seed >> 2));
+}
+
+/// \brief Hashes a byte string (FNV-1a body + Mix64 finalizer).
+uint64_t HashBytes(const void* data, size_t len);
+
+inline uint64_t HashString(std::string_view s) {
+  return HashBytes(s.data(), s.size());
+}
+
+/// \brief Incremental hasher for variable-length records.
+class Hasher {
+ public:
+  Hasher& Add(uint64_t v) {
+    state_ = HashCombine(state_, v);
+    return *this;
+  }
+  Hasher& AddBytes(const void* data, size_t len) {
+    state_ = HashCombine(state_, HashBytes(data, len));
+    return *this;
+  }
+  uint64_t Finish() const { return Mix64(state_); }
+
+ private:
+  uint64_t state_ = UINT64_C(0x517cc1b727220a95);
+};
+
+}  // namespace xcq
+
+#endif  // XCQ_UTIL_HASH_H_

@@ -1,0 +1,85 @@
+#ifndef XCQ_UTIL_RESULT_H_
+#define XCQ_UTIL_RESULT_H_
+
+/// \file result.h
+/// `Result<T>`: value-or-Status, the return type of fallible producers.
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "xcq/util/status.h"
+
+namespace xcq {
+
+/// \brief Holds either a value of type `T` or a non-OK `Status`.
+///
+/// Usage:
+/// \code
+///   Result<Instance> r = Compressor::Run(xml);
+///   if (!r.ok()) return r.status();
+///   Instance inst = std::move(r).Value();
+/// \endcode
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a value (implicit, enables `return value;`).
+  Result(T value) : rep_(std::in_place_index<0>, std::move(value)) {}
+
+  /// Constructs from a non-OK status (implicit, enables
+  /// `return Status::...;`). Passing an OK status is a programming error
+  /// and is converted to an Internal error.
+  Result(Status status) : rep_(std::in_place_index<1>, std::move(status)) {
+    if (std::get<1>(rep_).ok()) {
+      rep_.template emplace<1>(
+          Status::Internal("Result constructed from OK status"));
+    }
+  }
+
+  bool ok() const { return rep_.index() == 0; }
+
+  /// The error status; `Status::OK()` when a value is held.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<1>(rep_);
+  }
+
+  /// Value access; must hold a value.
+  const T& Value() const& {
+    assert(ok());
+    return std::get<0>(rep_);
+  }
+  T& Value() & {
+    assert(ok());
+    return std::get<0>(rep_);
+  }
+  T&& Value() && {
+    assert(ok());
+    return std::get<0>(std::move(rep_));
+  }
+
+  const T& operator*() const& { return Value(); }
+  T& operator*() & { return Value(); }
+  const T* operator->() const { return &Value(); }
+  T* operator->() { return &Value(); }
+
+ private:
+  std::variant<T, Status> rep_;
+};
+
+/// Evaluates `expr` (a Result<T>), propagating errors; on success assigns
+/// the value into `lhs` (which may be a declaration).
+#define XCQ_ASSIGN_OR_RETURN(lhs, expr)                       \
+  XCQ_ASSIGN_OR_RETURN_IMPL(                                  \
+      XCQ_CONCAT_NAME(_xcq_result_, __LINE__), lhs, expr)
+
+#define XCQ_CONCAT_NAME(x, y) XCQ_CONCAT_NAME_INNER(x, y)
+#define XCQ_CONCAT_NAME_INNER(x, y) x##y
+
+#define XCQ_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                              \
+  if (!tmp.ok()) return tmp.status();             \
+  lhs = std::move(tmp).Value();
+
+}  // namespace xcq
+
+#endif  // XCQ_UTIL_RESULT_H_

@@ -1,0 +1,68 @@
+#ifndef XCQ_UTIL_RNG_H_
+#define XCQ_UTIL_RNG_H_
+
+/// \file rng.h
+/// Deterministic random source for corpus generators and property tests.
+///
+/// All randomness in the repository flows through `Rng` with an explicit
+/// seed so that every corpus, test sweep, and benchmark is reproducible.
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+namespace xcq {
+
+/// \brief Seeded PRNG wrapper with convenience samplers.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  uint64_t Uniform(uint64_t lo, uint64_t hi) {
+    return std::uniform_int_distribution<uint64_t>(lo, hi)(engine_);
+  }
+
+  /// Uniform real in [0, 1).
+  double UniformReal() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  }
+
+  /// Bernoulli trial.
+  bool Chance(double p) { return UniformReal() < p; }
+
+  /// Geometric-ish count >= `min`, with decay probability `p` of stopping
+  /// after each increment; capped at `max`.
+  uint64_t GeometricCount(uint64_t min, uint64_t max, double p) {
+    uint64_t n = min;
+    while (n < max && !Chance(p)) ++n;
+    return n;
+  }
+
+  /// Uniformly selects one element of a non-empty vector.
+  template <typename T>
+  const T& Pick(const std::vector<T>& items) {
+    return items[Uniform(0, items.size() - 1)];
+  }
+
+  /// Zipf-like skewed index in [0, n): index 0 most likely.
+  size_t SkewedIndex(size_t n, double skew = 1.5) {
+    double u = UniformReal();
+    double x = 1.0;
+    for (size_t i = 0; i + 1 < n; ++i) {
+      x *= skew / (skew + 1.0);
+      if (u >= x) return i;
+    }
+    return n - 1;
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace xcq
+
+#endif  // XCQ_UTIL_RNG_H_

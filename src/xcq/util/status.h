@@ -1,0 +1,116 @@
+#ifndef XCQ_UTIL_STATUS_H_
+#define XCQ_UTIL_STATUS_H_
+
+/// \file status.h
+/// Error handling primitives for the xcq library.
+///
+/// The library does not throw exceptions. Fallible operations return a
+/// `Status` (or `Result<T>`, see result.h) in the style of Apache Arrow and
+/// RocksDB. `Status` is cheap to copy in the OK case (a single pointer).
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace xcq {
+
+/// Machine-readable category of an error.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kParseError = 2,       ///< Malformed XML or XPath input.
+  kOutOfRange = 3,       ///< Index / id outside a valid range.
+  kNotFound = 4,         ///< Named relation, file, or corpus missing.
+  kAlreadyExists = 5,    ///< Duplicate name where uniqueness is required.
+  kResourceExhausted = 6,///< A configured budget (e.g. decompression) hit.
+  kIncompatible = 7,     ///< Instances are not compatible (Sec. 2.3).
+  kIoError = 8,          ///< Filesystem read/write failure.
+  kCorruption = 9,       ///< Serialized instance fails validation.
+  kInternal = 10,        ///< Invariant violation; indicates a library bug.
+};
+
+/// \brief Returns a stable human-readable name for a status code.
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Outcome of a fallible operation: OK, or a code plus message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() noexcept = default;
+
+  Status(StatusCode code, std::string message)
+      : rep_(code == StatusCode::kOk
+                 ? nullptr
+                 : std::make_shared<Rep>(Rep{code, std::move(message)})) {}
+
+  /// True if the operation succeeded.
+  bool ok() const noexcept { return rep_ == nullptr; }
+
+  StatusCode code() const noexcept {
+    return rep_ ? rep_->code : StatusCode::kOk;
+  }
+
+  /// Error message; empty for OK statuses.
+  const std::string& message() const noexcept {
+    static const std::string kEmpty;
+    return rep_ ? rep_->message : kEmpty;
+  }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Incompatible(std::string msg) {
+    return Status(StatusCode::kIncompatible, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string message;
+  };
+  std::shared_ptr<const Rep> rep_;  // null == OK
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// Propagates a non-OK status to the caller.
+#define XCQ_RETURN_IF_ERROR(expr)                 \
+  do {                                            \
+    ::xcq::Status _xcq_status = (expr);           \
+    if (!_xcq_status.ok()) return _xcq_status;    \
+  } while (false)
+
+}  // namespace xcq
+
+#endif  // XCQ_UTIL_STATUS_H_

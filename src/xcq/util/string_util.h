@@ -1,0 +1,46 @@
+#ifndef XCQ_UTIL_STRING_UTIL_H_
+#define XCQ_UTIL_STRING_UTIL_H_
+
+/// \file string_util.h
+/// Small string helpers shared across modules.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xcq {
+
+/// True if `c` is ASCII whitespace (space, tab, CR, LF).
+inline bool IsSpace(char c) {
+  return c == ' ' || c == '\t' || c == '\r' || c == '\n';
+}
+
+/// Strips leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// Splits on `sep`, keeping empty fields.
+std::vector<std::string_view> Split(std::string_view s, char sep);
+
+/// True if `s` starts with `prefix`.
+inline bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Renders `n` with thousands separators, e.g. 10903569 -> "10,903,569".
+std::string WithCommas(uint64_t n);
+
+/// Renders bytes with a binary-prefix unit, e.g. "457.4 MB".
+std::string HumanBytes(uint64_t bytes);
+
+/// True if `name` is a valid XML element name for our simplified model
+/// (first char letter/underscore, rest letter/digit/underscore/hyphen/dot).
+bool IsValidTagName(std::string_view name);
+
+}  // namespace xcq
+
+#endif  // XCQ_UTIL_STRING_UTIL_H_

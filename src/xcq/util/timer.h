@@ -1,0 +1,33 @@
+#ifndef XCQ_UTIL_TIMER_H_
+#define XCQ_UTIL_TIMER_H_
+
+/// \file timer.h
+/// Wall-clock stopwatch for the benchmark harnesses.
+
+#include <chrono>
+
+namespace xcq {
+
+/// \brief Monotonic stopwatch; starts on construction.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction / last Restart().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds.
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace xcq
+
+#endif  // XCQ_UTIL_TIMER_H_

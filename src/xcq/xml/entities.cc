@@ -1,0 +1,145 @@
+#include "xcq/xml/entities.h"
+
+#include <cctype>
+
+#include "xcq/util/string_util.h"
+
+namespace xcq::xml {
+
+bool AppendUtf8(uint32_t cp, std::string* out) {
+  if (cp > 0x10FFFF || (cp >= 0xD800 && cp <= 0xDFFF)) return false;
+  if (cp < 0x80) {
+    out->push_back(static_cast<char>(cp));
+  } else if (cp < 0x800) {
+    out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else if (cp < 0x10000) {
+    out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else {
+    out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  }
+  return true;
+}
+
+Result<size_t> DecodeEntity(std::string_view s, std::string* out) {
+  if (s.empty() || s[0] != '&') {
+    return Status::InvalidArgument("DecodeEntity: input must start with '&'");
+  }
+  const size_t semi = s.find(';');
+  if (semi == std::string_view::npos || semi == 1) {
+    return Status::ParseError("unterminated or empty entity reference");
+  }
+  if (semi > 12) {
+    return Status::ParseError("entity reference too long");
+  }
+  const std::string_view body = s.substr(1, semi - 1);
+  if (body == "lt") {
+    out->push_back('<');
+  } else if (body == "gt") {
+    out->push_back('>');
+  } else if (body == "amp") {
+    out->push_back('&');
+  } else if (body == "apos") {
+    out->push_back('\'');
+  } else if (body == "quot") {
+    out->push_back('"');
+  } else if (body.size() >= 2 && body[0] == '#') {
+    uint32_t cp = 0;
+    bool any = false;
+    if (body[1] == 'x' || body[1] == 'X') {
+      for (size_t i = 2; i < body.size(); ++i) {
+        const char c = body[i];
+        uint32_t digit;
+        if (c >= '0' && c <= '9') {
+          digit = static_cast<uint32_t>(c - '0');
+        } else if (c >= 'a' && c <= 'f') {
+          digit = static_cast<uint32_t>(c - 'a' + 10);
+        } else if (c >= 'A' && c <= 'F') {
+          digit = static_cast<uint32_t>(c - 'A' + 10);
+        } else {
+          return Status::ParseError("bad hex character reference");
+        }
+        cp = cp * 16 + digit;
+        if (cp > 0x10FFFF) return Status::ParseError("character reference out of range");
+        any = true;
+      }
+    } else {
+      for (size_t i = 1; i < body.size(); ++i) {
+        const char c = body[i];
+        if (c < '0' || c > '9') {
+          return Status::ParseError("bad decimal character reference");
+        }
+        cp = cp * 10 + static_cast<uint32_t>(c - '0');
+        if (cp > 0x10FFFF) return Status::ParseError("character reference out of range");
+        any = true;
+      }
+    }
+    if (!any || !AppendUtf8(cp, out)) {
+      return Status::ParseError("invalid character reference");
+    }
+  } else {
+    return Status::ParseError(
+        StrFormat("unknown entity '&%.*s;'", static_cast<int>(body.size()),
+                  body.data()));
+  }
+  return semi + 1;
+}
+
+Status DecodeText(std::string_view s, std::string* out) {
+  size_t i = 0;
+  while (i < s.size()) {
+    const size_t amp = s.find('&', i);
+    if (amp == std::string_view::npos) {
+      out->append(s.substr(i));
+      return Status::OK();
+    }
+    out->append(s.substr(i, amp - i));
+    XCQ_ASSIGN_OR_RETURN(const size_t consumed,
+                         DecodeEntity(s.substr(amp), out));
+    i = amp + consumed;
+  }
+  return Status::OK();
+}
+
+void EscapeText(std::string_view s, std::string* out) {
+  for (char c : s) {
+    switch (c) {
+      case '&':
+        out->append("&amp;");
+        break;
+      case '<':
+        out->append("&lt;");
+        break;
+      case '>':
+        out->append("&gt;");
+        break;
+      default:
+        out->push_back(c);
+    }
+  }
+}
+
+void EscapeAttribute(std::string_view s, std::string* out) {
+  for (char c : s) {
+    switch (c) {
+      case '&':
+        out->append("&amp;");
+        break;
+      case '<':
+        out->append("&lt;");
+        break;
+      case '"':
+        out->append("&quot;");
+        break;
+      default:
+        out->push_back(c);
+    }
+  }
+}
+
+}  // namespace xcq::xml

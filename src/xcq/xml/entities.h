@@ -1,0 +1,39 @@
+#ifndef XCQ_XML_ENTITIES_H_
+#define XCQ_XML_ENTITIES_H_
+
+/// \file entities.h
+/// XML entity decoding and text escaping.
+///
+/// The parser supports the five predefined entities (&lt; &gt; &amp;
+/// &apos; &quot;) and decimal / hexadecimal character references
+/// (&#NN; / &#xNN;), encoded back to UTF-8.
+
+#include <string>
+#include <string_view>
+
+#include "xcq/util/result.h"
+
+namespace xcq::xml {
+
+/// \brief Decodes the entity reference starting at `s[0] == '&'`.
+///
+/// On success returns the number of input bytes consumed (including the
+/// terminating ';') and appends the decoded bytes to `*out`.
+Result<size_t> DecodeEntity(std::string_view s, std::string* out);
+
+/// \brief Decodes all entity references in `s`, appending to `*out`.
+Status DecodeText(std::string_view s, std::string* out);
+
+/// \brief Escapes `s` for use as XML character data (&, <, >).
+void EscapeText(std::string_view s, std::string* out);
+
+/// \brief Escapes `s` for use inside a double-quoted attribute value.
+void EscapeAttribute(std::string_view s, std::string* out);
+
+/// \brief Appends the UTF-8 encoding of code point `cp` to `*out`.
+/// Returns false for invalid code points (surrogates, > U+10FFFF).
+bool AppendUtf8(uint32_t cp, std::string* out);
+
+}  // namespace xcq::xml
+
+#endif  // XCQ_XML_ENTITIES_H_

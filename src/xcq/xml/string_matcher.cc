@@ -1,0 +1,100 @@
+#include "xcq/xml/string_matcher.h"
+
+#include <deque>
+
+#include "xcq/util/string_util.h"
+
+namespace xcq::xml {
+
+Result<StringMatcher> StringMatcher::Build(
+    std::vector<std::string> patterns) {
+  for (size_t i = 0; i < patterns.size(); ++i) {
+    if (patterns[i].empty()) {
+      return Status::InvalidArgument(
+          StrFormat("string pattern %zu is empty", i));
+    }
+  }
+
+  // Phase 1: trie construction with sparse children.
+  struct TrieNode {
+    std::vector<std::pair<unsigned char, uint32_t>> children;
+    std::vector<uint32_t> outputs;
+    uint32_t fail = 0;
+  };
+  std::vector<TrieNode> trie(1);
+  const auto find_child = [&trie](uint32_t node,
+                                  unsigned char c) -> uint32_t {
+    for (const auto& [ch, child] : trie[node].children) {
+      if (ch == c) return child;
+    }
+    return UINT32_MAX;
+  };
+  for (uint32_t p = 0; p < patterns.size(); ++p) {
+    uint32_t node = 0;
+    for (char raw : patterns[p]) {
+      const auto c = static_cast<unsigned char>(raw);
+      uint32_t child = find_child(node, c);
+      if (child == UINT32_MAX) {
+        child = static_cast<uint32_t>(trie.size());
+        trie.emplace_back();
+        trie[node].children.emplace_back(c, child);
+      }
+      node = child;
+    }
+    trie[node].outputs.push_back(p);
+  }
+
+  // Phase 2: BFS failure links.
+  std::deque<uint32_t> queue;
+  for (const auto& [c, child] : trie[0].children) {
+    trie[child].fail = 0;
+    queue.push_back(child);
+  }
+  std::vector<uint32_t> bfs_order;
+  while (!queue.empty()) {
+    const uint32_t node = queue.front();
+    queue.pop_front();
+    bfs_order.push_back(node);
+    for (const auto& [c, child] : trie[node].children) {
+      uint32_t f = trie[node].fail;
+      uint32_t via = find_child(f, c);
+      while (f != 0 && via == UINT32_MAX) {
+        f = trie[f].fail;
+        via = find_child(f, c);
+      }
+      trie[child].fail = via == UINT32_MAX || via == child ? 0 : via;
+      queue.push_back(child);
+    }
+  }
+
+  // Phase 3: dense DFA table + dictionary (suffix-output) links.
+  StringMatcher m;
+  m.patterns_ = std::move(patterns);
+  const size_t n = trie.size();
+  m.transitions_.assign(n, {});
+  m.outputs_.resize(n);
+  m.suffix_output_.assign(n, 0);
+  m.has_output_.assign(n, false);
+  for (size_t s = 0; s < n; ++s) m.outputs_[s] = std::move(trie[s].outputs);
+
+  // Root transitions: stay at root unless a child exists.
+  for (int c = 0; c < 256; ++c) m.transitions_[0][c] = 0;
+  for (const auto& [c, child] : trie[0].children) {
+    m.transitions_[0][c] = child;
+  }
+  // Other states in BFS order: inherit from the failure state.
+  for (uint32_t node : bfs_order) {
+    m.transitions_[node] = m.transitions_[trie[node].fail];
+    for (const auto& [c, child] : trie[node].children) {
+      m.transitions_[node][c] = child;
+    }
+    const uint32_t f = trie[node].fail;
+    m.suffix_output_[node] =
+        m.outputs_[f].empty() ? m.suffix_output_[f] : f;
+    m.has_output_[node] =
+        !m.outputs_[node].empty() || m.suffix_output_[node] != 0;
+  }
+  return m;
+}
+
+}  // namespace xcq::xml

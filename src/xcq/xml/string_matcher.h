@@ -1,0 +1,104 @@
+#ifndef XCQ_XML_STRING_MATCHER_H_
+#define XCQ_XML_STRING_MATCHER_H_
+
+/// \file string_matcher.h
+/// Multi-pattern substring search over the document's character stream.
+///
+/// The paper (Sec. 4): "String constraints are matched to nodes on the
+/// stack on the fly during parsing using automata-based techniques." This
+/// is that automaton: an Aho–Corasick machine built over the query's
+/// string constraints. The compressor feeds it every character-data byte
+/// in document order; each reported match carries the pattern and the
+/// global start offset, from which the compressor identifies the deepest
+/// open element whose string value contains the match.
+///
+/// Because an XPath string value concatenates *all* descendant text, the
+/// automaton state deliberately persists across text-node and element
+/// boundaries: a match spanning two sibling text blocks is a real match
+/// for their common ancestors, and the compressor's offset bookkeeping
+/// assigns it to exactly those.
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "xcq/util/result.h"
+
+namespace xcq::xml {
+
+/// \brief A completed pattern occurrence in the global text stream.
+struct PatternMatch {
+  uint32_t pattern;       ///< Index into the pattern list.
+  uint64_t start_offset;  ///< Global offset of the first matched byte.
+};
+
+/// \brief Aho–Corasick multi-pattern matcher with a dense DFA table.
+///
+/// Query string-constraint sets are small (a handful of patterns), so the
+/// automaton trades memory (256 transitions per state) for a branch-free
+/// per-byte step.
+class StringMatcher {
+ public:
+  /// Builds the automaton. Patterns must be non-empty; duplicates are
+  /// allowed (each occurrence reports every duplicate id).
+  static Result<StringMatcher> Build(std::vector<std::string> patterns);
+
+  /// Number of patterns the automaton was built with.
+  size_t pattern_count() const { return patterns_.size(); }
+
+  /// The pattern text for id `i`.
+  const std::string& pattern(size_t i) const { return patterns_[i]; }
+
+  /// Feeds a chunk of character data; `fn(const PatternMatch&)` is invoked
+  /// for every pattern occurrence that *ends* inside this chunk. The
+  /// stream offset advances by `chunk.size()`.
+  template <typename Fn>
+  void Feed(std::string_view chunk, Fn&& fn) {
+    uint32_t state = state_;
+    for (char c : chunk) {
+      state = transitions_[state][static_cast<unsigned char>(c)];
+      ++offset_;
+      if (has_output_[state]) {
+        for (uint32_t node = state; node != 0; node = suffix_output_[node]) {
+          for (uint32_t p : outputs_[node]) {
+            fn(PatternMatch{p, offset_ - patterns_[p].size()});
+          }
+        }
+      }
+    }
+    state_ = state;
+  }
+
+  /// Resets the automaton state and stream offset (new document).
+  void Reset() {
+    state_ = 0;
+    offset_ = 0;
+  }
+
+  /// Total bytes fed since construction / Reset().
+  uint64_t offset() const { return offset_; }
+
+  /// Number of DFA states (for tests).
+  size_t state_count() const { return transitions_.size(); }
+
+ private:
+  StringMatcher() = default;
+
+  std::vector<std::string> patterns_;
+  /// Dense DFA transition table: state x byte -> state.
+  std::vector<std::array<uint32_t, 256>> transitions_;
+  /// Patterns ending exactly at this state.
+  std::vector<std::vector<uint32_t>> outputs_;
+  /// Nearest proper-suffix state with a non-empty output set (0 = none).
+  std::vector<uint32_t> suffix_output_;
+  /// True if this state or any suffix state has outputs.
+  std::vector<bool> has_output_;
+  uint32_t state_ = 0;
+  uint64_t offset_ = 0;
+};
+
+}  // namespace xcq::xml
+
+#endif  // XCQ_XML_STRING_MATCHER_H_

@@ -1,0 +1,107 @@
+#include "xcq/xml/writer.h"
+
+#include "xcq/util/string_util.h"
+#include "xcq/xml/entities.h"
+
+namespace xcq::xml {
+
+XmlWriter::XmlWriter(std::string* out, Options options)
+    : out_(out), options_(options) {
+  if (options_.declaration) {
+    out_->append("<?xml version=\"1.0\" encoding=\"UTF-8\"?>");
+    if (options_.indent) out_->push_back('\n');
+  }
+}
+
+void XmlWriter::CloseStartTagIfOpen() {
+  if (start_tag_open_) {
+    out_->push_back('>');
+    start_tag_open_ = false;
+  }
+}
+
+void XmlWriter::Newline() {
+  if (!options_.indent) return;
+  out_->push_back('\n');
+  out_->append(2 * open_.size(), ' ');
+}
+
+Status XmlWriter::StartElement(std::string_view name) {
+  if (!IsValidTagName(name)) {
+    return Status::InvalidArgument(
+        StrFormat("invalid element name '%.*s'",
+                  static_cast<int>(name.size()), name.data()));
+  }
+  CloseStartTagIfOpen();
+  if (!last_was_text_) Newline();
+  out_->push_back('<');
+  out_->append(name);
+  open_.emplace_back(name);
+  start_tag_open_ = true;
+  last_was_text_ = false;
+  return Status::OK();
+}
+
+Status XmlWriter::Attribute(std::string_view name, std::string_view value) {
+  if (!start_tag_open_) {
+    return Status::InvalidArgument(
+        "Attribute() must directly follow StartElement()");
+  }
+  if (!IsValidTagName(name)) {
+    return Status::InvalidArgument(
+        StrFormat("invalid attribute name '%.*s'",
+                  static_cast<int>(name.size()), name.data()));
+  }
+  out_->push_back(' ');
+  out_->append(name);
+  out_->append("=\"");
+  EscapeAttribute(value, out_);
+  out_->push_back('"');
+  return Status::OK();
+}
+
+Status XmlWriter::Text(std::string_view text) {
+  if (open_.empty()) {
+    return Status::InvalidArgument("Text() outside of any element");
+  }
+  CloseStartTagIfOpen();
+  EscapeText(text, out_);
+  last_was_text_ = true;
+  return Status::OK();
+}
+
+Status XmlWriter::EndElement() {
+  if (open_.empty()) {
+    return Status::InvalidArgument("EndElement() with no element open");
+  }
+  const std::string name = std::move(open_.back());
+  open_.pop_back();
+  if (start_tag_open_) {
+    out_->append("/>");
+    start_tag_open_ = false;
+  } else {
+    if (!last_was_text_) Newline();
+    out_->append("</");
+    out_->append(name);
+    out_->push_back('>');
+  }
+  last_was_text_ = false;
+  return Status::OK();
+}
+
+Status XmlWriter::TextElement(std::string_view name, std::string_view text) {
+  XCQ_RETURN_IF_ERROR(StartElement(name));
+  if (!text.empty()) XCQ_RETURN_IF_ERROR(Text(text));
+  return EndElement();
+}
+
+Status XmlWriter::Finish() const {
+  if (!open_.empty()) {
+    return Status::InvalidArgument(
+        StrFormat("Finish() with %zu element(s) still open: <%s>",
+                  open_.size(), open_.back().c_str()));
+  }
+  return Status::OK();
+}
+
+}  // namespace xcq::xml

@@ -1,0 +1,70 @@
+#ifndef XCQ_XML_WRITER_H_
+#define XCQ_XML_WRITER_H_
+
+/// \file writer.h
+/// Streaming XML emitter (the inverse of the SAX parser).
+///
+/// Used by corpus generators and by decompression round-trip tests: a
+/// skeleton serialized with `XmlWriter` re-parses to the identical
+/// skeleton.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "xcq/util/status.h"
+
+namespace xcq::xml {
+
+/// \brief Appends well-formed XML to a caller-owned buffer.
+///
+/// The writer validates nesting (every `EndElement` must match the open
+/// element) and escapes character data. Indentation is optional; corpus
+/// generators disable it to keep documents dense.
+struct WriterOptions {
+  bool indent = false;
+  /// Emit an XML declaration header.
+  bool declaration = true;
+};
+
+class XmlWriter {
+ public:
+  using Options = WriterOptions;
+
+  explicit XmlWriter(std::string* out, Options options = Options());
+
+  /// Opens `<name>`. Attributes may be attached with `Attribute` before
+  /// any content is written.
+  Status StartElement(std::string_view name);
+
+  /// Adds an attribute to the most recently opened, still-empty element.
+  Status Attribute(std::string_view name, std::string_view value);
+
+  /// Writes escaped character data.
+  Status Text(std::string_view text);
+
+  /// Closes the innermost open element (using `<.../>` if it is empty).
+  Status EndElement();
+
+  /// Convenience: `<name>text</name>`.
+  Status TextElement(std::string_view name, std::string_view text);
+
+  /// Fails unless every element has been closed.
+  Status Finish() const;
+
+  size_t depth() const { return open_.size(); }
+
+ private:
+  void CloseStartTagIfOpen();
+  void Newline();
+
+  std::string* out_;
+  Options options_;
+  std::vector<std::string> open_;
+  bool start_tag_open_ = false;
+  bool last_was_text_ = false;
+};
+
+}  // namespace xcq::xml
+
+#endif  // XCQ_XML_WRITER_H_

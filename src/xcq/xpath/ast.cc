@@ -1,0 +1,210 @@
+#include "xcq/xpath/ast.h"
+
+#include <algorithm>
+
+#include "xcq/util/string_util.h"
+
+namespace xcq::xpath {
+
+Axis InverseAxis(Axis axis) {
+  switch (axis) {
+    case Axis::kSelf:
+      return Axis::kSelf;
+    case Axis::kChild:
+      return Axis::kParent;
+    case Axis::kParent:
+      return Axis::kChild;
+    case Axis::kDescendant:
+      return Axis::kAncestor;
+    case Axis::kDescendantOrSelf:
+      return Axis::kAncestorOrSelf;
+    case Axis::kAncestor:
+      return Axis::kDescendant;
+    case Axis::kAncestorOrSelf:
+      return Axis::kDescendantOrSelf;
+    case Axis::kFollowingSibling:
+      return Axis::kPrecedingSibling;
+    case Axis::kPrecedingSibling:
+      return Axis::kFollowingSibling;
+    case Axis::kFollowing:
+      return Axis::kPreceding;
+    case Axis::kPreceding:
+      return Axis::kFollowing;
+  }
+  return Axis::kSelf;
+}
+
+const char* AxisName(Axis axis) {
+  switch (axis) {
+    case Axis::kSelf:
+      return "self";
+    case Axis::kChild:
+      return "child";
+    case Axis::kParent:
+      return "parent";
+    case Axis::kDescendant:
+      return "descendant";
+    case Axis::kDescendantOrSelf:
+      return "descendant-or-self";
+    case Axis::kAncestor:
+      return "ancestor";
+    case Axis::kAncestorOrSelf:
+      return "ancestor-or-self";
+    case Axis::kFollowingSibling:
+      return "following-sibling";
+    case Axis::kPrecedingSibling:
+      return "preceding-sibling";
+    case Axis::kFollowing:
+      return "following";
+    case Axis::kPreceding:
+      return "preceding";
+  }
+  return "?";
+}
+
+Result<Axis> AxisFromName(std::string_view name) {
+  static constexpr std::pair<std::string_view, Axis> kAxes[] = {
+      {"self", Axis::kSelf},
+      {"child", Axis::kChild},
+      {"parent", Axis::kParent},
+      {"descendant", Axis::kDescendant},
+      {"descendant-or-self", Axis::kDescendantOrSelf},
+      {"ancestor", Axis::kAncestor},
+      {"ancestor-or-self", Axis::kAncestorOrSelf},
+      {"following-sibling", Axis::kFollowingSibling},
+      {"preceding-sibling", Axis::kPrecedingSibling},
+      {"following", Axis::kFollowing},
+      {"preceding", Axis::kPreceding},
+  };
+  for (const auto& [axis_name, axis] : kAxes) {
+    if (axis_name == name) return axis;
+  }
+  return Status::ParseError(StrFormat("unknown axis '%.*s'",
+                                      static_cast<int>(name.size()),
+                                      name.data()));
+}
+
+bool IsUpwardAxis(Axis axis) {
+  switch (axis) {
+    case Axis::kSelf:
+    case Axis::kParent:
+    case Axis::kAncestor:
+    case Axis::kAncestorOrSelf:
+      return true;
+    default:
+      return false;
+  }
+}
+
+namespace {
+
+void AppendPath(const LocationPath& path, std::string* out);
+
+void AppendCondition(const Condition& condition, std::string* out) {
+  switch (condition.kind) {
+    case Condition::Kind::kAnd:
+    case Condition::Kind::kOr: {
+      out->push_back('(');
+      AppendCondition(*condition.lhs, out);
+      out->append(condition.kind == Condition::Kind::kAnd ? " and "
+                                                          : " or ");
+      AppendCondition(*condition.rhs, out);
+      out->push_back(')');
+      break;
+    }
+    case Condition::Kind::kNot:
+      out->append("not(");
+      AppendCondition(*condition.lhs, out);
+      out->push_back(')');
+      break;
+    case Condition::Kind::kPath:
+      AppendPath(condition.path, out);
+      break;
+    case Condition::Kind::kString:
+      out->push_back('"');
+      out->append(condition.string_pattern);
+      out->push_back('"');
+      break;
+  }
+}
+
+void AppendStep(const Step& step, std::string* out) {
+  out->append(AxisName(step.axis));
+  out->append("::");
+  out->append(step.node_test);
+  for (const auto& predicate : step.predicates) {
+    out->push_back('[');
+    AppendCondition(*predicate, out);
+    out->push_back(']');
+  }
+}
+
+void AppendPath(const LocationPath& path, std::string* out) {
+  if (path.absolute) out->push_back('/');
+  for (size_t i = 0; i < path.steps.size(); ++i) {
+    if (i != 0) out->push_back('/');
+    AppendStep(path.steps[i], out);
+  }
+}
+
+void CollectFromPath(const LocationPath& path, QueryRequirements* out);
+
+void CollectFromCondition(const Condition& condition,
+                          QueryRequirements* out) {
+  switch (condition.kind) {
+    case Condition::Kind::kAnd:
+    case Condition::Kind::kOr:
+      CollectFromCondition(*condition.lhs, out);
+      CollectFromCondition(*condition.rhs, out);
+      break;
+    case Condition::Kind::kNot:
+      CollectFromCondition(*condition.lhs, out);
+      break;
+    case Condition::Kind::kPath:
+      CollectFromPath(condition.path, out);
+      break;
+    case Condition::Kind::kString:
+      out->patterns.push_back(condition.string_pattern);
+      break;
+  }
+}
+
+void CollectFromPath(const LocationPath& path, QueryRequirements* out) {
+  for (const Step& step : path.steps) {
+    if (step.node_test != "*") out->tags.push_back(step.node_test);
+    for (const auto& predicate : step.predicates) {
+      CollectFromCondition(*predicate, out);
+    }
+  }
+}
+
+void SortUnique(std::vector<std::string>* values) {
+  std::sort(values->begin(), values->end());
+  values->erase(std::unique(values->begin(), values->end()), values->end());
+}
+
+}  // namespace
+
+std::string ToString(const LocationPath& path) {
+  std::string out;
+  AppendPath(path, &out);
+  return out;
+}
+
+std::string ToString(const Condition& condition) {
+  std::string out;
+  AppendCondition(condition, &out);
+  return out;
+}
+
+std::string Query::ToString() const { return xpath::ToString(path); }
+
+QueryRequirements CollectRequirements(const Query& query) {
+  QueryRequirements out;
+  CollectFromPath(query.path, &out);
+  SortUnique(&out.tags);
+  SortUnique(&out.patterns);
+  return out;
+}
+
+}  // namespace xcq::xpath

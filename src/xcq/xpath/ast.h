@@ -1,0 +1,111 @@
+#ifndef XCQ_XPATH_AST_H_
+#define XCQ_XPATH_AST_H_
+
+/// \file ast.h
+/// Abstract syntax of Core XPath (Sec. 3.1, following [14] = Gottlob,
+/// Koch, Pichler, "Efficient Algorithms for Processing XPath Queries").
+///
+/// The fragment covers all eleven node-set axes, node tests (tag or `*`),
+/// nested predicates with `and` / `or` / `not(...)` / parentheses,
+/// relative and root-relative paths inside predicates, and the paper's
+/// string constraints `["abc"]` (true at a node whose string value
+/// contains "abc"). This is exactly the language of the Appendix-A
+/// benchmark queries.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "xcq/util/result.h"
+
+namespace xcq::xpath {
+
+/// \brief The XPath axes that map node sets to node sets.
+enum class Axis {
+  kSelf,
+  kChild,
+  kParent,
+  kDescendant,
+  kDescendantOrSelf,
+  kAncestor,
+  kAncestorOrSelf,
+  kFollowingSibling,
+  kPrecedingSibling,
+  kFollowing,
+  kPreceding,
+};
+
+/// \brief The inverse axis: `m in χ({n})` iff `n in Inverse(χ)({m})`.
+/// Predicate paths are evaluated through inverses (Sec. 3.1's "reverse
+/// paths in conditions").
+Axis InverseAxis(Axis axis);
+
+/// \brief XPath surface name, e.g. "descendant-or-self".
+const char* AxisName(Axis axis);
+
+/// \brief Parses an axis name; error on unknown names.
+Result<Axis> AxisFromName(std::string_view name);
+
+/// \brief True for axes whose DAG implementation never splits vertices
+/// (Prop. 3.3: self, parent, ancestor, ancestor-or-self).
+bool IsUpwardAxis(Axis axis);
+
+struct Condition;
+
+/// \brief One location step: `axis::nodetest[pred]...`.
+struct Step {
+  Axis axis = Axis::kChild;
+  /// Element name, or "*" to match any node.
+  std::string node_test = "*";
+  /// Conjunctively-applied predicates.
+  std::vector<std::unique_ptr<Condition>> predicates;
+};
+
+/// \brief A location path; `absolute` paths start at the root, relative
+/// ones at the context node(s).
+struct LocationPath {
+  bool absolute = false;
+  std::vector<Step> steps;
+};
+
+/// \brief Predicate expression tree.
+struct Condition {
+  enum class Kind {
+    kAnd,
+    kOr,
+    kNot,
+    kPath,    ///< Existential path test.
+    kString,  ///< String containment on the context node.
+  };
+
+  Kind kind;
+  std::unique_ptr<Condition> lhs;  ///< kAnd/kOr left, kNot operand.
+  std::unique_ptr<Condition> rhs;  ///< kAnd/kOr right.
+  LocationPath path;               ///< kPath payload.
+  std::string string_pattern;      ///< kString payload.
+};
+
+/// \brief A complete Core XPath query.
+struct Query {
+  LocationPath path;
+
+  /// Round-trippable textual rendering (explicit axes, no abbreviations).
+  std::string ToString() const;
+};
+
+std::string ToString(const LocationPath& path);
+std::string ToString(const Condition& condition);
+
+/// \brief Everything a query needs from the document: the tags it names
+/// and the string constants it matches. Used to configure kSchema
+/// compression so the instance carries exactly the relevant relations.
+struct QueryRequirements {
+  std::vector<std::string> tags;
+  std::vector<std::string> patterns;
+};
+
+QueryRequirements CollectRequirements(const Query& query);
+
+}  // namespace xcq::xpath
+
+#endif  // XCQ_XPATH_AST_H_

@@ -1,0 +1,138 @@
+#include "xcq/xpath/lexer.h"
+
+#include <cctype>
+
+#include "xcq/util/string_util.h"
+
+namespace xcq::xpath {
+
+namespace {
+
+bool IsNameStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+         c == '-' || c == '.';
+}
+
+}  // namespace
+
+const char* TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kSlash:
+      return "'/'";
+    case TokenKind::kDoubleSlash:
+      return "'//'";
+    case TokenKind::kAxisSep:
+      return "'::'";
+    case TokenKind::kLBracket:
+      return "'['";
+    case TokenKind::kRBracket:
+      return "']'";
+    case TokenKind::kLParen:
+      return "'('";
+    case TokenKind::kRParen:
+      return "')'";
+    case TokenKind::kStar:
+      return "'*'";
+    case TokenKind::kName:
+      return "name";
+    case TokenKind::kString:
+      return "string literal";
+    case TokenKind::kEnd:
+      return "end of query";
+  }
+  return "?";
+}
+
+Result<std::vector<Token>> Tokenize(std::string_view query) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  while (i < query.size()) {
+    const char c = query[i];
+    if (IsSpace(c)) {
+      ++i;
+      continue;
+    }
+    Token token;
+    token.offset = i;
+    switch (c) {
+      case '/':
+        if (i + 1 < query.size() && query[i + 1] == '/') {
+          token.kind = TokenKind::kDoubleSlash;
+          token.text = query.substr(i, 2);
+          i += 2;
+        } else {
+          token.kind = TokenKind::kSlash;
+          token.text = query.substr(i, 1);
+          ++i;
+        }
+        break;
+      case ':':
+        if (i + 1 >= query.size() || query[i + 1] != ':') {
+          return Status::ParseError(
+              StrFormat("offset %zu: stray ':' (expected '::')", i));
+        }
+        token.kind = TokenKind::kAxisSep;
+        token.text = query.substr(i, 2);
+        i += 2;
+        break;
+      case '[':
+        token.kind = TokenKind::kLBracket;
+        token.text = query.substr(i, 1);
+        ++i;
+        break;
+      case ']':
+        token.kind = TokenKind::kRBracket;
+        token.text = query.substr(i, 1);
+        ++i;
+        break;
+      case '(':
+        token.kind = TokenKind::kLParen;
+        token.text = query.substr(i, 1);
+        ++i;
+        break;
+      case ')':
+        token.kind = TokenKind::kRParen;
+        token.text = query.substr(i, 1);
+        ++i;
+        break;
+      case '*':
+        token.kind = TokenKind::kStar;
+        token.text = query.substr(i, 1);
+        ++i;
+        break;
+      case '"':
+      case '\'': {
+        const size_t close = query.find(c, i + 1);
+        if (close == std::string_view::npos) {
+          return Status::ParseError(
+              StrFormat("offset %zu: unterminated string literal", i));
+        }
+        token.kind = TokenKind::kString;
+        token.text = query.substr(i + 1, close - i - 1);
+        i = close + 1;
+        break;
+      }
+      default: {
+        if (!IsNameStart(c)) {
+          return Status::ParseError(
+              StrFormat("offset %zu: unexpected character '%c'", i, c));
+        }
+        size_t end = i + 1;
+        while (end < query.size() && IsNameChar(query[end])) ++end;
+        token.kind = TokenKind::kName;
+        token.text = query.substr(i, end - i);
+        i = end;
+        break;
+      }
+    }
+    tokens.push_back(token);
+  }
+  tokens.push_back(Token{TokenKind::kEnd, {}, query.size()});
+  return tokens;
+}
+
+}  // namespace xcq::xpath

@@ -1,0 +1,42 @@
+#ifndef XCQ_XPATH_LEXER_H_
+#define XCQ_XPATH_LEXER_H_
+
+/// \file lexer.h
+/// Tokenizer for the Core XPath surface syntax.
+
+#include <string_view>
+#include <vector>
+
+#include "xcq/util/result.h"
+
+namespace xcq::xpath {
+
+enum class TokenKind {
+  kSlash,        ///< /
+  kDoubleSlash,  ///< //
+  kAxisSep,      ///< ::
+  kLBracket,     ///< [
+  kRBracket,     ///< ]
+  kLParen,       ///< (
+  kRParen,       ///< )
+  kStar,         ///< *
+  kName,         ///< element name or keyword (and / or / not)
+  kString,       ///< "..." or '...' (text excludes the quotes)
+  kEnd,          ///< end of input
+};
+
+const char* TokenKindName(TokenKind kind);
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string_view text;  ///< Aliases the query string.
+  size_t offset = 0;      ///< Byte offset in the query string.
+};
+
+/// \brief Tokenizes `query`. The returned tokens alias `query` and end
+/// with a kEnd sentinel.
+Result<std::vector<Token>> Tokenize(std::string_view query);
+
+}  // namespace xcq::xpath
+
+#endif  // XCQ_XPATH_LEXER_H_

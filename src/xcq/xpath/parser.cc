@@ -1,0 +1,207 @@
+#include "xcq/xpath/parser.h"
+
+#include <utility>
+
+#include "xcq/util/string_util.h"
+#include "xcq/xpath/lexer.h"
+
+namespace xcq::xpath {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Query> Run() {
+    Query query;
+    XCQ_ASSIGN_OR_RETURN(query.path, ParsePath());
+    if (Peek().kind != TokenKind::kEnd) {
+      return Error(StrFormat("unexpected %s after the end of the query",
+                             TokenKindName(Peek().kind)));
+    }
+    return query;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    const size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+
+  const Token& Take() { return tokens_[pos_++]; }
+
+  bool Accept(TokenKind kind) {
+    if (Peek().kind != kind) return false;
+    ++pos_;
+    return true;
+  }
+
+  Status Expect(TokenKind kind) {
+    if (Peek().kind != kind) {
+      return Error(StrFormat("expected %s, found %s", TokenKindName(kind),
+                             TokenKindName(Peek().kind)));
+    }
+    ++pos_;
+    return Status::OK();
+  }
+
+  Status Error(std::string message) const {
+    return Status::ParseError(StrFormat("offset %zu: %s", Peek().offset,
+                                        message.c_str()));
+  }
+
+  /// True if the upcoming tokens start a location step.
+  bool AtStepStart() const {
+    return Peek().kind == TokenKind::kName ||
+           Peek().kind == TokenKind::kStar;
+  }
+
+  Result<LocationPath> ParsePath() {
+    LocationPath path;
+    bool pending_dos = false;  // a '//' awaiting its following step
+    if (Accept(TokenKind::kSlash)) {
+      path.absolute = true;
+    } else if (Accept(TokenKind::kDoubleSlash)) {
+      path.absolute = true;
+      pending_dos = true;
+    }
+    if (!AtStepStart()) {
+      if (path.absolute && !pending_dos) {
+        return Error("'/' alone is not a query; add at least one step");
+      }
+      return Error("expected a location step");
+    }
+    while (true) {
+      XCQ_RETURN_IF_ERROR(ParseStepInto(&path, pending_dos));
+      pending_dos = false;
+      if (Accept(TokenKind::kSlash)) {
+        // continue
+      } else if (Accept(TokenKind::kDoubleSlash)) {
+        pending_dos = true;
+      } else {
+        break;
+      }
+      if (!AtStepStart()) {
+        return Error("expected a location step after '/'");
+      }
+    }
+    return path;
+  }
+
+  /// Parses one step; if `after_double_slash`, fuses the implicit
+  /// descendant-or-self::* with the step when possible.
+  Status ParseStepInto(LocationPath* path, bool after_double_slash) {
+    Step step;
+    if (Peek().kind == TokenKind::kName &&
+        Peek(1).kind == TokenKind::kAxisSep) {
+      XCQ_ASSIGN_OR_RETURN(step.axis, AxisFromName(Take().text));
+      XCQ_RETURN_IF_ERROR(Expect(TokenKind::kAxisSep));
+    }
+    if (Accept(TokenKind::kStar)) {
+      step.node_test = "*";
+    } else if (Peek().kind == TokenKind::kName) {
+      step.node_test = std::string(Take().text);
+    } else {
+      return Error("expected a node test (name or '*')");
+    }
+    while (Accept(TokenKind::kLBracket)) {
+      XCQ_ASSIGN_OR_RETURN(std::unique_ptr<Condition> cond, ParseOr());
+      XCQ_RETURN_IF_ERROR(Expect(TokenKind::kRBracket));
+      step.predicates.push_back(std::move(cond));
+    }
+    if (after_double_slash) {
+      // `//child::t` == descendant::t, `//self::t` == descendant-or-self::t;
+      // other axes keep the explicit descendant-or-self::* step.
+      if (step.axis == Axis::kChild) {
+        step.axis = Axis::kDescendant;
+      } else if (step.axis == Axis::kSelf) {
+        step.axis = Axis::kDescendantOrSelf;
+      } else {
+        Step dos;
+        dos.axis = Axis::kDescendantOrSelf;
+        dos.node_test = "*";
+        path->steps.push_back(std::move(dos));
+      }
+    }
+    path->steps.push_back(std::move(step));
+    return Status::OK();
+  }
+
+  Result<std::unique_ptr<Condition>> ParseOr() {
+    XCQ_ASSIGN_OR_RETURN(std::unique_ptr<Condition> lhs, ParseAnd());
+    while (Peek().kind == TokenKind::kName && Peek().text == "or" &&
+           Peek(1).kind != TokenKind::kAxisSep) {
+      Take();
+      XCQ_ASSIGN_OR_RETURN(std::unique_ptr<Condition> rhs, ParseAnd());
+      auto node = std::make_unique<Condition>();
+      node->kind = Condition::Kind::kOr;
+      node->lhs = std::move(lhs);
+      node->rhs = std::move(rhs);
+      lhs = std::move(node);
+    }
+    return lhs;
+  }
+
+  Result<std::unique_ptr<Condition>> ParseAnd() {
+    XCQ_ASSIGN_OR_RETURN(std::unique_ptr<Condition> lhs, ParseUnary());
+    while (Peek().kind == TokenKind::kName && Peek().text == "and" &&
+           Peek(1).kind != TokenKind::kAxisSep) {
+      Take();
+      XCQ_ASSIGN_OR_RETURN(std::unique_ptr<Condition> rhs, ParseUnary());
+      auto node = std::make_unique<Condition>();
+      node->kind = Condition::Kind::kAnd;
+      node->lhs = std::move(lhs);
+      node->rhs = std::move(rhs);
+      lhs = std::move(node);
+    }
+    return lhs;
+  }
+
+  Result<std::unique_ptr<Condition>> ParseUnary() {
+    if (Peek().kind == TokenKind::kName && Peek().text == "not" &&
+        Peek(1).kind == TokenKind::kLParen) {
+      Take();
+      Take();
+      XCQ_ASSIGN_OR_RETURN(std::unique_ptr<Condition> inner, ParseOr());
+      XCQ_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+      auto node = std::make_unique<Condition>();
+      node->kind = Condition::Kind::kNot;
+      node->lhs = std::move(inner);
+      return node;
+    }
+    if (Accept(TokenKind::kLParen)) {
+      XCQ_ASSIGN_OR_RETURN(std::unique_ptr<Condition> inner, ParseOr());
+      XCQ_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+      return inner;
+    }
+    if (Peek().kind == TokenKind::kString) {
+      auto node = std::make_unique<Condition>();
+      node->kind = Condition::Kind::kString;
+      node->string_pattern = std::string(Take().text);
+      return node;
+    }
+    if (AtStepStart() || Peek().kind == TokenKind::kSlash ||
+        Peek().kind == TokenKind::kDoubleSlash) {
+      auto node = std::make_unique<Condition>();
+      node->kind = Condition::Kind::kPath;
+      XCQ_ASSIGN_OR_RETURN(node->path, ParsePath());
+      return node;
+    }
+    return Error(StrFormat("expected a condition, found %s",
+                           TokenKindName(Peek().kind)));
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Query> ParseQuery(std::string_view text) {
+  XCQ_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  Parser parser(std::move(tokens));
+  return parser.Run();
+}
+
+}  // namespace xcq::xpath

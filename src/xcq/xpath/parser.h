@@ -1,0 +1,39 @@
+#ifndef XCQ_XPATH_PARSER_H_
+#define XCQ_XPATH_PARSER_H_
+
+/// \file parser.h
+/// Recursive-descent parser for Core XPath.
+///
+/// Accepted grammar (abbreviations desugared during parsing):
+///
+///   query     := path
+///   path      := ('/' | '//')? step (('/' | '//') step)*
+///   step      := (axis '::')? nodetest predicate*
+///   axis      := self | child | parent | descendant | descendant-or-self
+///              | ancestor | ancestor-or-self | following-sibling
+///              | preceding-sibling | following | preceding
+///   nodetest  := NAME | '*'
+///   predicate := '[' or-expr ']'
+///   or-expr   := and-expr ('or' and-expr)*
+///   and-expr  := unary ('and' unary)*
+///   unary     := 'not' '(' or-expr ')' | '(' or-expr ')' | STRING | path
+///
+/// `//` desugars to an explicit `descendant-or-self::*` step; when it is
+/// directly followed by a child (resp. self) step, the pair is fused into
+/// a single descendant (resp. descendant-or-self) step, which is the form
+/// the paper's algebra examples use (Ex. 3.5: `//a/b` becomes
+/// child(descendant({root}) ∩ L_a) ∩ L_b).
+
+#include <string_view>
+
+#include "xcq/util/result.h"
+#include "xcq/xpath/ast.h"
+
+namespace xcq::xpath {
+
+/// \brief Parses `text` into a Core XPath query.
+Result<Query> ParseQuery(std::string_view text);
+
+}  // namespace xcq::xpath
+
+#endif  // XCQ_XPATH_PARSER_H_

@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "xcq/algebra/compiler.h"
+
+namespace xcq::algebra {
+namespace {
+
+using xpath::Axis;
+
+/// Counts ops of a given kind.
+size_t CountKind(const QueryPlan& plan, OpKind kind) {
+  size_t n = 0;
+  for (const Op& op : plan.ops) {
+    if (op.kind == kind) ++n;
+  }
+  return n;
+}
+
+/// Counts axis ops with a given axis.
+size_t CountAxis(const QueryPlan& plan, Axis axis) {
+  size_t n = 0;
+  for (const Op& op : plan.ops) {
+    if (op.kind == OpKind::kAxis && op.axis == axis) ++n;
+  }
+  return n;
+}
+
+TEST(CompilerTest, SimpleAbsolutePath) {
+  XCQ_ASSERT_OK_AND_ASSIGN(const QueryPlan plan, CompileString("/a/b"));
+  // Root, child, Rel(a), ∩, child, Rel(b), ∩
+  EXPECT_EQ(plan.ops.size(), 7u);
+  EXPECT_EQ(plan.ops[0].kind, OpKind::kRoot);
+  EXPECT_EQ(plan.ops.back().kind, OpKind::kIntersect);
+  EXPECT_EQ(CountAxis(plan, Axis::kChild), 2u);
+}
+
+TEST(CompilerTest, RelativePathStartsAtContext) {
+  XCQ_ASSERT_OK_AND_ASSIGN(const QueryPlan plan, CompileString("a"));
+  EXPECT_EQ(plan.ops[0].kind, OpKind::kContext);
+}
+
+TEST(CompilerTest, Example35FromThePaper) {
+  // //a/b  ==>  child(descendant({root}) ∩ L_a) ∩ L_b   (Ex. 3.5)
+  XCQ_ASSERT_OK_AND_ASSIGN(const QueryPlan plan, CompileString("//a/b"));
+  ASSERT_EQ(plan.ops.size(), 7u);
+  EXPECT_EQ(plan.ops[0].kind, OpKind::kRoot);
+  EXPECT_EQ(plan.ops[1].kind, OpKind::kAxis);
+  EXPECT_EQ(plan.ops[1].axis, Axis::kDescendant);
+  EXPECT_EQ(plan.ops[2].kind, OpKind::kRelation);
+  EXPECT_EQ(plan.ops[2].relation, "a");
+  EXPECT_EQ(plan.ops[3].kind, OpKind::kIntersect);
+  EXPECT_EQ(plan.ops[4].kind, OpKind::kAxis);
+  EXPECT_EQ(plan.ops[4].axis, Axis::kChild);
+  EXPECT_EQ(plan.ops[5].kind, OpKind::kRelation);
+  EXPECT_EQ(plan.ops[5].relation, "b");
+  EXPECT_EQ(plan.ops[6].kind, OpKind::kIntersect);
+}
+
+TEST(CompilerTest, Figure3QueryShape) {
+  // /descendant::a/child::b[child::c/child::d or not(following::*)]
+  XCQ_ASSERT_OK_AND_ASSIGN(
+      const QueryPlan plan,
+      CompileString(
+          "/descendant::a/child::b[child::c/child::d or "
+          "not(following::*)]"));
+  // Predicate reversal: child::c/child::d contributes two parent ops;
+  // not(following::*) contributes a preceding op and a difference with V.
+  EXPECT_EQ(CountAxis(plan, Axis::kParent), 2u);
+  EXPECT_EQ(CountAxis(plan, Axis::kPreceding), 1u);
+  EXPECT_EQ(CountKind(plan, OpKind::kDifference), 1u);
+  EXPECT_EQ(CountKind(plan, OpKind::kUnion), 1u);
+  EXPECT_GE(CountKind(plan, OpKind::kAllNodes), 1u);
+  EXPECT_EQ(CountAxis(plan, Axis::kDescendant), 1u);
+  EXPECT_EQ(CountAxis(plan, Axis::kChild), 1u);
+}
+
+TEST(CompilerTest, PredicateAxesAreInverted) {
+  XCQ_ASSERT_OK_AND_ASSIGN(
+      const QueryPlan plan,
+      CompileString("//x[descendant::y and "
+                    "following-sibling::z and ancestor::w]"));
+  EXPECT_EQ(CountAxis(plan, Axis::kAncestor), 1u);          // of descendant
+  EXPECT_EQ(CountAxis(plan, Axis::kPrecedingSibling), 1u);  // of f-sibling
+  EXPECT_EQ(CountAxis(plan, Axis::kDescendant), 2u);        // main + of anc.
+}
+
+TEST(CompilerTest, AbsolutePredicateUsesRootFilter) {
+  XCQ_ASSERT_OK_AND_ASSIGN(const QueryPlan plan,
+                           CompileString("//a[/b/c]"));
+  EXPECT_EQ(CountKind(plan, OpKind::kRootFilter), 1u);
+}
+
+TEST(CompilerTest, StringConditionsBecomeStrRelations) {
+  XCQ_ASSERT_OK_AND_ASSIGN(const QueryPlan plan,
+                           CompileString("//Title[\"LETHAL\"]"));
+  bool found = false;
+  for (const Op& op : plan.ops) {
+    if (op.kind == OpKind::kRelation && op.relation == "str:LETHAL") {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(CompilerTest, CommonSubexpressionsShared) {
+  // L_a is referenced twice but compiled once.
+  XCQ_ASSERT_OK_AND_ASSIGN(const QueryPlan plan,
+                           CompileString("//a[a and a]"));
+  EXPECT_EQ(CountKind(plan, OpKind::kRelation), 1u);
+  // parent(L_a) likewise shared; the predicate intersects it with itself
+  // which CSE collapses too.
+  EXPECT_EQ(CountAxis(plan, Axis::kParent), 1u);
+}
+
+TEST(CompilerTest, UpwardOnlyTreePatternQuery) {
+  // Q1-style queries compile to plans whose only axes are inverses of
+  // child — i.e. parent — so they never split (Cor. 3.7).
+  XCQ_ASSERT_OK_AND_ASSIGN(
+      const QueryPlan plan,
+      CompileString("/self::*[ROOT/Record/comment/topic]"));
+  EXPECT_EQ(plan.SplittingAxisCount(), 0u);
+  EXPECT_EQ(CountAxis(plan, Axis::kParent), 4u);
+}
+
+TEST(CompilerTest, ForwardQueriesSplit) {
+  XCQ_ASSERT_OK_AND_ASSIGN(const QueryPlan plan,
+                           CompileString("/ROOT/Record/comment/topic"));
+  EXPECT_EQ(plan.SplittingAxisCount(), 4u);
+}
+
+TEST(CompilerTest, StarStepsSkipNodeTestIntersection) {
+  XCQ_ASSERT_OK_AND_ASSIGN(const QueryPlan plan, CompileString("*"));
+  // Context + child axis, nothing else.
+  ASSERT_EQ(plan.ops.size(), 2u);
+  EXPECT_EQ(plan.ops[1].kind, OpKind::kAxis);
+  EXPECT_EQ(plan.ops[1].axis, Axis::kChild);
+}
+
+TEST(CompilerTest, PlanToStringListsOps) {
+  XCQ_ASSERT_OK_AND_ASSIGN(const QueryPlan plan, CompileString("//a"));
+  const std::string text = plan.ToString();
+  EXPECT_NE(text.find("Root"), std::string::npos);
+  EXPECT_NE(text.find("descendant"), std::string::npos);
+  EXPECT_NE(text.find("Relation(a)"), std::string::npos);
+}
+
+TEST(CompilerTest, AllAppendixAQueriesCompile) {
+  for (const corpus::QuerySet& set : corpus::AppendixAQueries()) {
+    for (const std::string_view query : set.queries) {
+      const auto plan = CompileString(query);
+      EXPECT_TRUE(plan.ok())
+          << set.corpus << ": " << query << " -> " << plan.status();
+    }
+  }
+}
+
+TEST(CompilerTest, Q1QueriesAreUpwardOnly) {
+  // The paper: "In their algebraic representations, these queries use
+  // 'parent' as the only axis, thus no decompression is required."
+  for (const corpus::QuerySet& set : corpus::AppendixAQueries()) {
+    XCQ_ASSERT_OK_AND_ASSIGN(const QueryPlan plan,
+                             CompileString(set.queries[0]));
+    EXPECT_EQ(plan.SplittingAxisCount(), 0u)
+        << set.corpus << " Q1: " << set.queries[0];
+  }
+}
+
+}  // namespace
+}  // namespace xcq::algebra

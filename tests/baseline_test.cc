@@ -1,0 +1,160 @@
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "xcq/api.h"
+
+namespace xcq {
+namespace {
+
+/// Runs a query through parse -> compile -> tree baseline and returns the
+/// selected preorder node ids.
+std::set<size_t> Select(const std::string& xml, const std::string& query) {
+  auto parsed = xpath::ParseQuery(query);
+  EXPECT_TRUE(parsed.ok()) << parsed.status();
+  if (!parsed.ok()) return {};
+  auto plan = algebra::Compile(*parsed);
+  EXPECT_TRUE(plan.ok()) << plan.status();
+  if (!plan.ok()) return {};
+  const xpath::QueryRequirements reqs = CollectRequirements(*parsed);
+  auto labeled = TreeBuilder::Build(xml, reqs.patterns);
+  EXPECT_TRUE(labeled.ok()) << labeled.status();
+  if (!labeled.ok()) return {};
+  auto result = baseline::Evaluate(*labeled, *plan);
+  EXPECT_TRUE(result.ok()) << result.status();
+  if (!result.ok()) return {};
+  std::set<size_t> out;
+  result->ForEach([&](size_t i) { out.insert(i); });
+  return out;
+}
+
+// Fixture document (preorder ids):
+//   0 #doc
+//   1 a
+//   2   b        <- b1
+//   3     c      <- c1
+//   4     c      <- c2
+//   5   b        <- b2 (empty)
+//   6   d
+const char* kDoc = "<a><b><c/><c/></b><b/><d/></a>";
+
+TEST(BaselineTest, ChildAxis) {
+  EXPECT_EQ(Select(kDoc, "/a"), (std::set<size_t>{1}));
+  EXPECT_EQ(Select(kDoc, "/a/b"), (std::set<size_t>{2, 5}));
+  EXPECT_EQ(Select(kDoc, "/a/b/c"), (std::set<size_t>{3, 4}));
+  EXPECT_EQ(Select(kDoc, "/a/zzz"), (std::set<size_t>{}));
+}
+
+TEST(BaselineTest, StarMatchesAnyNode) {
+  EXPECT_EQ(Select(kDoc, "/a/*"), (std::set<size_t>{2, 5, 6}));
+  EXPECT_EQ(Select(kDoc, "/*"), (std::set<size_t>{1}));
+}
+
+TEST(BaselineTest, DescendantAxis) {
+  EXPECT_EQ(Select(kDoc, "//c"), (std::set<size_t>{3, 4}));
+  EXPECT_EQ(Select(kDoc, "//b"), (std::set<size_t>{2, 5}));
+  EXPECT_EQ(Select(kDoc, "/descendant::*"),
+            (std::set<size_t>{1, 2, 3, 4, 5, 6}));
+}
+
+TEST(BaselineTest, DescendantOrSelfAxis) {
+  EXPECT_EQ(Select(kDoc, "/descendant-or-self::*"),
+            (std::set<size_t>{0, 1, 2, 3, 4, 5, 6}));
+}
+
+TEST(BaselineTest, ParentAxis) {
+  EXPECT_EQ(Select(kDoc, "//c/parent::*"), (std::set<size_t>{2}));
+  EXPECT_EQ(Select(kDoc, "//b/parent::a"), (std::set<size_t>{1}));
+  EXPECT_EQ(Select(kDoc, "/a/parent::*"), (std::set<size_t>{0}));
+}
+
+TEST(BaselineTest, AncestorAxes) {
+  EXPECT_EQ(Select(kDoc, "//c/ancestor::*"), (std::set<size_t>{0, 1, 2}));
+  EXPECT_EQ(Select(kDoc, "//c/ancestor-or-self::*"),
+            (std::set<size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(BaselineTest, SiblingAxes) {
+  EXPECT_EQ(Select(kDoc, "/a/b/following-sibling::*"),
+            (std::set<size_t>{5, 6}));
+  EXPECT_EQ(Select(kDoc, "/a/d/preceding-sibling::*"),
+            (std::set<size_t>{2, 5}));
+  EXPECT_EQ(Select(kDoc, "/a/d/following-sibling::*"),
+            (std::set<size_t>{}));
+  EXPECT_EQ(Select(kDoc, "//c/preceding-sibling::*"),
+            (std::set<size_t>{3}));
+}
+
+TEST(BaselineTest, FollowingAndPreceding) {
+  EXPECT_EQ(Select(kDoc, "//c/following::*"), (std::set<size_t>{4, 5, 6}));
+  EXPECT_EQ(Select(kDoc, "/a/d/preceding::*"),
+            (std::set<size_t>{2, 3, 4, 5}));
+  // following excludes descendants and ancestors.
+  EXPECT_EQ(Select(kDoc, "/a/b/following::*"), (std::set<size_t>{5, 6}));
+}
+
+TEST(BaselineTest, Predicates) {
+  EXPECT_EQ(Select(kDoc, "/a/b[c]"), (std::set<size_t>{2}));
+  EXPECT_EQ(Select(kDoc, "/a/b[not(c)]"), (std::set<size_t>{5}));
+  EXPECT_EQ(Select(kDoc, "/a/*[not(following-sibling::*)]"),
+            (std::set<size_t>{6}));
+  EXPECT_EQ(Select(kDoc, "/a/*[c or following-sibling::d]"),
+            (std::set<size_t>{2, 5}));
+  EXPECT_EQ(Select(kDoc, "/a/*[c and following-sibling::d]"),
+            (std::set<size_t>{2}));
+}
+
+TEST(BaselineTest, NestedPredicates) {
+  EXPECT_EQ(Select(kDoc, "/a[b[c]]"), (std::set<size_t>{1}));
+  EXPECT_EQ(Select(kDoc, "/a[b[not(c) and not(following-sibling::d)]]"),
+            (std::set<size_t>{}));
+}
+
+TEST(BaselineTest, AbsolutePredicatePaths) {
+  EXPECT_EQ(Select(kDoc, "//c[/a/d]"), (std::set<size_t>{3, 4}));
+  EXPECT_EQ(Select(kDoc, "//c[/a/zzz]"), (std::set<size_t>{}));
+  EXPECT_EQ(Select(kDoc, "/self::*[a/b/c]"), (std::set<size_t>{0}));
+}
+
+TEST(BaselineTest, StringConstraints) {
+  const char* doc =
+      "<lib><book><t>War and Peace</t></book>"
+      "<book><t>Peaceful Days</t></book>"
+      "<book><t>Other</t></book></lib>";
+  // ids: 0 #doc 1 lib 2 book1 3 t1 4 book2 5 t2 6 book3 7 t3
+  EXPECT_EQ(Select(doc, "//book[t[\"Peace\"]]"),
+            (std::set<size_t>{2, 4}));
+  EXPECT_EQ(Select(doc, "//book[\"War\"]"), (std::set<size_t>{2}));
+  EXPECT_EQ(Select(doc, "//t[\"Days\" and \"Peace\"]"),
+            (std::set<size_t>{5}));
+}
+
+TEST(BaselineTest, ContextOverride) {
+  XCQ_ASSERT_OK_AND_ASSIGN(LabeledTree labeled, TreeBuilder::Build(kDoc));
+  XCQ_ASSERT_OK_AND_ASSIGN(const algebra::QueryPlan plan,
+                           algebra::CompileString("c"));
+  // Context = b1 only: its c children are selected, b2 contributes none.
+  DynamicBitset context(labeled.tree.node_count());
+  context.Set(2);
+  baseline::TreeEvalOptions options;
+  options.context = &context;
+  XCQ_ASSERT_OK_AND_ASSIGN(const DynamicBitset result,
+                           baseline::Evaluate(labeled, plan, options));
+  EXPECT_EQ(result.Count(), 2u);
+  EXPECT_TRUE(result.Test(3));
+  EXPECT_TRUE(result.Test(4));
+}
+
+TEST(BaselineTest, ContextSizeMismatchRejected) {
+  XCQ_ASSERT_OK_AND_ASSIGN(LabeledTree labeled, TreeBuilder::Build(kDoc));
+  XCQ_ASSERT_OK_AND_ASSIGN(const algebra::QueryPlan plan,
+                           algebra::CompileString("c"));
+  DynamicBitset wrong(3);
+  baseline::TreeEvalOptions options;
+  options.context = &wrong;
+  EXPECT_FALSE(baseline::Evaluate(labeled, plan, options).ok());
+}
+
+}  // namespace
+}  // namespace xcq

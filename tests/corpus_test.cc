@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "xcq/api.h"
+
+namespace xcq::corpus {
+namespace {
+
+TEST(RegistryTest, AllEightCorporaPresent) {
+  const auto& all = AllCorpora();
+  ASSERT_EQ(all.size(), 8u);
+  EXPECT_EQ(all[0]->name(), "SwissProt");
+  EXPECT_EQ(all[7]->name(), "TPC-D");
+  for (const CorpusGenerator* corpus : all) {
+    EXPECT_GT(corpus->paper_figures().tree_nodes, 0u);
+    EXPECT_GT(corpus->default_target_nodes(), 0u);
+  }
+}
+
+TEST(RegistryTest, FindCorpus) {
+  XCQ_ASSERT_OK_AND_ASSIGN(const CorpusGenerator* corpus,
+                           FindCorpus("DBLP"));
+  EXPECT_EQ(corpus->name(), "DBLP");
+  EXPECT_EQ(FindCorpus("NoSuch").status().code(), StatusCode::kNotFound);
+}
+
+TEST(QueriesTest, SevenQuerySets) {
+  EXPECT_EQ(AppendixAQueries().size(), 7u);
+  XCQ_ASSERT_OK_AND_ASSIGN(const QuerySet set, QueriesFor("Baseball"));
+  EXPECT_EQ(set.queries.size(), 5u);
+  EXPECT_EQ(QueriesFor("TPC-D").status().code(), StatusCode::kNotFound);
+}
+
+class CorpusTest : public ::testing::TestWithParam<const CorpusGenerator*> {
+ protected:
+  static GenerateOptions SmallOptions() {
+    GenerateOptions options;
+    options.target_nodes = 20000;
+    options.seed = 7;
+    return options;
+  }
+};
+
+TEST_P(CorpusTest, GeneratesWellFormedXml) {
+  const std::string xml = GetParam()->Generate(SmallOptions());
+  EXPECT_FALSE(xml.empty());
+  XCQ_ASSERT_OK_AND_ASSIGN(LabeledTree labeled, TreeBuilder::Build(xml));
+  XCQ_ASSERT_OK(labeled.tree.Validate());
+  // Node budget respected within a generous factor.
+  EXPECT_GT(labeled.tree.node_count(), 10000u);
+  EXPECT_LT(labeled.tree.node_count(), 80000u);
+}
+
+TEST_P(CorpusTest, DeterministicForSameSeed) {
+  const std::string a = GetParam()->Generate(SmallOptions());
+  const std::string b = GetParam()->Generate(SmallOptions());
+  EXPECT_EQ(a, b);
+  GenerateOptions other = SmallOptions();
+  other.seed = 8;
+  EXPECT_NE(a, GetParam()->Generate(other));
+}
+
+TEST_P(CorpusTest, CompressesWell) {
+  const std::string xml = GetParam()->Generate(SmallOptions());
+  CompressOptions options;
+  options.mode = LabelMode::kAllTags;
+  XCQ_ASSERT_OK_AND_ASSIGN(Instance inst, CompressXml(xml, options));
+  const CompressionStats stats = ComputeCompressionStats(inst);
+  // Every corpus compresses below the uncompressed edge count. At this
+  // small test scale (20k nodes) sharing is weaker than at bench scale:
+  // the irregular TreeBank is allowed up to 70%, the paragraph-heavy
+  // OMIM up to 40%, everything else must stay below 30%.
+  const double limit = GetParam()->name() == "TreeBank"  ? 0.70
+                       : GetParam()->name() == "OMIM"    ? 0.40
+                                                         : 0.30;
+  EXPECT_LT(stats.edge_ratio, limit) << GetParam()->name();
+  XCQ_ASSERT_OK_AND_ASSIGN(const bool minimal, IsMinimal(inst));
+  EXPECT_TRUE(minimal);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, CorpusTest, ::testing::ValuesIn(AllCorpora()),
+    [](const ::testing::TestParamInfo<const CorpusGenerator*>& info) {
+      std::string name(info.param->name());
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+// Every Appendix-A query must select at least one node on its corpus
+// (the paper: "All queries were designed to select at least one node"),
+// and the DAG engine must agree with the tree baseline.
+struct CorpusQueryCase {
+  std::string corpus;
+  int query_index;
+  std::string query;
+};
+
+class CorpusQueryTest : public ::testing::TestWithParam<CorpusQueryCase> {};
+
+TEST_P(CorpusQueryTest, SelectsNodesAndMatchesBaseline) {
+  XCQ_ASSERT_OK_AND_ASSIGN(const CorpusGenerator* corpus,
+                           FindCorpus(GetParam().corpus));
+  GenerateOptions options;
+  options.target_nodes = 30000;
+  options.seed = 11;
+  const std::string xml = corpus->Generate(options);
+  const testing::DifferentialResult r =
+      testing::RunDifferential(xml, GetParam().query);
+  EXPECT_GE(r.selected_tree_nodes, 1u)
+      << GetParam().corpus << " Q" << GetParam().query_index + 1
+      << " selected nothing: " << GetParam().query;
+}
+
+std::vector<CorpusQueryCase> AllCorpusQueries() {
+  std::vector<CorpusQueryCase> cases;
+  for (const QuerySet& set : AppendixAQueries()) {
+    for (int i = 0; i < 5; ++i) {
+      cases.push_back(CorpusQueryCase{std::string(set.corpus), i,
+                                      std::string(set.queries[i])});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AppendixA, CorpusQueryTest, ::testing::ValuesIn(AllCorpusQueries()),
+    [](const ::testing::TestParamInfo<CorpusQueryCase>& info) {
+      return info.param.corpus + "_Q" +
+             std::to_string(info.param.query_index + 1);
+    });
+
+// Q1 queries must evaluate without any decompression (Cor. 3.7).
+TEST(CorpusQueryTest, Q1NeverDecompresses) {
+  for (const QuerySet& set : AppendixAQueries()) {
+    XCQ_ASSERT_OK_AND_ASSIGN(const CorpusGenerator* corpus,
+                             FindCorpus(set.corpus));
+    GenerateOptions options;
+    options.target_nodes = 15000;
+    options.seed = 3;
+    const std::string xml = corpus->Generate(options);
+    const testing::DifferentialResult r =
+        testing::RunDifferential(xml, std::string(set.queries[0]));
+    EXPECT_EQ(r.dag_stats.splits, 0u) << set.corpus;
+    EXPECT_EQ(r.dag_stats.vertices_before, r.dag_stats.vertices_after)
+        << set.corpus;
+  }
+}
+
+}  // namespace
+}  // namespace xcq::corpus

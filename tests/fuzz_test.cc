@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "xcq/api.h"
+
+namespace xcq {
+namespace {
+
+/// Grammar-based differential fuzzing: random Core XPath queries over
+/// random documents, DAG engine vs tree baseline, exact node sets. This
+/// is the suite's widest net — each case exercises parser, compiler,
+/// compressor, all axis operators (with splitting), decompression, and
+/// the baseline together.
+class QueryFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(QueryFuzzTest, RandomQueriesAgreeWithBaseline) {
+  Rng rng(GetParam() * 7919 + 13);
+  const std::string xml =
+      testing::RandomXml(GetParam() * 31 + 5, 180, 3);
+  for (int i = 0; i < 12; ++i) {
+    const std::string query = testing::RandomQueryText(rng, 3);
+    SCOPED_TRACE("query: " + query);
+    testing::RunDifferential(xml, query);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QueryFuzzTest,
+                         ::testing::Range<uint64_t>(0, 25));
+
+/// Structured-random documents with heavy sharing (wide repetition) make
+/// multiplicity handling and splitting work hardest.
+class RepetitiveDocFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RepetitiveDocFuzzTest, RandomQueriesOnRegularDocs) {
+  Rng rng(GetParam() * 104729 + 7);
+  // Rows of identical shape with occasional variation — high sharing,
+  // large multiplicities.
+  std::string xml = "<t0>";
+  const uint64_t rows = 60;
+  for (uint64_t r = 0; r < rows; ++r) {
+    xml += "<t1>";
+    const uint64_t repeat = rng.Uniform(1, 6);
+    for (uint64_t k = 0; k < repeat; ++k) {
+      xml += rng.Chance(0.85) ? "<t2>growth</t2>" : "<t2>market</t2>";
+    }
+    if (rng.Chance(0.3)) xml += "<t0/>";
+    xml += "</t1>";
+  }
+  xml += "</t0>";
+  for (int i = 0; i < 10; ++i) {
+    const std::string query = testing::RandomQueryText(rng, 3);
+    SCOPED_TRACE("query: " + query);
+    testing::RunDifferential(xml, query);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RepetitiveDocFuzzTest,
+                         ::testing::Range<uint64_t>(0, 15));
+
+/// Serialization fuzz: random instances (from random docs, after random
+/// queries) must round-trip bit-exactly through the binary format.
+class IoFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(IoFuzzTest, EvaluatedInstancesRoundTrip) {
+  Rng rng(GetParam() + 1000);
+  const std::string xml = testing::RandomXml(GetParam() + 99, 150, 3);
+  CompressOptions options;
+  options.mode = LabelMode::kAllTags;
+  XCQ_ASSERT_OK_AND_ASSIGN(Instance inst, CompressXml(xml, options));
+  const std::string query = testing::RandomQueryText(rng, 3);
+  auto plan = algebra::CompileString(query);
+  ASSERT_TRUE(plan.ok()) << query;
+  engine::EvalOptions eopts;
+  eopts.remove_temporaries = rng.Chance(0.5);
+  auto result = engine::Evaluate(&inst, *plan, eopts, nullptr);
+  ASSERT_TRUE(result.ok()) << query;
+
+  const std::string bytes = SerializeInstance(inst);
+  XCQ_ASSERT_OK_AND_ASSIGN(Instance reloaded,
+                           DeserializeInstance(bytes));
+  XCQ_ASSERT_OK_AND_ASSIGN(const bool equivalent,
+                           AreEquivalent(inst, reloaded));
+  EXPECT_TRUE(equivalent) << query;
+  EXPECT_EQ(SerializeInstance(reloaded), bytes);  // canonical bytes
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IoFuzzTest,
+                         ::testing::Range<uint64_t>(0, 10));
+
+/// The parser must never crash or hang on mutated query strings; it may
+/// accept or reject, but must return cleanly.
+class QueryMutationTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(QueryMutationTest, MutatedQueriesFailCleanly) {
+  Rng rng(GetParam() * 37 + 3);
+  std::string query = testing::RandomQueryText(rng, 3);
+  for (int i = 0; i < 20; ++i) {
+    std::string mutated = query;
+    const size_t pos = rng.Uniform(0, mutated.size() - 1);
+    switch (rng.Uniform(0, 2)) {
+      case 0:
+        mutated[pos] = static_cast<char>(rng.Uniform(32, 126));
+        break;
+      case 1:
+        mutated.erase(pos, 1);
+        break;
+      default:
+        mutated.insert(pos, 1,
+                       static_cast<char>(rng.Uniform(32, 126)));
+        break;
+    }
+    const auto parsed = xpath::ParseQuery(mutated);
+    if (parsed.ok()) {
+      // Accepted mutants must also compile.
+      EXPECT_TRUE(algebra::Compile(*parsed).ok()) << mutated;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QueryMutationTest,
+                         ::testing::Range<uint64_t>(0, 10));
+
+/// The XML parser must fail cleanly (never crash) on mutated documents.
+class XmlMutationTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(XmlMutationTest, MutatedDocumentsFailCleanly) {
+  Rng rng(GetParam() * 53 + 11);
+  std::string xml = testing::RandomXml(GetParam(), 60, 3);
+  for (int i = 0; i < 20; ++i) {
+    std::string mutated = xml;
+    const size_t pos = rng.Uniform(0, mutated.size() - 1);
+    switch (rng.Uniform(0, 2)) {
+      case 0:
+        mutated[pos] = static_cast<char>(rng.Uniform(1, 255));
+        break;
+      case 1:
+        mutated.erase(pos, rng.Uniform(1, 5));
+        break;
+      default:
+        mutated.insert(pos, "<![&");
+        break;
+    }
+    CompressOptions options;
+    options.mode = LabelMode::kAllTags;
+    const auto result = CompressXml(mutated, options);
+    if (result.ok()) {
+      // Accepted mutants must still produce valid minimal instances.
+      XCQ_EXPECT_OK(result.Value().Validate());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, XmlMutationTest,
+                         ::testing::Range<uint64_t>(0, 10));
+
+}  // namespace
+}  // namespace xcq

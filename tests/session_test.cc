@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "xcq/api.h"
+#include "xcq/session/query_session.h"
+
+namespace xcq {
+namespace {
+
+TEST(QuerySessionTest, SingleQuery) {
+  XCQ_ASSERT_OK_AND_ASSIGN(QuerySession session,
+                           QuerySession::Open(testing::BibExampleXml()));
+  XCQ_ASSERT_OK_AND_ASSIGN(const QueryOutcome outcome,
+                           session.Run("//paper/author"));
+  EXPECT_EQ(outcome.selected_tree_nodes, 2u);
+  EXPECT_TRUE(session.has_instance());
+  XCQ_ASSERT_OK(session.instance().Validate());
+}
+
+TEST(QuerySessionTest, SecondQueryReusesInstanceWithoutReparse) {
+  XCQ_ASSERT_OK_AND_ASSIGN(QuerySession session,
+                           QuerySession::Open(testing::BibExampleXml()));
+  XCQ_ASSERT_OK_AND_ASSIGN(const QueryOutcome first,
+                           session.Run("//paper/author"));
+  (void)first;
+  // Same requirements: the second run must not touch the document.
+  XCQ_ASSERT_OK_AND_ASSIGN(const QueryOutcome second,
+                           session.Run("//author/parent::paper"));
+  EXPECT_EQ(second.selected_tree_nodes, 2u);
+  EXPECT_EQ(session.tracked_tag_count(), 2u);  // paper, author
+}
+
+TEST(QuerySessionTest, MissingLabelsMergedViaCommonExtension) {
+  XCQ_ASSERT_OK_AND_ASSIGN(QuerySession session,
+                           QuerySession::Open(testing::BibExampleXml()));
+  XCQ_ASSERT_OK_AND_ASSIGN(const QueryOutcome first,
+                           session.Run("//paper"));
+  EXPECT_EQ(first.selected_tree_nodes, 2u);
+  EXPECT_EQ(session.tracked_tag_count(), 1u);
+
+  // Needs "author", "title" and a string constraint — all missing.
+  XCQ_ASSERT_OK_AND_ASSIGN(const QueryOutcome second,
+                           session.Run("//paper[author[\"Vardi\"]]/title"));
+  EXPECT_EQ(second.selected_tree_nodes, 1u);
+  EXPECT_EQ(session.tracked_tag_count(), 3u);
+  EXPECT_EQ(session.tracked_pattern_count(), 1u);
+
+  // And the merged instance answers earlier-style queries correctly too.
+  XCQ_ASSERT_OK_AND_ASSIGN(const QueryOutcome third,
+                           session.Run("//paper[title]"));
+  EXPECT_EQ(third.selected_tree_nodes, 2u);
+}
+
+TEST(QuerySessionTest, OutcomesMatchFreshEvaluation) {
+  // Reuse mode must give identical counts to per-query mode across a
+  // sequence of queries with overlapping requirements.
+  const std::string xml = testing::RandomXml(77, 300, 3);
+  const char* queries[] = {
+      "//t0/t1",
+      "//t1[\"market\"]",
+      "//t0[t2 and not(t1)]",
+      "//t2/following-sibling::t1",
+      "/self::*[t0/t1/t2]",
+  };
+
+  SessionOptions reuse;
+  reuse.reuse_instance = true;
+  XCQ_ASSERT_OK_AND_ASSIGN(QuerySession accumulated,
+                           QuerySession::Open(xml, reuse));
+  SessionOptions fresh;
+  fresh.reuse_instance = false;
+  XCQ_ASSERT_OK_AND_ASSIGN(QuerySession per_query,
+                           QuerySession::Open(xml, fresh));
+
+  for (const char* query : queries) {
+    SCOPED_TRACE(query);
+    XCQ_ASSERT_OK_AND_ASSIGN(const QueryOutcome a, accumulated.Run(query));
+    XCQ_ASSERT_OK_AND_ASSIGN(const QueryOutcome b, per_query.Run(query));
+    EXPECT_EQ(a.selected_tree_nodes, b.selected_tree_nodes);
+  }
+}
+
+TEST(QuerySessionTest, MinimizeAfterMergeKeepsAnswers) {
+  SessionOptions options;
+  options.reuse_instance = true;
+  options.minimize_after_merge = true;
+  XCQ_ASSERT_OK_AND_ASSIGN(QuerySession session,
+                           QuerySession::Open(testing::BibExampleXml(),
+                                              options));
+  XCQ_ASSERT_OK_AND_ASSIGN(const QueryOutcome first,
+                           session.Run("//book/author"));
+  EXPECT_EQ(first.selected_tree_nodes, 3u);
+  XCQ_ASSERT_OK_AND_ASSIGN(const QueryOutcome second,
+                           session.Run("//paper[\"Codd\"]"));
+  EXPECT_EQ(second.selected_tree_nodes, 1u);
+  XCQ_ASSERT_OK_AND_ASSIGN(const bool minimal,
+                           IsMinimal(session.instance()));
+  // After a splitting query the instance itself need not be minimal, but
+  // it must still validate and answer correctly.
+  (void)minimal;
+  XCQ_ASSERT_OK(session.instance().Validate());
+}
+
+TEST(QuerySessionTest, BadQuerySurfacesParseError) {
+  XCQ_ASSERT_OK_AND_ASSIGN(QuerySession session,
+                           QuerySession::Open("<a/>"));
+  EXPECT_EQ(session.Run("//[").status().code(), StatusCode::kParseError);
+}
+
+TEST(QuerySessionTest, BadDocumentSurfacesOnFirstRun) {
+  XCQ_ASSERT_OK_AND_ASSIGN(QuerySession session,
+                           QuerySession::Open("<a><b></a>"));
+  EXPECT_EQ(session.Run("//a").status().code(), StatusCode::kParseError);
+}
+
+TEST(QuerySessionTest, SessionOnCorpusEndToEnd) {
+  corpus::GenerateOptions gen;
+  gen.target_nodes = 10000;
+  gen.seed = 5;
+  const std::string xml = corpus::Shakespeare().Generate(gen);
+  XCQ_ASSERT_OK_AND_ASSIGN(QuerySession session, QuerySession::Open(xml));
+  XCQ_ASSERT_OK_AND_ASSIGN(const corpus::QuerySet set,
+                           corpus::QueriesFor("Shakespeare"));
+  for (const std::string_view query : set.queries) {
+    SCOPED_TRACE(std::string(query));
+    XCQ_ASSERT_OK_AND_ASSIGN(const QueryOutcome outcome,
+                             session.Run(query));
+    EXPECT_GE(outcome.selected_tree_nodes, 1u);
+  }
+  XCQ_ASSERT_OK(session.instance().Validate());
+}
+
+}  // namespace
+}  // namespace xcq

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "xcq/tree/tree_builder.h"
+#include "xcq/tree/tree_skeleton.h"
+
+namespace xcq {
+namespace {
+
+TEST(TagTableTest, InternIsIdempotent) {
+  TagTable table;
+  const TagId a = table.Intern("a");
+  const TagId b = table.Intern("b");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(table.Intern("a"), a);
+  EXPECT_EQ(table.Find("b"), b);
+  EXPECT_EQ(table.Find("zzz"), TagTable::kNoTag);
+  EXPECT_EQ(table.Name(a), "a");
+  EXPECT_EQ(table.size(), 2u);
+}
+
+TEST(TreeBuilderTest, BuildsDocOrderSkeleton) {
+  XCQ_ASSERT_OK_AND_ASSIGN(LabeledTree labeled,
+                           TreeBuilder::Build("<a><b/><c><d/></c></a>"));
+  const TreeSkeleton& t = labeled.tree;
+  ASSERT_EQ(t.node_count(), 5u);  // #doc a b c d
+  EXPECT_EQ(t.TagName(0), "#doc");
+  EXPECT_EQ(t.TagName(1), "a");
+  EXPECT_EQ(t.TagName(2), "b");
+  EXPECT_EQ(t.TagName(3), "c");
+  EXPECT_EQ(t.TagName(4), "d");
+  EXPECT_EQ(t.Parent(1), 0u);
+  EXPECT_EQ(t.Parent(2), 1u);
+  EXPECT_EQ(t.Parent(4), 3u);
+  EXPECT_EQ(t.FirstChild(1), 2u);
+  EXPECT_EQ(t.NextSibling(2), 3u);
+  EXPECT_EQ(t.PrevSibling(3), 2u);
+  EXPECT_EQ(t.NextSibling(3), kNoTreeNode);
+  XCQ_ASSERT_OK(t.Validate());
+}
+
+TEST(TreeBuilderTest, SubtreeRanges) {
+  XCQ_ASSERT_OK_AND_ASSIGN(LabeledTree labeled,
+                           TreeBuilder::Build("<a><b><c/></b><d/></a>"));
+  const TreeSkeleton& t = labeled.tree;
+  // ids: 0=#doc 1=a 2=b 3=c 4=d
+  EXPECT_EQ(t.SubtreeEnd(0), 5u);
+  EXPECT_EQ(t.SubtreeEnd(1), 5u);
+  EXPECT_EQ(t.SubtreeEnd(2), 4u);
+  EXPECT_EQ(t.SubtreeEnd(3), 4u);
+  EXPECT_EQ(t.SubtreeEnd(4), 5u);
+  EXPECT_TRUE(t.IsDescendant(3, 1));
+  EXPECT_TRUE(t.IsDescendant(3, 2));
+  EXPECT_FALSE(t.IsDescendant(4, 2));
+  EXPECT_FALSE(t.IsDescendant(1, 3));
+}
+
+TEST(TreeBuilderTest, NodesWithTag) {
+  XCQ_ASSERT_OK_AND_ASSIGN(LabeledTree labeled,
+                           TreeBuilder::Build("<a><b/><b/><c/></a>"));
+  const DynamicBitset bs = labeled.tree.NodesWithTag("b");
+  EXPECT_EQ(bs.Count(), 2u);
+  EXPECT_TRUE(bs.Test(2));
+  EXPECT_TRUE(bs.Test(3));
+  EXPECT_EQ(labeled.tree.NodesWithTag("nope").Count(), 0u);
+}
+
+TEST(TreeBuilderTest, DepthAndChildCount) {
+  XCQ_ASSERT_OK_AND_ASSIGN(LabeledTree labeled,
+                           TreeBuilder::Build("<a><b><c/></b><d/><e/></a>"));
+  EXPECT_EQ(labeled.tree.Depth(), 4u);  // #doc > a > b > c
+  EXPECT_EQ(labeled.tree.ChildCount(1), 3u);
+  EXPECT_EQ(labeled.tree.ChildCount(3), 0u);
+}
+
+// --- String-pattern labeling -------------------------------------------------
+
+TEST(TreeBuilderTest, PatternMatchesDirectText) {
+  XCQ_ASSERT_OK_AND_ASSIGN(
+      LabeledTree labeled,
+      TreeBuilder::Build("<a><b>hello world</b><c>nothing</c></a>",
+                         {"world"}));
+  const DynamicBitset bs = labeled.NodesMatching("world");
+  // #doc, a and b contain "world"; c does not.
+  EXPECT_TRUE(bs.Test(0));
+  EXPECT_TRUE(bs.Test(1));
+  EXPECT_TRUE(bs.Test(2));
+  EXPECT_FALSE(bs.Test(3));
+}
+
+TEST(TreeBuilderTest, PatternPropagatesToAllAncestors) {
+  XCQ_ASSERT_OK_AND_ASSIGN(
+      LabeledTree labeled,
+      TreeBuilder::Build("<a><b><c><d>needle</d></c></b></a>", {"needle"}));
+  const DynamicBitset bs = labeled.NodesMatching("needle");
+  EXPECT_EQ(bs.Count(), 5u);  // every ancestor including #doc
+}
+
+TEST(TreeBuilderTest, PatternSpanningSiblingTexts) {
+  // The XPath string value of <a> is "XY"; of <b> it is "X", of <c> "Y".
+  XCQ_ASSERT_OK_AND_ASSIGN(
+      LabeledTree labeled,
+      TreeBuilder::Build("<a><b>X</b><c>Y</c></a>", {"XY"}));
+  const DynamicBitset bs = labeled.NodesMatching("XY");
+  EXPECT_TRUE(bs.Test(1));   // a
+  EXPECT_FALSE(bs.Test(2));  // b
+  EXPECT_FALSE(bs.Test(3));  // c
+  EXPECT_TRUE(bs.Test(0));   // #doc
+}
+
+TEST(TreeBuilderTest, PatternSpanningMixedContent) {
+  // String value of <a> is "preXYpost" (direct text + child text + tail);
+  // <b>'s string value is just "Yp". "XYp" starts in a's text and ends in
+  // b's, so it belongs to a but not b; "post" starts in b's text and ends
+  // in a's tail, so again a but not b.
+  XCQ_ASSERT_OK_AND_ASSIGN(
+      LabeledTree labeled,
+      TreeBuilder::Build("<a>preX<b>Yp</b>ost</a>", {"XYp", "post"}));
+  EXPECT_TRUE(labeled.NodesMatching("XYp").Test(1));
+  EXPECT_FALSE(labeled.NodesMatching("XYp").Test(2));
+  EXPECT_TRUE(labeled.NodesMatching("post").Test(1));
+  EXPECT_FALSE(labeled.NodesMatching("post").Test(2));
+}
+
+TEST(TreeBuilderTest, MultiplePatternsIndependent) {
+  XCQ_ASSERT_OK_AND_ASSIGN(
+      LabeledTree labeled,
+      TreeBuilder::Build("<r><x>alpha</x><y>beta</y></r>",
+                         {"alpha", "beta", "gamma"}));
+  EXPECT_EQ(labeled.NodesMatching("alpha").Count(), 3u);  // #doc r x
+  EXPECT_EQ(labeled.NodesMatching("beta").Count(), 3u);   // #doc r y
+  EXPECT_EQ(labeled.NodesMatching("gamma").Count(), 0u);
+}
+
+TEST(TreeBuilderTest, TooManyPatternsRejected) {
+  std::vector<std::string> patterns;
+  for (int i = 0; i < 65; ++i) patterns.push_back("p" + std::to_string(i));
+  EXPECT_FALSE(TreeBuilder::Build("<a/>", patterns).ok());
+}
+
+TEST(TreeBuilderTest, MalformedDocumentPropagatesError) {
+  EXPECT_EQ(TreeBuilder::Build("<a><b></a>").status().code(),
+            StatusCode::kParseError);
+}
+
+}  // namespace
+}  // namespace xcq

@@ -1,0 +1,351 @@
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "xcq/util/bitset.h"
+#include "xcq/util/hash.h"
+#include "xcq/util/result.h"
+#include "xcq/util/rng.h"
+#include "xcq/util/status.h"
+#include "xcq/util/string_util.h"
+
+namespace xcq {
+namespace {
+
+// --- Status / Result --------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+  EXPECT_TRUE(s.message().empty());
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::ParseError("bad tag");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kParseError);
+  EXPECT_EQ(s.message(), "bad tag");
+  EXPECT_EQ(s.ToString(), "ParseError: bad tag");
+}
+
+TEST(StatusTest, CopiesShareRepresentation) {
+  Status a = Status::NotFound("x");
+  Status b = a;
+  EXPECT_EQ(b.message(), "x");
+  EXPECT_EQ(b.code(), StatusCode::kNotFound);
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int c = 0; c <= 10; ++c) {
+    EXPECT_STRNE(StatusCodeToString(static_cast<StatusCode>(c)), "Unknown");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 7;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 7);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::OutOfRange("nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(ResultTest, OkStatusBecomesInternalError) {
+  Result<int> r = Status::OK();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(5);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).Value();
+  EXPECT_EQ(*v, 5);
+}
+
+// --- DynamicBitset -----------------------------------------------------------
+
+TEST(BitsetTest, StartsCleared) {
+  DynamicBitset b(130);
+  EXPECT_EQ(b.size(), 130u);
+  EXPECT_EQ(b.Count(), 0u);
+  EXPECT_TRUE(b.None());
+  EXPECT_FALSE(b.Any());
+}
+
+TEST(BitsetTest, SetResetTest) {
+  DynamicBitset b(100);
+  b.Set(0);
+  b.Set(63);
+  b.Set(64);
+  b.Set(99);
+  EXPECT_TRUE(b.Test(0));
+  EXPECT_TRUE(b.Test(63));
+  EXPECT_TRUE(b.Test(64));
+  EXPECT_TRUE(b.Test(99));
+  EXPECT_FALSE(b.Test(1));
+  EXPECT_EQ(b.Count(), 4u);
+  b.Reset(63);
+  EXPECT_FALSE(b.Test(63));
+  EXPECT_EQ(b.Count(), 3u);
+}
+
+TEST(BitsetTest, ConstructAllSetTrimsTail) {
+  DynamicBitset b(70, true);
+  EXPECT_EQ(b.Count(), 70u);
+}
+
+TEST(BitsetTest, SetAllRespectsSize) {
+  DynamicBitset b(65);
+  b.SetAll();
+  EXPECT_EQ(b.Count(), 65u);
+  b.Flip();
+  EXPECT_EQ(b.Count(), 0u);
+  b.Flip();
+  EXPECT_EQ(b.Count(), 65u);
+}
+
+TEST(BitsetTest, ResizeGrowsWithValue) {
+  DynamicBitset b(10);
+  b.Set(3);
+  b.Resize(100, true);
+  EXPECT_TRUE(b.Test(3));
+  EXPECT_FALSE(b.Test(4));
+  EXPECT_TRUE(b.Test(10));
+  EXPECT_TRUE(b.Test(99));
+  EXPECT_EQ(b.Count(), 91u);
+}
+
+TEST(BitsetTest, PushBackAcrossWordBoundary) {
+  DynamicBitset b;
+  for (int i = 0; i < 200; ++i) b.PushBack(i % 3 == 0);
+  EXPECT_EQ(b.size(), 200u);
+  for (int i = 0; i < 200; ++i) EXPECT_EQ(b.Test(i), i % 3 == 0) << i;
+}
+
+TEST(BitsetTest, SetAlgebra) {
+  DynamicBitset a(128);
+  DynamicBitset b(128);
+  a.Set(1);
+  a.Set(64);
+  b.Set(64);
+  b.Set(100);
+
+  DynamicBitset u = a;
+  u |= b;
+  EXPECT_EQ(u.Count(), 3u);
+
+  DynamicBitset i = a;
+  i &= b;
+  EXPECT_EQ(i.Count(), 1u);
+  EXPECT_TRUE(i.Test(64));
+
+  DynamicBitset d = a;
+  d -= b;
+  EXPECT_EQ(d.Count(), 1u);
+  EXPECT_TRUE(d.Test(1));
+}
+
+TEST(BitsetTest, SubsetAndIntersects) {
+  DynamicBitset a(80);
+  DynamicBitset b(80);
+  a.Set(5);
+  b.Set(5);
+  b.Set(70);
+  EXPECT_TRUE(a.IsSubsetOf(b));
+  EXPECT_FALSE(b.IsSubsetOf(a));
+  EXPECT_TRUE(a.Intersects(b));
+  a.Reset(5);
+  EXPECT_FALSE(a.Intersects(b));
+  EXPECT_TRUE(a.IsSubsetOf(b));  // empty set
+}
+
+TEST(BitsetTest, FindFirstNext) {
+  DynamicBitset b(200);
+  EXPECT_EQ(b.FindFirst(), 200u);
+  b.Set(13);
+  b.Set(64);
+  b.Set(199);
+  EXPECT_EQ(b.FindFirst(), 13u);
+  EXPECT_EQ(b.FindNext(13), 13u);
+  EXPECT_EQ(b.FindNext(14), 64u);
+  EXPECT_EQ(b.FindNext(65), 199u);
+  EXPECT_EQ(b.FindNext(200), 200u);
+}
+
+TEST(BitsetTest, ForEachVisitsAscending) {
+  DynamicBitset b(300);
+  const std::vector<size_t> expected = {0, 63, 64, 127, 128, 299};
+  for (size_t i : expected) b.Set(i);
+  std::vector<size_t> seen;
+  b.ForEach([&](size_t i) { seen.push_back(i); });
+  EXPECT_EQ(seen, expected);
+}
+
+TEST(BitsetTest, EqualityIncludesSize) {
+  DynamicBitset a(64);
+  DynamicBitset b(65);
+  EXPECT_NE(a, b);
+  DynamicBitset c(64);
+  EXPECT_EQ(a, c);
+  c.Set(0);
+  EXPECT_NE(a, c);
+}
+
+// Property sweep: bitset ops agree with std::set reference.
+class BitsetPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BitsetPropertyTest, MatchesReferenceSets) {
+  Rng rng(GetParam());
+  const size_t n = 1 + rng.Uniform(0, 300);
+  DynamicBitset a(n);
+  DynamicBitset b(n);
+  std::set<size_t> ra;
+  std::set<size_t> rb;
+  for (size_t i = 0; i < n; ++i) {
+    if (rng.Chance(0.3)) {
+      a.Set(i);
+      ra.insert(i);
+    }
+    if (rng.Chance(0.3)) {
+      b.Set(i);
+      rb.insert(i);
+    }
+  }
+  DynamicBitset u = a;
+  u |= b;
+  DynamicBitset x = a;
+  x &= b;
+  DynamicBitset d = a;
+  d -= b;
+  std::set<size_t> ru;
+  std::set<size_t> rx;
+  std::set<size_t> rd;
+  std::set_union(ra.begin(), ra.end(), rb.begin(), rb.end(),
+                 std::inserter(ru, ru.end()));
+  std::set_intersection(ra.begin(), ra.end(), rb.begin(), rb.end(),
+                        std::inserter(rx, rx.end()));
+  std::set_difference(ra.begin(), ra.end(), rb.begin(), rb.end(),
+                      std::inserter(rd, rd.end()));
+  EXPECT_EQ(u.Count(), ru.size());
+  EXPECT_EQ(x.Count(), rx.size());
+  EXPECT_EQ(d.Count(), rd.size());
+  u.ForEach([&](size_t i) { EXPECT_TRUE(ru.count(i)) << i; });
+  x.ForEach([&](size_t i) { EXPECT_TRUE(rx.count(i)) << i; });
+  d.ForEach([&](size_t i) { EXPECT_TRUE(rd.count(i)) << i; });
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BitsetPropertyTest,
+                         ::testing::Range<uint64_t>(0, 20));
+
+// --- Hashing -----------------------------------------------------------------
+
+TEST(HashTest, Deterministic) {
+  EXPECT_EQ(HashString("hello"), HashString("hello"));
+  EXPECT_NE(HashString("hello"), HashString("hellp"));
+  EXPECT_NE(HashString(""), HashString("a"));
+}
+
+TEST(HashTest, HasherOrderSensitive) {
+  Hasher h1;
+  h1.Add(1).Add(2);
+  Hasher h2;
+  h2.Add(2).Add(1);
+  EXPECT_NE(h1.Finish(), h2.Finish());
+}
+
+TEST(HashTest, Mix64Avalanche) {
+  // Flipping one input bit should flip roughly half the output bits.
+  const uint64_t base = Mix64(0x1234567890abcdefULL);
+  int total = 0;
+  for (int bit = 0; bit < 64; ++bit) {
+    const uint64_t flipped = Mix64(0x1234567890abcdefULL ^ (1ULL << bit));
+    total += __builtin_popcountll(base ^ flipped);
+  }
+  const double avg = static_cast<double>(total) / 64.0;
+  EXPECT_GT(avg, 24.0);
+  EXPECT_LT(avg, 40.0);
+}
+
+// --- String utilities --------------------------------------------------------
+
+TEST(StringUtilTest, Trim) {
+  EXPECT_EQ(Trim("  a b \n"), "a b");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim(" \t\r\n"), "");
+  EXPECT_EQ(Trim("x"), "x");
+}
+
+TEST(StringUtilTest, Split) {
+  const auto parts = Split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+}
+
+TEST(StringUtilTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(StrFormat("%s", ""), "");
+}
+
+TEST(StringUtilTest, WithCommas) {
+  EXPECT_EQ(WithCommas(0), "0");
+  EXPECT_EQ(WithCommas(999), "999");
+  EXPECT_EQ(WithCommas(1000), "1,000");
+  EXPECT_EQ(WithCommas(10903569), "10,903,569");
+}
+
+TEST(StringUtilTest, HumanBytes) {
+  EXPECT_EQ(HumanBytes(512), "512 B");
+  EXPECT_EQ(HumanBytes(479662899), "457.4 MB");
+}
+
+TEST(StringUtilTest, IsValidTagName) {
+  EXPECT_TRUE(IsValidTagName("book"));
+  EXPECT_TRUE(IsValidTagName("Clinical_Synop"));
+  EXPECT_TRUE(IsValidTagName("#doc"));
+  EXPECT_FALSE(IsValidTagName(""));
+  EXPECT_FALSE(IsValidTagName("1bad"));
+  EXPECT_FALSE(IsValidTagName("has space"));
+}
+
+// --- Rng ---------------------------------------------------------------------
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Uniform(0, 1000), b.Uniform(0, 1000));
+  }
+}
+
+TEST(RngTest, UniformRespectsBounds) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t v = rng.Uniform(5, 9);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 9u);
+  }
+}
+
+TEST(RngTest, GeometricCountBounds) {
+  Rng rng(2);
+  for (int i = 0; i < 200; ++i) {
+    const uint64_t v = rng.GeometricCount(2, 6, 0.5);
+    EXPECT_GE(v, 2u);
+    EXPECT_LE(v, 6u);
+  }
+}
+
+}  // namespace
+}  // namespace xcq

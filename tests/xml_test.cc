@@ -1,0 +1,377 @@
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "xcq/xml/entities.h"
+#include "xcq/xml/sax_parser.h"
+#include "xcq/xml/string_matcher.h"
+#include "xcq/xml/writer.h"
+
+namespace xcq::xml {
+namespace {
+
+// --- Entities ---------------------------------------------------------------
+
+TEST(EntitiesTest, PredefinedEntities) {
+  std::string out;
+  XCQ_ASSERT_OK(DecodeText("a&lt;b&gt;c&amp;d&apos;e&quot;f", &out));
+  EXPECT_EQ(out, "a<b>c&d'e\"f");
+}
+
+TEST(EntitiesTest, NumericReferences) {
+  std::string out;
+  XCQ_ASSERT_OK(DecodeText("&#65;&#x42;&#x263A;", &out));
+  EXPECT_EQ(out, "AB\xE2\x98\xBA");
+}
+
+TEST(EntitiesTest, RejectsUnknownEntity) {
+  std::string out;
+  EXPECT_EQ(DecodeText("&nbsp;", &out).code(), StatusCode::kParseError);
+}
+
+TEST(EntitiesTest, RejectsUnterminated) {
+  std::string out;
+  EXPECT_EQ(DecodeText("a&ltb", &out).code(), StatusCode::kParseError);
+}
+
+TEST(EntitiesTest, RejectsOutOfRangeCodepoint) {
+  std::string out;
+  EXPECT_FALSE(DecodeText("&#x110000;", &out).ok());
+  EXPECT_FALSE(DecodeText("&#xD800;", &out).ok());
+}
+
+TEST(EntitiesTest, EscapeRoundTrip) {
+  const std::string original = "a<b>&c\"d'e";
+  std::string escaped;
+  EscapeText(original, &escaped);
+  std::string decoded;
+  XCQ_ASSERT_OK(DecodeText(escaped, &decoded));
+  EXPECT_EQ(decoded, original);
+}
+
+TEST(EntitiesTest, Utf8Encoding) {
+  std::string out;
+  EXPECT_TRUE(AppendUtf8(0x24, &out));     // 1 byte
+  EXPECT_TRUE(AppendUtf8(0xA2, &out));     // 2 bytes
+  EXPECT_TRUE(AppendUtf8(0x20AC, &out));   // 3 bytes
+  EXPECT_TRUE(AppendUtf8(0x10348, &out));  // 4 bytes
+  EXPECT_EQ(out, "\x24\xC2\xA2\xE2\x82\xAC\xF0\x90\x8D\x88");
+  EXPECT_FALSE(AppendUtf8(0xD800, &out));
+}
+
+// --- SAX parser --------------------------------------------------------------
+
+/// Records events as a flat trace for easy assertions.
+class TraceHandler : public SaxHandler {
+ public:
+  Status OnStartElement(std::string_view name,
+                        const std::vector<Attribute>& attrs) override {
+    trace += "<" + std::string(name);
+    for (const Attribute& a : attrs) {
+      trace += " " + std::string(a.name) + "=" + a.value;
+    }
+    trace += ">";
+    return Status::OK();
+  }
+  Status OnEndElement(std::string_view name) override {
+    trace += "</" + std::string(name) + ">";
+    return Status::OK();
+  }
+  Status OnCharacters(std::string_view text) override {
+    trace += "[" + std::string(text) + "]";
+    return Status::OK();
+  }
+  std::string trace;
+};
+
+std::string ParseTrace(std::string_view xml) {
+  TraceHandler handler;
+  SaxParser parser;
+  const Status s = parser.Parse(xml, &handler);
+  return s.ok() ? handler.trace : "ERROR " + s.ToString();
+}
+
+TEST(SaxParserTest, SimpleDocument) {
+  EXPECT_EQ(ParseTrace("<a><b>hi</b><c/></a>"),
+            "<a><b>[hi]</b><c></c></a>");
+}
+
+TEST(SaxParserTest, AttributesAreReported) {
+  EXPECT_EQ(ParseTrace(R"(<a x="1" y='two &amp; three'/>)"),
+            "<a x=1 y=two & three></a>");
+}
+
+TEST(SaxParserTest, WhitespaceOnlyTextSkippedByDefault) {
+  EXPECT_EQ(ParseTrace("<a>\n  <b/>\n</a>"), "<a><b></b></a>");
+}
+
+TEST(SaxParserTest, WhitespaceReportedWhenRequested) {
+  TraceHandler handler;
+  SaxParser::Options options;
+  options.report_whitespace = true;
+  SaxParser parser(options);
+  XCQ_ASSERT_OK(parser.Parse("<a> <b/></a>", &handler));
+  EXPECT_EQ(handler.trace, "<a>[ ]<b></b></a>");
+}
+
+TEST(SaxParserTest, EntityInText) {
+  EXPECT_EQ(ParseTrace("<a>x &lt; y</a>"), "<a>[x < y]</a>");
+}
+
+TEST(SaxParserTest, CdataSection) {
+  EXPECT_EQ(ParseTrace("<a><![CDATA[<not> &markup;]]></a>"),
+            "<a>[<not> &markup;]</a>");
+}
+
+TEST(SaxParserTest, CommentsAndPisSkipped) {
+  EXPECT_EQ(ParseTrace("<?xml version=\"1.0\"?><!-- c --><a><!-- d "
+                       "--><?pi data?><b/></a>"),
+            "<a><b></b></a>");
+}
+
+TEST(SaxParserTest, DoctypeWithInternalSubsetSkipped) {
+  EXPECT_EQ(ParseTrace("<!DOCTYPE a [ <!ELEMENT a (b)> ]><a><b/></a>"),
+            "<a><b></b></a>");
+}
+
+TEST(SaxParserTest, BomSkipped) {
+  EXPECT_EQ(ParseTrace("\xEF\xBB\xBF<a/>"), "<a></a>");
+}
+
+TEST(SaxParserTest, DeeplyNestedWithinLimit) {
+  std::string xml;
+  const int depth = 2000;
+  for (int i = 0; i < depth; ++i) xml += "<d>";
+  for (int i = 0; i < depth; ++i) xml += "</d>";
+  TraceHandler handler;
+  SaxParser parser;
+  XCQ_ASSERT_OK(parser.Parse(xml, &handler));
+}
+
+TEST(SaxParserTest, MaxDepthEnforced) {
+  SaxParser::Options options;
+  options.max_depth = 3;
+  SaxParser parser(options);
+  TraceHandler handler;
+  EXPECT_FALSE(parser.Parse("<a><b><c><d/></c></b></a>", &handler).ok());
+}
+
+TEST(SaxParserTest, NullHandlerRejected) {
+  SaxParser parser;
+  EXPECT_EQ(parser.Parse("<a/>", nullptr).code(),
+            StatusCode::kInvalidArgument);
+}
+
+struct MalformedCase {
+  const char* name;
+  const char* xml;
+};
+
+class SaxMalformedTest : public ::testing::TestWithParam<MalformedCase> {};
+
+TEST_P(SaxMalformedTest, Rejected) {
+  TraceHandler handler;
+  SaxParser parser;
+  const Status s = parser.Parse(GetParam().xml, &handler);
+  EXPECT_EQ(s.code(), StatusCode::kParseError) << s << "\ninput: "
+                                               << GetParam().xml;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, SaxMalformedTest,
+    ::testing::Values(
+        MalformedCase{"Empty", ""},
+        MalformedCase{"TextOnly", "just text"},
+        MalformedCase{"UnclosedRoot", "<a>"},
+        MalformedCase{"MismatchedTags", "<a><b></a></b>"},
+        MalformedCase{"StrayEndTag", "</a>"},
+        MalformedCase{"TwoRoots", "<a/><b/>"},
+        MalformedCase{"TextAfterRoot", "<a/>junk"},
+        MalformedCase{"UnterminatedComment", "<a><!-- oops</a>"},
+        MalformedCase{"UnterminatedCdata", "<a><![CDATA[x</a>"},
+        MalformedCase{"BadEntity", "<a>&bogus;</a>"},
+        MalformedCase{"AttrNoValue", "<a x></a>"},
+        MalformedCase{"AttrUnquoted", "<a x=1></a>"},
+        MalformedCase{"AttrUnterminated", "<a x=\"1></a>"},
+        MalformedCase{"LtInAttr", "<a x=\"<\"></a>"},
+        MalformedCase{"BadName", "<1a/>"},
+        MalformedCase{"EofInTag", "<a"},
+        MalformedCase{"CdataOutsideRoot", "<![CDATA[x]]><a/>"}),
+    [](const ::testing::TestParamInfo<MalformedCase>& info) {
+      return info.param.name;
+    });
+
+TEST(SaxParserTest, ErrorReportsLineAndColumn) {
+  TraceHandler handler;
+  SaxParser parser;
+  const Status s = parser.Parse("<a>\n<b>\n</c>\n</a>", &handler);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("3:"), std::string::npos) << s;
+}
+
+// --- Writer ------------------------------------------------------------------
+
+TEST(XmlWriterTest, WritesDeclarationAndElements) {
+  std::string out;
+  XmlWriter w(&out);
+  XCQ_ASSERT_OK(w.StartElement("a"));
+  XCQ_ASSERT_OK(w.Attribute("k", "v<w"));
+  XCQ_ASSERT_OK(w.TextElement("b", "x & y"));
+  XCQ_ASSERT_OK(w.EndElement());
+  XCQ_ASSERT_OK(w.Finish());
+  EXPECT_EQ(out,
+            "<?xml version=\"1.0\" encoding=\"UTF-8\"?>"
+            "<a k=\"v&lt;w\"><b>x &amp; y</b></a>");
+}
+
+TEST(XmlWriterTest, EmptyElementUsesSelfClosing) {
+  std::string out;
+  XmlWriter w(&out, WriterOptions{.indent = false, .declaration = false});
+  XCQ_ASSERT_OK(w.StartElement("a"));
+  XCQ_ASSERT_OK(w.EndElement());
+  EXPECT_EQ(out, "<a/>");
+}
+
+TEST(XmlWriterTest, RejectsUnbalanced) {
+  std::string out;
+  XmlWriter w(&out);
+  XCQ_ASSERT_OK(w.StartElement("a"));
+  EXPECT_FALSE(w.Finish().ok());
+  XCQ_ASSERT_OK(w.EndElement());
+  EXPECT_FALSE(w.EndElement().ok());
+}
+
+TEST(XmlWriterTest, RejectsInvalidNames) {
+  std::string out;
+  XmlWriter w(&out);
+  EXPECT_FALSE(w.StartElement("bad name").ok());
+  XCQ_ASSERT_OK(w.StartElement("a"));
+  EXPECT_FALSE(w.Attribute("1x", "v").ok());
+}
+
+TEST(XmlWriterTest, TextOutsideElementRejected) {
+  std::string out;
+  XmlWriter w(&out, WriterOptions{.indent = false, .declaration = false});
+  EXPECT_FALSE(w.Text("boo").ok());
+}
+
+TEST(XmlWriterTest, AttributeAfterContentRejected) {
+  std::string out;
+  XmlWriter w(&out);
+  XCQ_ASSERT_OK(w.StartElement("a"));
+  XCQ_ASSERT_OK(w.Text("t"));
+  EXPECT_FALSE(w.Attribute("k", "v").ok());
+}
+
+TEST(XmlWriterTest, RoundTripsThroughParser) {
+  std::string out;
+  XmlWriter w(&out);
+  XCQ_ASSERT_OK(w.StartElement("root"));
+  for (int i = 0; i < 5; ++i) {
+    XCQ_ASSERT_OK(w.StartElement("item"));
+    XCQ_ASSERT_OK(w.Attribute("id", std::to_string(i)));
+    XCQ_ASSERT_OK(w.TextElement("name", "value & <" + std::to_string(i)));
+    XCQ_ASSERT_OK(w.EndElement());
+  }
+  XCQ_ASSERT_OK(w.EndElement());
+  XCQ_ASSERT_OK(w.Finish());
+
+  TraceHandler handler;
+  SaxParser parser;
+  XCQ_ASSERT_OK(parser.Parse(out, &handler));
+  EXPECT_NE(handler.trace.find("[value & <3]"), std::string::npos);
+}
+
+// --- StringMatcher -----------------------------------------------------------
+
+std::vector<std::pair<uint32_t, uint64_t>> MatchAll(
+    StringMatcher& m, std::string_view text) {
+  std::vector<std::pair<uint32_t, uint64_t>> out;
+  m.Feed(text, [&](const PatternMatch& match) {
+    out.emplace_back(match.pattern, match.start_offset);
+  });
+  return out;
+}
+
+TEST(StringMatcherTest, SinglePattern) {
+  XCQ_ASSERT_OK_AND_ASSIGN(StringMatcher m,
+                           StringMatcher::Build({"abc"}));
+  const auto matches = MatchAll(m, "xxabcabcx");
+  ASSERT_EQ(matches.size(), 2u);
+  EXPECT_EQ(matches[0], (std::pair<uint32_t, uint64_t>{0, 2}));
+  EXPECT_EQ(matches[1], (std::pair<uint32_t, uint64_t>{0, 5}));
+}
+
+TEST(StringMatcherTest, OverlappingOccurrences) {
+  XCQ_ASSERT_OK_AND_ASSIGN(StringMatcher m, StringMatcher::Build({"aa"}));
+  const auto matches = MatchAll(m, "aaaa");
+  ASSERT_EQ(matches.size(), 3u);
+  EXPECT_EQ(matches[0].second, 0u);
+  EXPECT_EQ(matches[1].second, 1u);
+  EXPECT_EQ(matches[2].second, 2u);
+}
+
+TEST(StringMatcherTest, SuffixPatternsBothReported) {
+  XCQ_ASSERT_OK_AND_ASSIGN(StringMatcher m,
+                           StringMatcher::Build({"she", "he"}));
+  const auto matches = MatchAll(m, "she");
+  ASSERT_EQ(matches.size(), 2u);
+  // "she" ends at 2 (start 0); "he" ends at 2 (start 1).
+  EXPECT_EQ(matches[0].first, 0u);
+  EXPECT_EQ(matches[1].first, 1u);
+}
+
+TEST(StringMatcherTest, ChunkedFeedEqualsWholeFeed) {
+  XCQ_ASSERT_OK_AND_ASSIGN(StringMatcher whole,
+                           StringMatcher::Build({"needle", "dl"}));
+  XCQ_ASSERT_OK_AND_ASSIGN(StringMatcher chunked,
+                           StringMatcher::Build({"needle", "dl"}));
+  const std::string text = "find the needle in the needles";
+  const auto expected = MatchAll(whole, text);
+  std::vector<std::pair<uint32_t, uint64_t>> got;
+  for (char c : text) {
+    chunked.Feed(std::string_view(&c, 1), [&](const PatternMatch& match) {
+      got.emplace_back(match.pattern, match.start_offset);
+    });
+  }
+  EXPECT_EQ(got, expected);
+}
+
+TEST(StringMatcherTest, MatchSpanningChunks) {
+  XCQ_ASSERT_OK_AND_ASSIGN(StringMatcher m, StringMatcher::Build({"xyz"}));
+  std::vector<std::pair<uint32_t, uint64_t>> got;
+  const auto collect = [&](const PatternMatch& match) {
+    got.emplace_back(match.pattern, match.start_offset);
+  };
+  m.Feed("ax", collect);
+  m.Feed("y", collect);
+  m.Feed("zb", collect);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].second, 1u);
+}
+
+TEST(StringMatcherTest, DuplicatePatternsReportBothIds) {
+  XCQ_ASSERT_OK_AND_ASSIGN(StringMatcher m,
+                           StringMatcher::Build({"ab", "ab"}));
+  const auto matches = MatchAll(m, "ab");
+  ASSERT_EQ(matches.size(), 2u);
+}
+
+TEST(StringMatcherTest, EmptyPatternRejected) {
+  EXPECT_FALSE(StringMatcher::Build({""}).ok());
+}
+
+TEST(StringMatcherTest, ResetClearsState) {
+  XCQ_ASSERT_OK_AND_ASSIGN(StringMatcher m, StringMatcher::Build({"ab"}));
+  int count = 0;
+  m.Feed("a", [&](const PatternMatch&) { ++count; });
+  m.Reset();
+  m.Feed("b", [&](const PatternMatch&) { ++count; });
+  EXPECT_EQ(count, 0);
+  EXPECT_EQ(m.offset(), 1u);
+}
+
+}  // namespace
+}  // namespace xcq::xml

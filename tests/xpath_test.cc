@@ -1,0 +1,238 @@
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "xcq/corpus/queries.h"
+#include "xcq/xpath/lexer.h"
+#include "xcq/xpath/parser.h"
+
+namespace xcq::xpath {
+namespace {
+
+// --- Lexer --------------------------------------------------------------------
+
+TEST(LexerTest, BasicTokens) {
+  XCQ_ASSERT_OK_AND_ASSIGN(auto tokens, Tokenize("/a//b::*[\"s\"]()"));
+  ASSERT_EQ(tokens.size(), 12u);  // incl. kEnd
+  EXPECT_EQ(tokens[0].kind, TokenKind::kSlash);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kName);
+  EXPECT_EQ(tokens[1].text, "a");
+  EXPECT_EQ(tokens[2].kind, TokenKind::kDoubleSlash);
+  EXPECT_EQ(tokens[3].kind, TokenKind::kName);
+  EXPECT_EQ(tokens[4].kind, TokenKind::kAxisSep);
+  EXPECT_EQ(tokens[5].kind, TokenKind::kStar);
+  EXPECT_EQ(tokens[6].kind, TokenKind::kLBracket);
+  EXPECT_EQ(tokens[7].kind, TokenKind::kString);
+  EXPECT_EQ(tokens[7].text, "s");
+  EXPECT_EQ(tokens[8].kind, TokenKind::kRBracket);
+  EXPECT_EQ(tokens.back().kind, TokenKind::kEnd);
+}
+
+TEST(LexerTest, HyphenatedNames) {
+  XCQ_ASSERT_OK_AND_ASSIGN(auto tokens,
+                           Tokenize("following-sibling::author"));
+  EXPECT_EQ(tokens[0].text, "following-sibling");
+  EXPECT_EQ(tokens[1].kind, TokenKind::kAxisSep);
+  EXPECT_EQ(tokens[2].text, "author");
+}
+
+TEST(LexerTest, SingleQuotedStrings) {
+  XCQ_ASSERT_OK_AND_ASSIGN(auto tokens, Tokenize("['it''s']"));
+  EXPECT_EQ(tokens[1].kind, TokenKind::kString);
+  EXPECT_EQ(tokens[1].text, "it");
+}
+
+TEST(LexerTest, Errors) {
+  EXPECT_FALSE(Tokenize("a:b").ok());
+  EXPECT_FALSE(Tokenize("\"unterminated").ok());
+  EXPECT_FALSE(Tokenize("a % b").ok());
+}
+
+// --- Axis helpers ---------------------------------------------------------------
+
+TEST(AxisTest, InverseIsInvolution) {
+  for (int i = 0; i <= static_cast<int>(Axis::kPreceding); ++i) {
+    const Axis axis = static_cast<Axis>(i);
+    EXPECT_EQ(InverseAxis(InverseAxis(axis)), axis);
+  }
+}
+
+TEST(AxisTest, NamesRoundTrip) {
+  for (int i = 0; i <= static_cast<int>(Axis::kPreceding); ++i) {
+    const Axis axis = static_cast<Axis>(i);
+    XCQ_ASSERT_OK_AND_ASSIGN(const Axis parsed,
+                             AxisFromName(AxisName(axis)));
+    EXPECT_EQ(parsed, axis);
+  }
+  EXPECT_FALSE(AxisFromName("sideways").ok());
+}
+
+TEST(AxisTest, UpwardAxes) {
+  EXPECT_TRUE(IsUpwardAxis(Axis::kSelf));
+  EXPECT_TRUE(IsUpwardAxis(Axis::kParent));
+  EXPECT_TRUE(IsUpwardAxis(Axis::kAncestor));
+  EXPECT_TRUE(IsUpwardAxis(Axis::kAncestorOrSelf));
+  EXPECT_FALSE(IsUpwardAxis(Axis::kChild));
+  EXPECT_FALSE(IsUpwardAxis(Axis::kFollowing));
+  EXPECT_FALSE(IsUpwardAxis(Axis::kFollowingSibling));
+}
+
+// --- Parser ---------------------------------------------------------------------
+
+std::string Reparse(const std::string& text) {
+  auto query = ParseQuery(text);
+  if (!query.ok()) return "ERROR " + query.status().ToString();
+  return query->ToString();
+}
+
+TEST(ParserTest, AbsoluteChildPath) {
+  EXPECT_EQ(Reparse("/dblp/article/url"),
+            "/child::dblp/child::article/child::url");
+}
+
+TEST(ParserTest, RelativePath) {
+  EXPECT_EQ(Reparse("a/a/b"), "child::a/child::a/child::b");
+}
+
+TEST(ParserTest, DoubleSlashBecomesDescendant) {
+  EXPECT_EQ(Reparse("//a/b"), "/descendant::a/child::b");
+  EXPECT_EQ(Reparse("//a//b"), "/descendant::a/descendant::b");
+}
+
+TEST(ParserTest, DoubleSlashBeforeExplicitAxisKeepsDosStep) {
+  EXPECT_EQ(Reparse("//following-sibling::x"),
+            "/descendant-or-self::*/following-sibling::x");
+  EXPECT_EQ(Reparse("//self::x"), "/descendant-or-self::x");
+}
+
+TEST(ParserTest, ExplicitAxes) {
+  EXPECT_EQ(Reparse("/self::*[x]"), "/self::*[child::x]");
+  EXPECT_EQ(Reparse("ancestor::TEAM"), "ancestor::TEAM");
+  EXPECT_EQ(Reparse("parent::africa"), "parent::africa");
+}
+
+TEST(ParserTest, PredicatesAndStrings) {
+  EXPECT_EQ(Reparse("//Title[\"LETHAL\"]"),
+            "/descendant::Title[\"LETHAL\"]");
+  EXPECT_EQ(Reparse("//article[author[\"Codd\"]]"),
+            "/descendant::article[child::author[\"Codd\"]]");
+}
+
+TEST(ParserTest, BooleanOperators) {
+  EXPECT_EQ(Reparse("//a[b and c or not(d)]"),
+            "/descendant::a[((child::b and child::c) or not(child::d))]");
+  EXPECT_EQ(Reparse("//a[b and (c or d)]"),
+            "/descendant::a[(child::b and (child::c or child::d))]");
+}
+
+TEST(ParserTest, AbsolutePathInsidePredicate) {
+  EXPECT_EQ(Reparse("//a[/b/c]"),
+            "/descendant::a[/child::b/child::c]");
+}
+
+TEST(ParserTest, MultiplePredicates) {
+  EXPECT_EQ(Reparse("a[b][c]"), "child::a[child::b][child::c]");
+}
+
+TEST(ParserTest, TagsNamedLikeKeywords) {
+  // "and"/"or" are operators only after a complete operand; "not" only
+  // before '('. As path steps they are ordinary names.
+  EXPECT_EQ(Reparse("/and/or/not"), "/child::and/child::or/child::not");
+  EXPECT_EQ(Reparse("//x[not/y]"), "/descendant::x[child::not/child::y]");
+}
+
+struct ParseErrorCase {
+  const char* name;
+  const char* query;
+};
+
+class ParserErrorTest : public ::testing::TestWithParam<ParseErrorCase> {};
+
+TEST_P(ParserErrorTest, Rejected) {
+  const auto result = ParseQuery(GetParam().query);
+  EXPECT_FALSE(result.ok()) << GetParam().query;
+  if (!result.ok()) {
+    EXPECT_EQ(result.status().code(), StatusCode::kParseError);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, ParserErrorTest,
+    ::testing::Values(
+        ParseErrorCase{"Empty", ""},
+        ParseErrorCase{"SlashOnly", "/"},
+        ParseErrorCase{"TrailingSlash", "/a/"},
+        ParseErrorCase{"UnclosedPredicate", "a[b"},
+        ParseErrorCase{"EmptyPredicate", "a[]"},
+        ParseErrorCase{"UnknownAxis", "sideways::a"},
+        ParseErrorCase{"DanglingAnd", "a[b and]"},
+        ParseErrorCase{"UnclosedParen", "a[(b or c]"},
+        ParseErrorCase{"UnclosedNot", "a[not(b]"},
+        ParseErrorCase{"StrayToken", "a]b"},
+        ParseErrorCase{"DoubleAxisSep", "a::::b"}),
+    [](const ::testing::TestParamInfo<ParseErrorCase>& info) {
+      return info.param.name;
+    });
+
+// Every Appendix-A query must parse, and its rendering must re-parse to
+// the same normal form (round-trip stability).
+class AppendixAQueryTest
+    : public ::testing::TestWithParam<std::pair<std::string, std::string>> {
+};
+
+TEST_P(AppendixAQueryTest, ParsesAndRoundTrips) {
+  const std::string& text = GetParam().second;
+  XCQ_ASSERT_OK_AND_ASSIGN(const Query query, ParseQuery(text));
+  const std::string rendered = query.ToString();
+  XCQ_ASSERT_OK_AND_ASSIGN(const Query reparsed, ParseQuery(rendered));
+  EXPECT_EQ(reparsed.ToString(), rendered);
+}
+
+std::vector<std::pair<std::string, std::string>> AllAppendixAQueries() {
+  std::vector<std::pair<std::string, std::string>> out;
+  for (const corpus::QuerySet& set : corpus::AppendixAQueries()) {
+    for (size_t i = 0; i < set.queries.size(); ++i) {
+      out.emplace_back(
+          std::string(set.corpus) + "_Q" + std::to_string(i + 1),
+          std::string(set.queries[i]));
+    }
+  }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, AppendixAQueryTest, ::testing::ValuesIn(AllAppendixAQueries()),
+    [](const ::testing::TestParamInfo<std::pair<std::string, std::string>>&
+           info) { return info.param.first; });
+
+// --- Requirements ----------------------------------------------------------------
+
+TEST(RequirementsTest, CollectsTagsAndPatterns) {
+  XCQ_ASSERT_OK_AND_ASSIGN(
+      const Query query,
+      ParseQuery("//Record[sequence/seq[\"MMSARGDFLN\"] and "
+                 "protein/from[\"Rattus norvegicus\"]]"));
+  const QueryRequirements reqs = CollectRequirements(query);
+  EXPECT_EQ(reqs.tags,
+            (std::vector<std::string>{"Record", "from", "protein",
+                                      "seq", "sequence"}));
+  EXPECT_EQ(reqs.patterns,
+            (std::vector<std::string>{"MMSARGDFLN", "Rattus norvegicus"}));
+}
+
+TEST(RequirementsTest, StarContributesNothing) {
+  XCQ_ASSERT_OK_AND_ASSIGN(const Query query, ParseQuery("/self::*[*]"));
+  const QueryRequirements reqs = CollectRequirements(query);
+  EXPECT_TRUE(reqs.tags.empty());
+  EXPECT_TRUE(reqs.patterns.empty());
+}
+
+TEST(RequirementsTest, Deduplicates) {
+  XCQ_ASSERT_OK_AND_ASSIGN(const Query query, ParseQuery("/a/a/a[\"x\"]["
+                                                         "\"x\"]"));
+  const QueryRequirements reqs = CollectRequirements(query);
+  EXPECT_EQ(reqs.tags, (std::vector<std::string>{"a"}));
+  EXPECT_EQ(reqs.patterns, (std::vector<std::string>{"x"}));
+}
+
+}  // namespace
+}  // namespace xcq::xpath
