@@ -1,4 +1,4 @@
-// Ablations for the design choices DESIGN.md calls out:
+// Ablations for the representation's design choices:
 //
 //  (a) Edge multiplicities (Fig. 1 (b) vs (c)): how many edges does
 //      run-length encoding save per corpus? The paper: "This implicit
@@ -21,7 +21,7 @@
 namespace xcq::bench {
 namespace {
 
-void RunRleAblation(const BenchArgs& args) {
+void RunRleAblation(const BenchArgs& args, BenchReport& report) {
   std::printf("(a) Run-length-encoded edges vs explicit multi-edges\n\n");
   std::printf("%-12s %12s %14s %9s\n", "corpus", "|E| RLE",
               "|E| expanded", "saving");
@@ -41,12 +41,17 @@ void RunRleAblation(const BenchArgs& args) {
                 std::string(corpus->name()).c_str(),
                 WithCommas(rle).c_str(), WithCommas(expanded).c_str(),
                 static_cast<double>(expanded) / static_cast<double>(rle));
+    report.Row()
+        .Set("section", "rle_edges")
+        .Set("corpus", corpus->name())
+        .Set("rle_edges", rle)
+        .Set("expanded_edges", expanded);
   }
   PrintRule(52);
   std::printf("\n");
 }
 
-void RunLabelModeAblation(const BenchArgs& args) {
+void RunLabelModeAblation(const BenchArgs& args, BenchReport& report) {
   std::printf(
       "(b) Label modes: bare vs per-query schema (Q3) vs all tags\n\n");
   std::printf("%-12s %10s %12s %10s\n", "corpus", "|V| bare",
@@ -83,12 +88,18 @@ void RunLabelModeAblation(const BenchArgs& args) {
                 WithCommas(none.ReachableCount()).c_str(),
                 WithCommas(q3.ReachableCount()).c_str(),
                 WithCommas(all.ReachableCount()).c_str());
+    report.Row()
+        .Set("section", "label_modes")
+        .Set("corpus", set.corpus)
+        .Set("vertices_bare", none.ReachableCount())
+        .Set("vertices_q3_schema", q3.ReachableCount())
+        .Set("vertices_all_tags", all.ReachableCount());
   }
   PrintRule(50);
   std::printf("\n");
 }
 
-void RunRecompressAblation(const BenchArgs& args) {
+void RunRecompressAblation(const BenchArgs& args, BenchReport& report) {
   std::printf("(c) Re-compression after the splitting query Q2\n\n");
   std::printf("%-12s %10s %10s %12s %10s\n", "corpus", "|V| bef",
               "|V| aft", "|V| re-min", "minimize");
@@ -120,12 +131,20 @@ void RunRecompressAblation(const BenchArgs& args) {
 
     Timer timer;
     const Instance minimal = Unwrap(Minimize(inst), "minimize");
+    const double minimize_seconds = timer.Seconds();
     std::printf("%-12s %10s %10s %12s %9.4fs\n",
                 std::string(set.corpus).c_str(),
                 WithCommas(stats.vertices_before).c_str(),
                 WithCommas(stats.vertices_after).c_str(),
                 WithCommas(minimal.vertex_count()).c_str(),
-                timer.Seconds());
+                minimize_seconds);
+    report.Row()
+        .Set("section", "recompress")
+        .Set("corpus", set.corpus)
+        .Set("vertices_before", stats.vertices_before)
+        .Set("vertices_after", stats.vertices_after)
+        .Set("vertices_reminimized", minimal.vertex_count())
+        .Set("minimize_seconds", minimize_seconds);
   }
   PrintRule(62);
   std::printf(
@@ -139,9 +158,10 @@ void RunRecompressAblation(const BenchArgs& args) {
 
 int main(int argc, char** argv) {
   const auto args = xcq::bench::BenchArgs::Parse(argc, argv);
+  xcq::bench::BenchReport report("ablation", args);
   std::printf("Design-choice ablations (scale=%g)\n\n", args.scale);
-  xcq::bench::RunRleAblation(args);
-  xcq::bench::RunLabelModeAblation(args);
-  xcq::bench::RunRecompressAblation(args);
+  xcq::bench::RunRleAblation(args, report);
+  xcq::bench::RunLabelModeAblation(args, report);
+  xcq::bench::RunRecompressAblation(args, report);
   return 0;
 }

@@ -13,6 +13,7 @@ namespace xcq::bench {
 namespace {
 
 void Run(const BenchArgs& args) {
+  BenchReport report("common_extension", args);
   std::printf(
       "Common extensions (Lemma 2.7): tag instance x string instance\n\n");
   std::printf("%-12s %9s %9s %9s %9s %9s %9s\n", "corpus", "|V_a|",
@@ -61,6 +62,14 @@ void Run(const BenchArgs& args) {
                 WithCommas(merged.ReachableCount()).c_str(),
                 WithCommas(minimal.vertex_count()).c_str(), merge_seconds,
                 min_seconds);
+    report.Row()
+        .Set("corpus", set.corpus)
+        .Set("vertices_tags", tags.ReachableCount())
+        .Set("vertices_strings", strings.ReachableCount())
+        .Set("vertices_merged", merged.ReachableCount())
+        .Set("vertices_minimized", minimal.vertex_count())
+        .Set("merge_seconds", merge_seconds)
+        .Set("minimize_seconds", min_seconds);
   }
   PrintRule(84);
   std::printf(

@@ -15,6 +15,7 @@ namespace xcq::bench {
 namespace {
 
 void Run(const BenchArgs& args) {
+  BenchReport report("compression_scaling", args);
   std::printf(
       "Compressed-size growth vs document size (all-tags mode)\n\n");
   std::printf("%-12s %12s %10s %12s %8s %9s\n", "corpus", "|V_T|",
@@ -38,14 +39,17 @@ void Run(const BenchArgs& args) {
       const double seconds = timer.Seconds();
       const CompressionStats stats = ComputeCompressionStats(inst);
       std::string growth = "";
+      double growth_exponent = 0.0;
+      bool has_growth = false;
       if (prev_vm != 0 && stats.tree_nodes > prev_vt) {
+        has_growth = true;
         // Elasticity: d log|V_M| / d log|V_T| — < 1 means sublinear.
-        const double e =
+        growth_exponent =
             std::log(static_cast<double>(stats.dag_vertices) /
                      static_cast<double>(prev_vm)) /
             std::log(static_cast<double>(stats.tree_nodes) /
                      static_cast<double>(prev_vt));
-        growth = StrFormat("  growth exp. %.2f", e);
+        growth = StrFormat("  growth exp. %.2f", growth_exponent);
       }
       std::printf("%-12s %12s %10s %12s %7.1f%% %8.3fs%s\n",
                   std::string(corpus->name()).c_str(),
@@ -53,6 +57,16 @@ void Run(const BenchArgs& args) {
                   WithCommas(stats.dag_vertices).c_str(),
                   WithCommas(stats.dag_rle_edges).c_str(),
                   stats.edge_ratio * 100, seconds, growth.c_str());
+      report.Row()
+          .Set("corpus", corpus->name())
+          .Set("size_factor", factor)
+          .Set("tree_nodes", stats.tree_nodes)
+          .Set("dag_vertices", stats.dag_vertices)
+          .Set("dag_rle_edges", stats.dag_rle_edges)
+          .Set("edge_ratio", stats.edge_ratio)
+          .Set("parse_seconds", seconds);
+      // Omitted, not 0: absent key = exponent not computable for this row.
+      if (has_growth) report.Set("growth_exponent", growth_exponent);
       prev_vm = stats.dag_vertices;
       prev_vt = stats.tree_nodes;
     }

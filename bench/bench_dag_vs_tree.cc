@@ -25,6 +25,7 @@ double MedianSeconds(std::vector<double> samples) {
 }
 
 void Run(const BenchArgs& args) {
+  BenchReport report("dag_vs_tree", args);
   std::printf(
       "DAG engine vs uncompressed-tree baseline (medians of 5 runs)\n\n");
   std::printf("%-12s %-3s %10s %10s %8s %12s %12s\n", "corpus", "Q",
@@ -76,6 +77,14 @@ void Run(const BenchArgs& args) {
                   dag, tree, tree / dag,
                   HumanBytes(pristine.MemoryFootprint()).c_str(),
                   WithCommas(labeled.tree.node_count()).c_str());
+      report.Row()
+          .Set("corpus", set.corpus)
+          .Set("query", static_cast<uint64_t>(q + 1))
+          .Set("dag_seconds", dag)
+          .Set("tree_seconds", tree)
+          .Set("speedup", tree / dag)
+          .Set("dag_memory_bytes", pristine.MemoryFootprint())
+          .Set("tree_nodes", labeled.tree.node_count());
     }
   }
   PrintRule(84);

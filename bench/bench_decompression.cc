@@ -47,9 +47,10 @@ std::string BinaryTreeXml(int depth) {
   return out;
 }
 
-void RunFamily(const std::string& xml, const char* title,
+void RunFamily(const std::string& xml, const char* family,
+               const char* title,
                const std::function<std::string(int)>& make_query,
-               int max_k) {
+               int max_k, BenchReport& report) {
   std::printf("%s\n", title);
   std::printf("%3s %9s %9s %9s %16s %9s\n", "k", "|V| bef", "|V| aft",
               "splits", "2^axes*|V| bound", "time");
@@ -66,6 +67,7 @@ void RunFamily(const std::string& xml, const char* title,
     (void)Unwrap(
         engine::Evaluate(&inst, plan, engine::EvalOptions{}, &stats),
         "evaluate");
+    const double seconds = timer.Seconds();
     const uint64_t tree_nodes = TreeNodeCount(inst);
     uint64_t bound = stats.vertices_before;
     for (size_t i = 0; i < plan.SplittingAxisCount() && bound < tree_nodes;
@@ -77,7 +79,15 @@ void RunFamily(const std::string& xml, const char* title,
                 WithCommas(stats.vertices_before).c_str(),
                 WithCommas(stats.vertices_after).c_str(),
                 WithCommas(stats.splits).c_str(),
-                WithCommas(bound).c_str(), timer.Seconds());
+                WithCommas(bound).c_str(), seconds);
+    report.Row()
+        .Set("family", family)
+        .Set("k", k)
+        .Set("vertices_before", stats.vertices_before)
+        .Set("vertices_after", stats.vertices_after)
+        .Set("splits", stats.splits)
+        .Set("bound", bound)
+        .Set("eval_seconds", seconds);
     if (stats.vertices_after > bound) {
       std::fprintf(stderr, "BOUND VIOLATION at k=%d\n", k);
       std::exit(1);
@@ -91,7 +101,8 @@ void RunFamily(const std::string& xml, const char* title,
 }  // namespace xcq::bench
 
 int main(int argc, char** argv) {
-  (void)xcq::bench::BenchArgs::Parse(argc, argv);
+  const auto args = xcq::bench::BenchArgs::Parse(argc, argv);
+  xcq::bench::BenchReport report("decompression", args);
   const int depth = 18;
   const std::string xml = xcq::bench::BinaryTreeXml(depth);
   std::printf(
@@ -100,7 +111,7 @@ int main(int argc, char** argv) {
       depth, xcq::WithCommas((uint64_t{1} << depth) - 1).c_str());
 
   xcq::bench::RunFamily(
-      xml,
+      xml, "uniform",
       "(1) Uniform chain queries /a/b/a/... — no path dependence, no "
       "splitting:",
       [](int k) {
@@ -108,10 +119,10 @@ int main(int argc, char** argv) {
         for (int i = 0; i < k; ++i) query += (i % 2 == 0) ? "/a" : "/b";
         return query;
       },
-      14);
+      14, report);
 
   xcq::bench::RunFamily(
-      xml,
+      xml, "path_dependent",
       "(2) Path-dependent chains //*[preceding-sibling::*] x k — "
       "selections depend on right-turn counts, the chain must split:",
       [](int k) {
@@ -119,7 +130,7 @@ int main(int argc, char** argv) {
         for (int i = 0; i < k; ++i) query += "//*[preceding-sibling::*]";
         return query;
       },
-      10);
+      10, report);
 
   std::printf(
       "Shape check: family (1) never grows; family (2) grows with k but\n"

@@ -39,7 +39,7 @@ std::string BinaryTreeXml(int depth) {
   return out;
 }
 
-void RunDepth(int depth) {
+void RunDepth(int depth, BenchReport& report) {
   const std::string xml = BinaryTreeXml(depth);
   static const char* kQueries[] = {
       "//a",  "//a/b", "a",   "a/a",
@@ -64,12 +64,23 @@ void RunDepth(int depth) {
     const RelationId result = Unwrap(
         engine::Evaluate(&inst, plan, engine::EvalOptions{}, &stats),
         "evaluate");
+    const uint64_t sel_dag = SelectedDagNodeCount(inst, result);
+    const uint64_t sel_tree = SelectedTreeNodeCount(inst, result);
     std::printf("(%c)  %-22s %8s %8s %7s %9s %10s\n", kLabel[i],
                 kQueries[i], WithCommas(stats.vertices_before).c_str(),
                 WithCommas(stats.vertices_after).c_str(),
                 WithCommas(stats.splits).c_str(),
-                WithCommas(SelectedDagNodeCount(inst, result)).c_str(),
-                WithCommas(SelectedTreeNodeCount(inst, result)).c_str());
+                WithCommas(sel_dag).c_str(),
+                WithCommas(sel_tree).c_str());
+    report.Row()
+        .Set("depth", depth)
+        .Set("fig", std::string(1, kLabel[i]))
+        .Set("query", kQueries[i])
+        .Set("vertices_before", stats.vertices_before)
+        .Set("vertices_after", stats.vertices_after)
+        .Set("splits", stats.splits)
+        .Set("selected_dag", sel_dag)
+        .Set("selected_tree", sel_tree);
     Check(inst.Validate(), "validate");
   }
   PrintRule(76);
@@ -79,11 +90,12 @@ void RunDepth(int depth) {
 }  // namespace xcq::bench
 
 int main(int argc, char** argv) {
-  (void)xcq::bench::BenchArgs::Parse(argc, argv);
+  const auto args = xcq::bench::BenchArgs::Parse(argc, argv);
+  xcq::bench::BenchReport report("fig5_binary_tree", args);
   std::printf("Fig. 5 — queries on the compressed complete binary tree\n\n");
-  xcq::bench::RunDepth(5);
+  xcq::bench::RunDepth(5, report);
   std::printf("\nExtension: the same queries at depth 16 (65,535 tree "
               "nodes in a 17-vertex instance)\n");
-  xcq::bench::RunDepth(16);
+  xcq::bench::RunDepth(16, report);
   return 0;
 }

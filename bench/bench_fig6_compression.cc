@@ -15,6 +15,7 @@ namespace xcq::bench {
 namespace {
 
 void Run(const BenchArgs& args) {
+  BenchReport report("fig6_compression", args);
   std::printf("Fig. 6 — degree of compression (synthetic corpora, scale=%g)\n",
               args.scale);
   std::printf("%-12s %1s %12s %10s %10s %8s | %10s %10s %8s\n", "corpus",
@@ -45,6 +46,14 @@ void Run(const BenchArgs& args) {
           WithCommas(with_tags ? paper.vm_tags : paper.vm_bare).c_str(),
           WithCommas(with_tags ? paper.em_tags : paper.em_bare).c_str(),
           (with_tags ? paper.ratio_tags : paper.ratio_bare) * 100);
+      report.Row()
+          .Set("corpus", corpus->name())
+          .Set("tags", with_tags ? "+" : "-")
+          .Set("tree_nodes", stats.tree_nodes)
+          .Set("dag_vertices", stats.dag_vertices)
+          .Set("dag_rle_edges", stats.dag_rle_edges)
+          .Set("edge_ratio", stats.edge_ratio)
+          .Set("document_bytes", static_cast<uint64_t>(xml.size()));
     }
     std::printf("%-12s   (document: %s; paper corpus: %s, %s nodes)\n", "",
                 HumanBytes(xml.size()).c_str(),

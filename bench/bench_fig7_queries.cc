@@ -18,6 +18,7 @@ namespace xcq::bench {
 namespace {
 
 void Run(const BenchArgs& args) {
+  BenchReport report("fig7_queries", args);
   std::printf(
       "Fig. 7 — parsing and query evaluation performance (scale=%g)\n\n",
       args.scale);
@@ -57,6 +58,8 @@ void Run(const BenchArgs& args) {
           engine::Evaluate(&inst, plan, engine::EvalOptions{}, &eval_stats),
           "evaluate");
 
+      const uint64_t sel_dag = SelectedDagNodeCount(inst, result);
+      const uint64_t sel_tree = SelectedTreeNodeCount(inst, result);
       std::printf(
           "%-12s Q%-2zu %8.3fs %10s %11s %8.4fs %10s %11s %9s %11s\n",
           q == 0 ? std::string(set.corpus).c_str() : "", q + 1,
@@ -65,8 +68,18 @@ void Run(const BenchArgs& args) {
           WithCommas(eval_stats.edges_before).c_str(), eval_stats.seconds,
           WithCommas(eval_stats.vertices_after).c_str(),
           WithCommas(eval_stats.edges_after).c_str(),
-          WithCommas(SelectedDagNodeCount(inst, result)).c_str(),
-          WithCommas(SelectedTreeNodeCount(inst, result)).c_str());
+          WithCommas(sel_dag).c_str(), WithCommas(sel_tree).c_str());
+      report.Row()
+          .Set("corpus", set.corpus)
+          .Set("query", static_cast<uint64_t>(q + 1))
+          .Set("parse_seconds", parse_stats.parse_seconds)
+          .Set("vertices_before", eval_stats.vertices_before)
+          .Set("edges_before", eval_stats.edges_before)
+          .Set("eval_seconds", eval_stats.seconds)
+          .Set("vertices_after", eval_stats.vertices_after)
+          .Set("edges_after", eval_stats.edges_after)
+          .Set("selected_dag", sel_dag)
+          .Set("selected_tree", sel_tree);
     }
     PrintRule(112);
   }

@@ -26,7 +26,8 @@ std::string TableXml(int rows, int columns) {
   return xml;
 }
 
-void Run() {
+void Run(const BenchArgs& args) {
+  BenchReport report("relational_scaling", args);
   std::printf(
       "Relational-table compression: O(C*R) -> O(C+R) -> O(C+log R)\n\n");
   std::printf("%8s %5s %12s %12s %12s %10s\n", "rows", "cols", "|V_T|",
@@ -45,6 +46,13 @@ void Run() {
                   WithCommas(TreeNodeCount(inst)).c_str(),
                   WithCommas(ExpandedDagEdgeCount(inst)).c_str(),
                   WithCommas(inst.rle_edge_count()).c_str(), seconds);
+      report.Row()
+          .Set("rows", rows)
+          .Set("columns", columns)
+          .Set("tree_nodes", TreeNodeCount(inst))
+          .Set("edges_expanded", ExpandedDagEdgeCount(inst))
+          .Set("edges_rle", inst.rle_edge_count())
+          .Set("parse_seconds", seconds);
     }
   }
   PrintRule(68);
@@ -58,7 +66,6 @@ void Run() {
 }  // namespace xcq::bench
 
 int main(int argc, char** argv) {
-  (void)xcq::bench::BenchArgs::Parse(argc, argv);
-  xcq::bench::Run();
+  xcq::bench::Run(xcq::bench::BenchArgs::Parse(argc, argv));
   return 0;
 }

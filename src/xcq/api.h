@@ -24,6 +24,9 @@
 ///   uint64_t hits =
 ///       xcq::SelectedTreeNodeCount(*instance, *result);
 /// \endcode
+///
+/// This example is kept honest by tests/api_smoke_test.cc, which
+/// compiles and runs the same calls; keep the two in sync.
 
 #include "xcq/algebra/compiler.h"
 #include "xcq/algebra/op.h"

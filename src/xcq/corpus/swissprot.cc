@@ -113,8 +113,9 @@ class SwissProtGenerator : public GeneratorBase {
           w.TextElement("topic", rng.Pick(kTopics));
           w.TextElement("text", RandomSentence(rng, 6 + rng.Uniform(0, 8)));
           if (rng.Chance(0.1)) {
-            w.TextElement("evidence",
-                          "E" + std::to_string(rng.Uniform(1, 40)));
+            std::string evidence = "E";
+            evidence += std::to_string(rng.Uniform(1, 40));
+            w.TextElement("evidence", evidence);
           }
           w.EndElement();
         }

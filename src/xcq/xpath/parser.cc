@@ -99,7 +99,7 @@ class Parser {
       XCQ_RETURN_IF_ERROR(Expect(TokenKind::kAxisSep));
     }
     if (Accept(TokenKind::kStar)) {
-      step.node_test = "*";
+      step.node_test = '*';
     } else if (Peek().kind == TokenKind::kName) {
       step.node_test = std::string(Take().text);
     } else {
@@ -120,7 +120,7 @@ class Parser {
       } else {
         Step dos;
         dos.axis = Axis::kDescendantOrSelf;
-        dos.node_test = "*";
+        dos.node_test = '*';
         path->steps.push_back(std::move(dos));
       }
     }
