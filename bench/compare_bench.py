@@ -1,0 +1,200 @@
+#!/usr/bin/env python3
+"""Diff two sets of BENCH_*.json files and flag regressions.
+
+The bench binaries write one BENCH_<figure>.json per run (see
+bench_util.h). This script compares a baseline set against a current
+set, prints per-figure deltas, and exits non-zero when a regression
+crosses the threshold — the check that turns the BENCH files from a
+write-only record into a perf trajectory.
+
+Usage:
+    compare_bench.py BASELINE_DIR CURRENT_DIR [options]
+
+    --time-threshold=R   fail when a timing field grows more than R×
+                         (default 1.5; timings are inherently noisy, so
+                         the default is deliberately loose)
+    --count-tolerance=F  allowed relative drift for structural fields
+                         (default 0.0 — counts are deterministic for a
+                         fixed generator seed and must match exactly)
+    --ignore-time        skip timing fields entirely (for CI, where
+                         machine speed differs from the baseline host)
+    --strict             also fail when a baseline figure or row is
+                         missing from the current set
+
+Field classification: a numeric field whose name ends in `_seconds`,
+`_s`, or `_ms` (or equals `seconds`) is a timing; every other numeric
+field is structural. Rows are matched within a figure by their string
+fields (corpus, query, section, ...) plus an occurrence counter, since
+benches repeat a string combination across numeric sweeps and emit
+rows in deterministic order.
+"""
+
+import json
+import os
+import sys
+
+TIME_SUFFIXES = ("_seconds", "_s", "_ms")
+
+
+def is_time_field(name):
+    return name == "seconds" or name.endswith(TIME_SUFFIXES)
+
+
+def keyed_rows(rows):
+    """Maps each row to a unique key: its string-valued fields, plus an
+    occurrence counter since benches legitimately repeat a (corpus,
+    query, ...) combination across numeric sweeps (fig5 sweeps depth,
+    fig7 numbers its queries). Row emission order is deterministic, so
+    occurrence numbers line up across runs."""
+    seen = {}
+    keyed = {}
+    for row in rows:
+        parts = [f"{k}={v}" for k, v in sorted(row.items())
+                 if isinstance(v, str)]
+        base = "|".join(parts) if parts else "row"
+        occurrence = seen.get(base, 0)
+        seen[base] = occurrence + 1
+        # Always suffixed, so a run that *gains* a duplicate cannot
+        # silently re-pair rows.
+        keyed[f"{base}#{occurrence}"] = row
+    return keyed
+
+
+def load_set(directory):
+    figures = {}
+    for name in sorted(os.listdir(directory)):
+        if not (name.startswith("BENCH_") and name.endswith(".json")):
+            continue
+        path = os.path.join(directory, name)
+        try:
+            with open(path, encoding="utf-8") as f:
+                figures[name] = json.load(f)
+        except (OSError, json.JSONDecodeError) as error:
+            print(f"WARNING: cannot read {path}: {error}")
+    return figures
+
+
+def compare_figure(name, base, cur, opts):
+    """Returns (regressions, lines) for one figure."""
+    regressions = []
+    lines = []
+    base_rows = keyed_rows(base.get("rows", []))
+    cur_rows = keyed_rows(cur.get("rows", []))
+
+    if base.get("scale") != cur.get("scale") or \
+       base.get("seed") != cur.get("seed"):
+        lines.append(f"  NOTE: scale/seed differ "
+                     f"(baseline scale={base.get('scale')} "
+                     f"seed={base.get('seed')}, current "
+                     f"scale={cur.get('scale')} seed={cur.get('seed')}); "
+                     f"structural comparison skipped")
+        return regressions, lines
+
+    for key, base_row in base_rows.items():
+        cur_row = cur_rows.get(key)
+        if cur_row is None:
+            lines.append(f"  MISSING row: {key}")
+            if opts["strict"]:
+                regressions.append(f"{name}: missing row {key}")
+            continue
+        for field, base_value in base_row.items():
+            if not isinstance(base_value, (int, float)) or \
+               isinstance(base_value, bool):
+                continue
+            cur_value = cur_row.get(field)
+            if not isinstance(cur_value, (int, float)):
+                continue
+            if is_time_field(field):
+                if opts["ignore_time"]:
+                    continue
+                if base_value <= 0:
+                    continue
+                ratio = cur_value / base_value
+                marker = ""
+                if ratio > opts["time_threshold"]:
+                    marker = "  <-- REGRESSION"
+                    regressions.append(
+                        f"{name}: {key} {field} "
+                        f"{base_value:.6g} -> {cur_value:.6g} "
+                        f"({ratio:.2f}x)")
+                if abs(ratio - 1.0) > 0.05 or marker:
+                    lines.append(f"  {key} {field}: {base_value:.6g} -> "
+                                 f"{cur_value:.6g} ({ratio:+.1%} vs "
+                                 f"baseline){marker}")
+            else:
+                if base_value == cur_value:
+                    continue
+                drift = (abs(cur_value - base_value) / abs(base_value)
+                         if base_value else float("inf"))
+                line = (f"  {key} {field}: {base_value} -> {cur_value}")
+                if drift > opts["count_tolerance"]:
+                    lines.append(line + "  <-- STRUCTURAL CHANGE")
+                    regressions.append(
+                        f"{name}: {key} {field} {base_value} -> "
+                        f"{cur_value}")
+                else:
+                    lines.append(line)
+    return regressions, lines
+
+
+def main(argv):
+    opts = {"time_threshold": 1.5, "count_tolerance": 0.0,
+            "ignore_time": False, "strict": False}
+    positional = []
+    for arg in argv[1:]:
+        if arg.startswith("--time-threshold="):
+            opts["time_threshold"] = float(arg.split("=", 1)[1])
+        elif arg.startswith("--count-tolerance="):
+            opts["count_tolerance"] = float(arg.split("=", 1)[1])
+        elif arg == "--ignore-time":
+            opts["ignore_time"] = True
+        elif arg == "--strict":
+            opts["strict"] = True
+        elif arg in ("--help", "-h"):
+            print(__doc__)
+            return 0
+        else:
+            positional.append(arg)
+    if len(positional) != 2:
+        print(__doc__)
+        return 2
+
+    baseline_dir, current_dir = positional
+    baseline = load_set(baseline_dir)
+    current = load_set(current_dir)
+    if not baseline:
+        print(f"no BENCH_*.json files in baseline dir {baseline_dir}")
+        return 2
+
+    all_regressions = []
+    for name, base in baseline.items():
+        cur = current.get(name)
+        print(name)
+        if cur is None:
+            print("  not present in current set")
+            if opts["strict"]:
+                all_regressions.append(f"{name}: missing from current set")
+            continue
+        regressions, lines = compare_figure(name, base, cur, opts)
+        for line in lines:
+            print(line)
+        if not lines:
+            print("  no deltas")
+        all_regressions.extend(regressions)
+
+    extra = sorted(set(current) - set(baseline))
+    if extra:
+        print("figures only in current set (no baseline yet): "
+              + ", ".join(extra))
+
+    if all_regressions:
+        print(f"\n{len(all_regressions)} regression(s):")
+        for regression in all_regressions:
+            print(f"  {regression}")
+        return 1
+    print("\nno regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

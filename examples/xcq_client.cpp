@@ -1,0 +1,198 @@
+// xcq_client — minimal client for xcq_serverd's line protocol.
+//
+//   ./build/examples/xcq_client <port> <request...>
+//   ./build/examples/xcq_client <port>            # read requests from stdin
+//
+// Examples (against a server started with --preload=bib=bib.xml):
+//
+//   xcq_client 7878 STATS
+//   xcq_client 7878 QUERY bib '//paper/author'
+//   printf 'BATCH bib 2\n//paper\n//book\nQUIT\n' | xcq_client 7878
+//
+// The client sends each request line, then prints the response: one line
+// for LOAD/QUERY/EVICT, `OK <n>` plus n detail lines for BATCH/STATS.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace {
+
+int Dial(uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) < 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool SendLine(int fd, const std::string& line) {
+  const std::string framed = line + "\n";
+  size_t sent = 0;
+  while (sent < framed.size()) {
+    const ssize_t n =
+        ::send(fd, framed.data() + sent, framed.size() - sent, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+class LineReader {
+ public:
+  explicit LineReader(int fd) : fd_(fd) {}
+
+  bool ReadLine(std::string* line) {
+    line->clear();
+    while (true) {
+      const size_t newline = buffer_.find('\n');
+      if (newline != std::string::npos) {
+        *line = buffer_.substr(0, newline);
+        buffer_.erase(0, newline + 1);
+        return true;
+      }
+      char chunk[4096];
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) {
+        if (n < 0 && errno == EINTR) continue;
+        return false;
+      }
+      buffer_.append(chunk, static_cast<size_t>(n));
+    }
+  }
+
+ private:
+  int fd_;
+  std::string buffer_;
+};
+
+/// True when `line` is a BATCH header the *server* will accept (verb,
+/// name, all-digit count in 1..100000, nothing else) — mirrored from
+/// ParseRequest, whitespace handling included, so the client withholds
+/// its response read exactly when the server will wait for body lines.
+/// A header the server rejects gets an immediate ERR, which must be
+/// read right away or every later request/response pair shifts by one.
+bool IsAcceptedBatchHeader(const std::string& line,
+                           unsigned long long* count) {
+  std::vector<std::string> tokens;
+  std::string token;
+  for (const char c : line) {
+    if (c == ' ' || c == '\t') {
+      if (!token.empty()) tokens.push_back(std::move(token));
+      token.clear();
+    } else {
+      token += c;
+    }
+  }
+  if (!token.empty()) tokens.push_back(std::move(token));
+  if (tokens.size() != 3 || tokens[0] != "BATCH" || tokens[2].empty()) {
+    return false;
+  }
+  *count = 0;
+  for (const char c : tokens[2]) {
+    if (c < '0' || c > '9') return false;
+    *count = *count * 10 + static_cast<unsigned long long>(c - '0');
+    if (*count > 100000) return false;
+  }
+  return *count >= 1;
+}
+
+/// Prints a whole response: `OK <n>`-headed responses are followed by n
+/// detail lines; everything else is a single line.
+bool PrintResponse(LineReader* reader) {
+  std::string line;
+  if (!reader->ReadLine(&line)) return false;
+  std::printf("%s\n", line.c_str());
+  unsigned long long detail_lines = 0;
+  if (std::sscanf(line.c_str(), "OK %llu", &detail_lines) == 1) {
+    for (unsigned long long i = 0; i < detail_lines; ++i) {
+      if (!reader->ReadLine(&line)) return false;
+      std::printf("%s\n", line.c_str());
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <port> [request words...]\n", argv[0]);
+    return 2;
+  }
+  const auto port =
+      static_cast<uint16_t>(std::strtoul(argv[1], nullptr, 10));
+  const int fd = Dial(port);
+  if (fd < 0) {
+    std::fprintf(stderr, "cannot connect to 127.0.0.1:%u\n",
+                 static_cast<unsigned>(port));
+    return 1;
+  }
+  LineReader reader(fd);
+
+  int status = 0;
+  if (argc > 2) {
+    // One request from argv (words joined by spaces).
+    std::string request;
+    for (int i = 2; i < argc; ++i) {
+      if (i > 2) request += ' ';
+      request += argv[i];
+    }
+    if (!SendLine(fd, request) || !PrintResponse(&reader)) {
+      std::fprintf(stderr, "connection closed mid-request\n");
+      status = 1;
+    }
+  } else {
+    // Requests from stdin. BATCH bodies are forwarded without waiting
+    // for a response, matching the protocol.
+    char buffer[65536];
+    unsigned long long pending_body = 0;
+    while (std::fgets(buffer, sizeof(buffer), stdin) != nullptr) {
+      std::string line(buffer);
+      while (!line.empty() &&
+             (line.back() == '\n' || line.back() == '\r')) {
+        line.pop_back();
+      }
+      if (line.empty()) continue;
+      if (!SendLine(fd, line)) {
+        std::fprintf(stderr, "connection closed\n");
+        status = 1;
+        break;
+      }
+      if (pending_body > 0) {
+        // This line was part of a BATCH body; no response yet.
+        --pending_body;
+        if (pending_body > 0) continue;
+        if (!PrintResponse(&reader)) break;
+        continue;
+      }
+      unsigned long long n = 0;
+      if (IsAcceptedBatchHeader(line, &n)) {
+        pending_body = n;
+        continue;  // body lines follow; respond after the last one
+      }
+      if (!PrintResponse(&reader)) break;
+      if (line == "QUIT") break;
+    }
+  }
+  ::close(fd);
+  return status;
+}

@@ -1,0 +1,142 @@
+// xcq_serverd — the query daemon: a long-lived process serving Core
+// XPath queries over cached compressed instances, on TCP.
+//
+//   ./build/examples/xcq_serverd [options]
+//
+// Options:
+//   --port=N            port to bind on 127.0.0.1 (default 7878; 0 =
+//                       ephemeral, printed on startup)
+//   --threads=N         evaluation worker pool size (default 4)
+//   --capacity-mb=N     document store budget; past it the least-
+//                       recently-used document is evicted (default
+//                       unlimited)
+//   --preload=NAME=PATH cache a document before serving; PATH may be a
+//                       .xcqi instance file or raw XML (sniffed).
+//                       Repeatable.
+//   --minimize          re-minimize instances after splitting queries
+//
+// Protocol (line-oriented; try it with `nc 127.0.0.1 7878`):
+//
+//   LOAD bib bib.xcqi
+//   QUERY bib //paper/author
+//   BATCH bib 2
+//   //book[author["Vianu"]]
+//   //paper/title
+//   STATS
+//   EVICT bib
+//   QUIT
+//
+// See docs/SERVER.md for the full protocol and threading model.
+
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "xcq/api.h"
+#include "xcq/util/string_util.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void HandleSignal(int) { g_stop = 1; }
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--port=N] [--threads=N] [--capacity-mb=N] "
+               "[--preload=NAME=PATH]... [--minimize]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  xcq::server::ServerOptions options;
+  std::vector<std::pair<std::string, std::string>> preloads;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.rfind("--port=", 0) == 0) {
+      options.port = static_cast<uint16_t>(
+          std::strtoul(arg.substr(7).data(), nullptr, 10));
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      options.worker_threads =
+          std::strtoull(arg.substr(10).data(), nullptr, 10);
+    } else if (arg.rfind("--capacity-mb=", 0) == 0) {
+      options.capacity_bytes =
+          std::strtoull(arg.substr(14).data(), nullptr, 10) * 1024 * 1024;
+    } else if (arg.rfind("--preload=", 0) == 0) {
+      const std::string_view spec = arg.substr(10);
+      const size_t eq = spec.find('=');
+      if (eq == std::string_view::npos || eq == 0 ||
+          eq + 1 == spec.size()) {
+        std::fprintf(stderr, "bad --preload spec: %s\n", argv[i]);
+        return 2;
+      }
+      preloads.emplace_back(std::string(spec.substr(0, eq)),
+                            std::string(spec.substr(eq + 1)));
+    } else if (arg == "--minimize") {
+      options.session.minimize_after_query = true;
+    } else if (arg == "--help" || arg == "-h") {
+      return Usage(argv[0]);
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", argv[i]);
+      return Usage(argv[0]);
+    }
+  }
+
+  xcq::server::TcpServer server(options);
+  for (const auto& [name, path] : preloads) {
+    const xcq::Status status = server.store().LoadFile(name, path);
+    if (!status.ok()) {
+      std::fprintf(stderr, "preload %s from %s failed: %s\n", name.c_str(),
+                   path.c_str(), status.ToString().c_str());
+      return 1;
+    }
+    std::printf("preloaded '%s' from %s\n", name.c_str(), path.c_str());
+  }
+
+  const xcq::Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "start failed: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  std::printf("xcq_serverd listening on 127.0.0.1:%u (%zu workers%s)\n",
+              static_cast<unsigned>(server.port()),
+              server.service().worker_count(),
+              options.capacity_bytes == 0
+                  ? ""
+                  : xcq::StrFormat(", capacity %s",
+                                   xcq::HumanBytes(options.capacity_bytes)
+                                       .c_str())
+                        .c_str());
+  std::fflush(stdout);
+
+  // Block the shutdown signals, then atomically unblock-and-wait with
+  // sigsuspend: a plain `while (!g_stop) pause()` loses a signal that
+  // lands between the check and the pause and never wakes up.
+  sigset_t mask;
+  sigemptyset(&mask);
+  sigaddset(&mask, SIGINT);
+  sigaddset(&mask, SIGTERM);
+  sigset_t previous;
+  sigprocmask(SIG_BLOCK, &mask, &previous);
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  sigset_t wait_mask = previous;
+  sigdelset(&wait_mask, SIGINT);
+  sigdelset(&wait_mask, SIGTERM);
+  while (!g_stop) {
+    sigsuspend(&wait_mask);
+  }
+  sigprocmask(SIG_SETMASK, &previous, nullptr);
+  std::printf("shutting down after %llu connection(s)\n",
+              static_cast<unsigned long long>(server.connections_accepted()));
+  server.Stop();
+  return 0;
+}

@@ -46,6 +46,10 @@
 #include "xcq/instance/instance_io.h"
 #include "xcq/instance/schema.h"
 #include "xcq/instance/stats.h"
+#include "xcq/server/document_store.h"
+#include "xcq/server/protocol.h"
+#include "xcq/server/query_service.h"
+#include "xcq/server/tcp_server.h"
 #include "xcq/session/query_session.h"
 #include "xcq/tree/tree_builder.h"
 #include "xcq/tree/tree_skeleton.h"

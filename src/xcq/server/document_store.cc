@@ -1,0 +1,175 @@
+#include "xcq/server/document_store.h"
+
+#include <utility>
+
+#include "xcq/instance/instance_io.h"
+#include "xcq/instance/stats.h"
+#include "xcq/util/string_util.h"
+#include "xcq/xml/sax_parser.h"
+
+namespace xcq::server {
+
+// --- StoredDocument --------------------------------------------------------
+
+StoredDocument::StoredDocument(QuerySession session)
+    : session_(std::move(session)) {
+  RefreshFootprintLocked();  // single-threaded here: no lock needed yet
+}
+
+void StoredDocument::RefreshFootprintLocked() {
+  footprint_.store(session_.has_instance()
+                       ? session_.instance().MemoryFootprint()
+                       : 0);
+}
+
+Result<QueryOutcome> StoredDocument::Query(std::string_view query_text) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Result<QueryOutcome> outcome = session_.Run(query_text);
+  // Even failed runs can have merged labels in before erroring.
+  RefreshFootprintLocked();
+  if (outcome.ok()) ++queries_served_;
+  return outcome;
+}
+
+Result<std::vector<QueryOutcome>> StoredDocument::Batch(
+    const std::vector<std::string>& query_texts) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Result<std::vector<QueryOutcome>> outcomes =
+      session_.RunBatch(query_texts);
+  RefreshFootprintLocked();
+  if (outcomes.ok()) {
+    ++batches_served_;
+    queries_served_ += outcomes->size();
+  }
+  return outcomes;
+}
+
+DocumentInfo StoredDocument::Info(std::string name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  DocumentInfo info;
+  info.name = std::move(name);
+  info.queries_served = queries_served_;
+  info.batches_served = batches_served_;
+  info.source_parses = session_.source_parse_count();
+  info.has_source = session_.has_source();
+  info.tracked_tags = session_.tracked_tag_count();
+  info.tracked_patterns = session_.tracked_pattern_count();
+  if (session_.has_instance()) {
+    const Instance& instance = session_.instance();
+    info.memory_bytes = instance.MemoryFootprint();
+    info.vertex_count = instance.vertex_count();
+    info.rle_edges = instance.rle_edge_count();
+    info.tree_nodes = TreeNodeCount(instance);
+  }
+  return info;
+}
+
+// --- DocumentStore ---------------------------------------------------------
+
+DocumentStore::DocumentStore(StoreOptions options)
+    : options_(std::move(options)) {}
+
+Status DocumentStore::LoadXml(const std::string& name, std::string xml) {
+  XCQ_ASSIGN_OR_RETURN(QuerySession session,
+                       QuerySession::Open(std::move(xml), options_.session));
+  auto doc = std::make_shared<StoredDocument>(std::move(session));
+  doc->last_used_.store(++clock_);
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  docs_[name] = std::move(doc);
+  EnforceCapacityLocked(name);
+  return Status::OK();
+}
+
+Status DocumentStore::LoadInstance(const std::string& name,
+                                   Instance instance) {
+  XCQ_ASSIGN_OR_RETURN(
+      QuerySession session,
+      QuerySession::FromInstance(std::move(instance), options_.session));
+  auto doc = std::make_shared<StoredDocument>(std::move(session));
+  doc->last_used_.store(++clock_);
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  docs_[name] = std::move(doc);
+  EnforceCapacityLocked(name);
+  return Status::OK();
+}
+
+Status DocumentStore::LoadFile(const std::string& name,
+                               const std::string& path) {
+  // Two-step declare + assign: GCC 12's -Wmaybe-uninitialized misfires on
+  // the declaration-inside-macro form (same workaround as corpus/).
+  std::string bytes;
+  XCQ_ASSIGN_OR_RETURN(bytes, xml::ReadFileToString(path));
+  if (StartsWith(bytes, "XCQI")) {
+    XCQ_ASSIGN_OR_RETURN(Instance instance, DeserializeInstance(bytes));
+    return LoadInstance(name, std::move(instance));
+  }
+  return LoadXml(name, std::move(bytes));
+}
+
+std::shared_ptr<StoredDocument> DocumentStore::Find(
+    const std::string& name) {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  const auto it = docs_.find(name);
+  if (it == docs_.end()) return nullptr;
+  it->second->last_used_.store(++clock_);
+  return it->second;
+}
+
+bool DocumentStore::Evict(const std::string& name) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  return docs_.erase(name) > 0;
+}
+
+std::vector<DocumentInfo> DocumentStore::Stats() const {
+  // Copy the document pointers under the shared lock, then take each
+  // document's own lock outside of it — Info() can be slow (tree-node
+  // counting) and must not block loads.
+  std::vector<std::pair<std::string, std::shared_ptr<StoredDocument>>> docs;
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    docs.reserve(docs_.size());
+    for (const auto& [name, doc] : docs_) docs.emplace_back(name, doc);
+  }
+  std::vector<DocumentInfo> infos;
+  infos.reserve(docs.size());
+  for (auto& [name, doc] : docs) infos.push_back(doc->Info(std::move(name)));
+  return infos;
+}
+
+size_t DocumentStore::total_bytes() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return TotalBytesLocked();
+}
+
+size_t DocumentStore::document_count() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return docs_.size();
+}
+
+size_t DocumentStore::TotalBytesLocked() const {
+  size_t total = 0;
+  for (const auto& [name, doc] : docs_) {
+    total += doc->memory_bytes();
+  }
+  return total;
+}
+
+void DocumentStore::EnforceCapacityLocked(const std::string& keep) {
+  if (options_.capacity_bytes == 0) return;
+  while (docs_.size() > 1 &&
+         TotalBytesLocked() > options_.capacity_bytes) {
+    auto victim = docs_.end();
+    for (auto it = docs_.begin(); it != docs_.end(); ++it) {
+      if (it->first == keep) continue;
+      if (victim == docs_.end() ||
+          it->second->last_used_.load() <
+              victim->second->last_used_.load()) {
+        victim = it;
+      }
+    }
+    if (victim == docs_.end()) return;  // only `keep` is left
+    docs_.erase(victim);
+  }
+}
+
+}  // namespace xcq::server

@@ -1,0 +1,154 @@
+#ifndef XCQ_SERVER_DOCUMENT_STORE_H_
+#define XCQ_SERVER_DOCUMENT_STORE_H_
+
+/// \file document_store.h
+/// Named cache of compressed instances for the query daemon.
+///
+/// The paper's deployment argument (Sec. 2.3/4): compress once, keep the
+/// small DAG resident, and answer an unbounded query stream without ever
+/// touching the original XML again. `DocumentStore` is that residence: a
+/// map from names to `StoredDocument`s, each wrapping a `QuerySession`
+/// whose accumulated instance is the cached artifact.
+///
+/// Concurrency model:
+///  * The store's map is guarded by a `std::shared_mutex` — lookups and
+///    STATS take it shared; LOAD / EVICT take it exclusive.
+///  * Each `StoredDocument` has its own mutex. Query evaluation *mutates*
+///    the instance (splits, result relations, label merges), so
+///    evaluation holds the document lock exclusively; concurrent queries
+///    against one document serialize per document while different
+///    documents proceed in parallel. This is what makes a concurrent
+///    query storm bit-identical to single-threaded evaluation.
+///
+/// Capacity: `StoreOptions::capacity_bytes` bounds the summed
+/// `Instance::MemoryFootprint()` of cached instances. Loads beyond the
+/// budget evict least-recently-used documents (never the one being
+/// loaded). Footprints are refreshed after every evaluation, since
+/// splitting queries grow instances.
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "xcq/session/query_session.h"
+#include "xcq/util/result.h"
+
+namespace xcq::server {
+
+struct StoreOptions {
+  /// Soft cap on the summed instance footprint in bytes; 0 = unlimited.
+  size_t capacity_bytes = 0;
+  /// Session configuration applied to every stored document.
+  SessionOptions session;
+};
+
+/// \brief One row of STATS: a snapshot of a cached document.
+struct DocumentInfo {
+  std::string name;
+  size_t memory_bytes = 0;        ///< Instance::MemoryFootprint().
+  size_t vertex_count = 0;        ///< DAG vertices (including splits).
+  uint64_t rle_edges = 0;         ///< RLE edges.
+  uint64_t tree_nodes = 0;        ///< TreeNodeCount() — what the DAG stands for.
+  size_t tracked_tags = 0;        ///< Tag relations present.
+  size_t tracked_patterns = 0;    ///< String-constraint relations present.
+  uint64_t queries_served = 0;    ///< Single queries evaluated.
+  uint64_t batches_served = 0;    ///< BATCH requests evaluated.
+  uint64_t source_parses = 0;     ///< Scans of the original document.
+  bool has_source = false;        ///< False for `.xcqi`-loaded documents.
+};
+
+/// \brief A cached compressed document: a `QuerySession` plus serving
+/// counters, evaluated under the document's own lock.
+class StoredDocument {
+ public:
+  explicit StoredDocument(QuerySession session);
+
+  /// Evaluates one query (exclusive document lock).
+  Result<QueryOutcome> Query(std::string_view query_text);
+
+  /// Evaluates a batch with one merged label pass (exclusive lock held
+  /// across the whole batch, so a batch is atomic w.r.t. other clients).
+  Result<std::vector<QueryOutcome>> Batch(
+      const std::vector<std::string>& query_texts);
+
+  DocumentInfo Info(std::string name) const;
+
+  /// Current instance footprint in bytes (0 before the first query of an
+  /// XML-loaded document). Reads a cached value refreshed after every
+  /// evaluation — never blocks on the document lock, so the store's
+  /// capacity sweep cannot stall behind a slow in-flight query.
+  size_t memory_bytes() const { return footprint_.load(); }
+
+ private:
+  friend class DocumentStore;
+
+  /// Recomputes the cached footprint; mu_ must be held.
+  void RefreshFootprintLocked();
+
+  mutable std::mutex mu_;
+  QuerySession session_;
+  std::atomic<size_t> footprint_{0};
+  /// LRU stamp, owned by the store; atomic so Find() can bump it under
+  /// the store's *shared* lock.
+  std::atomic<uint64_t> last_used_{0};
+  uint64_t queries_served_ = 0;
+  uint64_t batches_served_ = 0;
+};
+
+/// \brief Thread-safe name → StoredDocument map with LRU eviction.
+class DocumentStore {
+ public:
+  explicit DocumentStore(StoreOptions options = {});
+
+  /// Compresses `xml` under `name` (replacing any previous document of
+  /// that name). The text is retained so later queries can merge missing
+  /// labels in.
+  Status LoadXml(const std::string& name, std::string xml);
+
+  /// Caches an already-built instance under `name` with no source text
+  /// behind it; queries needing absent labels fail instead of parsing.
+  Status LoadInstance(const std::string& name, Instance instance);
+
+  /// Loads `path` as either a serialized `.xcqi` instance or raw XML,
+  /// sniffing the format from the leading bytes.
+  Status LoadFile(const std::string& name, const std::string& path);
+
+  /// The document, bumping its LRU stamp; null if absent. Takes the
+  /// store lock shared: lookups from concurrent queries never serialize
+  /// on each other.
+  std::shared_ptr<StoredDocument> Find(const std::string& name);
+
+  /// Drops `name`. False if absent.
+  bool Evict(const std::string& name);
+
+  /// Snapshot of every cached document, name order.
+  std::vector<DocumentInfo> Stats() const;
+
+  /// Summed instance footprint of all cached documents.
+  size_t total_bytes() const;
+
+  size_t document_count() const;
+
+  const StoreOptions& options() const { return options_; }
+
+ private:
+  /// Must hold `mu_` exclusively. Evicts LRU entries (excluding `keep`)
+  /// until the footprint fits `capacity_bytes`.
+  void EnforceCapacityLocked(const std::string& keep);
+  size_t TotalBytesLocked() const;
+
+  StoreOptions options_;
+  mutable std::shared_mutex mu_;
+  /// Ordered so STATS is stable.
+  std::map<std::string, std::shared_ptr<StoredDocument>> docs_;
+  std::atomic<uint64_t> clock_{0};
+};
+
+}  // namespace xcq::server
+
+#endif  // XCQ_SERVER_DOCUMENT_STORE_H_

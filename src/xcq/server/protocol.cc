@@ -1,0 +1,224 @@
+#include "xcq/server/protocol.h"
+
+#include <cstdlib>
+
+#include "xcq/util/string_util.h"
+
+namespace xcq::server {
+
+namespace {
+
+/// Splits off the first space-separated token of `*rest`, trimming the
+/// remainder; empty when exhausted.
+std::string_view NextToken(std::string_view* rest) {
+  *rest = Trim(*rest);
+  const size_t space = rest->find(' ');
+  std::string_view token;
+  if (space == std::string_view::npos) {
+    token = *rest;
+    *rest = {};
+  } else {
+    token = rest->substr(0, space);
+    *rest = Trim(rest->substr(space + 1));
+  }
+  return token;
+}
+
+}  // namespace
+
+Result<Request> ParseRequest(std::string_view line) {
+  std::string_view rest = Trim(line);
+  const std::string_view verb = NextToken(&rest);
+  if (verb.empty()) {
+    return Status::InvalidArgument("empty request line");
+  }
+
+  Request request;
+  if (verb == "LOAD") {
+    request.kind = Request::Kind::kLoad;
+    request.name = std::string(NextToken(&rest));
+    request.path = std::string(rest);
+    if (request.name.empty() || request.path.empty()) {
+      return Status::InvalidArgument("usage: LOAD <name> <path>");
+    }
+  } else if (verb == "QUERY") {
+    request.kind = Request::Kind::kQuery;
+    request.name = std::string(NextToken(&rest));
+    request.query = std::string(rest);
+    if (request.name.empty() || request.query.empty()) {
+      return Status::InvalidArgument("usage: QUERY <name> <query>");
+    }
+  } else if (verb == "BATCH") {
+    request.kind = Request::Kind::kBatch;
+    request.name = std::string(NextToken(&rest));
+    const std::string_view count = NextToken(&rest);
+    if (request.name.empty() || count.empty() || !rest.empty()) {
+      return Status::InvalidArgument("usage: BATCH <name> <count>");
+    }
+    const std::string count_str(count);
+    char* end = nullptr;
+    const unsigned long long n = std::strtoull(count_str.c_str(), &end, 10);
+    // The whole token must be digits: "12x" desynchronizes the body
+    // framing if accepted as 12.
+    if (end != count_str.c_str() + count_str.size() || n == 0 ||
+        n > 100000) {
+      return Status::InvalidArgument(
+          "BATCH count must be an integer between 1 and 100000");
+    }
+    request.batch_size = static_cast<size_t>(n);
+  } else if (verb == "STATS") {
+    request.kind = Request::Kind::kStats;
+    if (!rest.empty()) {
+      return Status::InvalidArgument("usage: STATS");
+    }
+  } else if (verb == "EVICT") {
+    request.kind = Request::Kind::kEvict;
+    request.name = std::string(rest);
+    if (request.name.empty()) {
+      return Status::InvalidArgument("usage: EVICT <name>");
+    }
+  } else if (verb == "QUIT") {
+    request.kind = Request::Kind::kQuit;
+  } else {
+    return Status::InvalidArgument(
+        StrFormat("unknown verb '%s' (expected LOAD, QUERY, BATCH, STATS, "
+                  "EVICT, or QUIT)",
+                  std::string(verb).c_str()));
+  }
+  return request;
+}
+
+std::string FormatOutcome(const QueryOutcome& outcome) {
+  return StrFormat(
+      "dag=%llu tree=%llu splits=%llu label_s=%.6f eval_s=%.6f",
+      static_cast<unsigned long long>(outcome.selected_dag_nodes),
+      static_cast<unsigned long long>(outcome.selected_tree_nodes),
+      static_cast<unsigned long long>(outcome.stats.splits),
+      outcome.label_seconds, outcome.stats.seconds);
+}
+
+std::string FormatDocumentInfo(const DocumentInfo& info) {
+  return StrFormat(
+      "%s bytes=%zu vertices=%zu edges=%llu tree_nodes=%llu tags=%zu "
+      "patterns=%zu queries=%llu batches=%llu parses=%llu source=%s",
+      info.name.c_str(), info.memory_bytes, info.vertex_count,
+      static_cast<unsigned long long>(info.rle_edges),
+      static_cast<unsigned long long>(info.tree_nodes), info.tracked_tags,
+      info.tracked_patterns,
+      static_cast<unsigned long long>(info.queries_served),
+      static_cast<unsigned long long>(info.batches_served),
+      static_cast<unsigned long long>(info.source_parses),
+      info.has_source ? "xml" : "xcqi");
+}
+
+std::string FormatError(const Status& status) {
+  std::string flat = status.ToString();
+  for (char& c : flat) {
+    if (c == '\n' || c == '\r') c = ' ';
+  }
+  return "ERR " + flat;
+}
+
+bool RequestHandler::Handle(
+    std::string_view line,
+    const std::function<bool(std::string*)>& read_line,
+    const std::function<void(std::string_view)>& write_line) {
+  const Result<Request> parsed = ParseRequest(line);
+  if (!parsed.ok()) {
+    write_line(FormatError(parsed.status()));
+    return true;
+  }
+  const Request& request = *parsed;
+
+  switch (request.kind) {
+    case Request::Kind::kQuit:
+      write_line("OK bye");
+      return false;
+
+    case Request::Kind::kLoad: {
+      const Status status = store_->LoadFile(request.name, request.path);
+      if (!status.ok()) {
+        write_line(FormatError(status));
+        return true;
+      }
+      const std::shared_ptr<StoredDocument> doc = store_->Find(request.name);
+      // The document cannot disappear between load and lookup unless a
+      // concurrent EVICT raced us; report the load either way.
+      if (doc == nullptr) {
+        write_line(StrFormat("OK loaded %s", request.name.c_str()));
+      } else {
+        const DocumentInfo info = doc->Info(request.name);
+        write_line(StrFormat(
+            "OK loaded %s vertices=%zu edges=%llu bytes=%zu source=%s",
+            request.name.c_str(), info.vertex_count,
+            static_cast<unsigned long long>(info.rle_edges),
+            info.memory_bytes, info.has_source ? "xml" : "xcqi"));
+      }
+      return true;
+    }
+
+    case Request::Kind::kQuery: {
+      QueryJob job;
+      job.document = request.name;
+      job.queries.push_back(request.query);
+      const QueryResponse response =
+          service_->Submit(std::move(job)).get();
+      if (!response.ok()) {
+        write_line(FormatError(response.status()));
+      } else {
+        write_line("OK " + FormatOutcome(response->front()));
+      }
+      return true;
+    }
+
+    case Request::Kind::kBatch: {
+      QueryJob job;
+      job.document = request.name;
+      job.queries.reserve(request.batch_size);
+      for (size_t i = 0; i < request.batch_size; ++i) {
+        std::string query;
+        if (!read_line(&query)) {
+          write_line(FormatError(Status::InvalidArgument(StrFormat(
+              "input ended after %zu of %zu batch queries", i,
+              request.batch_size))));
+          return false;  // the stream is out of sync; close
+        }
+        job.queries.push_back(std::move(query));
+      }
+      const QueryResponse response =
+          service_->Submit(std::move(job)).get();
+      if (!response.ok()) {
+        write_line(FormatError(response.status()));
+        return true;
+      }
+      write_line(StrFormat("OK %zu", response->size()));
+      for (size_t i = 0; i < response->size(); ++i) {
+        write_line(StrFormat("%zu ", i) + FormatOutcome((*response)[i]));
+      }
+      return true;
+    }
+
+    case Request::Kind::kStats: {
+      const std::vector<DocumentInfo> infos = store_->Stats();
+      write_line(StrFormat("OK %zu", infos.size()));
+      for (const DocumentInfo& info : infos) {
+        write_line(FormatDocumentInfo(info));
+      }
+      return true;
+    }
+
+    case Request::Kind::kEvict: {
+      if (store_->Evict(request.name)) {
+        write_line(StrFormat("OK evicted %s", request.name.c_str()));
+      } else {
+        write_line(FormatError(Status::NotFound(StrFormat(
+            "no document named '%s' is loaded", request.name.c_str()))));
+      }
+      return true;
+    }
+  }
+  write_line(FormatError(Status::Internal("unhandled request kind")));
+  return true;
+}
+
+}  // namespace xcq::server

@@ -1,0 +1,87 @@
+#ifndef XCQ_SERVER_PROTOCOL_H_
+#define XCQ_SERVER_PROTOCOL_H_
+
+/// \file protocol.h
+/// The daemon's line-oriented text protocol, kept free of socket code so
+/// the whole conversation logic is unit-testable over strings.
+///
+/// Requests (one line each, fields space-separated; `\r` tolerated):
+///
+///   LOAD <name> <path>      cache file `path` (`.xcqi` instance or raw
+///                           XML, sniffed from the leading bytes) as
+///                           document `name`
+///   QUERY <name> <query>    evaluate one Core XPath query (the query is
+///                           the rest of the line, spaces included)
+///   BATCH <name> <count>    followed by <count> lines, one query each;
+///                           evaluated with a single merged label pass
+///   STATS                   one line per cached document
+///   EVICT <name>            drop a document
+///   QUIT                    close the conversation
+///
+/// Responses: first line `OK ...` or `ERR <Code>: <message>`. QUERY:
+/// `OK dag=<d> tree=<t> splits=<s> label_s=<x> eval_s=<y>`. BATCH and
+/// STATS: `OK <n>` followed by exactly n detail lines, so clients can
+/// read a response without a terminator sentinel. A failed BATCH fails
+/// as a whole (one ERR line) — batches are atomic.
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "xcq/server/document_store.h"
+#include "xcq/server/query_service.h"
+#include "xcq/util/result.h"
+
+namespace xcq::server {
+
+/// \brief A parsed request line.
+struct Request {
+  enum class Kind { kLoad, kQuery, kBatch, kStats, kEvict, kQuit };
+  Kind kind = Kind::kStats;
+  std::string name;      ///< Document name (LOAD/QUERY/BATCH/EVICT).
+  std::string path;      ///< LOAD only.
+  std::string query;     ///< QUERY only — the rest of the line.
+  size_t batch_size = 0; ///< BATCH only.
+};
+
+/// \brief Parses one request line; `kInvalidArgument` on malformed input
+/// or unknown verbs.
+Result<Request> ParseRequest(std::string_view line);
+
+/// \brief `dag=.. tree=.. splits=.. label_s=.. eval_s=..` for one outcome.
+std::string FormatOutcome(const QueryOutcome& outcome);
+
+/// \brief One STATS detail line for a document snapshot.
+std::string FormatDocumentInfo(const DocumentInfo& info);
+
+/// \brief `ERR <Code>: <message>` with newlines flattened, so an error
+/// always stays one line.
+std::string FormatError(const Status& status);
+
+/// \brief Drives one client conversation over abstract line I/O.
+///
+/// The TCP front end runs it over a socket; tests run it over string
+/// vectors. `read_line` must yield the next input line (without the
+/// newline) and return false at end of input; `write_line` receives
+/// response lines (also without newlines).
+class RequestHandler {
+ public:
+  RequestHandler(DocumentStore* store, QueryService* service)
+      : store_(store), service_(service) {}
+
+  /// Handles the single request starting at `line` (consuming further
+  /// input lines only for BATCH bodies). Writes the complete response.
+  /// Returns false when the conversation should end (QUIT).
+  bool Handle(std::string_view line,
+              const std::function<bool(std::string*)>& read_line,
+              const std::function<void(std::string_view)>& write_line);
+
+ private:
+  DocumentStore* store_;
+  QueryService* service_;
+};
+
+}  // namespace xcq::server
+
+#endif  // XCQ_SERVER_PROTOCOL_H_

@@ -1,0 +1,84 @@
+#include "xcq/server/query_service.h"
+
+#include <utility>
+
+#include "xcq/util/string_util.h"
+
+namespace xcq::server {
+
+QueryService::QueryService(DocumentStore* store, ServiceOptions options)
+    : store_(store) {
+  const size_t n = options.worker_threads < 1 ? 1 : options.worker_threads;
+  workers_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+QueryService::~QueryService() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+std::future<QueryResponse> QueryService::Submit(QueryJob job) {
+  std::packaged_task<QueryResponse()> task(
+      [this, job = std::move(job)] { return Execute(job); });
+  std::future<QueryResponse> future = task.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      // Resolve immediately instead of leaving a never-ready future.
+      std::packaged_task<QueryResponse()> rejected(
+          [] { return QueryResponse(Status::Internal("service stopped")); });
+      future = rejected.get_future();
+      rejected();
+      return future;
+    }
+    queue_.push(std::move(task));
+    ++jobs_submitted_;
+  }
+  cv_.notify_one();
+  return future;
+}
+
+QueryResponse QueryService::Execute(const QueryJob& job) {
+  if (job.queries.empty()) {
+    return Status::InvalidArgument("job carries no queries");
+  }
+  const std::shared_ptr<StoredDocument> doc = store_->Find(job.document);
+  if (doc == nullptr) {
+    return Status::NotFound(
+        StrFormat("no document named '%s' is loaded", job.document.c_str()));
+  }
+  if (job.queries.size() == 1) {
+    XCQ_ASSIGN_OR_RETURN(const QueryOutcome outcome,
+                         doc->Query(job.queries.front()));
+    return std::vector<QueryOutcome>{outcome};
+  }
+  return doc->Batch(job.queries);
+}
+
+uint64_t QueryService::jobs_submitted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return jobs_submitted_;
+}
+
+void QueryService::WorkerLoop() {
+  while (true) {
+    std::packaged_task<QueryResponse()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+  }
+}
+
+}  // namespace xcq::server

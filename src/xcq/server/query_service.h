@@ -1,0 +1,85 @@
+#ifndef XCQ_SERVER_QUERY_SERVICE_H_
+#define XCQ_SERVER_QUERY_SERVICE_H_
+
+/// \file query_service.h
+/// Fixed-size worker pool that compiles and evaluates queries against
+/// `DocumentStore` documents.
+///
+/// Every QUERY / BATCH request becomes a `QueryJob` executed on one of
+/// `worker_threads` pool threads, so the number of concurrent
+/// evaluations — and therefore peak split-growth memory — is bounded no
+/// matter how many clients connect. Front ends block on the returned
+/// future; the pool is the single throttling point.
+///
+/// Batching: a job carrying N queries is evaluated via
+/// `QuerySession::RunBatch`, which unions the label sets of all N
+/// queries *before* the one merge+evaluate pass — the common-extension
+/// work is paid once per batch instead of once per query.
+
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "xcq/server/document_store.h"
+#include "xcq/util/result.h"
+
+namespace xcq::server {
+
+struct ServiceOptions {
+  /// Worker pool size; clamped to at least 1.
+  size_t worker_threads = 4;
+};
+
+/// \brief One unit of work: evaluate `queries` against document `name`.
+struct QueryJob {
+  std::string document;
+  std::vector<std::string> queries;
+};
+
+/// \brief Index-aligned outcomes for a job's queries.
+using QueryResponse = Result<std::vector<QueryOutcome>>;
+
+class QueryService {
+ public:
+  QueryService(DocumentStore* store, ServiceOptions options = {});
+
+  /// Drains the queue and joins the workers.
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Enqueues `job` for the pool; the future resolves when a worker has
+  /// evaluated it.
+  std::future<QueryResponse> Submit(QueryJob job);
+
+  /// Evaluates `job` on the calling thread (the worker path, also
+  /// useful for tests and simple embedders).
+  QueryResponse Execute(const QueryJob& job);
+
+  /// Jobs accepted so far (served + queued).
+  uint64_t jobs_submitted() const;
+
+  size_t worker_count() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  DocumentStore* store_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::queue<std::packaged_task<QueryResponse()>> queue_;
+  bool stopping_ = false;
+  uint64_t jobs_submitted_ = 0;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace xcq::server
+
+#endif  // XCQ_SERVER_QUERY_SERVICE_H_

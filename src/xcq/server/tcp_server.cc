@@ -1,0 +1,217 @@
+#include "xcq/server/tcp_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "xcq/util/string_util.h"
+
+namespace xcq::server {
+
+namespace {
+
+/// Buffered line reader over a socket fd. Lines are LF-terminated; a
+/// trailing CR is stripped so `telnet`-style clients work.
+class LineReader {
+ public:
+  explicit LineReader(int fd) : fd_(fd) {}
+
+  /// False on EOF or error with no pending data.
+  bool ReadLine(std::string* line) {
+    line->clear();
+    while (true) {
+      const size_t newline = buffer_.find('\n');
+      if (newline != std::string::npos) {
+        *line = buffer_.substr(0, newline);
+        buffer_.erase(0, newline + 1);
+        if (!line->empty() && line->back() == '\r') line->pop_back();
+        return true;
+      }
+      char chunk[4096];
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) {
+        if (n < 0 && errno == EINTR) continue;
+        // Treat a final unterminated line as a line.
+        if (!buffer_.empty()) {
+          *line = std::move(buffer_);
+          buffer_.clear();
+          return true;
+        }
+        return false;
+      }
+      buffer_.append(chunk, static_cast<size_t>(n));
+    }
+  }
+
+ private:
+  int fd_;
+  std::string buffer_;
+};
+
+bool SendAll(int fd, std::string_view data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+TcpServer::TcpServer(ServerOptions options)
+    : options_(std::move(options)),
+      store_(StoreOptions{options_.capacity_bytes, options_.session}),
+      service_(&store_, ServiceOptions{options_.worker_threads}) {}
+
+TcpServer::~TcpServer() { Stop(); }
+
+Status TcpServer::Start() {
+  if (listen_fd_.load() >= 0) {
+    return Status::AlreadyExists("server already started");
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IoError(StrFormat("socket: %s", std::strerror(errno)));
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    ::close(fd);
+    return Status::InvalidArgument(
+        StrFormat("bad bind address '%s'", options_.bind_address.c_str()));
+  }
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const Status status =
+        Status::IoError(StrFormat("bind %s:%u: %s",
+                                  options_.bind_address.c_str(),
+                                  static_cast<unsigned>(options_.port),
+                                  std::strerror(errno)));
+    ::close(fd);
+    return status;
+  }
+  if (::listen(fd, 64) < 0) {
+    const Status status =
+        Status::IoError(StrFormat("listen: %s", std::strerror(errno)));
+    ::close(fd);
+    return status;
+  }
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+    port_ = ntohs(bound.sin_port);
+  } else {
+    port_ = options_.port;
+  }
+
+  listen_fd_.store(fd);
+  stopping_ = false;
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void TcpServer::Stop() {
+  stopping_ = true;
+  const int fd = listen_fd_.exchange(-1);
+  if (fd >= 0) {
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<Connection> connections;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    // Wake connection threads blocked in recv() on idle clients; the
+    // threads own and close their fds themselves.
+    for (const int open : open_fds_) ::shutdown(open, SHUT_RDWR);
+    connections.swap(connections_);
+  }
+  for (Connection& conn : connections) {
+    if (conn.thread.joinable()) conn.thread.join();
+  }
+}
+
+void TcpServer::ReapFinishedLocked() {
+  std::erase_if(connections_, [](Connection& conn) {
+    if (!conn.done->load()) return false;
+    if (conn.thread.joinable()) conn.thread.join();
+    return true;
+  });
+}
+
+void TcpServer::AcceptLoop() {
+  // Snapshot once: Stop() closes the fd and swaps in -1; accept() then
+  // fails and the loop exits. Re-reading listen_fd_ per iteration would
+  // race that swap.
+  const int fd = listen_fd_.load();
+  while (!stopping_) {
+    const int client = ::accept(fd, nullptr, nullptr);
+    if (client < 0) {
+      // Transient conditions must not kill the accept loop — a daemon
+      // that silently stops accepting is worse than a refused client.
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
+          errno == ENOMEM) {
+        // Out of descriptors/buffers: back off until connections close.
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        continue;
+      }
+      return;  // listener closed by Stop(), or fatal
+    }
+    ++connections_accepted_;
+    auto done = std::make_shared<std::atomic<bool>>(false);
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    // A long-lived daemon sees many short connections: join the ones
+    // already finished so thread handles do not accumulate.
+    ReapFinishedLocked();
+    open_fds_.push_back(client);
+    connections_.push_back(Connection{
+        std::thread([this, client, done] {
+          ServeConnection(client);
+          done->store(true);
+        }),
+        done});
+  }
+}
+
+void TcpServer::ServeConnection(int fd) {
+  LineReader reader(fd);
+  RequestHandler handler(&store_, &service_);
+  const auto read_line = [&reader](std::string* line) {
+    return reader.ReadLine(line);
+  };
+  const auto write_line = [fd](std::string_view line) {
+    std::string out(line);
+    out += '\n';
+    SendAll(fd, out);
+  };
+  std::string line;
+  while (!stopping_ && reader.ReadLine(&line)) {
+    if (Trim(line).empty()) continue;
+    if (!handler.Handle(line, read_line, write_line)) break;
+  }
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    std::erase(open_fds_, fd);
+  }
+  ::close(fd);
+}
+
+}  // namespace xcq::server

@@ -1,0 +1,99 @@
+#ifndef XCQ_SERVER_TCP_SERVER_H_
+#define XCQ_SERVER_TCP_SERVER_H_
+
+/// \file tcp_server.h
+/// `xcq_serverd`'s front end: a POSIX TCP listener speaking the line
+/// protocol of protocol.h.
+///
+/// Threading model (three layers, each bounded):
+///  * one accept thread,
+///  * one connection thread per client, which only parses lines and
+///    blocks on futures — it never evaluates queries itself,
+///  * the `QueryService` worker pool, where all evaluation happens.
+///
+/// So the expensive, memory-growing work is capped at `worker_threads`
+/// regardless of client count, and a slow query on one document never
+/// blocks queries against other documents.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "xcq/server/document_store.h"
+#include "xcq/server/protocol.h"
+#include "xcq/server/query_service.h"
+#include "xcq/util/result.h"
+
+namespace xcq::server {
+
+struct ServerOptions {
+  /// Port to bind ("127.0.0.1"); 0 picks an ephemeral port (tests).
+  uint16_t port = 7878;
+  /// Bind address; the default keeps the daemon loopback-only.
+  std::string bind_address = "127.0.0.1";
+  /// Evaluation worker pool size.
+  size_t worker_threads = 4;
+  /// Document store capacity (0 = unlimited).
+  size_t capacity_bytes = 0;
+  /// Session behaviour for every stored document.
+  SessionOptions session;
+};
+
+class TcpServer {
+ public:
+  explicit TcpServer(ServerOptions options = {});
+
+  /// Stops and joins everything still running.
+  ~TcpServer();
+
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  /// Binds, listens, and spawns the accept thread. After an OK return,
+  /// `port()` is the actually-bound port.
+  Status Start();
+
+  /// Closes the listener, wakes every connection, joins all threads.
+  /// Idempotent; also run by the destructor.
+  void Stop();
+
+  uint16_t port() const { return port_; }
+
+  DocumentStore& store() { return store_; }
+  QueryService& service() { return service_; }
+
+  /// Connections accepted so far.
+  uint64_t connections_accepted() const { return connections_accepted_; }
+
+ private:
+  struct Connection {
+    std::thread thread;
+    /// Set by the connection thread as its last act, so the accept loop
+    /// can reap finished threads without blocking on live ones.
+    std::shared_ptr<std::atomic<bool>> done;
+  };
+
+  void AcceptLoop();
+  void ServeConnection(int fd);
+  /// Joins and drops finished connection threads; conn_mu_ must be held.
+  void ReapFinishedLocked();
+
+  ServerOptions options_;
+  DocumentStore store_;
+  QueryService service_;
+  std::atomic<int> listen_fd_{-1};
+  uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::atomic<uint64_t> connections_accepted_{0};
+  std::thread accept_thread_;
+  std::mutex conn_mu_;
+  std::vector<Connection> connections_;
+  std::vector<int> open_fds_;
+};
+
+}  // namespace xcq::server
+
+#endif  // XCQ_SERVER_TCP_SERVER_H_

@@ -6,14 +6,81 @@
 #include "xcq/compress/common_extension.h"
 #include "xcq/compress/minimize.h"
 #include "xcq/instance/stats.h"
+#include "xcq/util/string_util.h"
 #include "xcq/util/timer.h"
 #include "xcq/xpath/parser.h"
 
 namespace xcq {
 
+namespace {
+
+/// Inserts `items` into `out` preserving first-seen order, skipping
+/// duplicates already in `seen`.
+void MergeUnique(const std::vector<std::string>& items,
+                 std::set<std::string>* seen,
+                 std::vector<std::string>* out) {
+  for (const std::string& item : items) {
+    if (seen->insert(item).second) out->push_back(item);
+  }
+}
+
+}  // namespace
+
+xpath::QueryRequirements CollectBatchRequirements(
+    const std::vector<xpath::Query>& queries) {
+  xpath::QueryRequirements all;
+  std::set<std::string> seen_tags;
+  std::set<std::string> seen_patterns;
+  for (const xpath::Query& query : queries) {
+    const xpath::QueryRequirements reqs = CollectRequirements(query);
+    MergeUnique(reqs.tags, &seen_tags, &all.tags);
+    MergeUnique(reqs.patterns, &seen_patterns, &all.patterns);
+  }
+  return all;
+}
+
+Result<xpath::QueryRequirements> CollectBatchRequirements(
+    const std::vector<std::string>& query_texts) {
+  std::vector<xpath::Query> queries;
+  queries.reserve(query_texts.size());
+  for (const std::string& text : query_texts) {
+    XCQ_ASSIGN_OR_RETURN(xpath::Query query, xpath::ParseQuery(text));
+    queries.push_back(std::move(query));
+  }
+  return CollectBatchRequirements(queries);
+}
+
 Result<QuerySession> QuerySession::Open(std::string xml,
                                         SessionOptions options) {
   return QuerySession(std::move(xml), options);
+}
+
+Result<QuerySession> QuerySession::FromInstance(Instance instance,
+                                                SessionOptions options) {
+  XCQ_RETURN_IF_ERROR(instance.Validate());
+  if (instance.vertex_count() == 0 || instance.root() == kNoVertex) {
+    return Status::InvalidArgument(
+        "QuerySession::FromInstance: instance has no root");
+  }
+  // There is no document to re-scan, so per-query mode is meaningless.
+  options.reuse_instance = true;
+  QuerySession session(std::string(), options);
+  session.has_source_ = false;
+  // Recover the tracked label sets from the live relations: `str:`
+  // relations are string patterns, everything else a tag (or a result /
+  // temporary relation from an earlier evaluation, which is harmless to
+  // track — queries cannot name `xcq:`-prefixed relations).
+  for (const RelationId r : instance.LiveRelations()) {
+    const std::string& name = instance.schema().Name(r);
+    std::string_view pattern;
+    if (Schema::ParseStringRelationName(name, &pattern)) {
+      session.patterns_.insert(std::string(pattern));
+    } else {
+      session.tags_.insert(name);
+    }
+  }
+  session.instance_ = std::move(instance);
+  return session;
 }
 
 Status QuerySession::EnsureLabels(const std::vector<std::string>& tags,
@@ -35,12 +102,30 @@ Status QuerySession::EnsureLabels(const std::vector<std::string>& tags,
     return Status::OK();  // everything already present — no re-parse
   }
 
+  if (!has_source_) {
+    // Instance-only sessions have nothing to scan: surface exactly what
+    // is missing instead of silently answering from absent relations.
+    std::string detail;
+    for (const std::string& tag : missing_tags) {
+      detail += detail.empty() ? tag : ", " + tag;
+    }
+    for (const std::string& pattern : missing_patterns) {
+      const std::string quoted = "\"" + pattern + "\"";
+      detail += detail.empty() ? quoted : ", " + quoted;
+    }
+    return Status::NotFound(
+        StrFormat("query needs labels not carried by the cached instance "
+                  "and no source document is available: %s",
+                  detail.c_str()));
+  }
+
   CompressOptions copts;
   copts.mode = LabelMode::kSchema;
   if (fresh) {
     // First query (or per-query mode): one scan with the full label set.
     copts.tags = tags;
     copts.patterns = patterns;
+    ++source_parse_count_;
     XCQ_ASSIGN_OR_RETURN(Instance inst, CompressXml(xml_, copts));
     instance_ = std::move(inst);
     tags_ = {tags.begin(), tags.end()};
@@ -58,6 +143,7 @@ Status QuerySession::EnsureLabels(const std::vector<std::string>& tags,
   // only what is missing, and merge it in (Sec. 2.3).
   copts.tags = missing_tags;
   copts.patterns = missing_patterns;
+  ++source_parse_count_;
   XCQ_ASSIGN_OR_RETURN(const Instance addition, CompressXml(xml_, copts));
   XCQ_ASSIGN_OR_RETURN(Instance merged,
                        CommonExtension(*instance_, addition));
@@ -71,6 +157,25 @@ Status QuerySession::EnsureLabels(const std::vector<std::string>& tags,
   return Status::OK();
 }
 
+Result<QueryOutcome> QuerySession::EvaluatePlan(
+    const algebra::QueryPlan& plan) {
+  QueryOutcome outcome;
+  XCQ_ASSIGN_OR_RETURN(
+      const RelationId result,
+      engine::Evaluate(&*instance_, plan, engine::EvalOptions{},
+                       &outcome.stats));
+  outcome.selected_dag_nodes = SelectedDagNodeCount(*instance_, result);
+  outcome.selected_tree_nodes = SelectedTreeNodeCount(*instance_, result);
+  if (options_.minimize_after_query) {
+    // Counts were taken above; the result relation survives minimization
+    // (vertices differing on it are not bisimilar), so enumeration over
+    // `instance()` stays possible — just over the re-compressed DAG.
+    XCQ_ASSIGN_OR_RETURN(Instance minimal, Minimize(*instance_));
+    instance_ = std::move(minimal);
+  }
+  return outcome;
+}
+
 Result<QueryOutcome> QuerySession::Run(std::string_view query_text) {
   XCQ_ASSIGN_OR_RETURN(const xpath::Query query,
                        xpath::ParseQuery(query_text));
@@ -78,17 +183,45 @@ Result<QueryOutcome> QuerySession::Run(std::string_view query_text) {
                        algebra::Compile(query));
   const xpath::QueryRequirements reqs = CollectRequirements(query);
 
-  QueryOutcome outcome;
+  double label_seconds = 0.0;
   XCQ_RETURN_IF_ERROR(
-      EnsureLabels(reqs.tags, reqs.patterns, &outcome.label_seconds));
-
-  XCQ_ASSIGN_OR_RETURN(
-      const RelationId result,
-      engine::Evaluate(&*instance_, plan, engine::EvalOptions{},
-                       &outcome.stats));
-  outcome.selected_dag_nodes = SelectedDagNodeCount(*instance_, result);
-  outcome.selected_tree_nodes = SelectedTreeNodeCount(*instance_, result);
+      EnsureLabels(reqs.tags, reqs.patterns, &label_seconds));
+  XCQ_ASSIGN_OR_RETURN(QueryOutcome outcome, EvaluatePlan(plan));
+  outcome.label_seconds = label_seconds;
   return outcome;
+}
+
+Result<std::vector<QueryOutcome>> QuerySession::RunBatch(
+    const std::vector<std::string>& query_texts) {
+  // Parse and compile everything first — a batch is all-or-nothing, and
+  // failing before EnsureLabels keeps the accumulated instance untouched
+  // on bad input.
+  std::vector<xpath::Query> queries;
+  std::vector<algebra::QueryPlan> plans;
+  queries.reserve(query_texts.size());
+  plans.reserve(query_texts.size());
+  for (const std::string& text : query_texts) {
+    XCQ_ASSIGN_OR_RETURN(xpath::Query query, xpath::ParseQuery(text));
+    XCQ_ASSIGN_OR_RETURN(algebra::QueryPlan plan, algebra::Compile(query));
+    queries.push_back(std::move(query));
+    plans.push_back(std::move(plan));
+  }
+  const xpath::QueryRequirements all = CollectBatchRequirements(queries);
+
+  // One scan + one common-extension merge for the union of all label
+  // sets — the amortization that makes batching worthwhile.
+  double label_seconds = 0.0;
+  XCQ_RETURN_IF_ERROR(
+      EnsureLabels(all.tags, all.patterns, &label_seconds));
+
+  std::vector<QueryOutcome> outcomes;
+  outcomes.reserve(plans.size());
+  for (const algebra::QueryPlan& plan : plans) {
+    XCQ_ASSIGN_OR_RETURN(QueryOutcome outcome, EvaluatePlan(plan));
+    outcomes.push_back(outcome);
+  }
+  if (!outcomes.empty()) outcomes.front().label_seconds = label_seconds;
+  return outcomes;
 }
 
 }  // namespace xcq

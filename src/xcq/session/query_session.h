@@ -13,11 +13,17 @@
 /// that are not yet present, distill a small instance carrying only the
 /// missing labels in one scan and merge it in with the common-extension
 /// (product) algorithm, then evaluate purely in main memory.
+///
+/// A session can also be opened directly over a compressed instance
+/// (`FromInstance`, e.g. one reloaded from a `.xcqi` file): the source
+/// document is then never touched again — queries whose labels the
+/// instance does not carry fail with `kNotFound` instead of re-parsing.
 
 #include <optional>
 #include <set>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "xcq/compress/compressor.h"
 #include "xcq/engine/evaluator.h"
@@ -35,6 +41,11 @@ struct SessionOptions {
   /// earlier queries may otherwise linger; cf. Sec. 3.3's re-compression
   /// remark).
   bool minimize_after_merge = false;
+  /// Re-minimize after each `Evaluate`, so splitting queries do not leave
+  /// the accumulated instance permanently grown (the reclaim measured by
+  /// bench_ablation section (c)). Result counts are taken before the
+  /// re-minimization, so outcomes are unaffected.
+  bool minimize_after_query = false;
 };
 
 /// \brief Result summary of one query execution.
@@ -49,6 +60,17 @@ struct QueryOutcome {
   double label_seconds = 0.0;
 };
 
+/// \brief Everything a *set* of queries needs from the document: the
+/// union of each query's tags and string patterns, deduplicated. Used by
+/// batched evaluation to pay the label-extraction / common-extension
+/// merge once for the whole batch.
+xpath::QueryRequirements CollectBatchRequirements(
+    const std::vector<xpath::Query>& queries);
+
+/// As above from query texts; fails on the first unparseable query.
+Result<xpath::QueryRequirements> CollectBatchRequirements(
+    const std::vector<std::string>& query_texts);
+
 /// \brief One document, many queries.
 class QuerySession {
  public:
@@ -56,19 +78,45 @@ class QuerySession {
   static Result<QuerySession> Open(std::string xml,
                                    SessionOptions options = {});
 
+  /// Opens a session over an already-compressed instance (typically
+  /// loaded from a `.xcqi` file) with no source document behind it.
+  /// The tracked tag / pattern sets are recovered from the instance's
+  /// live relations; queries needing anything else fail with `kNotFound`
+  /// rather than re-parsing. `reuse_instance` is forced on.
+  static Result<QuerySession> FromInstance(Instance instance,
+                                           SessionOptions options = {});
+
   /// Parses, compiles, and evaluates `query_text`; returns the outcome.
   /// The result selection also remains available as the
   /// `engine::kResultRelation` relation of `instance()`.
   Result<QueryOutcome> Run(std::string_view query_text);
+
+  /// Evaluates a batch of queries in one pass: the label sets of all
+  /// queries are unioned *before* the (single) scan + common-extension
+  /// merge, so a batch pays the per-label document work once instead of
+  /// once per query. Outcomes are index-aligned with `query_texts`; the
+  /// shared label time is reported on the first outcome. Fails as a
+  /// whole if any query does not parse or compile.
+  Result<std::vector<QueryOutcome>> RunBatch(
+      const std::vector<std::string>& query_texts);
 
   /// The current accumulated instance (reuse mode), or the instance of
   /// the most recent query. Invalid before the first `Run`.
   const Instance& instance() const { return *instance_; }
   bool has_instance() const { return instance_.has_value(); }
 
+  /// True when a source document is available for label extraction
+  /// (false for `FromInstance` sessions).
+  bool has_source() const { return has_source_; }
+
   /// Labels currently present in the accumulated instance.
   size_t tracked_tag_count() const { return tags_.size(); }
   size_t tracked_pattern_count() const { return patterns_.size(); }
+
+  /// Number of scans of the source document so far (initial compression
+  /// plus every common-extension distillation). Stays 0 for
+  /// `FromInstance` sessions — the "zero re-parses" guarantee.
+  uint64_t source_parse_count() const { return source_parse_count_; }
 
  private:
   QuerySession(std::string xml, SessionOptions options)
@@ -79,11 +127,17 @@ class QuerySession {
                       const std::vector<std::string>& patterns,
                       double* seconds);
 
+  /// Evaluates one compiled plan on the ensured instance; shared by Run
+  /// and RunBatch.
+  Result<QueryOutcome> EvaluatePlan(const algebra::QueryPlan& plan);
+
   std::string xml_;
   SessionOptions options_;
   std::optional<Instance> instance_;
   std::set<std::string> tags_;
   std::set<std::string> patterns_;
+  bool has_source_ = true;
+  uint64_t source_parse_count_ = 0;
 };
 
 }  // namespace xcq

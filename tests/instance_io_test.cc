@@ -1,0 +1,222 @@
+// Serialization coverage for instance_io: corruption handling (every
+// kind of malformed input must come back as kCorruption, never a crash
+// or a quietly-wrong instance) and a full serialize → deserialize →
+// query round-trip on a multi-label instance.
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "xcq/api.h"
+
+namespace xcq {
+namespace {
+
+/// Varint encoder mirroring the writer's, for hand-crafting streams.
+void PutVarint(std::string* out, uint64_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<char>((v & 0x7F) | 0x80));
+    v >>= 7;
+  }
+  out->push_back(static_cast<char>(v));
+}
+
+void PutU32(std::string* out, uint32_t v) {
+  out->append(reinterpret_cast<const char*>(&v), 4);
+}
+
+/// Header for a hand-crafted instance stream: magic, version, counts,
+/// no relations.
+std::string Header(uint64_t vertex_count, uint64_t root_plus1) {
+  std::string out("XCQI");
+  PutU32(&out, 1);
+  PutVarint(&out, vertex_count);
+  PutVarint(&out, root_plus1);
+  PutVarint(&out, 0);  // relation count
+  return out;
+}
+
+Instance CompressedBib() {
+  CompressOptions copts;
+  copts.mode = LabelMode::kSchema;
+  copts.tags = {"paper", "author", "title", "book"};
+  copts.patterns = {"Vianu", "Codd"};
+  auto instance = CompressXml(testing::BibExampleXml(), copts);
+  EXPECT_TRUE(instance.ok()) << instance.status();
+  return std::move(instance).Value();
+}
+
+TEST(InstanceIoTest, RoundTripPreservesStructureAndLabels) {
+  const Instance original = CompressedBib();
+  const std::string bytes = SerializeInstance(original);
+
+  XCQ_ASSERT_OK_AND_ASSIGN(const Instance reloaded,
+                           DeserializeInstance(bytes));
+  XCQ_ASSERT_OK(reloaded.Validate());
+  EXPECT_EQ(reloaded.vertex_count(), original.vertex_count());
+  EXPECT_EQ(reloaded.rle_edge_count(), original.rle_edge_count());
+  EXPECT_EQ(reloaded.root(), original.root());
+  EXPECT_EQ(TreeNodeCount(reloaded), TreeNodeCount(original));
+  EXPECT_EQ(reloaded.schema().LiveNames(), original.schema().LiveNames());
+  for (const RelationId r : original.LiveRelations()) {
+    const RelationId r2 =
+        reloaded.FindRelation(original.schema().Name(r));
+    ASSERT_NE(r2, kNoRelation);
+    EXPECT_EQ(reloaded.RelationBits(r2).Count(),
+              original.RelationBits(r).Count());
+  }
+}
+
+TEST(InstanceIoTest, RoundTripAnswersQueriesIdentically) {
+  // The acceptance path of the server: reload a multi-label instance and
+  // query it with no document behind it.
+  const std::string queries[] = {
+      "//paper/author",
+      "//book[author[\"Vianu\"]]",
+      "//paper[author[\"Codd\"]]/title",
+  };
+
+  XCQ_ASSERT_OK_AND_ASSIGN(
+      QuerySession reference,
+      QuerySession::Open(testing::BibExampleXml()));
+  XCQ_ASSERT_OK_AND_ASSIGN(
+      const Instance reloaded,
+      DeserializeInstance(SerializeInstance(CompressedBib())));
+  XCQ_ASSERT_OK_AND_ASSIGN(QuerySession loaded,
+                           QuerySession::FromInstance(reloaded));
+  EXPECT_FALSE(loaded.has_source());
+
+  for (const std::string& query : queries) {
+    SCOPED_TRACE(query);
+    XCQ_ASSERT_OK_AND_ASSIGN(const QueryOutcome want,
+                             reference.Run(query));
+    XCQ_ASSERT_OK_AND_ASSIGN(const QueryOutcome got, loaded.Run(query));
+    EXPECT_EQ(got.selected_tree_nodes, want.selected_tree_nodes);
+  }
+  EXPECT_EQ(loaded.source_parse_count(), 0u);
+}
+
+TEST(InstanceIoTest, FromInstanceMissingLabelIsNotFoundNotReparse) {
+  XCQ_ASSERT_OK_AND_ASSIGN(
+      QuerySession loaded,
+      QuerySession::FromInstance(
+          DeserializeInstance(SerializeInstance(CompressedBib())).Value()));
+  // "year" was never compressed in; with no source text the session must
+  // refuse rather than silently answer from an absent relation.
+  const Status status = loaded.Run("//paper[year]").status();
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+  EXPECT_NE(status.message().find("year"), std::string::npos);
+  EXPECT_EQ(loaded.source_parse_count(), 0u);
+}
+
+TEST(InstanceIoTest, TruncatedAtEveryPrefixIsCorruption) {
+  const std::string bytes = SerializeInstance(CompressedBib());
+  ASSERT_GT(bytes.size(), 8u);
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    const auto truncated = DeserializeInstance(
+        std::string_view(bytes).substr(0, len));
+    ASSERT_FALSE(truncated.ok()) << "prefix of length " << len;
+    EXPECT_EQ(truncated.status().code(), StatusCode::kCorruption)
+        << "prefix of length " << len;
+  }
+}
+
+TEST(InstanceIoTest, BadMagicIsCorruption) {
+  std::string bytes = SerializeInstance(CompressedBib());
+  bytes[0] = 'Y';
+  const auto result = DeserializeInstance(bytes);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+  EXPECT_NE(result.status().message().find("magic"), std::string::npos);
+}
+
+TEST(InstanceIoTest, UnsupportedVersionIsCorruption) {
+  std::string bytes = SerializeInstance(CompressedBib());
+  bytes[4] = 99;  // version lives right after the 4-byte magic
+  const auto result = DeserializeInstance(bytes);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+}
+
+TEST(InstanceIoTest, TrailingBytesAreCorruption) {
+  std::string bytes = SerializeInstance(CompressedBib());
+  bytes += "junk";
+  const auto result = DeserializeInstance(bytes);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+}
+
+TEST(InstanceIoTest, CyclicChildReferencesAreCorruption) {
+  // A serialized cycle (v0 → v1 → v0) deserializes structurally but must
+  // be rejected by validation: instances are DAGs.
+  std::string bytes = Header(/*vertex_count=*/2, /*root_plus1=*/1);
+  PutVarint(&bytes, 1);  // v0: one run
+  PutVarint(&bytes, 1);  //   child v1
+  PutVarint(&bytes, 1);  //   count 1
+  PutVarint(&bytes, 1);  // v1: one run
+  PutVarint(&bytes, 0);  //   child v0 — closes the cycle
+  PutVarint(&bytes, 1);  //   count 1
+  const auto result = DeserializeInstance(bytes);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+}
+
+TEST(InstanceIoTest, SelfLoopIsCorruption) {
+  std::string bytes = Header(1, 1);
+  PutVarint(&bytes, 1);  // v0: one run
+  PutVarint(&bytes, 0);  //   child v0
+  PutVarint(&bytes, 1);
+  const auto result = DeserializeInstance(bytes);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+}
+
+TEST(InstanceIoTest, ChildOutOfRangeIsCorruption) {
+  std::string bytes = Header(1, 1);
+  PutVarint(&bytes, 1);  // v0: one run
+  PutVarint(&bytes, 7);  //   child v7 of a 1-vertex instance
+  PutVarint(&bytes, 1);
+  const auto result = DeserializeInstance(bytes);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+}
+
+TEST(InstanceIoTest, ZeroMultiplicityIsCorruption) {
+  std::string bytes = Header(2, 1);
+  PutVarint(&bytes, 1);  // v0: one run
+  PutVarint(&bytes, 1);  //   child v1
+  PutVarint(&bytes, 0);  //   count 0 — RLE runs are >= 1
+  PutVarint(&bytes, 0);  // v1: leaf
+  const auto result = DeserializeInstance(bytes);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+}
+
+TEST(InstanceIoTest, RootOutOfRangeIsCorruption) {
+  const std::string bytes = Header(1, /*root_plus1=*/5);
+  const auto result = DeserializeInstance(bytes);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+}
+
+TEST(InstanceIoTest, SaveLoadFileRoundTrip) {
+  const Instance original = CompressedBib();
+  const std::string path =
+      ::testing::TempDir() + "/instance_io_test_roundtrip.xcqi";
+  XCQ_ASSERT_OK(SaveInstance(original, path));
+  XCQ_ASSERT_OK_AND_ASSIGN(const Instance reloaded, LoadInstance(path));
+  EXPECT_EQ(reloaded.vertex_count(), original.vertex_count());
+  EXPECT_EQ(TreeNodeCount(reloaded), TreeNodeCount(original));
+  std::remove(path.c_str());
+}
+
+TEST(InstanceIoTest, LoadMissingFileIsError) {
+  const auto result = LoadInstance("/nonexistent/xcq/instance.xcqi");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().code(), StatusCode::kOk);
+}
+
+}  // namespace
+}  // namespace xcq

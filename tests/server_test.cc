@@ -1,0 +1,595 @@
+// The query daemon, bottom to top: DocumentStore caching and eviction,
+// QueryService pool scheduling, protocol parsing, the RequestHandler
+// conversation, and the TCP front end over real sockets.
+//
+// The two load-bearing guarantees (ISSUE 2 acceptance criteria):
+//  * a `.xcqi`-preloaded document answers a 100-query BATCH with ZERO
+//    scans of the source XML, and
+//  * a concurrent query storm from many client threads returns results
+//    identical to single-threaded `QuerySession` evaluation.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <iterator>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "xcq/api.h"
+
+namespace xcq::server {
+namespace {
+
+// Tags t0/t1/t2 match testing::RandomXml(seed, nodes, /*tag_count=*/3).
+const char* kStormQueries[] = {
+    "//t0",
+    "//t1/t2",
+    "//t0[t1]",
+    "//t2/parent::t1",
+    "//t1[not(t2)]",
+    "//t0/descendant::t2",
+    "//t1/following-sibling::t2",
+    "//t2/ancestor::t0",
+    "/descendant-or-self::t1[t0 or t2]",
+    "//t0[t1/t2]",
+};
+
+std::string StormXml() { return testing::RandomXml(1234, 1500, 3); }
+
+/// Single-threaded reference: tree-node count per query. (Tree counts
+/// are the semantic result — what decompression would materialize.
+/// DAG-vertex counts can differ run to run because the split state of
+/// the accumulated instance depends on evaluation order.)
+std::map<std::string, uint64_t> ReferenceCounts(const std::string& xml) {
+  auto session = QuerySession::Open(xml);
+  EXPECT_TRUE(session.ok());
+  std::map<std::string, uint64_t> counts;
+  for (const char* query : kStormQueries) {
+    auto outcome = session->Run(query);
+    EXPECT_TRUE(outcome.ok()) << query << ": " << outcome.status();
+    counts[query] = outcome->selected_tree_nodes;
+  }
+  return counts;
+}
+
+// --- DocumentStore ---------------------------------------------------------
+
+TEST(DocumentStoreTest, LoadQueryEvictLifecycle) {
+  DocumentStore store;
+  XCQ_ASSERT_OK(store.LoadXml("bib", testing::BibExampleXml()));
+  EXPECT_EQ(store.document_count(), 1u);
+
+  std::shared_ptr<StoredDocument> doc = store.Find("bib");
+  ASSERT_NE(doc, nullptr);
+  XCQ_ASSERT_OK_AND_ASSIGN(const QueryOutcome outcome,
+                           doc->Query("//paper/author"));
+  EXPECT_EQ(outcome.selected_tree_nodes, 2u);
+
+  const std::vector<DocumentInfo> stats = store.Stats();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].name, "bib");
+  EXPECT_EQ(stats[0].queries_served, 1u);
+  EXPECT_TRUE(stats[0].has_source);
+  EXPECT_GT(stats[0].memory_bytes, 0u);
+
+  EXPECT_TRUE(store.Evict("bib"));
+  EXPECT_FALSE(store.Evict("bib"));
+  EXPECT_EQ(store.Find("bib"), nullptr);
+}
+
+TEST(DocumentStoreTest, FindUnknownIsNull) {
+  DocumentStore store;
+  EXPECT_EQ(store.Find("nope"), nullptr);
+}
+
+TEST(DocumentStoreTest, CapacityEvictsLeastRecentlyUsed) {
+  StoreOptions options;
+  options.capacity_bytes = 1;  // anything with a footprint is over budget
+  DocumentStore store(options);
+  XCQ_ASSERT_OK(store.LoadXml("a", testing::BibExampleXml()));
+  XCQ_ASSERT_OK(store.LoadXml("b", testing::BibExampleXml()));
+  // Queries give both documents instances (and so footprints); "a" is
+  // now least recently used.
+  ASSERT_NE(store.Find("a"), nullptr);
+  XCQ_ASSERT_OK(store.Find("a")->Query("//paper").status());
+  XCQ_ASSERT_OK(store.Find("b")->Query("//paper").status());
+
+  XCQ_ASSERT_OK(store.LoadXml("c", testing::BibExampleXml()));
+  EXPECT_EQ(store.Find("a"), nullptr) << "LRU document should be evicted";
+  // The newest document always survives.
+  EXPECT_NE(store.Find("c"), nullptr);
+}
+
+TEST(DocumentStoreTest, LoadFileSniffsXcqiVersusXml) {
+  const std::string xml = testing::BibExampleXml();
+  CompressOptions copts;  // kAllTags
+  XCQ_ASSERT_OK_AND_ASSIGN(const Instance instance, CompressXml(xml, copts));
+  const std::string xcqi_path = ::testing::TempDir() + "/sniff_test.xcqi";
+  const std::string xml_path = ::testing::TempDir() + "/sniff_test.xml";
+  XCQ_ASSERT_OK(SaveInstance(instance, xcqi_path));
+  XCQ_ASSERT_OK(xml::WriteStringToFile(xml_path, xml));
+
+  DocumentStore store;
+  XCQ_ASSERT_OK(store.LoadFile("compressed", xcqi_path));
+  XCQ_ASSERT_OK(store.LoadFile("raw", xml_path));
+  const std::vector<DocumentInfo> stats = store.Stats();
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_FALSE(stats[0].has_source) << "compressed: instance-only";
+  EXPECT_TRUE(stats[1].has_source) << "raw: XML retained";
+  std::remove(xcqi_path.c_str());
+  std::remove(xml_path.c_str());
+}
+
+// --- QueryService ----------------------------------------------------------
+
+TEST(QueryServiceTest, ExecuteUnknownDocumentIsNotFound) {
+  DocumentStore store;
+  QueryService service(&store, ServiceOptions{2});
+  QueryJob job;
+  job.document = "ghost";
+  job.queries = {"//a"};
+  EXPECT_EQ(service.Execute(job).status().code(), StatusCode::kNotFound);
+}
+
+TEST(QueryServiceTest, SubmitResolvesOnPoolThread) {
+  DocumentStore store;
+  XCQ_ASSERT_OK(store.LoadXml("bib", testing::BibExampleXml()));
+  QueryService service(&store, ServiceOptions{2});
+  QueryJob job;
+  job.document = "bib";
+  job.queries = {"//paper/author"};
+  auto future = service.Submit(std::move(job));
+  XCQ_ASSERT_OK_AND_ASSIGN(const std::vector<QueryOutcome> outcomes,
+                           future.get());
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_EQ(outcomes[0].selected_tree_nodes, 2u);
+  EXPECT_EQ(service.jobs_submitted(), 1u);
+}
+
+TEST(QueryServiceTest, ConcurrentStormMatchesSingleThreaded) {
+  const std::string xml = StormXml();
+  const std::map<std::string, uint64_t> reference = ReferenceCounts(xml);
+
+  DocumentStore store;
+  XCQ_ASSERT_OK(store.LoadXml("doc", xml));
+  QueryService service(&store, ServiceOptions{4});
+
+  constexpr int kThreads = 8;
+  constexpr int kQueriesPerThread = 30;
+  std::atomic<int> mismatches{0};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      for (int i = 0; i < kQueriesPerThread; ++i) {
+        const char* query =
+            kStormQueries[(t + i) % std::size(kStormQueries)];
+        QueryJob job;
+        job.document = "doc";
+        job.queries = {query};
+        const QueryResponse response = service.Submit(std::move(job)).get();
+        if (!response.ok()) {
+          ++failures;
+          continue;
+        }
+        if (response->front().selected_tree_nodes !=
+            reference.at(query)) {
+          ++mismatches;
+        }
+      }
+    });
+  }
+  for (std::thread& client : clients) client.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(mismatches.load(), 0)
+      << "concurrent evaluation diverged from single-threaded results";
+  XCQ_ASSERT_OK(store.Find("doc")->Query("//t0").status());
+}
+
+TEST(QueryServiceTest, BatchMatchesSequentialEvaluation) {
+  const std::string xml = StormXml();
+  std::vector<std::string> queries(std::begin(kStormQueries),
+                                   std::end(kStormQueries));
+
+  // Sequential: one query at a time, labels merged as they appear.
+  DocumentStore seq_store;
+  XCQ_ASSERT_OK(seq_store.LoadXml("doc", xml));
+  std::vector<uint64_t> sequential;
+  for (const std::string& query : queries) {
+    XCQ_ASSERT_OK_AND_ASSIGN(const QueryOutcome outcome,
+                             seq_store.Find("doc")->Query(query));
+    sequential.push_back(outcome.selected_tree_nodes);
+  }
+
+  // Batched: one job, label sets unioned before a single merge pass.
+  DocumentStore batch_store;
+  XCQ_ASSERT_OK(batch_store.LoadXml("doc", xml));
+  QueryService service(&batch_store, ServiceOptions{2});
+  QueryJob job;
+  job.document = "doc";
+  job.queries = queries;
+  XCQ_ASSERT_OK_AND_ASSIGN(const std::vector<QueryOutcome> batched,
+                           service.Submit(std::move(job)).get());
+
+  ASSERT_EQ(batched.size(), sequential.size());
+  for (size_t i = 0; i < batched.size(); ++i) {
+    EXPECT_EQ(batched[i].selected_tree_nodes, sequential[i])
+        << "query " << queries[i];
+  }
+  // The batch needed exactly one scan of the document, the sequential
+  // run one per new-label query.
+  const std::vector<DocumentInfo> stats = batch_store.Stats();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].source_parses, 1u);
+}
+
+// --- Acceptance: zero re-parses over a preloaded .xcqi instance ------------
+
+TEST(QueryServiceTest, HundredQueryBatchOverXcqiWithZeroReparses) {
+  const std::string xml = StormXml();
+
+  // Build the cached artifact: compress once with all tags, save, drop
+  // the XML. (In production this is `xpath_tool --save` or an ingest
+  // pipeline; the daemon then serves from the small file alone.)
+  CompressOptions copts;  // kAllTags
+  XCQ_ASSERT_OK_AND_ASSIGN(const Instance instance, CompressXml(xml, copts));
+  const std::string path = ::testing::TempDir() + "/storm_acceptance.xcqi";
+  XCQ_ASSERT_OK(SaveInstance(instance, path));
+
+  DocumentStore store;
+  QueryService service(&store, ServiceOptions{4});
+  XCQ_ASSERT_OK(store.LoadFile("doc", path));
+
+  std::vector<std::string> batch;
+  batch.reserve(100);
+  for (int i = 0; i < 100; ++i) {
+    batch.push_back(kStormQueries[i % std::size(kStormQueries)]);
+  }
+  QueryJob job;
+  job.document = "doc";
+  job.queries = batch;
+  XCQ_ASSERT_OK_AND_ASSIGN(const std::vector<QueryOutcome> outcomes,
+                           service.Submit(std::move(job)).get());
+  ASSERT_EQ(outcomes.size(), 100u);
+
+  const std::map<std::string, uint64_t> reference = ReferenceCounts(xml);
+  for (size_t i = 0; i < outcomes.size(); ++i) {
+    EXPECT_EQ(outcomes[i].selected_tree_nodes, reference.at(batch[i]))
+        << "query " << batch[i];
+  }
+
+  const std::vector<DocumentInfo> stats = store.Stats();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].source_parses, 0u)
+      << "serving from a .xcqi instance must never touch source XML";
+  EXPECT_FALSE(stats[0].has_source);
+  EXPECT_EQ(stats[0].queries_served, 100u);
+  EXPECT_EQ(stats[0].batches_served, 1u);
+  std::remove(path.c_str());
+}
+
+// --- Protocol --------------------------------------------------------------
+
+TEST(ProtocolTest, ParsesEveryVerb) {
+  XCQ_ASSERT_OK_AND_ASSIGN(Request load,
+                           ParseRequest("LOAD bib /tmp/bib.xml"));
+  EXPECT_EQ(load.kind, Request::Kind::kLoad);
+  EXPECT_EQ(load.name, "bib");
+  EXPECT_EQ(load.path, "/tmp/bib.xml");
+
+  XCQ_ASSERT_OK_AND_ASSIGN(Request query,
+                           ParseRequest("QUERY bib //paper[author] "));
+  EXPECT_EQ(query.kind, Request::Kind::kQuery);
+  EXPECT_EQ(query.name, "bib");
+  EXPECT_EQ(query.query, "//paper[author]");
+
+  XCQ_ASSERT_OK_AND_ASSIGN(Request batch, ParseRequest("BATCH bib 100"));
+  EXPECT_EQ(batch.kind, Request::Kind::kBatch);
+  EXPECT_EQ(batch.batch_size, 100u);
+
+  XCQ_ASSERT_OK_AND_ASSIGN(Request stats, ParseRequest(" STATS \r"));
+  EXPECT_EQ(stats.kind, Request::Kind::kStats);
+
+  XCQ_ASSERT_OK_AND_ASSIGN(Request evict, ParseRequest("EVICT bib"));
+  EXPECT_EQ(evict.kind, Request::Kind::kEvict);
+  EXPECT_EQ(evict.name, "bib");
+
+  XCQ_ASSERT_OK_AND_ASSIGN(Request quit, ParseRequest("QUIT"));
+  EXPECT_EQ(quit.kind, Request::Kind::kQuit);
+}
+
+TEST(ProtocolTest, RejectsMalformedRequests) {
+  const char* bad[] = {
+      "",                    // empty
+      "NOPE x",              // unknown verb
+      "LOAD onlyname",       // missing path
+      "QUERY doc",           // missing query
+      "BATCH doc",           // missing count
+      "BATCH doc zero",      // non-numeric count
+      "BATCH doc 12x",       // trailing garbage in the count token
+      "BATCH doc 0",         // zero count
+      "BATCH doc 3 extra",   // trailing junk
+      "STATS doc",           // STATS takes no arguments
+      "EVICT",               // missing name
+  };
+  for (const char* line : bad) {
+    SCOPED_TRACE(line);
+    EXPECT_EQ(ParseRequest(line).status().code(),
+              StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(ProtocolTest, ErrorsStayOnOneLine) {
+  const std::string formatted =
+      FormatError(Status::ParseError("line one\nline two"));
+  EXPECT_EQ(formatted.find('\n'), std::string::npos);
+  EXPECT_EQ(formatted.rfind("ERR ", 0), 0u);
+}
+
+/// Runs one scripted conversation through RequestHandler over string
+/// vectors — the whole daemon minus sockets.
+std::vector<std::string> Converse(DocumentStore* store,
+                                  QueryService* service,
+                                  std::vector<std::string> input) {
+  RequestHandler handler(store, service);
+  std::vector<std::string> output;
+  size_t next = 0;
+  const auto read_line = [&](std::string* line) {
+    if (next >= input.size()) return false;
+    *line = input[next++];
+    return true;
+  };
+  const auto write_line = [&](std::string_view line) {
+    output.emplace_back(line);
+  };
+  std::string line;
+  while (read_line(&line)) {
+    if (!handler.Handle(line, read_line, write_line)) break;
+  }
+  return output;
+}
+
+TEST(ProtocolTest, RequestHandlerConversation) {
+  const std::string xml_path = ::testing::TempDir() + "/handler_bib.xml";
+  XCQ_ASSERT_OK(xml::WriteStringToFile(xml_path, testing::BibExampleXml()));
+
+  DocumentStore store;
+  QueryService service(&store, ServiceOptions{2});
+  const std::vector<std::string> output = Converse(
+      &store, &service,
+      {
+          "LOAD bib " + xml_path,
+          "QUERY bib //paper/author",
+          "BATCH bib 2",
+          "//book/author",
+          "//paper",
+          "QUERY bib //[",      // parse error -> ERR, conversation continues
+          "QUERY ghost //a",    // unknown document -> ERR
+          "STATS",
+          "EVICT bib",
+          "QUIT",
+      });
+
+  ASSERT_EQ(output.size(), 11u);
+  EXPECT_EQ(output[0].rfind("OK loaded bib", 0), 0u) << output[0];
+  EXPECT_EQ(output[1].rfind("OK dag=", 0), 0u) << output[1];
+  EXPECT_NE(output[1].find("tree=2"), std::string::npos) << output[1];
+  EXPECT_EQ(output[2], "OK 2");
+  EXPECT_EQ(output[3].rfind("0 dag=", 0), 0u) << output[3];
+  EXPECT_NE(output[3].find("tree=3"), std::string::npos) << output[3];
+  EXPECT_EQ(output[4].rfind("1 dag=", 0), 0u) << output[4];
+  EXPECT_NE(output[4].find("tree=2"), std::string::npos) << output[4];
+  EXPECT_EQ(output[5].rfind("ERR ParseError", 0), 0u) << output[5];
+  EXPECT_EQ(output[6].rfind("ERR NotFound", 0), 0u) << output[6];
+  EXPECT_EQ(output[7], "OK 1");
+  EXPECT_EQ(output[8].rfind("bib bytes=", 0), 0u) << output[8];
+  EXPECT_EQ(output[9], "OK evicted bib");
+  EXPECT_EQ(output[10], "OK bye");
+  std::remove(xml_path.c_str());
+}
+
+TEST(ProtocolTest, TruncatedBatchBodyClosesConversation) {
+  DocumentStore store;
+  QueryService service(&store, ServiceOptions{1});
+  const std::vector<std::string> output =
+      Converse(&store, &service, {"BATCH doc 3", "//only-one"});
+  ASSERT_EQ(output.size(), 1u);
+  EXPECT_EQ(output[0].rfind("ERR InvalidArgument", 0), 0u) << output[0];
+}
+
+// --- TCP front end ---------------------------------------------------------
+
+/// Blocking loopback client for the protocol, used by the socket tests.
+class TestClient {
+ public:
+  explicit TestClient(uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) < 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+  ~TestClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  bool connected() const { return fd_ >= 0; }
+
+  bool Send(const std::string& line) {
+    const std::string framed = line + "\n";
+    return ::send(fd_, framed.data(), framed.size(), MSG_NOSIGNAL) ==
+           static_cast<ssize_t>(framed.size());
+  }
+
+  bool ReadLine(std::string* line) {
+    line->clear();
+    while (true) {
+      const size_t newline = buffer_.find('\n');
+      if (newline != std::string::npos) {
+        *line = buffer_.substr(0, newline);
+        buffer_.erase(0, newline + 1);
+        return true;
+      }
+      char chunk[4096];
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) return false;
+      buffer_.append(chunk, static_cast<size_t>(n));
+    }
+  }
+
+  /// Sends one request and returns the whole response (header plus any
+  /// `OK <n>` detail lines).
+  std::vector<std::string> Ask(const std::string& request) {
+    std::vector<std::string> response;
+    if (!Send(request)) return response;
+    std::string line;
+    if (!ReadLine(&line)) return response;
+    response.push_back(line);
+    unsigned long long details = 0;
+    if (std::sscanf(line.c_str(), "OK %llu", &details) == 1) {
+      for (unsigned long long i = 0; i < details; ++i) {
+        if (!ReadLine(&line)) break;
+        response.push_back(line);
+      }
+    }
+    return response;
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+TEST(TcpServerTest, EndToEndOverSockets) {
+  const std::string xml_path = ::testing::TempDir() + "/tcp_bib.xml";
+  XCQ_ASSERT_OK(xml::WriteStringToFile(xml_path, testing::BibExampleXml()));
+
+  ServerOptions options;
+  options.port = 0;  // ephemeral
+  options.worker_threads = 2;
+  TcpServer server(options);
+  XCQ_ASSERT_OK(server.Start());
+  ASSERT_GT(server.port(), 0);
+
+  TestClient client(server.port());
+  ASSERT_TRUE(client.connected());
+
+  auto loaded = client.Ask("LOAD bib " + xml_path);
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_EQ(loaded[0].rfind("OK loaded bib", 0), 0u) << loaded[0];
+
+  auto queried = client.Ask("QUERY bib //paper/author");
+  ASSERT_EQ(queried.size(), 1u);
+  EXPECT_NE(queried[0].find("tree=2"), std::string::npos) << queried[0];
+
+  // BATCH: body lines go out before the response comes back.
+  ASSERT_TRUE(client.Send("BATCH bib 2"));
+  ASSERT_TRUE(client.Send("//book/author"));
+  std::string line;
+  ASSERT_TRUE(client.Send("//paper"));
+  ASSERT_TRUE(client.ReadLine(&line));
+  EXPECT_EQ(line, "OK 2");
+  ASSERT_TRUE(client.ReadLine(&line));
+  EXPECT_NE(line.find("tree=3"), std::string::npos) << line;
+  ASSERT_TRUE(client.ReadLine(&line));
+  EXPECT_NE(line.find("tree=2"), std::string::npos) << line;
+
+  auto stats = client.Ask("STATS");
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_EQ(stats[1].rfind("bib ", 0), 0u) << stats[1];
+
+  auto evicted = client.Ask("EVICT bib");
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0], "OK evicted bib");
+
+  auto bye = client.Ask("QUIT");
+  ASSERT_EQ(bye.size(), 1u);
+  EXPECT_EQ(bye[0], "OK bye");
+
+  server.Stop();
+  EXPECT_EQ(server.connections_accepted(), 1u);
+  std::remove(xml_path.c_str());
+}
+
+TEST(TcpServerTest, ConcurrentClientsMatchSingleThreaded) {
+  const std::string xml = StormXml();
+  const std::map<std::string, uint64_t> reference = ReferenceCounts(xml);
+
+  ServerOptions options;
+  options.port = 0;
+  options.worker_threads = 4;
+  TcpServer server(options);
+  XCQ_ASSERT_OK(server.store().LoadXml("doc", xml));
+  XCQ_ASSERT_OK(server.Start());
+
+  constexpr int kClients = 6;
+  constexpr int kQueriesPerClient = 20;
+  std::atomic<int> mismatches{0};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      TestClient client(server.port());
+      if (!client.connected()) {
+        ++failures;
+        return;
+      }
+      for (int i = 0; i < kQueriesPerClient; ++i) {
+        const std::string query =
+            kStormQueries[(c + i) % std::size(kStormQueries)];
+        const auto response = client.Ask("QUERY doc " + query);
+        unsigned long long dag = 0;
+        unsigned long long tree = 0;
+        if (response.size() != 1u ||
+            std::sscanf(response[0].c_str(), "OK dag=%llu tree=%llu",
+                        &dag, &tree) != 2) {
+          ++failures;
+          continue;
+        }
+        if (tree != reference.at(query)) ++mismatches;
+      }
+      client.Ask("QUIT");
+    });
+  }
+  for (std::thread& client : clients) client.join();
+  server.Stop();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(server.connections_accepted(),
+            static_cast<uint64_t>(kClients));
+}
+
+TEST(TcpServerTest, StopUnblocksIdleClient) {
+  ServerOptions options;
+  options.port = 0;
+  options.worker_threads = 1;
+  TcpServer server(options);
+  XCQ_ASSERT_OK(server.Start());
+  TestClient idle(server.port());
+  ASSERT_TRUE(idle.connected());
+  // The client never sends anything; Stop() must still return promptly
+  // (it shuts the connection down rather than waiting on recv forever).
+  server.Stop();
+  std::string line;
+  EXPECT_FALSE(idle.ReadLine(&line));
+}
+
+}  // namespace
+}  // namespace xcq::server
