@@ -1,0 +1,177 @@
+// bench_minimize — incremental vs. full re-minimization after splitting
+// queries (the ROADMAP item this repo's PR 3 retires).
+//
+// Splitting queries grow the compressed instance (Thm. 3.6); a serving
+// session reclaims that growth by re-minimizing after every query.
+// The original reclaim re-hashes the *entire* DAG per query
+// (`Minimize`); the incremental pass (`MinimizeInPlace`) re-canonicalizes
+// only the vertices the query actually split, re-pointed, or flipped in
+// the result relation, against the persistent hash-cons table kept in
+// the instance. This bench drives a split-heavy query rotation through
+// three corpora in all three modes (off / full / incremental) and
+// reports the per-mode minimize time plus the structural state, dying
+// loudly if the two reclaim modes ever disagree structurally.
+//
+// Columns: corpus, mode, #queries, splits, final reachable |V| / |E|,
+// summed selected tree nodes (must be identical across modes), label /
+// eval / minimize seconds. JSON rows land in BENCH_minimize.json for
+// bench/compare_bench.py (counts exact, timings thresholded).
+
+#include "bench_util.h"
+
+namespace xcq::bench {
+namespace {
+
+struct ModeResult {
+  std::string mode;
+  uint64_t queries = 0;
+  uint64_t splits = 0;
+  uint64_t vertices = 0;       // reachable after the sequence
+  uint64_t edges = 0;          // reachable RLE edges after the sequence
+  uint64_t tree_selected = 0;  // summed selected tree nodes, all queries
+  double label_s = 0.0;
+  double eval_s = 0.0;
+  double minimize_s = 0.0;
+};
+
+/// The query rotation mirrors a serving session: mostly selective
+/// Appendix-A queries (Q5's sibling axes split locally, Q2–Q4 flip a
+/// small result set), plus one whole-document sibling sweep per round —
+/// the heaviest splitter there is, every multiplicity run straddling a
+/// selection boundary. Split copies merge back as soon as the next
+/// query drops the distinguishing selection.
+std::vector<std::string> QueryRotation(std::string_view corpus_name,
+                                       int rounds) {
+  std::vector<std::string> rotation;
+  const Result<corpus::QuerySet> set = corpus::QueriesFor(corpus_name);
+  if (set.ok()) {
+    rotation.emplace_back(set->queries[1]);  // Q2: path, no splits
+    rotation.emplace_back(set->queries[4]);  // Q5: selective siblings
+    rotation.emplace_back(set->queries[2]);  // Q3: descendant + string
+    rotation.emplace_back("//*/following-sibling::*");
+    rotation.emplace_back(set->queries[3]);  // Q4: branching predicates
+  } else {
+    rotation = {"//*", "//*/following-sibling::*", "/*",
+                "//*/preceding-sibling::*"};
+  }
+  std::vector<std::string> sequence;
+  for (int r = 0; r < rounds; ++r) {
+    sequence.insert(sequence.end(), rotation.begin(), rotation.end());
+  }
+  return sequence;
+}
+
+ModeResult RunMode(const std::string& xml,
+                   const std::vector<std::string>& queries,
+                   const std::string& mode) {
+  SessionOptions options;
+  options.minimize_after_query = mode != "off";
+  options.incremental_minimize = mode == "incremental";
+  ModeResult result;
+  result.mode = mode;
+
+  QuerySession session =
+      Unwrap(QuerySession::Open(xml, options), "QuerySession::Open");
+  for (const std::string& query : queries) {
+    const QueryOutcome outcome = Unwrap(session.Run(query), query.c_str());
+    ++result.queries;
+    result.splits += outcome.stats.splits;
+    result.tree_selected += outcome.selected_tree_nodes;
+    result.label_s += outcome.label_seconds;
+    result.eval_s += outcome.stats.seconds;
+    result.minimize_s += outcome.minimize_seconds;
+  }
+  result.vertices = session.instance().ReachableCount();
+  result.edges = session.instance().ReachableEdgeCount();
+  return result;
+}
+
+}  // namespace
+}  // namespace xcq::bench
+
+int main(int argc, char** argv) {
+  using namespace xcq;
+  using namespace xcq::bench;
+
+  const BenchArgs args = BenchArgs::Parse(argc, argv);
+  BenchReport report("minimize", args);
+  constexpr int kRounds = 4;
+
+  std::printf("Incremental vs. full re-minimization after splitting "
+              "queries (rounds=%d)\n",
+              kRounds);
+  std::printf("%-12s %-12s %8s %9s %9s %10s %12s %9s %9s %11s\n", "corpus",
+              "mode", "queries", "splits", "|V|", "|E|", "tree_sel",
+              "label_s", "eval_s", "minimize_s");
+  PrintRule(108);
+
+  const char* kCorpora[] = {"Shakespeare", "SwissProt", "TreeBank"};
+  for (const char* name : kCorpora) {
+    const corpus::CorpusGenerator* generator =
+        Unwrap(corpus::FindCorpus(name), "FindCorpus");
+    if (!args.Selected(*generator)) continue;
+
+    corpus::GenerateOptions gen;
+    gen.target_nodes = args.TargetNodes(*generator);
+    gen.seed = args.seed;
+    const std::string xml = generator->Generate(gen);
+    const std::vector<std::string> queries =
+        QueryRotation(generator->name(), kRounds);
+
+    ModeResult results[3];
+    const char* kModes[] = {"off", "full", "incremental"};
+    for (int m = 0; m < 3; ++m) {
+      results[m] = RunMode(xml, queries, kModes[m]);
+      const ModeResult& r = results[m];
+      std::printf("%-12s %-12s %8llu %9llu %9llu %10llu %12llu %9.4f "
+                  "%9.4f %11.4f\n",
+                  name, r.mode.c_str(),
+                  static_cast<unsigned long long>(r.queries),
+                  static_cast<unsigned long long>(r.splits),
+                  static_cast<unsigned long long>(r.vertices),
+                  static_cast<unsigned long long>(r.edges),
+                  static_cast<unsigned long long>(r.tree_selected),
+                  r.label_s, r.eval_s, r.minimize_s);
+      report.Row()
+          .Set("corpus", name)
+          .Set("mode", r.mode)
+          .Set("queries", r.queries)
+          .Set("splits", r.splits)
+          .Set("vertices", r.vertices)
+          .Set("edges", r.edges)
+          .Set("tree_selected", r.tree_selected)
+          .Set("label_s", r.label_s)
+          .Set("eval_s", r.eval_s)
+          .Set("minimize_s", r.minimize_s);
+    }
+
+    // The acceptance gate: both reclaim modes must land on the *same*
+    // minimal instance and the same answers — the speedup is only
+    // meaningful if the structure is identical.
+    const ModeResult& full = results[1];
+    const ModeResult& inc = results[2];
+    if (full.vertices != inc.vertices || full.edges != inc.edges ||
+        full.tree_selected != inc.tree_selected ||
+        full.splits != inc.splits ||
+        results[0].tree_selected != full.tree_selected) {
+      std::fprintf(stderr,
+                   "FATAL %s: incremental minimize diverged from full "
+                   "(|V| %llu vs %llu, |E| %llu vs %llu, tree_sel %llu "
+                   "vs %llu)\n",
+                   name, static_cast<unsigned long long>(inc.vertices),
+                   static_cast<unsigned long long>(full.vertices),
+                   static_cast<unsigned long long>(inc.edges),
+                   static_cast<unsigned long long>(full.edges),
+                   static_cast<unsigned long long>(inc.tree_selected),
+                   static_cast<unsigned long long>(full.tree_selected));
+      return 1;
+    }
+    if (inc.minimize_s > 0) {
+      std::printf("%-12s incremental reclaim speedup over full: %.2fx\n",
+                  name, full.minimize_s / inc.minimize_s);
+    }
+    PrintRule(108);
+  }
+  report.Finish();
+  return 0;
+}

@@ -13,7 +13,13 @@
 //   --preload=NAME=PATH cache a document before serving; PATH may be a
 //                       .xcqi instance file or raw XML (sniffed).
 //                       Repeatable.
-//   --minimize          re-minimize instances after splitting queries
+//   --minimize=MODE     reclaim instance growth after splitting queries:
+//                       off (default) leaves instances grown,
+//                       full re-hashes the whole DAG after every query,
+//                       incremental re-canonicalizes only the split /
+//                       re-pointed vertices against the persistent
+//                       hash-cons cache (see docs/INTERNALS.md).
+//                       Bare --minimize is an alias for incremental.
 //
 // Protocol (line-oriented; try it with `nc 127.0.0.1 7878`):
 //
@@ -48,7 +54,7 @@ void HandleSignal(int) { g_stop = 1; }
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--port=N] [--threads=N] [--capacity-mb=N] "
-               "[--preload=NAME=PATH]... [--minimize]\n",
+               "[--preload=NAME=PATH]... [--minimize[=off|full|incremental]]\n",
                argv0);
   return 2;
 }
@@ -80,8 +86,14 @@ int main(int argc, char** argv) {
       }
       preloads.emplace_back(std::string(spec.substr(0, eq)),
                             std::string(spec.substr(eq + 1)));
-    } else if (arg == "--minimize") {
+    } else if (arg == "--minimize" || arg == "--minimize=incremental") {
       options.session.minimize_after_query = true;
+      options.session.incremental_minimize = true;
+    } else if (arg == "--minimize=full") {
+      options.session.minimize_after_query = true;
+      options.session.incremental_minimize = false;
+    } else if (arg == "--minimize=off") {
+      options.session.minimize_after_query = false;
     } else if (arg == "--help" || arg == "-h") {
       return Usage(argv[0]);
     } else {

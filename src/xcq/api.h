@@ -25,7 +25,25 @@
 ///       xcq::SelectedTreeNodeCount(*instance, *result);
 /// \endcode
 ///
-/// This example is kept honest by tests/api_smoke_test.cc, which
+/// For serving many queries over one document, prefer the session layer,
+/// which accumulates one compressed instance across queries (merging in
+/// missing labels via common extensions) and can reclaim split growth
+/// after every query with the incremental in-place minimization:
+///
+/// \code
+///   xcq::SessionOptions sopts;
+///   sopts.minimize_after_query = true;  // incremental_minimize is the
+///                                       // default reclaim implementation
+///   auto session = xcq::QuerySession::Open(xml_text, sopts);
+///   auto outcome = session->Run("//book[author[\"Vianu\"]]");
+///   uint64_t tree_hits = outcome->selected_tree_nodes;
+/// \endcode
+///
+/// Above the session sits `xcq::server::DocumentStore` (a named LRU
+/// cache of sessions) and the `xcq_serverd` daemon — see docs/SERVER.md;
+/// docs/INTERNALS.md walks the representation and maintenance machinery.
+///
+/// These examples are kept honest by tests/api_smoke_test.cc, which
 /// compiles and runs the same calls; keep the two in sync.
 
 #include "xcq/algebra/compiler.h"

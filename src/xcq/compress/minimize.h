@@ -9,6 +9,21 @@
 /// instance M(I). `Minimize` maps any instance to M(I) without
 /// decompressing; `InstanceFromTree` produces the maximum element from a
 /// labeled tree (used by tests and the uncompressed baseline).
+///
+/// Two minimization passes exist:
+///  * `Minimize` — the full pass: re-hashes every reachable vertex and
+///    rebuilds a fresh instance. O(reachable instance) per call, always.
+///  * `MinimizeInPlace` — the incremental pass: re-canonicalizes only
+///    the vertices recorded dirty since the previous pass (splits,
+///    edge rewrites, result-relation flips), folding duplicates into the
+///    persistent hash-cons table kept in `Instance::minimize_cache()`.
+///    This is the serving hot path: all hashing, table maintenance, and
+///    rebuild work scales with the dirty set instead of the whole DAG.
+///    The pass still pays one pointer walk over the reachable DAG per
+///    call (reachability + height ordering), so its floor is
+///    O(reachable |V| + |E|) — cheap next to the full pass's re-hash of
+///    every label set and wholesale instance rebuild, but not sublinear.
+/// See docs/INTERNALS.md for the algorithm and a worked example.
 
 #include <string>
 #include <vector>
@@ -24,6 +39,49 @@ namespace xcq {
 /// children-first order. Unreachable vertices are dropped; live relations
 /// are preserved by name.
 Result<Instance> Minimize(const Instance& input);
+
+/// \brief Tuning knobs for `MinimizeInPlace`.
+struct InPlaceMinimizeOptions {
+  /// The in-place pass leaves merged-away vertices behind as unreachable
+  /// garbage (vertex ids must stay stable for the cache). When the
+  /// garbage fraction of the vertex array exceeds this ratio, the pass
+  /// falls back to one full `Minimize` rebuild, which compacts ids,
+  /// drops schema tombstones, and reseeds the cache on the next call.
+  /// <= 0 disables compaction.
+  double compact_garbage_ratio = 0.5;
+};
+
+/// \brief Counters reported by one `MinimizeInPlace` call.
+struct InPlaceMinimizeStats {
+  bool skipped = false;    ///< Cache valid and dirty set empty: no work.
+  bool reseeded = false;   ///< Cache was (re)built by a full seeding pass.
+  bool compacted = false;  ///< Garbage ratio triggered a full rebuild.
+  uint64_t dirty = 0;      ///< Dirty vertices processed (incl. cascades).
+  uint64_t merged = 0;     ///< Vertices folded into an existing one.
+  uint64_t reachable_vertices = 0;  ///< After the pass (0 when skipped).
+  uint64_t reachable_edges = 0;     ///< RLE edges after (0 when skipped).
+  double seconds = 0.0;
+};
+
+/// \brief Re-minimizes `*instance` in place, bottom-up from the dirty
+/// vertices recorded by the instance (consumed via `TakeDirtyVertices`),
+/// against the persistent hash-cons table in `instance->minimize_cache()`.
+///
+/// Contract: since the cache was last valid, every structural change
+/// (edges, splits) must have been recorded while dirty tracking was on,
+/// and every live-relation membership change must have been marked via
+/// `MarkVertexDirty` by the caller (`QuerySession` diffs the result
+/// column). Changing the *set* of live relations is detected via a
+/// schema fingerprint and triggers a full reseeding pass, as does the
+/// first call on a fresh instance.
+///
+/// Equivalent to `Minimize` on the reachable part: after the call the
+/// reachable subgraph is the minimal instance M(I) (merged vertices
+/// linger unreachable until compaction — see
+/// `InPlaceMinimizeOptions::compact_garbage_ratio`).
+Status MinimizeInPlace(Instance* instance,
+                       const InPlaceMinimizeOptions& options = {},
+                       InPlaceMinimizeStats* stats = nullptr);
 
 /// \brief Builds the (uncompressed) tree-instance of a labeled tree:
 /// one vertex per tree node, no sharing.

@@ -39,11 +39,15 @@ class PlanRunner {
       XCQ_RETURN_IF_ERROR(RunOp(plan, i));
     }
 
-    // Persist the final selection under the public result name.
-    instance_->RemoveRelation(kResultRelation);
+    // Persist the final selection under the public result name. The
+    // relation is reused (not removed and re-interned) so its id stays
+    // stable across queries: the schema gains no tombstone per query and
+    // the incremental-minimization cache can diff the result column.
     const RelationId result = instance_->AddRelation(kResultRelation);
-    instance_->MutableRelationBits(result) =
-        instance_->RelationBits(op_relation_.back());
+    if (result != op_relation_.back()) {
+      instance_->MutableRelationBits(result) =
+          instance_->RelationBits(op_relation_.back());
+    }
 
     if (options_.remove_temporaries) {
       for (const std::string& name : temporaries_) {

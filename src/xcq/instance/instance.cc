@@ -12,6 +12,7 @@ VertexId Instance::AddVertex() {
   for (size_t r = 0; r < relations_.size(); ++r) {
     if (relation_live_[r]) relations_[r].PushBack(false);
   }
+  MarkVertexDirty(id);
   return id;
 }
 
@@ -26,6 +27,14 @@ void Instance::SetEdges(VertexId v, std::span<const Edge> edges) {
   if (aliased) {
     detached.assign(edges.begin(), edges.end());
     edges = detached;
+  }
+  if (track_dirty_) {
+    const std::span<const Edge> current{edges_.data() + spans_[v].offset,
+                                        spans_[v].length};
+    if (current.size() != edges.size() ||
+        !std::equal(current.begin(), current.end(), edges.begin())) {
+      MarkVertexDirty(v);
+    }
   }
   live_edge_count_ -= spans_[v].length;
   if (edges.size() <= spans_[v].length) {
@@ -55,6 +64,7 @@ VertexId Instance::CloneVertex(VertexId v) {
   for (size_t r = 0; r < relations_.size(); ++r) {
     if (relation_live_[r]) relations_[r].PushBack(relations_[r].Test(v));
   }
+  MarkVertexDirty(id);
   return id;
 }
 
@@ -137,6 +147,12 @@ std::vector<VertexId> Instance::PostOrder() const {
   return order;
 }
 
+uint64_t Instance::ReachableEdgeCount() const {
+  uint64_t edges = 0;
+  for (const VertexId v : PostOrder()) edges += Children(v).size();
+  return edges;
+}
+
 std::vector<VertexId> Instance::TopologicalOrder() const {
   std::vector<VertexId> order = PostOrder();
   std::reverse(order.begin(), order.end());
@@ -215,6 +231,11 @@ size_t Instance::MemoryFootprint() const {
   for (const DynamicBitset& column : relations_) {
     bytes += column.words().capacity() * sizeof(uint64_t);
   }
+  // The incremental-minimization cache lives inside the instance and is
+  // real heap; count it so the server's capacity accounting stays honest.
+  bytes += minimize_cache_.MemoryFootprint();
+  bytes += dirty_flag_.capacity() +
+           dirty_list_.capacity() * sizeof(VertexId);
   return bytes;
 }
 

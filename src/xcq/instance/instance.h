@@ -22,6 +22,8 @@
 #include <span>
 #include <string>
 #include <string_view>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "xcq/instance/schema.h"
@@ -32,6 +34,44 @@ namespace xcq {
 
 using VertexId = uint32_t;
 inline constexpr VertexId kNoVertex = UINT32_MAX;
+
+/// \brief Persistent hash-cons state for incremental re-minimization
+/// (`MinimizeInPlace` in compress/minimize.h).
+///
+/// The full `Minimize` pass re-hashes every reachable vertex on every
+/// call. This cache keeps the hash-cons table alive *inside the
+/// instance* between passes: `table` maps a vertex-signature hash to the
+/// canonical vertex carrying it, and `vertex_hash` remembers each
+/// vertex's signature at insertion time (0 = not in the table) so stale
+/// entries can be evicted without recomputing old signatures.
+/// Signatures are derived from live relation *names* (not ids), so the
+/// cache survives schema tombstone churn from per-query temporaries.
+///
+/// The cache is a plain value: copying an instance copies the cache,
+/// which remains valid for the copy. `valid` is false until the first
+/// seeding pass; `schema_fingerprint` detects live-relation-set changes
+/// that invalidate every stored signature.
+struct MinimizeCache {
+  bool valid = false;
+  uint64_t schema_fingerprint = 0;
+  std::vector<uint64_t> vertex_hash;
+  std::unordered_multimap<uint64_t, VertexId> table;
+
+  void Invalidate() {
+    valid = false;
+    schema_fingerprint = 0;
+    vertex_hash.clear();
+    table.clear();
+  }
+
+  /// Rough heap footprint in bytes (counted by Instance::MemoryFootprint).
+  size_t MemoryFootprint() const {
+    return vertex_hash.capacity() * sizeof(uint64_t) +
+           table.size() * (sizeof(std::pair<uint64_t, VertexId>) +
+                           2 * sizeof(void*)) +
+           table.bucket_count() * sizeof(void*);
+  }
+};
 
 /// \brief A run of `count` consecutive edges to the same child.
 struct Edge {
@@ -71,7 +111,10 @@ class Instance {
   }
 
   /// Mutable access for in-place child rewrites (length is fixed).
+  /// Conservatively marks `v` dirty when dirty tracking is on — callers
+  /// take this span to rewrite edges.
   std::span<Edge> MutableChildren(VertexId v) {
+    MarkVertexDirty(v);
     return {edges_.data() + spans_[v].offset, spans_[v].length};
   }
 
@@ -123,6 +166,50 @@ class Instance {
   /// Number of vertices reachable from the root.
   size_t ReachableCount() const { return PostOrder().size(); }
 
+  /// RLE edges over the reachable vertices only — the |E| the paper
+  /// reports once split leftovers / merged-away garbage are excluded.
+  uint64_t ReachableEdgeCount() const;
+
+  // --- Dirty-vertex tracking (incremental re-minimization) -----------------
+  //
+  // When tracking is on, every structural change records the touched
+  // vertex: `CloneVertex`/`AddVertex` mark the new vertex, `SetEdges`
+  // marks on content change, `MutableChildren` marks conservatively.
+  // Callers mark relation-membership changes themselves (relation
+  // columns are rewritten wholesale, so the instance cannot attribute
+  // them). `MinimizeInPlace` consumes the set via TakeDirtyVertices().
+
+  /// Turns dirty tracking on or off. The accumulated set is preserved
+  /// across toggles; use TakeDirtyVertices() to drain it.
+  void SetDirtyTracking(bool enabled) { track_dirty_ = enabled; }
+  bool dirty_tracking() const { return track_dirty_; }
+
+  /// Records `v` as structurally changed (no-op when tracking is off).
+  void MarkVertexDirty(VertexId v) {
+    if (!track_dirty_) return;
+    if (dirty_flag_.size() < spans_.size()) {
+      dirty_flag_.resize(spans_.size(), 0);
+    }
+    if (v >= dirty_flag_.size() || dirty_flag_[v]) return;
+    dirty_flag_[v] = 1;
+    dirty_list_.push_back(v);
+  }
+
+  /// Returns the accumulated dirty set (deduplicated, in first-marked
+  /// order) and clears it.
+  std::vector<VertexId> TakeDirtyVertices() {
+    for (const VertexId v : dirty_list_) {
+      if (v < dirty_flag_.size()) dirty_flag_[v] = 0;
+    }
+    return std::exchange(dirty_list_, {});
+  }
+
+  size_t dirty_count() const { return dirty_list_.size(); }
+
+  /// Persistent hash-cons state for `MinimizeInPlace` (see MinimizeCache).
+  MinimizeCache& minimize_cache() { return minimize_cache_; }
+  const MinimizeCache& minimize_cache() const { return minimize_cache_; }
+
   // --- Integrity -----------------------------------------------------------
 
   /// Checks structural invariants: valid ids, RLE canonical form,
@@ -147,6 +234,12 @@ class Instance {
   std::vector<uint8_t> relation_live_;
   VertexId root_ = kNoVertex;
   uint64_t live_edge_count_ = 0;
+
+  bool track_dirty_ = false;
+  /// Parallel to spans_ (grown lazily): 1 for vertices in dirty_list_.
+  std::vector<uint8_t> dirty_flag_;
+  std::vector<VertexId> dirty_list_;
+  MinimizeCache minimize_cache_;
 };
 
 /// \brief Appends `edge` to an RLE sequence, merging with the last run if

@@ -24,7 +24,11 @@
 /// `Instance::MemoryFootprint()` of cached instances. Loads beyond the
 /// budget evict least-recently-used documents (never the one being
 /// loaded). Footprints are refreshed after every evaluation, since
-/// splitting queries grow instances.
+/// splitting queries grow instances; with
+/// `SessionOptions::minimize_after_query` the refresh happens after the
+/// re-minimization pass (incremental or full), so the accounting sees
+/// the reclaimed size — including the in-instance hash-cons cache the
+/// incremental pass keeps (`MinimizeCache`), which is real heap.
 
 #include <atomic>
 #include <cstdint>

@@ -160,6 +160,24 @@ Status QuerySession::EnsureLabels(const std::vector<std::string>& tags,
 Result<QueryOutcome> QuerySession::EvaluatePlan(
     const algebra::QueryPlan& plan) {
   QueryOutcome outcome;
+  const bool incremental =
+      options_.minimize_after_query && options_.incremental_minimize;
+
+  // The incremental pass needs every structural change recorded and the
+  // result-column delta: snapshot the previous result bits, then let the
+  // instance track splits and edge rewrites through the evaluation.
+  DynamicBitset previous_result;
+  bool had_previous = false;
+  if (incremental) {
+    instance_->SetDirtyTracking(true);
+    const RelationId prev =
+        instance_->FindRelation(engine::kResultRelation);
+    if (prev != kNoRelation) {
+      previous_result = instance_->RelationBits(prev);
+      had_previous = true;
+    }
+  }
+
   XCQ_ASSIGN_OR_RETURN(
       const RelationId result,
       engine::Evaluate(&*instance_, plan, engine::EvalOptions{},
@@ -170,10 +188,84 @@ Result<QueryOutcome> QuerySession::EvaluatePlan(
     // Counts were taken above; the result relation survives minimization
     // (vertices differing on it are not bisimilar), so enumeration over
     // `instance()` stays possible — just over the re-compressed DAG.
-    XCQ_ASSIGN_OR_RETURN(Instance minimal, Minimize(*instance_));
-    instance_ = std::move(minimal);
+    if (incremental) {
+      MarkResultFlips(previous_result, had_previous, result);
+      InPlaceMinimizeStats mstats;
+      XCQ_RETURN_IF_ERROR(MinimizeInPlace(&*instance_, {}, &mstats));
+      instance_->SetDirtyTracking(false);
+      outcome.minimize_seconds = mstats.seconds;
+      if (options_.verify_incremental_minimize) {
+        XCQ_RETURN_IF_ERROR(VerifyIncrementalMinimize());
+      }
+    } else {
+      Timer timer;
+      XCQ_ASSIGN_OR_RETURN(Instance minimal, Minimize(*instance_));
+      instance_ = std::move(minimal);
+      outcome.minimize_seconds = timer.Seconds();
+    }
   }
   return outcome;
+}
+
+void QuerySession::MarkResultFlips(const DynamicBitset& previous,
+                                   bool had_previous, RelationId result) {
+  const DynamicBitset& current = instance_->RelationBits(result);
+  if (!had_previous) {
+    // First query: the whole selection is new. (The cache is invalid
+    // before the first pass anyway, but keep the contract exact.)
+    current.ForEach([this](size_t v) {
+      instance_->MarkVertexDirty(static_cast<VertexId>(v));
+    });
+    return;
+  }
+  // Word-parallel XOR of the two columns. Bits past the previous size
+  // belong to vertices created during this evaluation, which are already
+  // dirty by construction.
+  const std::vector<uint64_t>& before = previous.words();
+  const std::vector<uint64_t>& after = current.words();
+  const size_t words = std::min(before.size(), after.size());
+  for (size_t w = 0; w < words; ++w) {
+    uint64_t diff = before[w] ^ after[w];
+    while (diff != 0) {
+      const int bit = __builtin_ctzll(diff);
+      instance_->MarkVertexDirty(
+          static_cast<VertexId>(w * 64 + static_cast<size_t>(bit)));
+      diff &= diff - 1;
+    }
+  }
+}
+
+Status QuerySession::VerifyIncrementalMinimize() const {
+  XCQ_ASSIGN_OR_RETURN(Instance full, Minimize(*instance_));
+  const uint64_t vertices = instance_->ReachableCount();
+  const uint64_t edges = instance_->ReachableEdgeCount();
+  if (vertices != full.vertex_count() ||
+      edges != full.rle_edge_count()) {
+    return Status::Internal(StrFormat(
+        "incremental minimize diverged from the full pass: "
+        "%llu vertices / %llu edges (incremental, reachable) vs "
+        "%llu / %llu (full)",
+        static_cast<unsigned long long>(vertices),
+        static_cast<unsigned long long>(edges),
+        static_cast<unsigned long long>(full.vertex_count()),
+        static_cast<unsigned long long>(full.rle_edge_count())));
+  }
+  const RelationId mine =
+      instance_->FindRelation(engine::kResultRelation);
+  const RelationId theirs = full.FindRelation(engine::kResultRelation);
+  if ((mine == kNoRelation) != (theirs == kNoRelation)) {
+    return Status::Internal(
+        "incremental minimize diverged: result relation presence");
+  }
+  if (mine != kNoRelation &&
+      (SelectedDagNodeCount(*instance_, mine) !=
+           SelectedDagNodeCount(full, theirs) ||
+       SelectedTreeNodeCount(*instance_, mine) !=
+           SelectedTreeNodeCount(full, theirs))) {
+    return Status::Internal(
+        "incremental minimize diverged: result selection counts");
+  }
+  return Status::OK();
 }
 
 Result<QueryOutcome> QuerySession::Run(std::string_view query_text) {

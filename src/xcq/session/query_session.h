@@ -46,6 +46,18 @@ struct SessionOptions {
   /// bench_ablation section (c)). Result counts are taken before the
   /// re-minimization, so outcomes are unaffected.
   bool minimize_after_query = false;
+  /// With `minimize_after_query`: reclaim with the *incremental* in-place
+  /// pass (`MinimizeInPlace`) — only vertices split, re-pointed, or whose
+  /// result bit flipped are re-canonicalized against the persistent
+  /// hash-cons table kept in the instance. Off = the original full
+  /// re-hash rebuild (`Minimize`) after every query.
+  bool incremental_minimize = true;
+  /// Debug oracle: after every incremental pass, also run the full pass
+  /// on a copy and fail with `kInternal` unless both agree on reachable
+  /// vertex/edge counts and the result selection. Expensive — it
+  /// re-introduces the full-pass cost the incremental pass avoids; for
+  /// tests and bring-up only.
+  bool verify_incremental_minimize = false;
 };
 
 /// \brief Result summary of one query execution.
@@ -58,6 +70,10 @@ struct QueryOutcome {
   engine::EvalStats stats;
   /// Seconds spent parsing/merging to obtain the labeled instance.
   double label_seconds = 0.0;
+  /// Seconds spent re-minimizing after the query (0 unless
+  /// `minimize_after_query` is set); covers the incremental or full
+  /// pass, whichever the options selected.
+  double minimize_seconds = 0.0;
 };
 
 /// \brief Everything a *set* of queries needs from the document: the
@@ -130,6 +146,17 @@ class QuerySession {
   /// Evaluates one compiled plan on the ensured instance; shared by Run
   /// and RunBatch.
   Result<QueryOutcome> EvaluatePlan(const algebra::QueryPlan& plan);
+
+  /// Marks vertices whose result-relation bit flipped between queries as
+  /// dirty (relation columns are rewritten wholesale, so the instance
+  /// cannot attribute those changes itself). `had_previous` is false on
+  /// the first query, when every set result bit is a flip.
+  void MarkResultFlips(const DynamicBitset& previous, bool had_previous,
+                       RelationId result);
+
+  /// The `verify_incremental_minimize` oracle: full-minimizes a copy and
+  /// compares reachable counts and the result selection.
+  Status VerifyIncrementalMinimize() const;
 
   std::string xml_;
   SessionOptions options_;

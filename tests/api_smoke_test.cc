@@ -47,4 +47,24 @@ TEST(ApiSmokeTest, DocCommentExampleRuns) {
   EXPECT_EQ(hits, 1u);
 }
 
+// Pins the second api.h example: the session layer with per-query
+// reclaim (incremental minimization is the default implementation).
+TEST(ApiSmokeTest, SessionDocCommentExampleRuns) {
+  const std::string xml_text =
+      "<bib>"
+      "<book><author>Abiteboul</author><author>Vianu</author></book>"
+      "<book><author>Codd</author></book>"
+      "</bib>";
+
+  xcq::SessionOptions sopts;
+  sopts.minimize_after_query = true;  // incremental_minimize is the
+                                      // default reclaim implementation
+  auto session = xcq::QuerySession::Open(xml_text, sopts);
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+  auto outcome = session->Run("//book[author[\"Vianu\"]]");
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  uint64_t tree_hits = outcome->selected_tree_nodes;
+  EXPECT_EQ(tree_hits, 1u);
+}
+
 }  // namespace

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Fail on broken relative links in the repository's markdown files.
+
+Walks every ``*.md`` file under the repository root (skipping build
+output and VCS metadata), extracts inline links and images
+(``[text](target)`` / ``![alt](target)``) plus reference definitions
+(``[label]: target``), and checks that every *relative* target resolves
+to an existing file or directory. External targets (``http(s)://``,
+``mailto:``), pure in-page anchors (``#section``), and code spans are
+ignored; a ``path#fragment`` target is checked for the path part only.
+
+Usage:
+    check_markdown_links.py [ROOT]
+
+Exits non-zero listing every broken link. CI runs this as the `docs`
+job, so documentation cannot drift into dangling cross-references
+(e.g. a renamed docs/ file or bench binary doc).
+"""
+
+import os
+import re
+import sys
+
+SKIP_DIRS = {".git", "build", ".claude", "node_modules", "__pycache__"}
+
+# Inline [text](target) or ![alt](target); target ends at the first
+# unescaped ')' (markdown in this repo uses no nested parens in URLs).
+INLINE_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+# Reference definitions: [label]: target
+REFERENCE_DEF = re.compile(r"^\s*\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+FENCE = re.compile(r"^(```|~~~)")
+
+EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def markdown_files(root):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in sorted(dirnames) if d not in SKIP_DIRS]
+        for name in sorted(filenames):
+            if name.endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def strip_code(text):
+    """Drops fenced code blocks and inline code spans, where link-like
+    text is syntax, not a link."""
+    lines = []
+    in_fence = False
+    for line in text.splitlines():
+        if FENCE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if not in_fence:
+            lines.append(re.sub(r"`[^`]*`", "", line))
+    return "\n".join(lines)
+
+
+def link_targets(text):
+    text = strip_code(text)
+    for match in INLINE_LINK.finditer(text):
+        yield match.group(1)
+    for match in REFERENCE_DEF.finditer(text):
+        yield match.group(1)
+
+
+def main(argv):
+    root = os.path.abspath(argv[1]) if len(argv) > 1 else os.getcwd()
+    broken = []
+    checked = 0
+    for path in markdown_files(root):
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+        base = os.path.dirname(path)
+        for target in link_targets(text):
+            if target.startswith(EXTERNAL_PREFIXES) or target.startswith("#"):
+                continue
+            file_part = target.split("#", 1)[0]
+            if not file_part:
+                continue
+            checked += 1
+            resolved = os.path.normpath(os.path.join(base, file_part))
+            if not os.path.exists(resolved):
+                broken.append((os.path.relpath(path, root), target))
+    if broken:
+        print(f"{len(broken)} broken relative link(s):")
+        for origin, target in broken:
+            print(f"  {origin}: ({target})")
+        return 1
+    print(f"all {checked} relative markdown links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
