@@ -1,0 +1,242 @@
+// bench_parallel — thread scaling of the intra-instance parallelism
+// (docs/PARALLELISM.md): sharded compression and the partitioned
+// downward / sibling axis sweeps, at 1/2/4/8 lanes over the three
+// corpora the serving benches use.
+//
+// Per corpus and thread count it measures
+//   * compress: CompressXml in kAllTags mode (sharded when threads>1;
+//     the output must be bit-identical to the sequential pass),
+//   * downward: descendant sweep from the corpus' densest tag relation
+//     (the heaviest Fig. 4 workload),
+//   * sibling:  following-sibling sweep from the same relation (the
+//     heaviest splitter),
+// and dies loudly if any thread count changes an answer, a split
+// count, or the post-minimize structure — the determinism contract the
+// parallel engine guarantees.
+//
+// JSON rows land in BENCH_parallel.json for bench/compare_bench.py
+// (counts exact, timings thresholded; `speedup` is printed but kept out
+// of the JSON — it is a ratio of timings and just as noisy).
+
+#include <algorithm>
+
+#include "bench_util.h"
+#include "xcq/engine/axes.h"
+
+namespace xcq::bench {
+namespace {
+
+constexpr size_t kThreadCounts[] = {1, 2, 4, 8};
+
+/// The densest live relation — a deterministic, corpus-agnostic pick of
+/// a sweep source that touches a large slice of the DAG.
+RelationId DensestRelation(const Instance& instance) {
+  RelationId best = kNoRelation;
+  size_t best_count = 0;
+  for (const RelationId r : instance.LiveRelations()) {
+    const size_t count = instance.RelationBits(r).Count();
+    if (count > best_count) {
+      best = r;
+      best_count = count;
+    }
+  }
+  return best;
+}
+
+/// Full bit-level equality — ids, edges, schema, relation columns —
+/// matching what docs/PARALLELISM.md promises for sharded compression.
+/// O(instance), negligible next to the compression being timed.
+bool InstancesIdentical(const Instance& a, const Instance& b) {
+  if (a.vertex_count() != b.vertex_count() ||
+      a.rle_edge_count() != b.rle_edge_count() || a.root() != b.root()) {
+    return false;
+  }
+  for (VertexId v = 0; v < a.vertex_count(); ++v) {
+    const std::span<const Edge> ca = a.Children(v);
+    const std::span<const Edge> cb = b.Children(v);
+    if (ca.size() != cb.size() ||
+        !std::equal(ca.begin(), ca.end(), cb.begin())) {
+      return false;
+    }
+  }
+  const std::vector<RelationId> live = a.LiveRelations();
+  if (live != b.LiveRelations()) return false;
+  for (const RelationId r : live) {
+    if (a.schema().Name(r) != b.schema().Name(r) ||
+        a.RelationBits(r) != b.RelationBits(r)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+struct SweepResult {
+  double seconds = 0.0;
+  uint64_t selected_dag = 0;
+  uint64_t selected_tree = 0;
+  uint64_t splits = 0;
+  uint64_t min_vertices = 0;  // post-minimize reachable vertices
+  uint64_t min_edges = 0;     // post-minimize reachable RLE edges
+};
+
+SweepResult RunSweep(const Instance& base, xpath::Axis axis,
+                     RelationId src, size_t threads) {
+  Instance instance = base;
+  const RelationId dst = instance.AddRelation("bench:dst");
+  engine::AxisStats stats;
+  SweepResult result;
+  Timer timer;
+  if (axis == xpath::Axis::kDescendant) {
+    Check(engine::ApplyDownwardAxis(&instance, axis, src, dst, &stats,
+                                    threads),
+          "ApplyDownwardAxis");
+  } else {
+    Check(engine::ApplySiblingAxis(&instance, axis, src, dst, &stats,
+                                   threads),
+          "ApplySiblingAxis");
+  }
+  result.seconds = timer.Seconds();
+  result.selected_dag = SelectedDagNodeCount(instance, dst);
+  result.selected_tree = SelectedTreeNodeCount(instance, dst);
+  result.splits = stats.splits;
+  const Instance minimal = Unwrap(Minimize(instance), "Minimize");
+  result.min_vertices = minimal.vertex_count();
+  result.min_edges = minimal.rle_edge_count();
+  return result;
+}
+
+}  // namespace
+}  // namespace xcq::bench
+
+int main(int argc, char** argv) {
+  using namespace xcq;
+  using namespace xcq::bench;
+
+  const BenchArgs args = BenchArgs::Parse(argc, argv);
+  BenchReport report("parallel", args);
+
+  std::printf("Thread scaling: sharded compression + partitioned axis "
+              "sweeps (answers must not change)\n");
+  std::printf("%-12s %-10s %7s %9s %10s %10s %9s %11s %9s %8s\n",
+              "corpus", "phase", "threads", "|V|", "|E|", "sel_tree",
+              "splits", "aux", "seconds", "speedup");
+  PrintRule(104);
+
+  const char* kCorpora[] = {"Shakespeare", "SwissProt", "TreeBank"};
+  for (const char* name : kCorpora) {
+    const corpus::CorpusGenerator* generator =
+        Unwrap(corpus::FindCorpus(name), "FindCorpus");
+    if (!args.Selected(*generator)) continue;
+
+    corpus::GenerateOptions gen;
+    gen.target_nodes = args.TargetNodes(*generator);
+    gen.seed = args.seed;
+    const std::string xml = generator->Generate(gen);
+
+    // --- compression ----------------------------------------------------
+    Instance reference;
+    double compress_base_s = 0.0;
+    for (const size_t threads : kThreadCounts) {
+      CompressOptions copts;
+      copts.mode = LabelMode::kAllTags;
+      copts.threads = threads;
+      CompressRunStats stats;
+      Instance instance =
+          Unwrap(CompressXmlWithStats(xml, copts, &stats), "CompressXml");
+      if (threads == 1) {
+        compress_base_s = stats.parse_seconds;
+        reference = instance;
+      } else if (!InstancesIdentical(instance, reference)) {
+        std::fprintf(stderr,
+                     "FATAL %s: sharded compression (threads=%zu) is not "
+                     "bit-identical to the sequential pass\n",
+                     name, threads);
+        return 1;
+      }
+      std::printf("%-12s %-10s %7zu %9zu %10llu %10s %9s shards=%-4llu "
+                  "%9.4f %7.2fx\n",
+                  name, "compress", threads, instance.vertex_count(),
+                  static_cast<unsigned long long>(
+                      instance.rle_edge_count()),
+                  "-", "-", static_cast<unsigned long long>(stats.shards),
+                  stats.parse_seconds,
+                  stats.parse_seconds > 0
+                      ? compress_base_s / stats.parse_seconds
+                      : 0.0);
+      report.Row()
+          .Set("corpus", name)
+          .Set("phase", "compress")
+          .Set("threads", static_cast<uint64_t>(threads))
+          .Set("vertices", instance.vertex_count())
+          .Set("edges", instance.rle_edge_count())
+          .Set("shards", stats.shards)
+          .Set("dag_reserve", stats.dag_reserve)
+          .Set("seconds", stats.parse_seconds);
+    }
+
+    // --- axis sweeps ----------------------------------------------------
+    const RelationId src = DensestRelation(reference);
+    if (src == kNoRelation) {
+      std::fprintf(stderr, "FATAL %s: no live relation to sweep from\n",
+                   name);
+      return 1;
+    }
+    const struct {
+      const char* phase;
+      xpath::Axis axis;
+    } kSweeps[] = {{"downward", xpath::Axis::kDescendant},
+                   {"sibling", xpath::Axis::kFollowingSibling}};
+    for (const auto& sweep : kSweeps) {
+      SweepResult base_result;
+      for (const size_t threads : kThreadCounts) {
+        const SweepResult r =
+            RunSweep(reference, sweep.axis, src, threads);
+        if (threads == 1) {
+          base_result = r;
+        } else if (r.selected_dag != base_result.selected_dag ||
+                   r.selected_tree != base_result.selected_tree ||
+                   r.splits != base_result.splits ||
+                   r.min_vertices != base_result.min_vertices ||
+                   r.min_edges != base_result.min_edges) {
+          std::fprintf(stderr,
+                       "FATAL %s %s: threads=%zu diverged from the "
+                       "sequential oracle (tree %llu vs %llu, splits "
+                       "%llu vs %llu, min |V| %llu vs %llu)\n",
+                       name, sweep.phase, threads,
+                       static_cast<unsigned long long>(r.selected_tree),
+                       static_cast<unsigned long long>(
+                           base_result.selected_tree),
+                       static_cast<unsigned long long>(r.splits),
+                       static_cast<unsigned long long>(base_result.splits),
+                       static_cast<unsigned long long>(r.min_vertices),
+                       static_cast<unsigned long long>(
+                           base_result.min_vertices));
+          return 1;
+        }
+        std::printf("%-12s %-10s %7zu %9llu %10llu %10llu %9llu "
+                    "minV=%-6llu %9.4f %7.2fx\n",
+                    name, sweep.phase, threads,
+                    static_cast<unsigned long long>(r.selected_dag),
+                    static_cast<unsigned long long>(r.min_edges),
+                    static_cast<unsigned long long>(r.selected_tree),
+                    static_cast<unsigned long long>(r.splits),
+                    static_cast<unsigned long long>(r.min_vertices),
+                    r.seconds,
+                    r.seconds > 0 ? base_result.seconds / r.seconds : 0.0);
+        report.Row()
+            .Set("corpus", name)
+            .Set("phase", sweep.phase)
+            .Set("threads", static_cast<uint64_t>(threads))
+            .Set("selected_dag", r.selected_dag)
+            .Set("selected_tree", r.selected_tree)
+            .Set("splits", r.splits)
+            .Set("min_vertices", r.min_vertices)
+            .Set("min_edges", r.min_edges)
+            .Set("seconds", r.seconds);
+      }
+    }
+    PrintRule(104);
+  }
+  report.Finish();
+  return 0;
+}

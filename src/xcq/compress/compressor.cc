@@ -1,10 +1,13 @@
 #include "xcq/compress/compressor.h"
 
 #include <algorithm>
+#include <memory>
 #include <optional>
 #include <unordered_map>
 
 #include "xcq/compress/dag_builder.h"
+#include "xcq/compress/shard_outline.h"
+#include "xcq/parallel/task_pool.h"
 #include "xcq/tree/tree_skeleton.h"
 #include "xcq/util/timer.h"
 #include "xcq/xml/sax_parser.h"
@@ -14,19 +17,41 @@ namespace xcq {
 
 namespace {
 
-/// SAX handler implementing the paper's one-scan compression algorithm.
-class CompressorHandler : public xml::SaxHandler {
+/// Documents below this size never shard — the slices would not repay
+/// the per-shard parser setup and the merge.
+constexpr size_t kShardMinBytes = 64 * 1024;
+
+/// DagBuilder reservation heuristic: an element costs at least a few
+/// dozen bytes of markup, and distinct DAG vertices never exceed
+/// element count, so bytes/48 over-reserves mildly for dense documents
+/// and generously for text-heavy ones. The builder spends 8 bytes per
+/// hinted vertex on hash buckets (~17% of the input size, worst case,
+/// once) and deliberately reserves only a fraction of the heavier
+/// arenas — see the DagBuilder constructor.
+size_t ReserveHintForBytes(size_t bytes) {
+  const size_t hint = bytes / 48;
+  return hint < 16 ? 0 : (hint > (size_t{1} << 24) ? size_t{1} << 24
+                                                   : hint);
+}
+
+/// Tag-name → relation-id interning shared by the sequential handler,
+/// the per-shard handlers, and the shard merge. Ids are assigned in
+/// resolution order, which every caller keeps equal to document
+/// open-tag order — the property that makes shard merges reproduce the
+/// sequential schema exactly.
+class TagInterner {
  public:
-  CompressorHandler(const CompressOptions& options,
-                    xml::StringMatcher* matcher, CompressRunStats* stats)
-      : options_(options), matcher_(matcher), stats_(stats) {
-    // Pattern relations take ids [0, P); tag relations follow so that tag
-    // discovery during the scan can append names freely.
-    for (const std::string& pattern : options_.patterns) {
-      relation_names_.push_back(Schema::StringRelationName(pattern));
+  /// Pattern relations take ids [0, P); tag relations follow so that tag
+  /// discovery during the scan can append names freely.
+  TagInterner(const CompressOptions& options, bool with_patterns)
+      : mode_(options.mode) {
+    if (with_patterns) {
+      for (const std::string& pattern : options.patterns) {
+        relation_names_.push_back(Schema::StringRelationName(pattern));
+      }
     }
-    if (options_.mode == LabelMode::kSchema) {
-      for (const std::string& tag : options_.tags) {
+    if (mode_ == LabelMode::kSchema) {
+      for (const std::string& tag : options.tags) {
         const RelationId id =
             static_cast<RelationId>(relation_names_.size());
         if (tag_ids_.emplace(tag, id).second) {
@@ -35,6 +60,46 @@ class CompressorHandler : public xml::SaxHandler {
       }
     }
   }
+
+  RelationId Resolve(std::string_view tag) {
+    switch (mode_) {
+      case LabelMode::kNone:
+        return kNoRelation;
+      case LabelMode::kAllTags: {
+        auto it = tag_ids_.find(std::string(tag));
+        if (it != tag_ids_.end()) return it->second;
+        const RelationId id =
+            static_cast<RelationId>(relation_names_.size());
+        relation_names_.emplace_back(tag);
+        tag_ids_.emplace(std::string(tag), id);
+        return id;
+      }
+      case LabelMode::kSchema: {
+        auto it = tag_ids_.find(std::string(tag));
+        return it == tag_ids_.end() ? kNoRelation : it->second;
+      }
+    }
+    return kNoRelation;
+  }
+
+  const std::vector<std::string>& names() const { return relation_names_; }
+
+ private:
+  LabelMode mode_;
+  std::vector<std::string> relation_names_;
+  std::unordered_map<std::string, RelationId> tag_ids_;
+};
+
+/// SAX handler implementing the paper's one-scan compression algorithm.
+class CompressorHandler : public xml::SaxHandler {
+ public:
+  CompressorHandler(const CompressOptions& options,
+                    xml::StringMatcher* matcher, CompressRunStats* stats,
+                    size_t reserve_hint)
+      : matcher_(matcher),
+        stats_(stats),
+        builder_(reserve_hint),
+        tags_(options, /*with_patterns=*/true) {}
 
   Status OnStartDocument() override {
     PushFrame(kDocumentTag);
@@ -79,7 +144,7 @@ class CompressorHandler : public xml::SaxHandler {
     if (root_ == kNoVertex) {
       return Status::Internal("compressor finished without a root");
     }
-    return builder_.Finish(root_, relation_names_);
+    return builder_.Finish(root_, tags_.names());
   }
 
  private:
@@ -93,7 +158,7 @@ class CompressorHandler : public xml::SaxHandler {
   void PushFrame(std::string_view tag) {
     if (stats_ != nullptr) ++stats_->tree_nodes;
     Frame frame;
-    frame.tag_label = ResolveTag(tag);
+    frame.tag_label = tags_.Resolve(tag);
     frame.open_offset = matcher_ ? matcher_->offset() : 0;
     frame.pattern_mask = 0;
     if (!spare_edge_lists_.empty()) {
@@ -102,27 +167,6 @@ class CompressorHandler : public xml::SaxHandler {
       frame.edges.clear();
     }
     stack_.push_back(std::move(frame));
-  }
-
-  RelationId ResolveTag(std::string_view tag) {
-    switch (options_.mode) {
-      case LabelMode::kNone:
-        return kNoRelation;
-      case LabelMode::kAllTags: {
-        auto it = tag_ids_.find(std::string(tag));
-        if (it != tag_ids_.end()) return it->second;
-        const RelationId id =
-            static_cast<RelationId>(relation_names_.size());
-        relation_names_.emplace_back(tag);
-        tag_ids_.emplace(std::string(tag), id);
-        return id;
-      }
-      case LabelMode::kSchema: {
-        auto it = tag_ids_.find(std::string(tag));
-        return it == tag_ids_.end() ? kNoRelation : it->second;
-      }
-    }
-    return kNoRelation;
   }
 
   VertexId PopAndIntern() {
@@ -154,18 +198,203 @@ class CompressorHandler : public xml::SaxHandler {
     return id;
   }
 
-  const CompressOptions& options_;
   xml::StringMatcher* matcher_;
   CompressRunStats* stats_;
 
   DagBuilder builder_;
+  TagInterner tags_;
   std::vector<Frame> stack_;
   std::vector<std::vector<Edge>> spare_edge_lists_;
   std::vector<RelationId> labels_scratch_;
-  std::vector<std::string> relation_names_;
-  std::unordered_map<std::string, RelationId> tag_ids_;
   VertexId root_ = kNoVertex;
 };
+
+/// Per-shard handler for one top-level slice of the document, parsed in
+/// fragment mode: like CompressorHandler without the #doc frame, the
+/// matcher (patterns force the sequential path), and with the roots of
+/// the slice's top-level subtrees collected as an RLE run list for the
+/// merge to splice into the document element's child sequence.
+class FragmentCompressor : public xml::SaxHandler {
+ public:
+  FragmentCompressor(const CompressOptions& options, size_t reserve_hint)
+      : builder_(reserve_hint), tags_(options, /*with_patterns=*/false) {}
+
+  Status OnStartElement(std::string_view name,
+                        const std::vector<xml::Attribute>&) override {
+    ++tree_nodes_;
+    Frame frame;
+    frame.tag_label = tags_.Resolve(name);
+    if (!spare_edge_lists_.empty()) {
+      frame.edges = std::move(spare_edge_lists_.back());
+      spare_edge_lists_.pop_back();
+      frame.edges.clear();
+    }
+    stack_.push_back(std::move(frame));
+    return Status::OK();
+  }
+
+  Status OnCharacters(std::string_view text) override {
+    text_bytes_ += text.size();
+    return Status::OK();
+  }
+
+  Status OnEndElement(std::string_view) override {
+    Frame& frame = stack_.back();
+    labels_scratch_.clear();
+    if (frame.tag_label != kNoRelation) {
+      labels_scratch_.push_back(frame.tag_label);
+    }
+    const VertexId id = builder_.Intern(labels_scratch_, frame.edges);
+    spare_edge_lists_.push_back(std::move(frame.edges));
+    stack_.pop_back();
+    if (!stack_.empty()) {
+      AppendEdgeRle(&stack_.back().edges, Edge{id, 1});
+    } else {
+      AppendEdgeRle(&top_runs_, Edge{id, 1});
+    }
+    return Status::OK();
+  }
+
+  Status OnEndDocument() override {
+    return stack_.empty()
+               ? Status::OK()
+               : Status::Internal("fragment compressor stack not empty");
+  }
+
+  const DagBuilder& builder() const { return builder_; }
+  const std::vector<Edge>& top_runs() const { return top_runs_; }
+  const std::vector<std::string>& names() const { return tags_.names(); }
+  uint64_t tree_nodes() const { return tree_nodes_; }
+  uint64_t text_bytes() const { return text_bytes_; }
+
+ private:
+  struct Frame {
+    RelationId tag_label;
+    std::vector<Edge> edges;
+  };
+
+  DagBuilder builder_;
+  TagInterner tags_;
+  std::vector<Frame> stack_;
+  std::vector<std::vector<Edge>> spare_edge_lists_;
+  std::vector<RelationId> labels_scratch_;
+  std::vector<Edge> top_runs_;
+  uint64_t tree_nodes_ = 0;
+  uint64_t text_bytes_ = 0;
+};
+
+/// Sharded compression (docs/PARALLELISM.md §3): parse the outlined
+/// slices concurrently into thread-local builders, then replay the
+/// shard DAGs into one global builder in document order. Interning in
+/// shard order reproduces the sequential pass's first-close order
+/// exactly — same vertex ids, same relation ids, same edges — so the
+/// result is bit-identical to CompressorHandler's.
+///
+/// Returns nullopt when any shard fails to parse; the caller then runs
+/// the sequential path, which reports the canonical error (with
+/// whole-document line numbers) or succeeds where the outline was
+/// wrong.
+std::optional<Result<Instance>> CompressSharded(
+    std::string_view xml, const CompressOptions& options,
+    const DocumentOutline& outline, CompressRunStats* stats) {
+  // Group consecutive top-level subtrees into byte-balanced slices —
+  // at most one per (hardware-clamped) lane, so a wild thread request
+  // cannot explode into per-subtree shards.
+  const size_t lanes = parallel::ClampLanes(options.threads);
+  std::vector<std::pair<size_t, size_t>> slices;
+  {
+    const size_t total = outline.content_end - outline.content_begin;
+    const size_t target = total / lanes + 1;
+    size_t begin = outline.content_begin;
+    for (const size_t cut : outline.cuts) {
+      if (cut - begin >= target) {
+        slices.emplace_back(begin, cut);
+        begin = cut;
+      }
+    }
+    if (begin < outline.content_end || slices.empty()) {
+      slices.emplace_back(begin, outline.content_end);
+    }
+  }
+  if (stats != nullptr) stats->shards = slices.size();
+  if (slices.size() < 2) return std::nullopt;  // nothing to parallelize
+
+  std::vector<std::unique_ptr<FragmentCompressor>> shards(slices.size());
+  std::vector<Status> statuses(slices.size(), Status::OK());
+  for (size_t s = 0; s < slices.size(); ++s) {
+    shards[s] = std::make_unique<FragmentCompressor>(
+        options, ReserveHintForBytes(slices[s].second - slices[s].first));
+  }
+  parallel::TaskPool& pool = parallel::SharedPool(options.threads);
+  pool.Run(slices.size(), [&](size_t s) {
+    xml::SaxParser::Options popts;
+    popts.fragment = true;
+    xml::SaxParser parser(popts);
+    statuses[s] = parser.Parse(
+        xml.substr(slices[s].first, slices[s].second - slices[s].first),
+        shards[s].get());
+  });
+  for (const Status& status : statuses) {
+    if (!status.ok()) return std::nullopt;  // sequential reports it
+  }
+
+  // Merge, in document order. The global builder's capacity is known
+  // exactly: no shard contributes more vertices than it interned.
+  size_t upper = 2;  // the document element and #doc
+  for (const auto& shard : shards) upper += shard->builder().vertex_count();
+  if (stats != nullptr) stats->dag_reserve = upper;
+  DagBuilder global(upper);
+  TagInterner global_tags(options, /*with_patterns=*/false);
+  // The sequential pass resolves #doc (OnStartDocument) and the
+  // document element's tag before any content tag; match its id order.
+  const RelationId doc_relation = global_tags.Resolve(kDocumentTag);
+  const RelationId root_relation = global_tags.Resolve(outline.root_tag);
+
+  std::vector<Edge> root_edges;
+  std::vector<RelationId> label_map;
+  std::vector<VertexId> vertex_map;
+  std::vector<RelationId> labels_scratch;
+  std::vector<Edge> edges_scratch;
+  for (const auto& shard : shards) {
+    const DagBuilder& local = shard->builder();
+    label_map.clear();
+    for (const std::string& name : shard->names()) {
+      label_map.push_back(global_tags.Resolve(name));
+    }
+    vertex_map.assign(local.vertex_count(), kNoVertex);
+    for (VertexId v = 0; v < local.vertex_count(); ++v) {
+      labels_scratch.clear();
+      for (const RelationId label : local.Labels(v)) {
+        labels_scratch.push_back(label_map[label]);
+      }
+      std::sort(labels_scratch.begin(), labels_scratch.end());
+      edges_scratch.clear();
+      for (const Edge& e : local.Edges(v)) {
+        // Children intern before parents, so the map entry is final.
+        edges_scratch.push_back(Edge{vertex_map[e.child], e.count});
+      }
+      vertex_map[v] = global.Intern(labels_scratch, edges_scratch);
+    }
+    for (const Edge& e : shard->top_runs()) {
+      AppendEdgeRle(&root_edges, Edge{vertex_map[e.child], e.count});
+    }
+    if (stats != nullptr) {
+      stats->tree_nodes += shard->tree_nodes();
+      stats->text_bytes += shard->text_bytes();
+    }
+  }
+
+  labels_scratch.clear();
+  if (root_relation != kNoRelation) labels_scratch.push_back(root_relation);
+  const VertexId doc_element = global.Intern(labels_scratch, root_edges);
+  labels_scratch.clear();
+  if (doc_relation != kNoRelation) labels_scratch.push_back(doc_relation);
+  const Edge doc_edge{doc_element, 1};
+  const VertexId root = global.Intern(labels_scratch, {&doc_edge, 1});
+  if (stats != nullptr) stats->tree_nodes += 2;  // doc element + #doc
+
+  return global.Finish(root, global_tags.names());
+}
 
 }  // namespace
 
@@ -181,12 +410,36 @@ Result<Instance> CompressXmlWithStats(std::string_view xml,
         "CompressOptions::tags is only meaningful in kSchema mode");
   }
   Timer timer;
+  const size_t reserve_hint = ReserveHintForBytes(xml.size());
+
+  if (options.threads > 1 && options.patterns.empty() &&
+      xml.size() >= kShardMinBytes) {
+    const DocumentOutline outline = ScanDocumentOutline(xml);
+    if (outline.eligible && outline.cuts.size() >= 2) {
+      std::optional<Result<Instance>> sharded =
+          CompressSharded(xml, options, outline, stats);
+      if (sharded.has_value()) {
+        if (stats != nullptr) stats->parse_seconds = timer.Seconds();
+        return *std::move(sharded);
+      }
+      // A shard failed (or degenerated to one slice): start over on the
+      // sequential path, which reports the canonical error.
+      if (stats != nullptr) {
+        stats->tree_nodes = 0;
+        stats->text_bytes = 0;
+        stats->shards = 1;
+      }
+    }
+  }
+
   std::optional<xml::StringMatcher> matcher;
   if (!options.patterns.empty()) {
     XCQ_ASSIGN_OR_RETURN(matcher,
                          xml::StringMatcher::Build(options.patterns));
   }
-  CompressorHandler handler(options, matcher ? &*matcher : nullptr, stats);
+  if (stats != nullptr) stats->dag_reserve = reserve_hint;
+  CompressorHandler handler(options, matcher ? &*matcher : nullptr, stats,
+                            reserve_hint);
   xml::SaxParser parser;
   XCQ_RETURN_IF_ERROR(parser.Parse(xml, &handler));
   XCQ_ASSIGN_OR_RETURN(Instance instance, handler.Finish());

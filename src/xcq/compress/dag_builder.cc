@@ -24,8 +24,25 @@ uint64_t HashVertexData(std::span<const RelationId> labels,
 
 }  // namespace
 
-DagBuilder::DagBuilder()
-    : interned_(16, VertexHash{this}, VertexEq{this}) {}
+DagBuilder::DagBuilder(size_t expected_vertices)
+    : interned_(expected_vertices < 16 ? 16 : expected_vertices,
+                VertexHash{this}, VertexEq{this}) {
+  if (expected_vertices > 0) {
+    // The bucket array is the part worth pre-sizing in full: a rehash
+    // re-buckets every interned vertex, and buckets cost 8 bytes each.
+    // The record/label/edge arenas grow by amortized doubling with
+    // trivially-copyable elements, so an overshooting hint (the
+    // compressor's is an upper bound derived from input bytes — far too
+    // high for text-heavy or highly redundant documents) must not
+    // commit tens of bytes per phantom vertex up front; reserving an
+    // eighth still skips the churny early doublings while capping the
+    // waste on a wild hint at a few bytes per hinted vertex.
+    const size_t arena_hint = expected_vertices / 8 + 16;
+    records_.reserve(arena_hint);
+    labels_.reserve(arena_hint);
+    edges_.reserve(2 * arena_hint);
+  }
+}
 
 uint64_t DagBuilder::HashOf(VertexId v) const {
   return v == kStaged ? staged_hash_ : records_[v].hash;

@@ -1,0 +1,188 @@
+#include "xcq/compress/shard_outline.h"
+
+namespace xcq {
+
+namespace {
+
+// Mirrors the name character classes of xml/sax_parser.cc; only used to
+// find the end of a name, never to validate it.
+bool IsNameStartChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+         c == ':' || static_cast<unsigned char>(c) >= 0x80;
+}
+
+bool IsNameChar(char c) {
+  return IsNameStartChar(c) || (c >= '0' && c <= '9') || c == '-' ||
+         c == '.';
+}
+
+bool IsSpaceChar(char c) {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\r';
+}
+
+/// Cursor with the skip helpers the outline needs. Every helper returns
+/// false on EOF-before-done, which the caller turns into "ineligible".
+struct Scan {
+  std::string_view xml;
+  size_t pos = 0;
+
+  bool AtEnd() const { return pos >= xml.size(); }
+  bool Starts(std::string_view token) const {
+    return xml.substr(pos, token.size()) == token;
+  }
+  bool SkipPast(std::string_view token) {
+    const size_t found = xml.find(token, pos);
+    if (found == std::string_view::npos) return false;
+    pos = found + token.size();
+    return true;
+  }
+  void SkipWhitespace() {
+    while (!AtEnd() && IsSpaceChar(xml[pos])) ++pos;
+  }
+  std::string_view TakeName() {
+    const size_t begin = pos;
+    if (!AtEnd() && IsNameStartChar(xml[pos])) {
+      ++pos;
+      while (!AtEnd() && IsNameChar(xml[pos])) ++pos;
+    }
+    return xml.substr(begin, pos - begin);
+  }
+
+  /// From just past a start tag's name to just past its '>', skipping
+  /// quoted attribute values (which may contain '>'). Sets
+  /// `self_closing` from a contiguous "/>" — the only form the parser
+  /// accepts.
+  bool SkipStartTag(bool* self_closing) {
+    *self_closing = false;
+    while (!AtEnd()) {
+      const char c = xml[pos];
+      if (c == '"' || c == '\'') {
+        ++pos;
+        const size_t close = xml.find(c, pos);
+        if (close == std::string_view::npos) return false;
+        pos = close + 1;
+        continue;
+      }
+      if (c == '>') {
+        *self_closing = pos > 0 && xml[pos - 1] == '/';
+        ++pos;
+        return true;
+      }
+      ++pos;
+    }
+    return false;
+  }
+
+  /// "<!" already seen: skip a DOCTYPE (bracket-aware, like the parser).
+  bool SkipDoctype() {
+    int bracket_depth = 0;
+    while (!AtEnd()) {
+      const char c = xml[pos];
+      ++pos;
+      if (c == '[') {
+        ++bracket_depth;
+      } else if (c == ']') {
+        --bracket_depth;
+      } else if (c == '>' && bracket_depth <= 0) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Skips misc items (whitespace, comments, PIs) and — in the prologue
+  /// only — a DOCTYPE. Stops at the first byte it cannot classify.
+  bool SkipMisc(bool allow_doctype) {
+    while (true) {
+      SkipWhitespace();
+      if (Starts("<?")) {
+        if (!SkipPast("?>")) return false;
+        continue;
+      }
+      if (Starts("<!--")) {
+        if (!SkipPast("-->")) return false;
+        continue;
+      }
+      if (allow_doctype && Starts("<!") && !Starts("<![CDATA[")) {
+        pos += 2;
+        if (!SkipDoctype()) return false;
+        continue;
+      }
+      return true;
+    }
+  }
+};
+
+}  // namespace
+
+DocumentOutline ScanDocumentOutline(std::string_view xml) {
+  DocumentOutline out;
+  Scan scan{xml};
+  if (scan.Starts("\xEF\xBB\xBF")) scan.pos = 3;
+
+  // Prologue, then the document element's start tag.
+  if (!scan.SkipMisc(/*allow_doctype=*/true)) return out;
+  if (scan.AtEnd() || xml[scan.pos] != '<') return out;
+  ++scan.pos;
+  out.root_tag = scan.TakeName();
+  if (out.root_tag.empty()) return out;
+  bool self_closing = false;
+  if (!scan.SkipStartTag(&self_closing)) return out;
+  // A childless document element has nothing to shard.
+  if (self_closing) return out;
+  out.content_begin = scan.pos;
+
+  // Content: track element depth below the document element. Character
+  // data needs no inspection — only markup moves the depth.
+  size_t depth = 0;
+  while (!scan.AtEnd()) {
+    if (xml[scan.pos] != '<') {
+      ++scan.pos;
+      continue;
+    }
+    if (scan.Starts("<!--")) {
+      if (!scan.SkipPast("-->")) return out;
+      continue;
+    }
+    if (scan.Starts("<![CDATA[")) {
+      if (!scan.SkipPast("]]>")) return out;
+      continue;
+    }
+    if (scan.Starts("<?")) {
+      if (!scan.SkipPast("?>")) return out;
+      continue;
+    }
+    if (scan.Starts("<!")) return out;  // doctype inside content
+    if (scan.Starts("</")) {
+      const size_t tag_open = scan.pos;
+      scan.pos += 2;
+      if (scan.TakeName().empty()) return out;
+      scan.SkipWhitespace();
+      if (scan.AtEnd() || xml[scan.pos] != '>') return out;
+      ++scan.pos;
+      if (depth == 0) {
+        // The document element's own end tag: only misc may follow.
+        out.content_end = tag_open;
+        if (!scan.SkipMisc(/*allow_doctype=*/false)) return out;
+        if (!scan.AtEnd()) return out;
+        out.eligible = true;
+        return out;
+      }
+      --depth;
+      if (depth == 0) out.cuts.push_back(scan.pos);
+      continue;
+    }
+    // Start tag.
+    ++scan.pos;
+    if (scan.TakeName().empty()) return out;
+    if (!scan.SkipStartTag(&self_closing)) return out;
+    if (self_closing) {
+      if (depth == 0) out.cuts.push_back(scan.pos);
+    } else {
+      ++depth;
+    }
+  }
+  return out;  // EOF before the document element closed
+}
+
+}  // namespace xcq

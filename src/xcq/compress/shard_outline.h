@@ -1,0 +1,51 @@
+#ifndef XCQ_COMPRESS_SHARD_OUTLINE_H_
+#define XCQ_COMPRESS_SHARD_OUTLINE_H_
+
+/// \file shard_outline.h
+/// Byte-range outline of an XML document for sharded compression
+/// (docs/PARALLELISM.md §3).
+///
+/// `ScanDocumentOutline` finds the positions at which a document may be
+/// split into independently parseable fragments: the end of the
+/// document element's start tag, the boundary after each of its child
+/// subtrees, and the start of its end tag. The scan tracks only markup
+/// structure (tags, comments, CDATA, PIs, quoted attribute values) —
+/// names and well-formedness are left to the real parser, which every
+/// shard runs in fragment mode.
+///
+/// The scanner is deliberately conservative: anything it does not fully
+/// understand (doctype inside content, stray markup, truncation, a
+/// childless document element) makes the document *ineligible*, and the
+/// compressor falls back to the sequential single-pass path — which
+/// either succeeds or reports the canonical parse error. A document the
+/// scanner mis-measures can therefore never be silently mis-compressed:
+/// a wrong cut produces an unbalanced fragment, the shard parse fails,
+/// and the sequential path takes over.
+
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+namespace xcq {
+
+struct DocumentOutline {
+  /// False: use the sequential path (reason irrelevant — see above).
+  bool eligible = false;
+  /// Document element name (view into the scanned text).
+  std::string_view root_tag;
+  /// Just past the '>' of the document element's start tag.
+  size_t content_begin = 0;
+  /// At the '<' of the document element's end tag.
+  size_t content_end = 0;
+  /// Position just past each top-level child subtree's closing '>'.
+  /// Slice k of a shard plan spans [previous cut, cut_k); text between
+  /// subtrees rides with the slice that follows it, trailing text
+  /// before the end tag with the last slice (whose end is content_end).
+  std::vector<size_t> cuts;
+};
+
+DocumentOutline ScanDocumentOutline(std::string_view xml);
+
+}  // namespace xcq
+
+#endif  // XCQ_COMPRESS_SHARD_OUTLINE_H_

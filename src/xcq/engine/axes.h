@@ -23,22 +23,33 @@ struct AxisStats {
   uint64_t splits = 0;   ///< Vertices cloned (partial decompression).
 };
 
+/// Each operator takes a `threads` hint: with `threads > 1` (and an
+/// instance large enough to amortize the barriers) the sweep runs on
+/// the shared `xcq::parallel` pool, partitioned into height-band /
+/// subtree shards. `threads = 1` is the sequential oracle. Parallel
+/// sweeps select exactly the same tree nodes and perform the same
+/// splits as the sequential kernels; only the id↔variant association
+/// after a split may differ (isomorphic DAGs, identical once
+/// re-minimized). See docs/PARALLELISM.md.
+
 /// \brief child / descendant / descendant-or-self — the Fig. 4 algorithm,
-/// implemented iteratively.
+/// implemented iteratively (sequential) or as a root-first height-band
+/// sweep (parallel).
 Status ApplyDownwardAxis(Instance* instance, xpath::Axis axis,
                          RelationId src, RelationId dst,
-                         AxisStats* stats = nullptr);
+                         AxisStats* stats = nullptr, size_t threads = 1);
 
 /// \brief self / parent / ancestor / ancestor-or-self — single bottom-up
-/// pass, never splits.
+/// pass (leaf-first bands in parallel), never splits.
 Status ApplyUpwardAxis(Instance* instance, xpath::Axis axis, RelationId src,
-                       RelationId dst);
+                       RelationId dst, size_t threads = 1);
 
 /// \brief following-sibling / preceding-sibling — one pass over child
-/// lists, multiplicity-aware run splitting.
+/// lists, multiplicity-aware run splitting (demand/resolve/rewrite
+/// phases in parallel).
 Status ApplySiblingAxis(Instance* instance, xpath::Axis axis,
                         RelationId src, RelationId dst,
-                        AxisStats* stats = nullptr);
+                        AxisStats* stats = nullptr, size_t threads = 1);
 
 }  // namespace xcq::engine
 

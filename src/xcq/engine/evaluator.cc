@@ -149,6 +149,7 @@ class PlanRunner {
 
   Result<RelationId> RunAxis(Axis axis, RelationId src, size_t i) {
     AxisStats axis_stats;
+    const size_t threads = options_.threads;
     RelationId dst = kNoRelation;
     switch (axis) {
       case Axis::kSelf:
@@ -156,20 +157,21 @@ class PlanRunner {
       case Axis::kAncestor:
       case Axis::kAncestorOrSelf:
         dst = NewTemporary(i);
-        XCQ_RETURN_IF_ERROR(ApplyUpwardAxis(instance_, axis, src, dst));
+        XCQ_RETURN_IF_ERROR(
+            ApplyUpwardAxis(instance_, axis, src, dst, threads));
         break;
       case Axis::kChild:
       case Axis::kDescendant:
       case Axis::kDescendantOrSelf:
         dst = NewTemporary(i);
-        XCQ_RETURN_IF_ERROR(
-            ApplyDownwardAxis(instance_, axis, src, dst, &axis_stats));
+        XCQ_RETURN_IF_ERROR(ApplyDownwardAxis(instance_, axis, src, dst,
+                                              &axis_stats, threads));
         break;
       case Axis::kFollowingSibling:
       case Axis::kPrecedingSibling:
         dst = NewTemporary(i);
-        XCQ_RETURN_IF_ERROR(
-            ApplySiblingAxis(instance_, axis, src, dst, &axis_stats));
+        XCQ_RETURN_IF_ERROR(ApplySiblingAxis(instance_, axis, src, dst,
+                                             &axis_stats, threads));
         break;
       case Axis::kFollowing:
       case Axis::kPreceding: {
@@ -179,16 +181,16 @@ class PlanRunner {
                                  ? Axis::kFollowingSibling
                                  : Axis::kPrecedingSibling;
         const RelationId up = NewTemporary(i * 3 + 1000000);
-        XCQ_RETURN_IF_ERROR(
-            ApplyUpwardAxis(instance_, Axis::kAncestorOrSelf, src, up));
+        XCQ_RETURN_IF_ERROR(ApplyUpwardAxis(
+            instance_, Axis::kAncestorOrSelf, src, up, threads));
         const RelationId side = NewTemporary(i * 3 + 1000001);
-        XCQ_RETURN_IF_ERROR(
-            ApplySiblingAxis(instance_, sibling, up, side, &axis_stats));
+        XCQ_RETURN_IF_ERROR(ApplySiblingAxis(instance_, sibling, up, side,
+                                             &axis_stats, threads));
         dst = NewTemporary(i);
         AxisStats down_stats;
-        XCQ_RETURN_IF_ERROR(ApplyDownwardAxis(instance_,
-                                              Axis::kDescendantOrSelf, side,
-                                              dst, &down_stats));
+        XCQ_RETURN_IF_ERROR(
+            ApplyDownwardAxis(instance_, Axis::kDescendantOrSelf, side,
+                              dst, &down_stats, threads));
         axis_stats.splits += down_stats.splits;
         break;
       }

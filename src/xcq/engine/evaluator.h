@@ -37,6 +37,10 @@ struct EvalOptions {
   /// the result (mirrors the paper's note that intermediate selections
   /// "can be removed from an instance").
   bool remove_temporaries = true;
+  /// Lanes for the axis sweeps (docs/PARALLELISM.md). 1 = the sequential
+  /// oracle; more lanes shard each sweep over the process-wide task
+  /// pool. Answers are independent of the value.
+  size_t threads = 1;
 };
 
 struct EvalStats {

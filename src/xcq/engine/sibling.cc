@@ -1,6 +1,11 @@
-#include "xcq/engine/axes.h"
-
 #include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <vector>
+
+#include "xcq/engine/axes.h"
+#include "xcq/engine/sweep.h"
+#include "xcq/parallel/task_pool.h"
 
 namespace xcq::engine {
 
@@ -74,23 +79,60 @@ class VariantResolver {
   std::vector<VertexId> work_;
 };
 
-}  // namespace
+/// Walks one child list and reports the `dst` bit each emitted run
+/// requires of its child — the shared core of both the sequential
+/// rewrite and the parallel kernel's two passes. `emit(child, count,
+/// bit)` receives the runs of the rewritten list in assembly order
+/// (left-to-right for following-sibling, right-to-left for preceding).
+template <typename Emit>
+void WalkSiblingRuns(std::span<const Edge> runs, bool forward,
+                     const DynamicBitset& src_bits, const Emit& emit) {
+  bool seen = false;  // a source occurrence before (after) the cursor
+  const auto emit_run = [&](VertexId w, uint64_t count, bool boundary_bit,
+                            bool bulk_bit) {
+    // `boundary_bit` selects the occurrence adjacent to `seen` history
+    // (first for forward, last for backward); the remaining `count - 1`
+    // occurrences follow (precede) a same-vertex occurrence.
+    if (count == 1 || boundary_bit == bulk_bit) {
+      emit(w, count, boundary_bit);
+      return;
+    }
+    emit(w, 1, boundary_bit);
+    emit(w, count - 1, bulk_bit);
+  };
+  if (forward) {
+    for (const Edge& run : runs) {
+      const bool in_src = src_bits.Test(run.child);
+      emit_run(run.child, run.count, seen, seen || in_src);
+      seen = seen || in_src;
+    }
+  } else {
+    for (size_t i = runs.size(); i-- > 0;) {
+      const Edge& run = runs[i];
+      const bool in_src = src_bits.Test(run.child);
+      emit_run(run.child, run.count, seen, seen || in_src);
+      seen = seen || in_src;
+    }
+  }
+}
 
-/// following-sibling: an occurrence is selected iff an earlier occurrence
-/// in the same (expanded) child list is in `src`; preceding-sibling is
-/// the mirror image. A run `(w, c)` with `w` in `src` straddles the
-/// boundary — its first (resp. last) occurrence may differ from the rest,
-/// splitting the run in two (this is the multiplicity subtlety the paper
-/// mentions under Prop. 3.4).
-Status ApplySiblingAxis(Instance* instance, Axis axis, RelationId src,
-                        RelationId dst, AxisStats* stats) {
-  if (axis != Axis::kFollowingSibling && axis != Axis::kPrecedingSibling) {
-    return Status::InvalidArgument("ApplySiblingAxis: not a sibling axis");
-  }
-  if (instance->root() == kNoVertex) {
-    return Status::InvalidArgument("ApplySiblingAxis: empty instance");
-  }
+/// Backward lists are assembled right-to-left: restore document order
+/// and re-merge runs the reversal made adjacent. Shared by the
+/// sequential kernel and the phased rewrite so the canonical form can
+/// never diverge between the two.
+void FinishBackwardList(std::vector<Edge>* rewritten) {
+  std::reverse(rewritten->begin(), rewritten->end());
+  std::vector<Edge> canonical;
+  canonical.reserve(rewritten->size());
+  for (const Edge& e : *rewritten) AppendEdgeRle(&canonical, e);
+  rewritten->swap(canonical);
+}
+
+Status ApplySiblingAxisSequential(Instance* instance, Axis axis,
+                                  RelationId src, RelationId dst,
+                                  AxisStats* stats) {
   const bool forward = axis == Axis::kFollowingSibling;
+  const DynamicBitset& src_bits = instance->RelationBits(src);
 
   VariantResolver resolver(instance, src, dst, stats);
   resolver.AdoptRoot(instance->root());
@@ -104,50 +146,146 @@ Status ApplySiblingAxis(Instance* instance, Axis axis, RelationId src,
     original.assign(current.begin(), current.end());
     rewritten.clear();
 
-    bool seen = false;  // a source occurrence before (after) the cursor
-    const auto emit_run = [&](VertexId w, uint64_t count, bool boundary_bit,
-                              bool bulk_bit) {
-      // `boundary_bit` selects the occurrence adjacent to `seen` history
-      // (first for forward, last for backward); the remaining `count - 1`
-      // occurrences follow (precede) a same-vertex occurrence.
-      if (count == 1 || boundary_bit == bulk_bit) {
-        AppendEdgeRle(&rewritten, Edge{resolver.Resolve(w, boundary_bit),
-                                       count});
-        return;
-      }
-      // Forward lists are assembled left-to-right and want
-      // [boundary, bulk]; backward lists are assembled right-to-left and
-      // reversed, so appending [boundary, bulk] here also lands the
-      // boundary occurrence last in document order. Same code either way.
-      AppendEdgeRle(&rewritten, Edge{resolver.Resolve(w, boundary_bit), 1});
-      AppendEdgeRle(&rewritten,
-                    Edge{resolver.Resolve(w, bulk_bit), count - 1});
-    };
-
-    if (forward) {
-      for (const Edge& run : original) {
-        const bool in_src = resolver.InSource(run.child);
-        emit_run(run.child, run.count, seen, seen || in_src);
-        seen = seen || in_src;
-      }
-    } else {
-      // Process right-to-left, then reverse the assembled list.
-      for (size_t i = original.size(); i-- > 0;) {
-        const Edge& run = original[i];
-        const bool in_src = resolver.InSource(run.child);
-        emit_run(run.child, run.count, seen, seen || in_src);
-        seen = seen || in_src;
-      }
-      std::reverse(rewritten.begin(), rewritten.end());
-      // Reversal may have put mergeable runs adjacent; re-canonicalize.
-      std::vector<Edge> canonical;
-      canonical.reserve(rewritten.size());
-      for (const Edge& e : rewritten) AppendEdgeRle(&canonical, e);
-      rewritten.swap(canonical);
-    }
+    WalkSiblingRuns(original, forward, src_bits,
+                    [&](VertexId w, uint64_t count, bool bit) {
+                      AppendEdgeRle(&rewritten,
+                                    Edge{resolver.Resolve(w, bit), count});
+                    });
+    if (!forward) FinishBackwardList(&rewritten);
     instance->SetEdges(v, rewritten);
   }
   return Status::OK();
+}
+
+/// Parallel sibling rewrite (docs/PARALLELISM.md §2.3).
+///
+/// A sibling selection does not propagate into subtrees, so each child
+/// list can be rewritten from `src` bits alone — the only coupling
+/// between vertices is *which variants of each child exist*. Three
+/// phases:
+///  1. demand   (parallel): every reachable list is walked; the bit each
+///     emitted run requires of its child is OR-ed into the child's
+///     demand flags. Commutative, hence deterministic.
+///  2. resolve  (sequential): vertices demanded with both bits split.
+///     The original keeps the *lower* demanded bit, the clone the other
+///     — a rule independent of discovery order.
+///  3. rewrite  (parallel): lists are walked again, now mapping each
+///     run to its child's variant, into per-shard buffers; the calling
+///     thread commits them (SetEdges, relation bits) in plan order, so
+///     the edge arena layout is identical for every thread count.
+Status ApplySiblingAxisPhased(Instance* instance, Axis axis,
+                              RelationId src, RelationId dst,
+                              AxisStats* stats, size_t threads) {
+  const bool forward = axis == Axis::kFollowingSibling;
+  const SweepPlan plan = BuildSweepPlan(*instance, /*need_heights=*/false);
+  const size_t n0 = instance->vertex_count();
+  const DynamicBitset& src_bits = instance->RelationBits(src);
+  parallel::TaskPool& pool = parallel::SharedPool(threads);
+  const size_t shards = SweepShardCount(plan.order.size(), threads);
+  const auto ranges = parallel::SplitRange(plan.order.size(), shards);
+
+  // Demand phase. Bit 0: some occurrence needs dst=0; bit 1: dst=1.
+  std::vector<std::atomic<uint8_t>> demand(n0);
+  pool.Run(ranges.size(), [&](size_t s) {
+    for (size_t i = ranges[s].first; i < ranges[s].second; ++i) {
+      WalkSiblingRuns(instance->Children(plan.order[i]), forward, src_bits,
+                      [&](VertexId w, uint64_t, bool bit) {
+                        demand[w].fetch_or(bit ? 2 : 1,
+                                           std::memory_order_relaxed);
+                      });
+    }
+  });
+  demand[instance->root()].fetch_or(1, std::memory_order_relaxed);
+
+  // Resolve phase: allocate clones in plan order (deterministic).
+  std::vector<uint8_t> dst_bit(n0, 0);
+  std::vector<VertexId> counterpart(n0, kNoVertex);
+  for (const VertexId v : plan.order) {
+    const uint8_t d = demand[v].load(std::memory_order_relaxed);
+    dst_bit[v] = d == 2 ? 1 : 0;  // both demanded: original keeps 0
+    if (d == 3) {
+      counterpart[v] = instance->CloneVertex(v);
+      if (stats != nullptr) ++stats->splits;
+    }
+  }
+
+  // Rewrite phase: per-shard buffers, no Instance mutation.
+  struct ShardLists {
+    std::vector<Edge> edges;
+    std::vector<uint32_t> lengths;  // one per vertex of the shard slice
+  };
+  std::vector<ShardLists> shard_lists(ranges.size());
+  pool.Run(ranges.size(), [&](size_t s) {
+    ShardLists& out = shard_lists[s];
+    std::vector<Edge> rewritten;
+    for (size_t i = ranges[s].first; i < ranges[s].second; ++i) {
+      rewritten.clear();
+      WalkSiblingRuns(
+          instance->Children(plan.order[i]), forward, src_bits,
+          [&](VertexId w, uint64_t count, bool bit) {
+            const VertexId variant =
+                dst_bit[w] == (bit ? 1 : 0) ? w : counterpart[w];
+            assert(variant != kNoVertex);
+            AppendEdgeRle(&rewritten, Edge{variant, count});
+          });
+      if (!forward) FinishBackwardList(&rewritten);
+      out.lengths.push_back(static_cast<uint32_t>(rewritten.size()));
+      out.edges.insert(out.edges.end(), rewritten.begin(),
+                       rewritten.end());
+    }
+  });
+
+  // Commit phase (sequential, plan order): rewritten lists — a clone
+  // shares its original's list, differing only in the dst bit — then
+  // the relation column.
+  for (size_t s = 0; s < ranges.size(); ++s) {
+    const ShardLists& out = shard_lists[s];
+    size_t offset = 0;
+    for (size_t i = ranges[s].first; i < ranges[s].second; ++i) {
+      const VertexId v = plan.order[i];
+      const uint32_t length = out.lengths[i - ranges[s].first];
+      const std::span<const Edge> list{out.edges.data() + offset, length};
+      offset += length;
+      instance->SetEdges(v, list);
+      if (counterpart[v] != kNoVertex) {
+        instance->SetEdges(counterpart[v], list);
+      }
+    }
+  }
+  for (const VertexId v : plan.order) {
+    instance->AssignBit(dst, v, dst_bit[v] != 0);
+    if (counterpart[v] != kNoVertex) {
+      instance->AssignBit(dst, counterpart[v], true);
+    }
+  }
+  if (stats != nullptr) {
+    stats->visited += plan.order.size() + (instance->vertex_count() - n0);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+/// following-sibling: an occurrence is selected iff an earlier occurrence
+/// in the same (expanded) child list is in `src`; preceding-sibling is
+/// the mirror image. A run `(w, c)` with `w` in `src` straddles the
+/// boundary — its first (resp. last) occurrence may differ from the rest,
+/// splitting the run in two (this is the multiplicity subtlety the paper
+/// mentions under Prop. 3.4).
+Status ApplySiblingAxis(Instance* instance, Axis axis, RelationId src,
+                        RelationId dst, AxisStats* stats,
+                        size_t threads) {
+  if (axis != Axis::kFollowingSibling && axis != Axis::kPrecedingSibling) {
+    return Status::InvalidArgument("ApplySiblingAxis: not a sibling axis");
+  }
+  if (instance->root() == kNoVertex) {
+    return Status::InvalidArgument("ApplySiblingAxis: empty instance");
+  }
+  if (threads > 1 && instance->vertex_count() >= 2 * kSweepGrain) {
+    return ApplySiblingAxisPhased(instance, axis, src, dst, stats,
+                                  threads);
+  }
+  return ApplySiblingAxisSequential(instance, axis, src, dst, stats);
 }
 
 }  // namespace xcq::engine

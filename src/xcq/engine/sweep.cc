@@ -1,0 +1,33 @@
+#include "xcq/engine/sweep.h"
+
+namespace xcq::engine {
+
+SweepPlan BuildSweepPlan(const Instance& instance, bool need_heights) {
+  SweepPlan plan;
+  plan.order = instance.PostOrder();
+  const size_t n = instance.vertex_count();
+
+  if (need_heights) {
+    plan.height.assign(n, SweepPlan::kNoHeight);
+    uint32_t max_height = 0;
+    for (const VertexId v : plan.order) {
+      uint32_t h = 0;
+      for (const Edge& e : instance.Children(v)) {
+        // Children precede parents in post-order, so their height is
+        // final; reachable vertices only reach reachable children.
+        const uint32_t below = plan.height[e.child] + 1;
+        if (below > h) h = below;
+      }
+      plan.height[v] = h;
+      if (h > max_height) max_height = h;
+    }
+    plan.bands.resize(plan.order.empty() ? 0 : max_height + 1);
+    for (const VertexId v : plan.order) {
+      plan.bands[plan.height[v]].push_back(v);
+    }
+  }
+
+  return plan;
+}
+
+}  // namespace xcq::engine

@@ -1,0 +1,58 @@
+#ifndef XCQ_ENGINE_SWEEP_H_
+#define XCQ_ENGINE_SWEEP_H_
+
+/// \file sweep.h
+/// Shared partitioning state for the parallel axis sweeps
+/// (docs/PARALLELISM.md §2).
+///
+/// The parallel kernels replace the sequential DFS of Fig. 4 with
+/// *height-band* sweeps: `height(v)` (longest path to a leaf) strictly
+/// decreases along every edge, so all vertices of one height can be
+/// processed concurrently once every higher band is final — downward
+/// axes walk bands root-first, upward axes leaf-first. A `SweepPlan`
+/// carries the reachable set and the bands.
+///
+/// Everything in the plan is derived deterministically from the
+/// instance (post-order), independent of thread count.
+
+#include <cstdint>
+#include <vector>
+
+#include "xcq/instance/instance.h"
+
+namespace xcq::engine {
+
+struct SweepPlan {
+  /// Reachable vertices, children before parents (DFS post-order).
+  std::vector<VertexId> order;
+
+  /// height[v] for reachable v; kNoHeight for unreachable ids.
+  /// Leaves have height 0; the root is the unique maximum.
+  std::vector<uint32_t> height;
+
+  /// bands[h] = reachable vertices of height h, in post-order position.
+  std::vector<std::vector<VertexId>> bands;
+
+  static constexpr uint32_t kNoHeight = UINT32_MAX;
+};
+
+/// \brief Builds the plan; heights and bands are only populated when
+/// requested (they cost one extra O(V + E) loop over the order).
+SweepPlan BuildSweepPlan(const Instance& instance, bool need_heights);
+
+/// Work below this many vertices per shard is not worth a barrier; the
+/// kernels run such stretches inline on the calling thread.
+inline constexpr size_t kSweepGrain = 1024;
+
+/// \brief Number of shards for `n` items over `threads` lanes: enough
+/// for balance (2 per lane), but never shards smaller than the grain.
+inline size_t SweepShardCount(size_t n, size_t threads) {
+  if (threads <= 1 || n < 2 * kSweepGrain) return 1;
+  const size_t by_grain = n / kSweepGrain;
+  const size_t by_lanes = 2 * threads;
+  return by_grain < by_lanes ? by_grain : by_lanes;
+}
+
+}  // namespace xcq::engine
+
+#endif  // XCQ_ENGINE_SWEEP_H_

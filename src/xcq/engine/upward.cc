@@ -1,8 +1,83 @@
+#include <vector>
+
 #include "xcq/engine/axes.h"
+#include "xcq/engine/sweep.h"
+#include "xcq/parallel/task_pool.h"
 
 namespace xcq::engine {
 
 using xpath::Axis;
+
+namespace {
+
+/// Parallel kParent / kAncestor(-OrSelf) (docs/PARALLELISM.md §2.1).
+///
+/// Upward axes never split (Prop. 3.3) and only *read* the DAG, so the
+/// parallel form is a leaf-first band sweep: all vertices of height h
+/// are independent given finalized lower bands (kParent reads only
+/// `src`, so it is even a single flat sweep — every band at once).
+/// Each vertex's bit lands in its own byte of `up_bit`; the bits enter
+/// the relation column in one sequential pass at the end, which also
+/// keeps unreachable split leftovers silent, exactly like the
+/// sequential loop over PostOrder().
+Status ApplyUpwardAxisBanded(Instance* instance, Axis axis, RelationId src,
+                             RelationId dst, size_t threads) {
+  const bool ancestor =
+      axis == Axis::kAncestor || axis == Axis::kAncestorOrSelf;
+  const SweepPlan plan =
+      BuildSweepPlan(*instance, /*need_heights=*/ancestor);
+  const DynamicBitset& src_bits = instance->RelationBits(src);
+  std::vector<uint8_t> up_bit(instance->vertex_count(), 0);
+  parallel::TaskPool& pool = parallel::SharedPool(threads);
+
+  const auto sweep_slice = [&](const std::vector<VertexId>& vertices,
+                               size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      const VertexId v = vertices[i];
+      for (const Edge& e : instance->Children(v)) {
+        if (src_bits.Test(e.child) ||
+            (ancestor && up_bit[e.child] != 0)) {
+          up_bit[v] = 1;
+          break;
+        }
+      }
+    }
+  };
+
+  if (!ancestor) {
+    // kParent: no cross-vertex dependency at all.
+    const size_t shards = SweepShardCount(plan.order.size(), threads);
+    const auto ranges = parallel::SplitRange(plan.order.size(), shards);
+    pool.Run(ranges.size(), [&](size_t s) {
+      sweep_slice(plan.order, ranges[s].first, ranges[s].second);
+    });
+  } else {
+    // kAncestor: leaf-first bands; a band only reads bits of strictly
+    // lower bands, finalized before the previous barrier.
+    for (const std::vector<VertexId>& band : plan.bands) {
+      if (band.empty()) continue;
+      const size_t shards = SweepShardCount(band.size(), threads);
+      if (shards == 1) {
+        sweep_slice(band, 0, band.size());
+        continue;
+      }
+      const auto ranges = parallel::SplitRange(band.size(), shards);
+      pool.Run(ranges.size(), [&](size_t s) {
+        sweep_slice(band, ranges[s].first, ranges[s].second);
+      });
+    }
+  }
+
+  for (const VertexId v : plan.order) {
+    if (up_bit[v] != 0) instance->SetBit(dst, v);
+  }
+  if (axis == Axis::kAncestorOrSelf) {
+    instance->MutableRelationBits(dst) |= src_bits;
+  }
+  return Status::OK();
+}
+
+}  // namespace
 
 /// Upward axes never split (Prop. 3.3): whether some tree node below a
 /// shared vertex is selected is a property of the vertex itself (the
@@ -10,12 +85,17 @@ using xpath::Axis;
 /// vertex is the same for all of its occurrences), so one bottom-up pass
 /// suffices.
 Status ApplyUpwardAxis(Instance* instance, Axis axis, RelationId src,
-                       RelationId dst) {
+                       RelationId dst, size_t threads) {
   if (!xpath::IsUpwardAxis(axis)) {
     return Status::InvalidArgument("ApplyUpwardAxis: not an upward axis");
   }
   if (instance->root() == kNoVertex) {
     return Status::InvalidArgument("ApplyUpwardAxis: empty instance");
+  }
+
+  if (axis != Axis::kSelf && threads > 1 &&
+      instance->vertex_count() >= 2 * kSweepGrain) {
+    return ApplyUpwardAxisBanded(instance, axis, src, dst, threads);
   }
 
   switch (axis) {

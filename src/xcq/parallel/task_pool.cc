@@ -1,0 +1,166 @@
+#include "xcq/parallel/task_pool.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+namespace xcq::parallel {
+
+namespace {
+
+/// One published job. Each job owns its shard cursor and completion
+/// count, so a worker that wakes late (or loops once more after the
+/// job drained) only ever touches *its* job's counters — it can never
+/// claim shards of a successor job with a stale function pointer.
+struct Job {
+  const std::function<void(size_t)>* fn = nullptr;
+  size_t shards = 0;
+  std::atomic<size_t> next{0};
+  std::atomic<size_t> remaining{0};
+};
+
+}  // namespace
+
+/// Worker protocol: jobs are published as shared_ptr<Job> under `mu_`;
+/// workers copy the pointer, then pull shard indices from the job's
+/// atomic cursor until exhausted. The lane that retires the last shard
+/// signals `done_cv_` under `mu_`, which gives Run its barrier: every
+/// shard's writes happen-before Run returns.
+struct TaskPool::Impl {
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+
+  std::shared_ptr<Job> job_;  // guarded by mu_
+  uint64_t generation_ = 0;   // guarded by mu_
+  bool stop_ = false;         // guarded by mu_
+
+  // Serializes jobs: only one Run owns the workers at a time. Taken
+  // with try_lock — a busy pool makes the caller go inline.
+  std::mutex job_mu_;
+
+  std::vector<std::thread> workers_;
+
+  void WorkerLoop() {
+    uint64_t seen = 0;
+    std::unique_lock<std::mutex> lock(mu_);
+    while (true) {
+      work_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      const std::shared_ptr<Job> job = job_;
+      lock.unlock();
+      Drain(*job);
+      lock.lock();
+    }
+  }
+
+  void Drain(Job& job) {
+    while (true) {
+      const size_t shard = job.next.fetch_add(1, std::memory_order_relaxed);
+      if (shard >= job.shards) return;
+      (*job.fn)(shard);
+      if (job.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        // Last shard retired: wake the caller. Lock so the notify
+        // cannot race past the caller's wait predicate check.
+        std::lock_guard<std::mutex> lock(mu_);
+        done_cv_.notify_all();
+      }
+    }
+  }
+};
+
+TaskPool::TaskPool(size_t lanes) : impl_(new Impl) {
+  worker_count_ = lanes > 1 ? lanes - 1 : 0;
+  impl_->workers_.reserve(worker_count_);
+  for (size_t i = 0; i < worker_count_; ++i) {
+    impl_->workers_.emplace_back([impl = impl_] { impl->WorkerLoop(); });
+  }
+}
+
+TaskPool::~TaskPool() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu_);
+    impl_->stop_ = true;
+  }
+  impl_->work_cv_.notify_all();
+  for (std::thread& worker : impl_->workers_) worker.join();
+  delete impl_;
+}
+
+void TaskPool::Run(size_t shards, const std::function<void(size_t)>& fn) {
+  if (shards == 0) return;
+  if (worker_count_ == 0 || shards == 1 || !impl_->job_mu_.try_lock()) {
+    // No workers, nothing to split, or the pool is busy (another
+    // caller's job, or a re-entrant Run from inside a shard): execute
+    // inline. Shard functions are deterministic by contract, so the
+    // result is identical either way.
+    for (size_t shard = 0; shard < shards; ++shard) fn(shard);
+    return;
+  }
+  std::unique_lock<std::mutex> job_lock(impl_->job_mu_, std::adopt_lock);
+  auto job = std::make_shared<Job>();
+  job->fn = &fn;
+  job->shards = shards;
+  job->remaining.store(shards, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu_);
+    impl_->job_ = job;
+    ++impl_->generation_;
+  }
+  impl_->work_cv_.notify_all();
+  impl_->Drain(*job);
+  std::unique_lock<std::mutex> lock(impl_->mu_);
+  impl_->done_cv_.wait(lock, [&] {
+    return job->remaining.load(std::memory_order_acquire) == 0;
+  });
+}
+
+size_t ClampLanes(size_t lanes) {
+  const size_t hardware = std::thread::hardware_concurrency();
+  const size_t cap = 4 * (hardware == 0 ? 8 : hardware);
+  return lanes < 1 ? 1 : (lanes > cap ? cap : lanes);
+}
+
+TaskPool& SharedPool(size_t lanes) {
+  // Grown to the high-water mark; subsequent callers share the largest
+  // pool. Outgrown pools are retained (their references may still be in
+  // use by concurrent Run calls) — growth happens a handful of times
+  // per process, so the retired-thread cost is bounded and tiny. The
+  // ClampLanes cap keeps a misconfigured --engine-threads from
+  // spawning hundreds of threads.
+  static std::mutex mu;
+  static std::vector<std::unique_ptr<TaskPool>>& pools =
+      *new std::vector<std::unique_ptr<TaskPool>>();
+  const size_t want = ClampLanes(lanes);
+  std::lock_guard<std::mutex> lock(mu);
+  if (pools.empty() || pools.back()->lanes() < want) {
+    pools.push_back(std::make_unique<TaskPool>(want));
+  }
+  return *pools.back();
+}
+
+std::vector<std::pair<size_t, size_t>> SplitRange(size_t n,
+                                                  size_t max_shards,
+                                                  size_t align) {
+  std::vector<std::pair<size_t, size_t>> ranges;
+  if (n == 0) return ranges;
+  if (max_shards < 1) max_shards = 1;
+  if (align < 1) align = 1;
+  const size_t target = (n + max_shards - 1) / max_shards;
+  size_t begin = 0;
+  while (begin < n) {
+    size_t end = begin + target;
+    // Round the cut up to an alignment boundary so no two shards share
+    // an aligned block (e.g. a 64-bit bitset word).
+    end = ((end + align - 1) / align) * align;
+    if (end > n) end = n;
+    ranges.emplace_back(begin, end);
+    begin = end;
+  }
+  return ranges;
+}
+
+}  // namespace xcq::parallel

@@ -1,0 +1,93 @@
+#ifndef XCQ_PARALLEL_TASK_POOL_H_
+#define XCQ_PARALLEL_TASK_POOL_H_
+
+/// \file task_pool.h
+/// Work partitioning for intra-instance parallelism (axis sweeps,
+/// sharded compression). See docs/PARALLELISM.md.
+///
+/// The design constraint everything here serves is *determinism*: a
+/// computation run over N lanes must produce output bit-identical to
+/// the same computation run on 1 lane, no matter how the OS schedules
+/// the lanes. The pool therefore only offers *structured* parallelism —
+/// `Run` hands out shard indices and blocks until every shard has
+/// finished (a full barrier with acquire/release semantics), and
+/// callers are expected to
+///  * give each shard an exclusive slice of any output it writes, and
+///  * merge per-shard results on the calling thread, in shard order.
+/// Commutative accumulation (bit-OR into per-vertex flags) is the only
+/// sanctioned cross-shard write, because its result is order-free.
+///
+/// `Run` is also *opportunistic*: if the pool's workers are already
+/// busy with another caller's job (e.g. two server workers evaluating
+/// queries on different documents at once), the caller simply executes
+/// every shard inline instead of queueing. Parallelism is a speed
+/// multiplier, never a correctness or liveness dependency.
+
+#include <cstddef>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace xcq::parallel {
+
+/// \brief Fixed set of worker threads executing sharded jobs.
+///
+/// A pool with `lanes` lanes uses `lanes - 1` worker threads plus the
+/// calling thread; a pool with 0 or 1 lanes has no workers and `Run`
+/// degenerates to a sequential loop.
+class TaskPool {
+ public:
+  explicit TaskPool(size_t lanes);
+
+  /// Joins the workers (after finishing any in-flight job).
+  ~TaskPool();
+
+  TaskPool(const TaskPool&) = delete;
+  TaskPool& operator=(const TaskPool&) = delete;
+
+  /// Total lanes (worker threads + the calling thread).
+  size_t lanes() const { return worker_count_ + 1; }
+
+  /// Executes `fn(shard)` for every shard in [0, shards), distributing
+  /// shards over the lanes, and returns only when all calls finished
+  /// (a barrier: writes made by any shard happen-before the return).
+  ///
+  /// At most one job runs at a time; if another thread's job occupies
+  /// the pool, the caller runs all shards inline — same results, no
+  /// waiting. `fn` must not call Run on the same pool (inline-recursion
+  /// is detected and sequentialized, but don't rely on it for design).
+  void Run(size_t shards, const std::function<void(size_t)>& fn);
+
+ private:
+  struct Impl;
+  Impl* impl_;
+  size_t worker_count_ = 0;
+};
+
+/// \brief Sanity cap applied to requested lane counts: 4x the hardware
+/// concurrency (oversubscription beyond that is already past any
+/// speedup). Both `SharedPool` and work *partitioners* (e.g. the
+/// compression shard slicer) clamp through this, so a wild
+/// `--engine-threads` can neither spawn hundreds of threads nor split
+/// a document into millions of shards.
+size_t ClampLanes(size_t lanes);
+
+/// \brief Process-wide pool shared by all components, grown on demand.
+///
+/// Returns a pool with at least `lanes` lanes (capped at a small
+/// multiple of the hardware concurrency to bound thread count when many
+/// sessions ask at once). Thread-safe; the pool lives until process
+/// exit. `lanes <= 1` still returns a (possibly worker-less) pool.
+TaskPool& SharedPool(size_t lanes);
+
+/// \brief Splits [0, n) into at most `max_shards` contiguous ranges of
+/// near-equal size, each aligned so that `begin % align == 0` (except
+/// possibly the first) — used to give shards exclusive bitset words.
+/// Returns fewer ranges when n is small; never returns an empty range.
+std::vector<std::pair<size_t, size_t>> SplitRange(size_t n,
+                                                  size_t max_shards,
+                                                  size_t align = 1);
+
+}  // namespace xcq::parallel
+
+#endif  // XCQ_PARALLEL_TASK_POOL_H_

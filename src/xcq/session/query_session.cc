@@ -121,6 +121,7 @@ Status QuerySession::EnsureLabels(const std::vector<std::string>& tags,
 
   CompressOptions copts;
   copts.mode = LabelMode::kSchema;
+  copts.threads = options_.engine_threads;
   if (fresh) {
     // First query (or per-query mode): one scan with the full label set.
     copts.tags = tags;
@@ -178,10 +179,11 @@ Result<QueryOutcome> QuerySession::EvaluatePlan(
     }
   }
 
+  engine::EvalOptions eval_options;
+  eval_options.threads = options_.engine_threads;
   XCQ_ASSIGN_OR_RETURN(
       const RelationId result,
-      engine::Evaluate(&*instance_, plan, engine::EvalOptions{},
-                       &outcome.stats));
+      engine::Evaluate(&*instance_, plan, eval_options, &outcome.stats));
   outcome.selected_dag_nodes = SelectedDagNodeCount(*instance_, result);
   outcome.selected_tree_nodes = SelectedTreeNodeCount(*instance_, result);
   if (options_.minimize_after_query) {

@@ -58,6 +58,13 @@ struct SessionOptions {
   /// re-introduces the full-pass cost the incremental pass avoids; for
   /// tests and bring-up only.
   bool verify_incremental_minimize = false;
+  /// Lanes for the *intra-document* parallelism of docs/PARALLELISM.md:
+  /// sharded compression of this document's instance and partitioned
+  /// axis sweeps during evaluation. 1 (the default) is the sequential
+  /// oracle; answers are identical for every value. Distinct from the
+  /// server's worker pool, which parallelizes *across* documents —
+  /// worker_threads × engine_threads is the daemon's peak lane count.
+  size_t engine_threads = 1;
 };
 
 /// \brief Result summary of one query execution.

@@ -1,0 +1,498 @@
+// The determinism contract of the intra-instance parallelism
+// (docs/PARALLELISM.md): for every thread count, sharded compression is
+// bit-identical to the sequential pass, and parallel axis sweeps select
+// the same tree nodes, perform the same splits, and re-minimize to the
+// same structure as the sequential oracle. Plus units for the task pool
+// and the shard outline scanner.
+
+#include <algorithm>
+#include <atomic>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "xcq/compress/shard_outline.h"
+#include "xcq/engine/axes.h"
+#include "xcq/parallel/task_pool.h"
+
+namespace xcq {
+namespace {
+
+using testing::RandomXml;
+
+// --- task pool -----------------------------------------------------------
+
+TEST(TaskPoolTest, RunsEveryShardExactlyOnce) {
+  parallel::TaskPool pool(4);
+  constexpr size_t kShards = 1000;
+  std::vector<std::atomic<int>> hits(kShards);
+  pool.Run(kShards, [&](size_t shard) {
+    hits[shard].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (size_t i = 0; i < kShards; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "shard " << i;
+  }
+}
+
+TEST(TaskPoolTest, ZeroShardsAndZeroLanesAreFine) {
+  parallel::TaskPool pool(0);
+  pool.Run(0, [](size_t) { FAIL() << "no shard should run"; });
+  std::atomic<int> ran{0};
+  pool.Run(3, [&](size_t) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 3);
+}
+
+TEST(TaskPoolTest, ReentrantRunFallsBackInline) {
+  parallel::TaskPool pool(4);
+  std::atomic<int> inner_total{0};
+  pool.Run(8, [&](size_t) {
+    // The pool is busy with the outer job; the inner Run must execute
+    // inline rather than deadlock.
+    pool.Run(4, [&](size_t) { inner_total.fetch_add(1); });
+  });
+  EXPECT_EQ(inner_total.load(), 32);
+}
+
+TEST(TaskPoolTest, BarrierPublishesShardWrites) {
+  parallel::TaskPool pool(4);
+  std::vector<uint64_t> data(1 << 16, 0);
+  const auto ranges = parallel::SplitRange(data.size(), 8);
+  pool.Run(ranges.size(), [&](size_t s) {
+    for (size_t i = ranges[s].first; i < ranges[s].second; ++i) {
+      data[i] = i;
+    }
+  });
+  uint64_t sum = 0;
+  for (size_t i = 0; i < data.size(); ++i) sum += data[i] == i ? 1 : 0;
+  EXPECT_EQ(sum, data.size());
+}
+
+TEST(SplitRangeTest, CoversWithoutOverlapAndRespectsAlignment) {
+  for (const size_t n : {0u, 1u, 63u, 64u, 1000u, 4096u}) {
+    for (const size_t shards : {1u, 3u, 8u}) {
+      const auto ranges = parallel::SplitRange(n, shards, 64);
+      size_t expected_begin = 0;
+      for (const auto& [begin, end] : ranges) {
+        EXPECT_EQ(begin, expected_begin);
+        EXPECT_LT(begin, end);
+        if (end != n) EXPECT_EQ(end % 64, 0u);
+        expected_begin = end;
+      }
+      EXPECT_EQ(expected_begin, n);
+      EXPECT_LE(ranges.size(), shards == 0 ? 1 : shards + 1);
+    }
+  }
+}
+
+TEST(SharedPoolTest, GrowsToRequestedLanes) {
+  parallel::TaskPool& small = parallel::SharedPool(2);
+  EXPECT_GE(small.lanes(), 1u);
+  parallel::TaskPool& bigger = parallel::SharedPool(4);
+  EXPECT_GE(bigger.lanes(), small.lanes() >= 4 ? small.lanes() : 4u);
+}
+
+// --- shard outline -------------------------------------------------------
+
+TEST(ShardOutlineTest, FindsTopLevelCuts) {
+  const std::string xml =
+      "<?xml version=\"1.0\"?><!-- p --><doc a=\"x>y\">"
+      "<a><b/></a>text<c/><!-- mid --><a><b/></a></doc>";
+  const DocumentOutline outline = ScanDocumentOutline(xml);
+  ASSERT_TRUE(outline.eligible);
+  EXPECT_EQ(outline.root_tag, "doc");
+  ASSERT_EQ(outline.cuts.size(), 3u);
+  // Each cut ends just past a top-level subtree's '>'.
+  EXPECT_EQ(xml.substr(outline.content_begin,
+                       outline.cuts[0] - outline.content_begin),
+            "<a><b/></a>");
+  EXPECT_EQ(xml.substr(outline.cuts[0], outline.cuts[1] - outline.cuts[0]),
+            "text<c/>");
+  EXPECT_EQ(xml.substr(outline.content_end), "</doc>");
+}
+
+TEST(ShardOutlineTest, HandlesCdataCommentsAndQuotedMarkup) {
+  const std::string xml =
+      "<doc><a><![CDATA[</a><oops>]]></a>"
+      "<a t='</a>'><!-- </a> --></a></doc>";
+  const DocumentOutline outline = ScanDocumentOutline(xml);
+  ASSERT_TRUE(outline.eligible);
+  EXPECT_EQ(outline.cuts.size(), 2u);
+}
+
+TEST(ShardOutlineTest, RejectsWhatItCannotSplit) {
+  // Childless document element.
+  EXPECT_FALSE(ScanDocumentOutline("<doc/>").eligible);
+  // Truncated document.
+  EXPECT_FALSE(ScanDocumentOutline("<doc><a></a>").eligible);
+  // Trailing junk after the document element.
+  EXPECT_FALSE(ScanDocumentOutline("<doc><a/></doc><more/>").eligible);
+  EXPECT_FALSE(ScanDocumentOutline("<doc><a/></doc>junk").eligible);
+  // Doctype inside content.
+  EXPECT_FALSE(
+      ScanDocumentOutline("<doc><!DOCTYPE x><a/></doc>").eligible);
+  // No root at all.
+  EXPECT_FALSE(ScanDocumentOutline("  <!-- only misc -->").eligible);
+}
+
+// --- fragment parse mode -------------------------------------------------
+
+class CollectingHandler : public xml::SaxHandler {
+ public:
+  Status OnStartElement(std::string_view name,
+                        const std::vector<xml::Attribute>&) override {
+    events.push_back("<" + std::string(name) + ">");
+    return Status::OK();
+  }
+  Status OnEndElement(std::string_view name) override {
+    events.push_back("</" + std::string(name) + ">");
+    return Status::OK();
+  }
+  Status OnCharacters(std::string_view text) override {
+    events.push_back("t:" + std::string(text));
+    return Status::OK();
+  }
+  std::vector<std::string> events;
+};
+
+TEST(FragmentParseTest, AllowsMultipleRootsAndTopLevelText) {
+  xml::SaxParser::Options options;
+  options.fragment = true;
+  xml::SaxParser parser(options);
+  CollectingHandler handler;
+  XCQ_ASSERT_OK(parser.Parse("<a/>mid<b/><![CDATA[x]]>", &handler));
+  EXPECT_EQ(handler.events,
+            (std::vector<std::string>{"<a>", "</a>", "t:mid", "<b>",
+                                      "</b>", "t:x"}));
+  // An empty fragment is legal too.
+  CollectingHandler empty;
+  XCQ_ASSERT_OK(parser.Parse("  ", &empty));
+  EXPECT_TRUE(empty.events.empty());
+}
+
+TEST(FragmentParseTest, NonFragmentRulesUnchanged) {
+  xml::SaxParser parser;
+  CollectingHandler handler;
+  EXPECT_FALSE(parser.Parse("<a/><b/>", &handler).ok());
+  EXPECT_FALSE(parser.Parse("text", &handler).ok());
+  EXPECT_FALSE(parser.Parse("", &handler).ok());
+}
+
+// --- sharded compression ------------------------------------------------
+
+/// Bit-level equality: ids, edges, schema, and every relation column.
+void ExpectInstancesIdentical(const Instance& a, const Instance& b) {
+  ASSERT_EQ(a.vertex_count(), b.vertex_count());
+  ASSERT_EQ(a.rle_edge_count(), b.rle_edge_count());
+  ASSERT_EQ(a.root(), b.root());
+  for (VertexId v = 0; v < a.vertex_count(); ++v) {
+    const std::span<const Edge> ca = a.Children(v);
+    const std::span<const Edge> cb = b.Children(v);
+    ASSERT_EQ(ca.size(), cb.size()) << "vertex " << v;
+    ASSERT_TRUE(std::equal(ca.begin(), ca.end(), cb.begin()))
+        << "vertex " << v;
+  }
+  const std::vector<RelationId> live_a = a.LiveRelations();
+  ASSERT_EQ(live_a, b.LiveRelations());
+  for (const RelationId r : live_a) {
+    ASSERT_EQ(a.schema().Name(r), b.schema().Name(r));
+    ASSERT_TRUE(a.RelationBits(r) == b.RelationBits(r))
+        << "relation " << a.schema().Name(r);
+  }
+}
+
+TEST(ShardedCompressionTest, BitIdenticalOverEveryCorpus) {
+  for (const corpus::CorpusGenerator* generator : corpus::AllCorpora()) {
+    corpus::GenerateOptions gen;
+    gen.target_nodes = 6000;
+    gen.seed = 99;
+    const std::string xml = generator->Generate(gen);
+    ASSERT_GE(xml.size(), 64u * 1024)
+        << generator->name() << " too small to exercise sharding";
+    for (const LabelMode mode : {LabelMode::kAllTags, LabelMode::kNone}) {
+      CompressOptions sequential;
+      sequential.mode = mode;
+      CompressOptions sharded = sequential;
+      sharded.threads = 4;
+      CompressRunStats stats;
+      XCQ_ASSERT_OK_AND_ASSIGN(const Instance a,
+                               CompressXml(xml, sequential));
+      XCQ_ASSERT_OK_AND_ASSIGN(
+          const Instance b, CompressXmlWithStats(xml, sharded, &stats));
+      SCOPED_TRACE(std::string(generator->name()) +
+                   " shards=" + std::to_string(stats.shards));
+      EXPECT_GE(stats.shards, 2u) << generator->name();
+      ExpectInstancesIdentical(a, b);
+      XCQ_EXPECT_OK(b.Validate());
+    }
+  }
+}
+
+TEST(ShardedCompressionTest, BitIdenticalInSchemaMode) {
+  // kSchema without patterns is the server hot path (EnsureLabels sets
+  // this mode with engine_threads) and takes the prebuilt-tag-ids merge
+  // branch; cover it directly, including a tag that never occurs (its
+  // relation must still exist, empty, at the sequential id).
+  for (const char* name : {"TreeBank", "Shakespeare"}) {
+    XCQ_ASSERT_OK_AND_ASSIGN(const corpus::CorpusGenerator* generator,
+                             corpus::FindCorpus(name));
+    corpus::GenerateOptions gen;
+    gen.target_nodes = 6000;
+    gen.seed = 23;
+    const std::string xml = generator->Generate(gen);
+    XCQ_ASSERT_OK_AND_ASSIGN(const Instance all_tags,
+                             CompressXml(xml, {}));
+    CompressOptions sequential;
+    sequential.mode = LabelMode::kSchema;
+    sequential.tags.push_back("xcq:never-occurs");
+    for (const RelationId r : all_tags.LiveRelations()) {
+      if (sequential.tags.size() >= 4) break;
+      sequential.tags.emplace_back(all_tags.schema().Name(r));
+    }
+    CompressOptions sharded = sequential;
+    sharded.threads = 4;
+    CompressRunStats stats;
+    XCQ_ASSERT_OK_AND_ASSIGN(const Instance a,
+                             CompressXml(xml, sequential));
+    XCQ_ASSERT_OK_AND_ASSIGN(const Instance b,
+                             CompressXmlWithStats(xml, sharded, &stats));
+    SCOPED_TRACE(name);
+    EXPECT_GE(stats.shards, 2u);
+    ExpectInstancesIdentical(a, b);
+    EXPECT_NE(b.FindRelation("xcq:never-occurs"), kNoRelation);
+  }
+}
+
+TEST(ShardedCompressionTest, StatsMatchSequential) {
+  const std::string xml = RandomXml(5, 40000, 12);
+  CompressOptions sequential;
+  CompressOptions sharded;
+  sharded.threads = 8;
+  CompressRunStats s1;
+  CompressRunStats s8;
+  XCQ_ASSERT_OK_AND_ASSIGN(const Instance a,
+                           CompressXmlWithStats(xml, sequential, &s1));
+  XCQ_ASSERT_OK_AND_ASSIGN(const Instance b,
+                           CompressXmlWithStats(xml, sharded, &s8));
+  ExpectInstancesIdentical(a, b);
+  EXPECT_EQ(s1.tree_nodes, s8.tree_nodes);
+  EXPECT_EQ(s1.text_bytes, s8.text_bytes);
+  // The reserve hints describe different builders: the byte heuristic
+  // for the sequential pass, the exact shard totals for the merge.
+  EXPECT_GT(s1.dag_reserve, 0u);
+  // The merge hint is an upper bound: summed shard counts, which
+  // double-count classes shared across shards.
+  EXPECT_GE(s8.dag_reserve, b.vertex_count());
+}
+
+TEST(ShardedCompressionTest, PatternsForceSequentialFallback) {
+  const std::string xml = RandomXml(7, 30000, 8);
+  CompressOptions options;
+  options.mode = LabelMode::kSchema;
+  options.tags = {"t0", "t1"};
+  options.patterns = {"lorem"};
+  CompressOptions threaded = options;
+  threaded.threads = 4;
+  CompressRunStats stats;
+  XCQ_ASSERT_OK_AND_ASSIGN(const Instance a, CompressXml(xml, options));
+  XCQ_ASSERT_OK_AND_ASSIGN(const Instance b,
+                           CompressXmlWithStats(xml, threaded, &stats));
+  EXPECT_EQ(stats.shards, 1u);  // the pattern gate
+  ExpectInstancesIdentical(a, b);
+}
+
+TEST(ShardedCompressionTest, SmallAndMalformedDocumentsFallBack) {
+  CompressOptions threaded;
+  threaded.threads = 4;
+  // Small: below the sharding byte floor.
+  CompressRunStats stats;
+  XCQ_ASSERT_OK_AND_ASSIGN(
+      const Instance small,
+      CompressXmlWithStats("<a><b/><b/></a>", threaded, &stats));
+  EXPECT_EQ(stats.shards, 1u);
+  EXPECT_EQ(small.vertex_count(), 3u);  // b, a, #doc
+  // Malformed: the error must surface exactly like the sequential path.
+  std::string bad = "<doc>";
+  for (int i = 0; i < 20000; ++i) bad += "<a><b/></a>";
+  bad += "<a><mismatch></a></doc>";
+  const Result<Instance> sequential_error = CompressXml(bad, {});
+  const Result<Instance> sharded_error = CompressXml(bad, threaded);
+  ASSERT_FALSE(sequential_error.ok());
+  ASSERT_FALSE(sharded_error.ok());
+  EXPECT_EQ(sharded_error.status().ToString(),
+            sequential_error.status().ToString());
+}
+
+// --- parallel axis sweeps ------------------------------------------------
+
+struct SweepOutcome {
+  uint64_t selected_dag = 0;
+  uint64_t selected_tree = 0;
+  uint64_t splits = 0;
+  uint64_t reachable_vertices = 0;
+  uint64_t reachable_edges = 0;
+  uint64_t min_vertices = 0;
+  uint64_t min_edges = 0;
+};
+
+SweepOutcome RunAxisSweep(const Instance& base, xpath::Axis axis,
+                          RelationId src, size_t threads) {
+  Instance instance = base;
+  const RelationId dst = instance.AddRelation("test:dst");
+  engine::AxisStats stats;
+  Status status;
+  if (xpath::IsUpwardAxis(axis)) {
+    status = engine::ApplyUpwardAxis(&instance, axis, src, dst, threads);
+  } else if (axis == xpath::Axis::kFollowingSibling ||
+             axis == xpath::Axis::kPrecedingSibling) {
+    status = engine::ApplySiblingAxis(&instance, axis, src, dst, &stats,
+                                      threads);
+  } else {
+    status = engine::ApplyDownwardAxis(&instance, axis, src, dst, &stats,
+                                       threads);
+  }
+  SweepOutcome outcome;
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  if (!status.ok()) return outcome;
+  EXPECT_TRUE(instance.Validate().ok()) << instance.Validate().ToString();
+  outcome.selected_dag = SelectedDagNodeCount(instance, dst);
+  outcome.selected_tree = SelectedTreeNodeCount(instance, dst);
+  outcome.splits = stats.splits;
+  outcome.reachable_vertices = instance.ReachableCount();
+  outcome.reachable_edges = instance.ReachableEdgeCount();
+  const Result<Instance> minimal = Minimize(instance);
+  EXPECT_TRUE(minimal.ok());
+  if (minimal.ok()) {
+    outcome.min_vertices = minimal.Value().vertex_count();
+    outcome.min_edges = minimal.Value().rle_edge_count();
+  }
+  return outcome;
+}
+
+void ExpectSweepEqual(const SweepOutcome& oracle, const SweepOutcome& got,
+                      const char* what) {
+  EXPECT_EQ(oracle.selected_dag, got.selected_dag) << what;
+  EXPECT_EQ(oracle.selected_tree, got.selected_tree) << what;
+  EXPECT_EQ(oracle.splits, got.splits) << what;
+  EXPECT_EQ(oracle.reachable_vertices, got.reachable_vertices) << what;
+  EXPECT_EQ(oracle.reachable_edges, got.reachable_edges) << what;
+  EXPECT_EQ(oracle.min_vertices, got.min_vertices) << what;
+  EXPECT_EQ(oracle.min_edges, got.min_edges) << what;
+}
+
+TEST(ParallelAxesTest, EveryAxisMatchesSequentialOracle) {
+  // TreeBank compresses worst (deep, irregular), so its DAG clears the
+  // parallel-kernel size gate — assert that, so this test cannot
+  // silently degrade into sequential-vs-sequential.
+  XCQ_ASSERT_OK_AND_ASSIGN(
+      const corpus::CorpusGenerator* generator,
+      corpus::FindCorpus("TreeBank"));
+  corpus::GenerateOptions gen;
+  gen.target_nodes = 25000;
+  gen.seed = 3;
+  const std::string xml = generator->Generate(gen);
+  XCQ_ASSERT_OK_AND_ASSIGN(const Instance base, CompressXml(xml, {}));
+  ASSERT_GE(base.vertex_count(), 4096u)
+      << "instance too small to exercise the parallel kernels";
+
+  // Sweep from relations of very different densities.
+  std::vector<RelationId> sources;
+  size_t best_count = 0;
+  RelationId densest = kNoRelation;
+  for (const RelationId r : base.LiveRelations()) {
+    const size_t count = base.RelationBits(r).Count();
+    if (count > best_count) {
+      densest = r;
+      best_count = count;
+    }
+    if (count > 0 && sources.size() < 2) sources.push_back(r);
+  }
+  ASSERT_NE(densest, kNoRelation);
+  sources.push_back(densest);
+
+  const xpath::Axis kAxes[] = {
+      xpath::Axis::kChild,          xpath::Axis::kDescendant,
+      xpath::Axis::kDescendantOrSelf, xpath::Axis::kParent,
+      xpath::Axis::kAncestor,       xpath::Axis::kAncestorOrSelf,
+      xpath::Axis::kFollowingSibling, xpath::Axis::kPrecedingSibling};
+  for (const RelationId src : sources) {
+    for (const xpath::Axis axis : kAxes) {
+      const SweepOutcome oracle = RunAxisSweep(base, axis, src, 1);
+      for (const size_t threads : {2u, 4u, 8u}) {
+        const SweepOutcome got = RunAxisSweep(base, axis, src, threads);
+        ExpectSweepEqual(oracle, got,
+                         (std::string("axis ") +
+                          std::string(xpath::AxisName(axis)) + " src " +
+                          std::string(base.schema().Name(src)) +
+                          " threads " + std::to_string(threads))
+                             .c_str());
+      }
+    }
+  }
+}
+
+// --- randomized query sequences over every corpus ------------------------
+
+std::vector<std::string> SequenceFor(std::string_view corpus_name,
+                                     Rng& rng) {
+  std::vector<std::string> pool = {
+      "//*",
+      "//*/following-sibling::*",
+      "//*/preceding-sibling::*",
+      "/*/*",
+      "//*[following-sibling::*]/ancestor::*",
+  };
+  const Result<corpus::QuerySet> set = corpus::QueriesFor(corpus_name);
+  if (set.ok()) {
+    for (const std::string_view q : set->queries) pool.emplace_back(q);
+  }
+  std::vector<std::string> sequence;
+  for (int i = 0; i < 12; ++i) {
+    sequence.push_back(pool[rng.Uniform(0, pool.size() - 1)]);
+  }
+  return sequence;
+}
+
+TEST(ParallelSessionTest, RandomizedSequencesMatchOracleOverEveryCorpus) {
+  for (const corpus::CorpusGenerator* generator : corpus::AllCorpora()) {
+    corpus::GenerateOptions gen;
+    gen.target_nodes = generator->name() == "TreeBank" ? 12000 : 5000;
+    gen.seed = 17;
+    const std::string xml = generator->Generate(gen);
+    Rng rng(0xC0FFEE ^ std::hash<std::string_view>{}(generator->name()));
+    const std::vector<std::string> sequence =
+        SequenceFor(generator->name(), rng);
+
+    SessionOptions oracle_options;
+    oracle_options.minimize_after_query = true;
+    SessionOptions parallel_options = oracle_options;
+    parallel_options.engine_threads = 4;
+
+    XCQ_ASSERT_OK_AND_ASSIGN(QuerySession oracle,
+                             QuerySession::Open(xml, oracle_options));
+    XCQ_ASSERT_OK_AND_ASSIGN(QuerySession threaded,
+                             QuerySession::Open(xml, parallel_options));
+    for (const std::string& query : sequence) {
+      SCOPED_TRACE(std::string(generator->name()) + ": " + query);
+      XCQ_ASSERT_OK_AND_ASSIGN(const QueryOutcome a, oracle.Run(query));
+      XCQ_ASSERT_OK_AND_ASSIGN(const QueryOutcome b, threaded.Run(query));
+      EXPECT_EQ(a.selected_dag_nodes, b.selected_dag_nodes);
+      EXPECT_EQ(a.selected_tree_nodes, b.selected_tree_nodes);
+      EXPECT_EQ(a.stats.splits, b.stats.splits);
+      // Post-minimize structural counts (minimize_after_query re-ran
+      // the incremental pass after each query).
+      EXPECT_EQ(a.stats.vertices_after, b.stats.vertices_after);
+      EXPECT_EQ(a.stats.edges_after, b.stats.edges_after);
+    }
+    EXPECT_EQ(oracle.instance().ReachableCount(),
+              threaded.instance().ReachableCount());
+    EXPECT_EQ(oracle.instance().ReachableEdgeCount(),
+              threaded.instance().ReachableEdgeCount());
+    XCQ_EXPECT_OK(threaded.instance().Validate());
+  }
+}
+
+}  // namespace
+}  // namespace xcq
