@@ -108,7 +108,8 @@ Result<Instance> Minimize(const Instance& input) {
   DagBuilder builder;
   std::vector<VertexId> remap(input.vertex_count(), kNoVertex);
   std::vector<Edge> edges_scratch;
-  for (VertexId v : input.PostOrder()) {
+  // `input` is only read; the cached order is safe to iterate in place.
+  for (VertexId v : input.EnsureTraversal().order) {
     edges_scratch.clear();
     for (const Edge& e : input.Children(v)) {
       // Children interned first (post-order); merging runs here re-joins
@@ -159,7 +160,11 @@ Status MinimizeInPlace(Instance* instance,
     return Status::OK();
   }
 
-  const std::vector<VertexId> post = instance->PostOrder();
+  // Copied (not referenced): the pass below rewrites edges, and the
+  // compaction fallback re-reads the cache, which would rebuild under a
+  // live reference. On the serving hot path the copy is served from the
+  // cache the evaluation just left behind — no extra walk.
+  const std::vector<VertexId> post = instance->EnsureTraversal().order;
   const size_t n = instance->vertex_count();
 
   std::vector<uint8_t> in_post(n, 0);

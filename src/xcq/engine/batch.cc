@@ -1,0 +1,628 @@
+#include "xcq/engine/batch.h"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "xcq/engine/sweep.h"
+#include "xcq/parallel/task_pool.h"
+#include "xcq/util/timer.h"
+
+namespace xcq::engine {
+
+namespace {
+
+using algebra::Op;
+using algebra::OpKind;
+using xpath::Axis;
+
+/// Queries per mask chunk: one selection bit per query in a uint64.
+constexpr size_t kMaskWidth = 64;
+
+/// One axis op scheduled into a shared sweep: plan `plan`'s op `op`
+/// mapping selection `src` into scratch column `dst`. Within a chunk
+/// the entry's index is its bit position in the per-vertex masks.
+struct AxisEntry {
+  size_t plan = 0;
+  size_t op = 0;
+  RelationId src = kNoRelation;
+  RelationId dst = kNoRelation;
+};
+
+/// Lockstep shared evaluation of N plans (see batch.h). All DAG *reads*
+/// go through the traversal cache; all writes touch scratch columns
+/// only, so aborting at any point leaves the instance untouched.
+class SharedBatchRunner {
+ public:
+  SharedBatchRunner(Instance* instance, const EvalOptions& options,
+                    const std::vector<algebra::QueryPlan>& plans,
+                    SharedBatchStats* stats)
+      : instance_(instance), options_(options), plans_(plans),
+        stats_(stats) {}
+
+  SharedBatchResult Run() {
+    SharedBatchResult result;
+    if (instance_->vertex_count() == 0 ||
+        instance_->root() == kNoVertex) {
+      return result;
+    }
+    size_t max_ops = 0;
+    for (const algebra::QueryPlan& plan : plans_) {
+      if (plan.ops.empty()) return result;  // vanilla path reports it
+      max_ops = std::max(max_ops, plan.ops.size());
+    }
+    ComputeLastUses();
+
+    op_rel_.resize(plans_.size());
+    op_scratch_.resize(plans_.size());
+    for (size_t p = 0; p < plans_.size(); ++p) {
+      op_rel_[p].assign(plans_[p].ops.size(), kNoRelation);
+      op_scratch_[p].assign(plans_[p].ops.size(), 0);
+    }
+
+    for (size_t round = 0; round < max_ops; ++round) {
+      if (stats_ != nullptr) ++stats_->rounds;
+      if (!RunRound(round)) {
+        ReleaseAll();
+        return result;  // not engaged; instance untouched
+      }
+      ReleaseDeadColumns(round);
+    }
+
+    // Hand every plan's final selection over as a scratch column the
+    // caller releases; non-scratch finals (e.g. a plan ending on a bare
+    // relation leaf) are copied so the contract is uniform.
+    result.results.reserve(plans_.size());
+    for (size_t p = 0; p < plans_.size(); ++p) {
+      const size_t last = plans_[p].ops.size() - 1;
+      RelationId id = op_rel_[p][last];
+      if (!op_scratch_[p][last]) {
+        const RelationId copy = instance_->AcquireScratchRelation();
+        instance_->MutableRelationBits(copy) = instance_->RelationBits(id);
+        id = copy;
+      } else {
+        op_scratch_[p][last] = 0;  // ownership moves to the caller
+      }
+      result.results.push_back(id);
+    }
+    ReleaseAll();
+    result.engaged = true;
+    if (stats_ != nullptr) stats_->engaged = true;
+    return result;
+  }
+
+ private:
+  static constexpr size_t kNeverReleased =
+      std::numeric_limits<size_t>::max();
+
+  /// last_use_[p][i]: the latest round that reads op i's column (the
+  /// final op is pinned) — scratch is returned as soon as the lockstep
+  /// cursor passes it, which keeps a wide batch inside the resident
+  /// pool capacity.
+  void ComputeLastUses() {
+    last_use_.resize(plans_.size());
+    for (size_t p = 0; p < plans_.size(); ++p) {
+      const std::vector<Op>& ops = plans_[p].ops;
+      last_use_[p].assign(ops.size(), 0);
+      for (size_t i = 0; i < ops.size(); ++i) {
+        last_use_[p][i] = i;
+        if (ops[i].input0 >= 0) {
+          last_use_[p][static_cast<size_t>(ops[i].input0)] = i;
+        }
+        if (ops[i].input1 >= 0) {
+          last_use_[p][static_cast<size_t>(ops[i].input1)] = i;
+        }
+      }
+      last_use_[p].back() = kNeverReleased;
+    }
+  }
+
+  RelationId NewScratch(size_t plan, size_t op) {
+    const RelationId id = instance_->AcquireScratchRelation();
+    op_rel_[plan][op] = id;
+    op_scratch_[plan][op] = 1;
+    return id;
+  }
+
+  void ReleaseDeadColumns(size_t round) {
+    for (size_t p = 0; p < plans_.size(); ++p) {
+      if (round >= plans_[p].ops.size()) continue;
+      for (size_t i = 0; i <= round; ++i) {
+        if (op_scratch_[p][i] && last_use_[p][i] <= round) {
+          instance_->ReleaseScratchRelation(op_rel_[p][i]);
+          op_scratch_[p][i] = 0;
+        }
+      }
+    }
+  }
+
+  void ReleaseAll() {
+    for (size_t p = 0; p < plans_.size(); ++p) {
+      for (size_t i = 0; i < op_rel_[p].size(); ++i) {
+        if (op_scratch_[p][i]) {
+          instance_->ReleaseScratchRelation(op_rel_[p][i]);
+          op_scratch_[p][i] = 0;
+        }
+      }
+    }
+  }
+
+  /// Executes round `round` of every plan. Non-axis ops are pure column
+  /// ops and run immediately; axis ops are bucketed by axis and each
+  /// bucket swept once. Returns false to abort sharing.
+  bool RunRound(size_t round) {
+    // Buckets keyed by the axis enum value.
+    constexpr size_t kAxisKinds =
+        static_cast<size_t>(Axis::kPreceding) + 1;
+    std::array<std::vector<AxisEntry>, kAxisKinds> buckets;
+
+    for (size_t p = 0; p < plans_.size(); ++p) {
+      if (round >= plans_[p].ops.size()) continue;
+      const Op& op = plans_[p].ops[round];
+      if (op.kind == OpKind::kAxis) {
+        AxisEntry entry;
+        entry.plan = p;
+        entry.op = round;
+        entry.src = op_rel_[p][static_cast<size_t>(op.input0)];
+        entry.dst = NewScratch(p, round);
+        buckets[static_cast<size_t>(op.axis)].push_back(entry);
+        if (stats_ != nullptr) ++stats_->axis_ops;
+        continue;
+      }
+      if (!RunPureOp(p, round)) return false;
+    }
+
+    for (size_t a = 0; a < buckets.size(); ++a) {
+      std::vector<AxisEntry>& bucket = buckets[a];
+      if (bucket.empty()) continue;
+      const Axis axis = static_cast<Axis>(a);
+      if (stats_ != nullptr && bucket.size() >= 2) {
+        ++stats_->shared_groups;
+        stats_->shared_group_ops += bucket.size();
+      }
+      for (size_t begin = 0; begin < bucket.size();
+           begin += kMaskWidth) {
+        const size_t end = std::min(bucket.size(), begin + kMaskWidth);
+        const std::span<const AxisEntry> chunk{bucket.data() + begin,
+                                               end - begin};
+        if (!RunAxisChunk(axis, chunk)) return false;
+      }
+    }
+    return true;
+  }
+
+  /// The non-axis algebra ops. Resolution (existing relations, named
+  /// contexts) is handled here; the column arithmetic itself is the
+  /// same `ApplyColumnOp` the per-query evaluator runs, so the two
+  /// paths cannot diverge.
+  bool RunPureOp(size_t p, size_t i) {
+    const Op& op = plans_[p].ops[i];
+    switch (op.kind) {
+      case OpKind::kRelation: {
+        const RelationId existing = instance_->FindRelation(op.relation);
+        if (existing != kNoRelation) {
+          op_rel_[p][i] = existing;
+        } else {
+          NewScratch(p, i);  // empty selection
+        }
+        return true;
+      }
+      case OpKind::kContext: {
+        if (!options_.context_relation.empty()) {
+          const RelationId ctx =
+              instance_->FindRelation(options_.context_relation);
+          if (ctx == kNoRelation) return false;  // vanilla path errors
+          op_rel_[p][i] = ctx;
+          return true;
+        }
+        break;  // empty context = {root}: column op below
+      }
+      case OpKind::kAxis:
+        return false;  // handled by the caller
+      default:
+        break;
+    }
+    const RelationId id = NewScratch(p, i);
+    ApplyColumnOp(
+        instance_, op,
+        op.input0 >= 0 ? op_rel_[p][static_cast<size_t>(op.input0)]
+                       : kNoRelation,
+        op.input1 >= 0 ? op_rel_[p][static_cast<size_t>(op.input1)]
+                       : kNoRelation,
+        id);
+    return true;
+  }
+
+  // --- Shared sweeps -------------------------------------------------------
+
+  /// Per-vertex mask of queries whose `src` selection contains v,
+  /// computed once per sweep (flat shards; each id is written by
+  /// exactly one shard).
+  std::vector<uint64_t> SourceMasks(std::span<const AxisEntry> chunk,
+                                    const std::vector<VertexId>& order,
+                                    size_t threads) {
+    std::vector<uint64_t> src_mask(instance_->vertex_count(), 0);
+    std::vector<const DynamicBitset*> src_bits;
+    src_bits.reserve(chunk.size());
+    for (const AxisEntry& e : chunk) {
+      src_bits.push_back(&instance_->RelationBits(e.src));
+    }
+    const auto fill = [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        const VertexId v = order[i];
+        uint64_t m = 0;
+        for (size_t q = 0; q < src_bits.size(); ++q) {
+          if (src_bits[q]->Test(v)) m |= uint64_t{1} << q;
+        }
+        src_mask[v] = m;
+      }
+    };
+    const size_t shards = SweepShardCount(order.size(), threads);
+    if (shards <= 1) {
+      fill(0, order.size());
+    } else {
+      const auto ranges = parallel::SplitRange(order.size(), shards);
+      parallel::SharedPool(threads).Run(ranges.size(), [&](size_t s) {
+        fill(ranges[s].first, ranges[s].second);
+      });
+    }
+    return src_mask;
+  }
+
+  /// Writes each entry's dst bits from the per-vertex result masks.
+  void CommitMasks(std::span<const AxisEntry> chunk,
+                   const std::vector<VertexId>& order,
+                   const std::vector<uint64_t>& dst_mask) {
+    for (const VertexId v : order) {
+      uint64_t m = dst_mask[v];
+      while (m != 0) {
+        const int q = __builtin_ctzll(m);
+        instance_->SetBit(chunk[static_cast<size_t>(q)].dst, v);
+        m &= m - 1;
+      }
+    }
+  }
+
+  bool RunAxisChunk(Axis axis, std::span<const AxisEntry> chunk) {
+    switch (axis) {
+      case Axis::kSelf:
+        for (const AxisEntry& e : chunk) {
+          instance_->MutableRelationBits(e.dst) =
+              instance_->RelationBits(e.src);
+        }
+        return true;
+      case Axis::kParent:
+      case Axis::kAncestor:
+      case Axis::kAncestorOrSelf:
+        SharedUpward(axis, chunk);
+        return true;
+      case Axis::kChild:
+      case Axis::kDescendant:
+      case Axis::kDescendantOrSelf:
+        return SharedDownward(axis, chunk);
+      case Axis::kFollowingSibling:
+      case Axis::kPrecedingSibling:
+        return SharedSibling(axis, chunk);
+      case Axis::kFollowing:
+      case Axis::kPreceding:
+        return SharedComposed(axis, chunk);
+    }
+    return false;
+  }
+
+  /// Sec. 3.2: following = d-o-s ∘ following-sibling ∘ a-o-s (mirrored
+  /// for preceding), each stage a shared sweep over the whole chunk.
+  bool SharedComposed(Axis axis, std::span<const AxisEntry> chunk) {
+    const Axis sibling = axis == Axis::kFollowing
+                             ? Axis::kFollowingSibling
+                             : Axis::kPrecedingSibling;
+    std::vector<AxisEntry> stage(chunk.begin(), chunk.end());
+    std::vector<RelationId> mid;
+    mid.reserve(2 * chunk.size());
+    const auto cleanup = [&] {
+      for (const RelationId id : mid) {
+        instance_->ReleaseScratchRelation(id);
+      }
+    };
+
+    for (AxisEntry& e : stage) {  // a-o-s into fresh scratch
+      const RelationId up = instance_->AcquireScratchRelation();
+      mid.push_back(up);
+      e.dst = up;
+    }
+    SharedUpward(Axis::kAncestorOrSelf, stage);
+
+    for (AxisEntry& e : stage) {  // sibling from the a-o-s columns
+      const RelationId side = instance_->AcquireScratchRelation();
+      mid.push_back(side);
+      e.src = e.dst;
+      e.dst = side;
+    }
+    if (!SharedSibling(sibling, stage)) {
+      cleanup();
+      return false;
+    }
+
+    for (size_t i = 0; i < stage.size(); ++i) {  // d-o-s into final dst
+      stage[i].src = stage[i].dst;
+      stage[i].dst = chunk[i].dst;
+    }
+    const bool ok = SharedDownward(Axis::kDescendantOrSelf, stage);
+    cleanup();
+    return ok;
+  }
+
+  /// parent / ancestor / ancestor-or-self for the whole chunk in one
+  /// children-scan: never splits (Prop. 3.3), so never aborts.
+  void SharedUpward(Axis axis, std::span<const AxisEntry> chunk) {
+    const bool ancestor =
+        axis == Axis::kAncestor || axis == Axis::kAncestorOrSelf;
+    const TraversalCache& t = instance_->EnsureTraversal(ancestor);
+    const size_t threads = options_.threads;
+    const std::vector<uint64_t> src_mask =
+        SourceMasks(chunk, t.order, threads);
+    std::vector<uint64_t> up_mask(instance_->vertex_count(), 0);
+
+    const auto sweep_slice = [&](const std::vector<VertexId>& vertices,
+                                 size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        const VertexId v = vertices[i];
+        uint64_t m = 0;
+        for (const Edge& e : instance_->Children(v)) {
+          m |= src_mask[e.child];
+          if (ancestor) m |= up_mask[e.child];
+        }
+        up_mask[v] = m;
+      }
+    };
+
+    const size_t shards = SweepShardCount(t.order.size(), threads);
+    if (shards <= 1) {
+      // Children-first over the cached order covers both axes.
+      sweep_slice(t.order, 0, t.order.size());
+    } else if (!ancestor) {
+      // kParent reads only src masks: one flat parallel pass.
+      const auto ranges = parallel::SplitRange(t.order.size(), shards);
+      parallel::SharedPool(threads).Run(ranges.size(), [&](size_t s) {
+        sweep_slice(t.order, ranges[s].first, ranges[s].second);
+      });
+    } else {
+      // kAncestor: leaf-first bands; a band reads only masks of
+      // strictly lower bands, finalized at the previous barrier.
+      parallel::TaskPool& pool = parallel::SharedPool(threads);
+      for (const std::vector<VertexId>& band : t.bands) {
+        if (band.empty()) continue;
+        const size_t band_shards = SweepShardCount(band.size(), threads);
+        if (band_shards <= 1) {
+          sweep_slice(band, 0, band.size());
+          continue;
+        }
+        const auto ranges = parallel::SplitRange(band.size(), band_shards);
+        pool.Run(ranges.size(), [&](size_t s) {
+          sweep_slice(band, ranges[s].first, ranges[s].second);
+        });
+      }
+    }
+
+    if (axis == Axis::kAncestorOrSelf) {
+      for (const VertexId v : t.order) up_mask[v] |= src_mask[v];
+    }
+    CommitMasks(chunk, t.order, up_mask);
+  }
+
+  /// child / descendant / descendant-or-self: root-first band sweep
+  /// accumulating per-query demand masks. A vertex demanded with both
+  /// bits by one query (and not folded by or-self) is a split the
+  /// sequential kernel would perform — the abort condition.
+  ///
+  /// Demand pushes are commutative ORs; inside a parallel band they go
+  /// through std::atomic_ref, while single-shard stretches use plain
+  /// ORs (an uncontended lock-prefixed RMW per edge would cost more
+  /// than the sharing saves on small batches).
+  bool SharedDownward(Axis axis, std::span<const AxisEntry> chunk) {
+    const bool inherit = axis != Axis::kChild;
+    const bool or_self = axis == Axis::kDescendantOrSelf;
+    const TraversalCache& t = instance_->EnsureTraversal(true);
+    const size_t threads = options_.threads;
+    const size_t n = instance_->vertex_count();
+    const uint64_t full =
+        chunk.size() == kMaskWidth
+            ? ~uint64_t{0}
+            : (uint64_t{1} << chunk.size()) - 1;
+    const std::vector<uint64_t> src_mask =
+        SourceMasks(chunk, t.order, threads);
+
+    // demand1[w] / demand0[w]: queries with an occurrence of w that
+    // must be selected / unselected. Commutative ORs, hence order-free.
+    std::vector<uint64_t> demand1(n, 0);
+    std::vector<uint64_t> demand0(n, 0);
+    std::vector<uint64_t> dst_mask(n, 0);
+    std::atomic<uint64_t> conflicts{0};
+    const VertexId root = instance_->root();
+
+    const auto decide_slice = [&](const std::vector<VertexId>& band,
+                                  size_t begin, size_t end,
+                                  bool concurrent) {
+      for (size_t i = begin; i < end; ++i) {
+        const VertexId w = band[i];
+        uint64_t d1 = demand1[w];
+        uint64_t d0 = demand0[w];
+        if (w == root) d0 = full;  // the root is entered by no edge
+        const uint64_t os = or_self ? src_mask[w] : 0;
+        const uint64_t clash = d1 & d0 & ~os;
+        if (clash != 0) {
+          conflicts.fetch_add(static_cast<uint64_t>(
+                                  __builtin_popcountll(clash)),
+                              std::memory_order_relaxed);
+          continue;
+        }
+        const uint64_t mine = os | d1;
+        dst_mask[w] = mine;
+        const uint64_t out1 =
+            src_mask[w] | (inherit ? mine : uint64_t{0});
+        const uint64_t out0 = full & ~out1;
+        if (concurrent) {
+          for (const Edge& e : instance_->Children(w)) {
+            std::atomic_ref<uint64_t>(demand1[e.child])
+                .fetch_or(out1, std::memory_order_relaxed);
+            std::atomic_ref<uint64_t>(demand0[e.child])
+                .fetch_or(out0, std::memory_order_relaxed);
+          }
+        } else {
+          for (const Edge& e : instance_->Children(w)) {
+            demand1[e.child] |= out1;
+            demand0[e.child] |= out0;
+          }
+        }
+      }
+    };
+
+    parallel::TaskPool& pool = parallel::SharedPool(threads);
+    for (size_t h = t.bands.size(); h-- > 0;) {
+      const std::vector<VertexId>& band = t.bands[h];
+      if (band.empty()) continue;
+      const size_t shards = SweepShardCount(band.size(), threads);
+      if (shards <= 1) {
+        decide_slice(band, 0, band.size(), /*concurrent=*/false);
+      } else {
+        const auto ranges = parallel::SplitRange(band.size(), shards);
+        pool.Run(ranges.size(), [&](size_t s) {
+          decide_slice(band, ranges[s].first, ranges[s].second,
+                       /*concurrent=*/true);
+        });
+      }
+      if (conflicts.load(std::memory_order_relaxed) != 0) {
+        if (stats_ != nullptr) {
+          stats_->conflicts += conflicts.load(std::memory_order_relaxed);
+        }
+        return false;
+      }
+    }
+    CommitMasks(chunk, t.order, dst_mask);
+    return true;
+  }
+
+  /// following-sibling / preceding-sibling: one demand pass over every
+  /// reachable child list. A run straddling a per-query selection
+  /// boundary demands both bits of its child — the split the sequential
+  /// kernel performs, hence the abort condition. Conflict-free demand
+  /// masks ARE the answer: the rewritten lists would equal the
+  /// originals run for run.
+  bool SharedSibling(Axis axis, std::span<const AxisEntry> chunk) {
+    const bool forward = axis == Axis::kFollowingSibling;
+    const TraversalCache& t = instance_->EnsureTraversal();
+    const size_t threads = options_.threads;
+    const size_t n = instance_->vertex_count();
+    const uint64_t full =
+        chunk.size() == kMaskWidth
+            ? ~uint64_t{0}
+            : (uint64_t{1} << chunk.size()) - 1;
+    const std::vector<uint64_t> src_mask =
+        SourceMasks(chunk, t.order, threads);
+
+    // Plain ORs on the single-shard path, atomic_ref inside parallel
+    // shards (different vertices' lists push to shared children).
+    std::vector<uint64_t> demand1(n, 0);
+    std::vector<uint64_t> demand0(n, 0);
+
+    const auto demand_run = [&](VertexId child, uint64_t count,
+                                uint64_t seen, uint64_t in_src,
+                                bool concurrent) {
+      // First (forward) / last (backward) occurrence of the run takes
+      // the `seen` history; the remaining count-1 follow (precede) a
+      // same-vertex occurrence, so their history also includes in_src.
+      uint64_t d1 = seen;
+      uint64_t d0 = full & ~seen;
+      if (count > 1) {
+        const uint64_t bulk = seen | in_src;
+        d1 |= bulk;
+        d0 |= full & ~bulk;
+      }
+      if (concurrent) {
+        std::atomic_ref<uint64_t>(demand1[child])
+            .fetch_or(d1, std::memory_order_relaxed);
+        std::atomic_ref<uint64_t>(demand0[child])
+            .fetch_or(d0, std::memory_order_relaxed);
+      } else {
+        demand1[child] |= d1;
+        demand0[child] |= d0;
+      }
+    };
+    const auto walk_slice = [&](size_t begin, size_t end,
+                                bool concurrent) {
+      for (size_t i = begin; i < end; ++i) {
+        const std::span<const Edge> runs =
+            instance_->Children(t.order[i]);
+        uint64_t seen = 0;
+        if (forward) {
+          for (const Edge& run : runs) {
+            const uint64_t in_src = src_mask[run.child];
+            demand_run(run.child, run.count, seen, in_src, concurrent);
+            seen |= in_src;
+          }
+        } else {
+          for (size_t r = runs.size(); r-- > 0;) {
+            const uint64_t in_src = src_mask[runs[r].child];
+            demand_run(runs[r].child, runs[r].count, seen, in_src,
+                       concurrent);
+            seen |= in_src;
+          }
+        }
+      }
+    };
+
+    const size_t shards = SweepShardCount(t.order.size(), threads);
+    if (shards <= 1) {
+      walk_slice(0, t.order.size(), /*concurrent=*/false);
+    } else {
+      const auto ranges = parallel::SplitRange(t.order.size(), shards);
+      parallel::SharedPool(threads).Run(ranges.size(), [&](size_t s) {
+        walk_slice(ranges[s].first, ranges[s].second,
+                   /*concurrent=*/true);
+      });
+    }
+    demand0[instance_->root()] |= full;
+
+    // Conflict check + commit in one pass.
+    uint64_t clash_total = 0;
+    for (const VertexId v : t.order) {
+      clash_total |= demand1[v] & demand0[v];
+    }
+    if (clash_total != 0) {
+      if (stats_ != nullptr) {
+        stats_->conflicts +=
+            static_cast<uint64_t>(__builtin_popcountll(clash_total));
+      }
+      return false;
+    }
+    CommitMasks(chunk, t.order, demand1);
+    return true;
+  }
+
+  Instance* instance_;
+  const EvalOptions& options_;
+  const std::vector<algebra::QueryPlan>& plans_;
+  SharedBatchStats* stats_;
+
+  std::vector<std::vector<RelationId>> op_rel_;
+  std::vector<std::vector<uint8_t>> op_scratch_;  ///< 1 = we own it.
+  std::vector<std::vector<size_t>> last_use_;
+};
+
+}  // namespace
+
+SharedBatchResult EvaluateBatchShared(
+    Instance* instance, const std::vector<algebra::QueryPlan>& plans,
+    const EvalOptions& options, SharedBatchStats* stats) {
+  Timer timer;
+  SharedBatchRunner runner(instance, options, plans, stats);
+  SharedBatchResult result = runner.Run();
+  if (stats != nullptr) stats->seconds = timer.Seconds();
+  return result;
+}
+
+}  // namespace xcq::engine

@@ -125,7 +125,11 @@ Status ApplyDownwardAxisBanded(Instance* instance, Axis axis,
   const bool inherit = axis != Axis::kChild;
   const bool or_self = axis == Axis::kDescendantOrSelf;
 
-  const SweepPlan plan = BuildSweepPlan(*instance, /*need_heights=*/true);
+  // A reference into the traversal cache: the splits below invalidate
+  // the cache for *later* readers, but no rebuild can happen while this
+  // kernel runs (nothing here re-reads the cache), so the snapshot
+  // stays intact exactly like the by-value plan it replaces.
+  const SweepPlan& plan = BuildSweepPlan(*instance, /*need_heights=*/true);
   const size_t n0 = instance->vertex_count();
   const DynamicBitset& src_bits = instance->RelationBits(src);
 

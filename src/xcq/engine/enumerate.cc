@@ -29,7 +29,7 @@ Status EnumerateSelection(
   std::vector<uint64_t> subtree_size(n, 0);
   std::vector<uint8_t> has_selected(n, 0);
   const DynamicBitset& selected = instance.RelationBits(r);
-  for (VertexId v : instance.PostOrder()) {
+  for (VertexId v : instance.EnsureTraversal().order) {
     uint64_t total = 1;
     uint8_t any = selected.Test(v) ? 1 : 0;
     for (const Edge& e : instance.Children(v)) {

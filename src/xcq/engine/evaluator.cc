@@ -14,17 +14,14 @@ using algebra::Op;
 using algebra::OpKind;
 using xpath::Axis;
 
-/// Reachable vertex / RLE-edge counts (split leftovers excluded).
+/// Reachable vertex / RLE-edge counts (split leftovers excluded);
+/// served from the traversal cache, so on an unchanged instance this is
+/// a pure read instead of a walk.
 void ReachableSizes(const Instance& instance, uint64_t* vertices,
                     uint64_t* edges) {
-  uint64_t v_count = 0;
-  uint64_t e_count = 0;
-  for (VertexId v : instance.PostOrder()) {
-    ++v_count;
-    e_count += instance.Children(v).size();
-  }
-  *vertices = v_count;
-  *edges = e_count;
+  const TraversalCache& t = instance.EnsureTraversal();
+  *vertices = t.order.size();
+  *edges = t.reachable_edges;
 }
 
 class PlanRunner {
@@ -35,37 +32,54 @@ class PlanRunner {
 
   Result<RelationId> Run(const algebra::QueryPlan& plan) {
     op_relation_.assign(plan.ops.size(), kNoRelation);
-    for (size_t i = 0; i < plan.ops.size(); ++i) {
-      XCQ_RETURN_IF_ERROR(RunOp(plan, i));
-    }
+    const Status status = [&] {
+      for (size_t i = 0; i < plan.ops.size(); ++i) {
+        XCQ_RETURN_IF_ERROR(RunOp(plan, i));
+      }
+      return Status::OK();
+    }();
 
-    // Persist the final selection under the public result name. The
-    // relation is reused (not removed and re-interned) so its id stays
-    // stable across queries: the schema gains no tombstone per query and
-    // the incremental-minimization cache can diff the result column.
-    const RelationId result = instance_->AddRelation(kResultRelation);
-    if (result != op_relation_.back()) {
-      instance_->MutableRelationBits(result) =
-          instance_->RelationBits(op_relation_.back());
-    }
-
-    if (options_.remove_temporaries) {
-      for (const std::string& name : temporaries_) {
-        instance_->RemoveRelation(name);
+    RelationId result = kNoRelation;
+    if (status.ok()) {
+      // Persist the final selection under the public result name. The
+      // relation is reused (not removed and re-interned) so its id stays
+      // stable across queries: the schema gains no tombstone per query
+      // and the incremental-minimization cache can diff the result
+      // column.
+      result = instance_->AddRelation(kResultRelation);
+      if (result != op_relation_.back()) {
+        instance_->MutableRelationBits(result) =
+            instance_->RelationBits(op_relation_.back());
       }
     }
+
+    // Scratch columns go back to the resident pool even on error; the
+    // pooled path therefore adds zero schema tombstones per query.
+    for (const RelationId id : scratch_) {
+      instance_->ReleaseScratchRelation(id);
+    }
+    XCQ_RETURN_IF_ERROR(status);
     return result;
   }
 
  private:
-  /// Allocates the temporary relation backing op `i`'s node set. The
-  /// column is zeroed even if a relation of the same name survived an
-  /// earlier evaluation with `remove_temporaries = false`.
-  RelationId NewTemporary(size_t i) {
-    std::string name = StrFormat("xcq:tmp%zu", i);
+  /// Checks out the temporary relation backing one op's node set. On
+  /// the default path (`remove_temporaries`) this is a zeroed column
+  /// from the instance's resident scratch pool — anonymous, returned
+  /// after the run, no schema churn. With `remove_temporaries = false`
+  /// the caller wants the per-op selections to outlive the evaluation,
+  /// so they are materialized as named `xcq:tmp<serial>` relations
+  /// instead; the column is zeroed even if a relation of the same name
+  /// survived an earlier evaluation.
+  RelationId NewTemporary() {
+    if (options_.remove_temporaries) {
+      const RelationId id = instance_->AcquireScratchRelation();
+      scratch_.push_back(id);
+      return id;
+    }
+    std::string name = StrFormat("xcq:tmp%zu", named_serial_++);
     const RelationId id = instance_->AddRelation(name);
     instance_->MutableRelationBits(id).ResetAll();
-    temporaries_.push_back(std::move(name));
     return id;
   }
 
@@ -80,74 +94,48 @@ class PlanRunner {
         }
         // A tag that never occurs (or was not tracked) denotes the empty
         // set; materialize it as an empty temporary.
-        op_relation_[i] = NewTemporary(i);
-        return Status::OK();
-      }
-      case OpKind::kRoot: {
-        const RelationId id = NewTemporary(i);
-        instance_->SetBit(id, instance_->root());
-        op_relation_[i] = id;
-        return Status::OK();
-      }
-      case OpKind::kAllNodes: {
-        const RelationId id = NewTemporary(i);
-        instance_->MutableRelationBits(id).SetAll();
-        op_relation_[i] = id;
+        op_relation_[i] = NewTemporary();
         return Status::OK();
       }
       case OpKind::kContext: {
-        if (options_.context_relation.empty()) {
-          const RelationId id = NewTemporary(i);
-          instance_->SetBit(id, instance_->root());
-          op_relation_[i] = id;
+        if (!options_.context_relation.empty()) {
+          const RelationId ctx =
+              instance_->FindRelation(options_.context_relation);
+          if (ctx == kNoRelation) {
+            return Status::NotFound(
+                StrFormat("context relation '%s' not present in instance",
+                          options_.context_relation.c_str()));
+          }
+          op_relation_[i] = ctx;
           return Status::OK();
         }
-        const RelationId ctx =
-            instance_->FindRelation(options_.context_relation);
-        if (ctx == kNoRelation) {
-          return Status::NotFound(
-              StrFormat("context relation '%s' not present in instance",
-                        options_.context_relation.c_str()));
-        }
-        op_relation_[i] = ctx;
-        return Status::OK();
+        // Empty context means {root} — fall through to the column ops.
+        [[fallthrough]];
       }
+      case OpKind::kRoot:
+      case OpKind::kAllNodes:
       case OpKind::kUnion:
       case OpKind::kIntersect:
-      case OpKind::kDifference: {
-        const RelationId id = NewTemporary(i);
-        DynamicBitset& out = instance_->MutableRelationBits(id);
-        out = instance_->RelationBits(op_relation_[op.input0]);
-        const DynamicBitset& rhs =
-            instance_->RelationBits(op_relation_[op.input1]);
-        if (op.kind == OpKind::kUnion) {
-          out |= rhs;
-        } else if (op.kind == OpKind::kIntersect) {
-          out &= rhs;
-        } else {
-          out -= rhs;
-        }
-        op_relation_[i] = id;
-        return Status::OK();
-      }
+      case OpKind::kDifference:
       case OpKind::kRootFilter: {
-        const RelationId id = NewTemporary(i);
-        if (instance_->Test(op_relation_[op.input0], instance_->root())) {
-          instance_->MutableRelationBits(id).SetAll();
-        }
+        const RelationId id = NewTemporary();
+        ApplyColumnOp(instance_, op,
+                      op.input0 >= 0 ? op_relation_[op.input0] : kNoRelation,
+                      op.input1 >= 0 ? op_relation_[op.input1] : kNoRelation,
+                      id);
         op_relation_[i] = id;
         return Status::OK();
       }
       case OpKind::kAxis: {
         XCQ_ASSIGN_OR_RETURN(op_relation_[i],
-                             RunAxis(op.axis, op_relation_[op.input0], i));
+                             RunAxis(op.axis, op_relation_[op.input0]));
         return Status::OK();
       }
     }
     return Status::Internal("unreachable op kind");
   }
 
-  Result<RelationId> RunAxis(Axis axis, RelationId src, size_t i) {
+  Result<RelationId> RunAxis(Axis axis, RelationId src) {
     AxisStats axis_stats;
     const size_t threads = options_.threads;
     RelationId dst = kNoRelation;
@@ -156,20 +144,20 @@ class PlanRunner {
       case Axis::kParent:
       case Axis::kAncestor:
       case Axis::kAncestorOrSelf:
-        dst = NewTemporary(i);
+        dst = NewTemporary();
         XCQ_RETURN_IF_ERROR(
             ApplyUpwardAxis(instance_, axis, src, dst, threads));
         break;
       case Axis::kChild:
       case Axis::kDescendant:
       case Axis::kDescendantOrSelf:
-        dst = NewTemporary(i);
+        dst = NewTemporary();
         XCQ_RETURN_IF_ERROR(ApplyDownwardAxis(instance_, axis, src, dst,
                                               &axis_stats, threads));
         break;
       case Axis::kFollowingSibling:
       case Axis::kPrecedingSibling:
-        dst = NewTemporary(i);
+        dst = NewTemporary();
         XCQ_RETURN_IF_ERROR(ApplySiblingAxis(instance_, axis, src, dst,
                                              &axis_stats, threads));
         break;
@@ -180,13 +168,13 @@ class PlanRunner {
         const Axis sibling = axis == Axis::kFollowing
                                  ? Axis::kFollowingSibling
                                  : Axis::kPrecedingSibling;
-        const RelationId up = NewTemporary(i * 3 + 1000000);
+        const RelationId up = NewTemporary();
         XCQ_RETURN_IF_ERROR(ApplyUpwardAxis(
             instance_, Axis::kAncestorOrSelf, src, up, threads));
-        const RelationId side = NewTemporary(i * 3 + 1000001);
+        const RelationId side = NewTemporary();
         XCQ_RETURN_IF_ERROR(ApplySiblingAxis(instance_, sibling, up, side,
                                              &axis_stats, threads));
-        dst = NewTemporary(i);
+        dst = NewTemporary();
         AxisStats down_stats;
         XCQ_RETURN_IF_ERROR(
             ApplyDownwardAxis(instance_, Axis::kDescendantOrSelf, side,
@@ -203,10 +191,49 @@ class PlanRunner {
   const EvalOptions& options_;
   EvalStats* stats_;
   std::vector<RelationId> op_relation_;
-  std::vector<std::string> temporaries_;
+  /// Scratch columns checked out for this run (released in Run()).
+  std::vector<RelationId> scratch_;
+  /// Serial for named temporaries on the remove_temporaries=false path.
+  size_t named_serial_ = 0;
 };
 
 }  // namespace
+
+void ApplyColumnOp(Instance* instance, const algebra::Op& op,
+                   RelationId input0, RelationId input1, RelationId dst) {
+  switch (op.kind) {
+    case OpKind::kRoot:
+    case OpKind::kContext:  // callers resolve named contexts; empty = {root}
+      instance->SetBit(dst, instance->root());
+      return;
+    case OpKind::kAllNodes:
+      instance->MutableRelationBits(dst).SetAll();
+      return;
+    case OpKind::kUnion:
+    case OpKind::kIntersect:
+    case OpKind::kDifference: {
+      DynamicBitset& out = instance->MutableRelationBits(dst);
+      out = instance->RelationBits(input0);
+      const DynamicBitset& rhs = instance->RelationBits(input1);
+      if (op.kind == OpKind::kUnion) {
+        out |= rhs;
+      } else if (op.kind == OpKind::kIntersect) {
+        out &= rhs;
+      } else {
+        out -= rhs;
+      }
+      return;
+    }
+    case OpKind::kRootFilter:
+      if (instance->Test(input0, instance->root())) {
+        instance->MutableRelationBits(dst).SetAll();
+      }
+      return;
+    case OpKind::kRelation:
+    case OpKind::kAxis:
+      return;  // resolution / sweeps, not column arithmetic
+  }
+}
 
 Result<RelationId> Evaluate(Instance* instance,
                             const algebra::QueryPlan& plan,

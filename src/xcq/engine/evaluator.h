@@ -61,6 +61,17 @@ Result<RelationId> Evaluate(Instance* instance,
                             const EvalOptions& options = {},
                             EvalStats* stats = nullptr);
 
+/// \brief The column arithmetic of one non-axis op, shared by the
+/// per-query evaluator and the shared-batch runner (engine/batch.cc) —
+/// one implementation so the two paths cannot diverge. Writes `op`'s
+/// selection into the zeroed column `dst`; `input0`/`input1` are the
+/// resolved input columns of the plan (ignored by ops that take none).
+/// Covers kRoot / kAllNodes / kUnion / kIntersect / kDifference /
+/// kRootFilter; relation and context *resolution* (and kAxis) stay with
+/// the caller. No-op for those kinds.
+void ApplyColumnOp(Instance* instance, const algebra::Op& op,
+                   RelationId input0, RelationId input1, RelationId dst);
+
 }  // namespace xcq::engine
 
 #endif  // XCQ_ENGINE_EVALUATOR_H_

@@ -177,7 +177,9 @@ Status ApplySiblingAxisPhased(Instance* instance, Axis axis,
                               RelationId src, RelationId dst,
                               AxisStats* stats, size_t threads) {
   const bool forward = axis == Axis::kFollowingSibling;
-  const SweepPlan plan = BuildSweepPlan(*instance, /*need_heights=*/false);
+  // Cache reference; safe across the mutations below for the same
+  // reason as in downward.cc (no mid-sweep cache re-read).
+  const SweepPlan& plan = BuildSweepPlan(*instance, /*need_heights=*/false);
   const size_t n0 = instance->vertex_count();
   const DynamicBitset& src_bits = instance->RelationBits(src);
   parallel::TaskPool& pool = parallel::SharedPool(threads);

@@ -2,8 +2,8 @@
 #define XCQ_ENGINE_SWEEP_H_
 
 /// \file sweep.h
-/// Shared partitioning state for the parallel axis sweeps
-/// (docs/PARALLELISM.md §2).
+/// Shared partitioning state for the axis sweeps
+/// (docs/PARALLELISM.md §2, docs/INTERNALS.md §8).
 ///
 /// The parallel kernels replace the sequential DFS of Fig. 4 with
 /// *height-band* sweeps: `height(v)` (longest path to a leaf) strictly
@@ -12,8 +12,20 @@
 /// axes walk bands root-first, upward axes leaf-first. A `SweepPlan`
 /// carries the reachable set and the bands.
 ///
-/// Everything in the plan is derived deterministically from the
-/// instance (post-order), independent of thread count.
+/// The plan *is* the instance's memoized `TraversalCache`: building it
+/// used to cost one full `PostOrder()` walk per axis op, which
+/// dominated short queries; now every op on a structurally unchanged
+/// instance reads the same cached order/bands, and only a mutation
+/// (split, edge rewrite, root move) triggers a rebuild on the next
+/// read. Everything in the plan is derived deterministically from the
+/// instance, independent of thread count.
+///
+/// Lifetime: the returned reference stays valid until a structural
+/// mutation *followed by* another `EnsureTraversal` read. The kernels
+/// take the plan once up front and may then mutate the instance
+/// (splits, re-points) while still iterating the now-stale snapshot —
+/// sound because nothing in a kernel re-reads the cache mid-sweep, and
+/// exactly the snapshot semantics the pre-cache code had.
 
 #include <cstdint>
 #include <vector>
@@ -22,23 +34,17 @@
 
 namespace xcq::engine {
 
-struct SweepPlan {
-  /// Reachable vertices, children before parents (DFS post-order).
-  std::vector<VertexId> order;
+/// The memoized traversal doubles as the sweep plan: `order`
+/// (post-order), `height` / `bands` when requested.
+using SweepPlan = TraversalCache;
 
-  /// height[v] for reachable v; kNoHeight for unreachable ids.
-  /// Leaves have height 0; the root is the unique maximum.
-  std::vector<uint32_t> height;
-
-  /// bands[h] = reachable vertices of height h, in post-order position.
-  std::vector<std::vector<VertexId>> bands;
-
-  static constexpr uint32_t kNoHeight = UINT32_MAX;
-};
-
-/// \brief Builds the plan; heights and bands are only populated when
-/// requested (they cost one extra O(V + E) loop over the order).
-SweepPlan BuildSweepPlan(const Instance& instance, bool need_heights);
+/// \brief Reads the plan from the instance's traversal cache,
+/// (re)building it only if the structure changed; heights and bands
+/// cost one extra O(V + E) pass on first request per generation.
+inline const SweepPlan& BuildSweepPlan(const Instance& instance,
+                                       bool need_heights) {
+  return instance.EnsureTraversal(need_heights);
+}
 
 /// Work below this many vertices per shard is not worth a barrier; the
 /// kernels run such stretches inline on the calling thread.

@@ -24,7 +24,7 @@ Status ApplyUpwardAxisBanded(Instance* instance, Axis axis, RelationId src,
                              RelationId dst, size_t threads) {
   const bool ancestor =
       axis == Axis::kAncestor || axis == Axis::kAncestorOrSelf;
-  const SweepPlan plan =
+  const SweepPlan& plan =
       BuildSweepPlan(*instance, /*need_heights=*/ancestor);
   const DynamicBitset& src_bits = instance->RelationBits(src);
   std::vector<uint8_t> up_bit(instance->vertex_count(), 0);
@@ -106,7 +106,8 @@ Status ApplyUpwardAxis(Instance* instance, Axis axis, RelationId src,
     case Axis::kParent: {
       // v is a parent of a selected node iff one of its children is
       // selected; reachability restriction keeps split leftovers silent.
-      for (VertexId v : instance->PostOrder()) {
+      // Upward axes never mutate, so the cached order is read directly.
+      for (VertexId v : instance->EnsureTraversal().order) {
         for (const Edge& e : instance->Children(v)) {
           if (instance->Test(src, e.child)) {
             instance->SetBit(dst, v);
@@ -119,7 +120,7 @@ Status ApplyUpwardAxis(Instance* instance, Axis axis, RelationId src,
     case Axis::kAncestor:
     case Axis::kAncestorOrSelf: {
       // Children-first: dst[child] is final before any parent reads it.
-      for (VertexId v : instance->PostOrder()) {
+      for (VertexId v : instance->EnsureTraversal().order) {
         for (const Edge& e : instance->Children(v)) {
           if (instance->Test(src, e.child) ||
               instance->Test(dst, e.child)) {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "xcq/instance/stats.h"
 #include "xcq/util/string_util.h"
 
 namespace xcq {
@@ -10,9 +11,10 @@ VertexId Instance::AddVertex() {
   const VertexId id = static_cast<VertexId>(spans_.size());
   spans_.push_back(EdgeSpan{});
   for (size_t r = 0; r < relations_.size(); ++r) {
-    if (relation_live_[r]) relations_[r].PushBack(false);
+    if (relation_state_[r] != kRelationDead) relations_[r].PushBack(false);
   }
   MarkVertexDirty(id);
+  InvalidateTraversal();
   return id;
 }
 
@@ -28,13 +30,17 @@ void Instance::SetEdges(VertexId v, std::span<const Edge> edges) {
     detached.assign(edges.begin(), edges.end());
     edges = detached;
   }
-  if (track_dirty_) {
+  {
+    // No-op rewrites (common when kernels re-emit unchanged lists) keep
+    // the traversal cache valid and the vertex clean.
     const std::span<const Edge> current{edges_.data() + spans_[v].offset,
                                         spans_[v].length};
-    if (current.size() != edges.size() ||
-        !std::equal(current.begin(), current.end(), edges.begin())) {
-      MarkVertexDirty(v);
+    if (current.size() == edges.size() &&
+        std::equal(current.begin(), current.end(), edges.begin())) {
+      return;
     }
+    MarkVertexDirty(v);
+    InvalidateTraversal();
   }
   live_edge_count_ -= spans_[v].length;
   if (edges.size() <= spans_[v].length) {
@@ -61,13 +67,21 @@ VertexId Instance::CloneVertex(VertexId v) {
                 edges_.begin() + src.offset + src.length);
   spans_.push_back(dst);
   live_edge_count_ += dst.length;
+  // Checked-out scratch columns carry in-flight selections and must be
+  // split-copied exactly like live ones; idle columns copy too (cheap,
+  // and keeps every grown column sized to vertex_count()).
   for (size_t r = 0; r < relations_.size(); ++r) {
-    if (relation_live_[r]) relations_[r].PushBack(relations_[r].Test(v));
+    if (relation_state_[r] != kRelationDead) {
+      relations_[r].PushBack(relations_[r].Test(v));
+    }
   }
   MarkVertexDirty(id);
+  InvalidateTraversal();
   return id;
 }
 
+// Note: compaction moves spans inside the arena but leaves every child
+// sequence — and therefore the traversal cache — unchanged.
 void Instance::CompactEdges() {
   std::vector<Edge> packed;
   packed.reserve(live_edge_count_);
@@ -86,14 +100,14 @@ RelationId Instance::AddRelation(std::string_view name) {
   const RelationId id = schema_.Intern(name);
   if (id == relations_.size()) {
     relations_.emplace_back(vertex_count());
-    relation_live_.push_back(1);
+    relation_state_.push_back(kRelationLive);
   } else {
     // Intern reused a slot? Schema ids are append-only, so this cannot
     // happen; guard for safety.
     relations_.resize(schema_.size());
-    relation_live_.resize(schema_.size(), 1);
+    relation_state_.resize(schema_.size(), kRelationLive);
     relations_[id] = DynamicBitset(vertex_count());
-    relation_live_[id] = 1;
+    relation_state_[id] = kRelationLive;
   }
   return id;
 }
@@ -103,7 +117,8 @@ bool Instance::RemoveRelation(std::string_view name) {
   if (id == kNoRelation) return false;
   schema_.Remove(name);
   relations_[id] = DynamicBitset();  // release storage; tombstone stays
-  relation_live_[id] = 0;
+  relation_state_[id] = kRelationDead;
+  ++tombstones_added_;
   return true;
 }
 
@@ -114,6 +129,54 @@ std::vector<RelationId> Instance::LiveRelations() const {
     if (!schema_.Name(r).empty()) out.push_back(r);
   }
   return out;
+}
+
+RelationId Instance::AcquireScratchRelation() {
+  ++scratch_stats_.acquires;
+  ++scratch_active_;
+  if (!scratch_free_.empty()) {
+    // Resident column: storage was kept at release and the column kept
+    // growing with the vertex array, so a word-parallel clear is the
+    // whole checkout cost.
+    const RelationId id = scratch_free_.back();
+    scratch_free_.pop_back();
+    relation_state_[id] = kRelationScratch;
+    relations_[id].ResetAll();
+    ++scratch_stats_.pool_hits;
+    return id;
+  }
+  if (!scratch_parked_.empty()) {
+    // Parked slot beyond the resident cap: reuse the id, reallocate the
+    // storage (the exhaustion fallback — counted, never fatal).
+    const RelationId id = scratch_parked_.back();
+    scratch_parked_.pop_back();
+    relation_state_[id] = kRelationScratch;
+    relations_[id] = DynamicBitset(vertex_count());
+    ++scratch_stats_.allocations;
+    return id;
+  }
+  const RelationId id = schema_.InternAnonymous();
+  relations_.emplace_back(vertex_count());
+  relation_state_.push_back(kRelationScratch);
+  ++scratch_stats_.allocations;
+  return id;
+}
+
+void Instance::ReleaseScratchRelation(RelationId r) {
+  if (r >= relation_state_.size() ||
+      relation_state_[r] != kRelationScratch) {
+    return;  // not a checked-out scratch column; ignore
+  }
+  ++scratch_stats_.releases;
+  --scratch_active_;
+  if (scratch_free_.size() < scratch_capacity_) {
+    relation_state_[r] = kRelationIdle;
+    scratch_free_.push_back(r);
+    return;
+  }
+  relations_[r] = DynamicBitset();  // past the cap: keep the id only
+  relation_state_[r] = kRelationDead;
+  scratch_parked_.push_back(r);
 }
 
 std::vector<VertexId> Instance::PostOrder() const {
@@ -147,16 +210,67 @@ std::vector<VertexId> Instance::PostOrder() const {
   return order;
 }
 
-uint64_t Instance::ReachableEdgeCount() const {
-  uint64_t edges = 0;
-  for (const VertexId v : PostOrder()) edges += Children(v).size();
-  return edges;
+std::vector<VertexId> Instance::TopologicalOrder() const {
+  const TraversalCache& t = EnsureTraversal();
+  std::vector<VertexId> order(t.order.rbegin(), t.order.rend());
+  return order;
 }
 
-std::vector<VertexId> Instance::TopologicalOrder() const {
-  std::vector<VertexId> order = PostOrder();
-  std::reverse(order.begin(), order.end());
-  return order;
+const TraversalCache& Instance::EnsureTraversal(
+    bool need_heights, bool need_path_counts) const {
+  if (traversal_.generation != structure_generation_) {
+    traversal_.order = PostOrder();
+    uint64_t edges = 0;
+    for (const VertexId v : traversal_.order) {
+      edges += Children(v).size();
+    }
+    traversal_.reachable_edges = edges;
+    traversal_.has_heights = false;
+    traversal_.has_path_counts = false;
+    traversal_.generation = structure_generation_;
+    ++traversal_builds_;
+  }
+  if (need_heights && !traversal_.has_heights) {
+    const size_t n = vertex_count();
+    traversal_.height.assign(n, TraversalCache::kNoHeight);
+    uint32_t max_height = 0;
+    for (const VertexId v : traversal_.order) {
+      uint32_t h = 0;
+      for (const Edge& e : Children(v)) {
+        // Children precede parents in post-order, so their height is
+        // final; reachable vertices only reach reachable children.
+        const uint32_t below = traversal_.height[e.child] + 1;
+        if (below > h) h = below;
+      }
+      traversal_.height[v] = h;
+      if (h > max_height) max_height = h;
+    }
+    traversal_.bands.assign(traversal_.order.empty() ? 0 : max_height + 1,
+                            {});
+    for (const VertexId v : traversal_.order) {
+      traversal_.bands[traversal_.height[v]].push_back(v);
+    }
+    traversal_.has_heights = true;
+  }
+  if (need_path_counts && !traversal_.has_path_counts) {
+    traversal_.path_counts.assign(vertex_count(), 0);
+    if (root_ != kNoVertex && vertex_count() > 0) {
+      traversal_.path_counts[root_] = 1;
+      // Reverse post-order = parents before children: each vertex's own
+      // count is final before it is pushed down.
+      for (auto it = traversal_.order.rbegin();
+           it != traversal_.order.rend(); ++it) {
+        const uint64_t mine = traversal_.path_counts[*it];
+        for (const Edge& e : Children(*it)) {
+          traversal_.path_counts[e.child] =
+              SaturatingAdd(traversal_.path_counts[e.child],
+                            SaturatingMul(mine, e.count));
+        }
+      }
+    }
+    traversal_.has_path_counts = true;
+  }
+  return traversal_;
 }
 
 Status Instance::Validate() const {
@@ -231,9 +345,11 @@ size_t Instance::MemoryFootprint() const {
   for (const DynamicBitset& column : relations_) {
     bytes += column.words().capacity() * sizeof(uint64_t);
   }
-  // The incremental-minimization cache lives inside the instance and is
-  // real heap; count it so the server's capacity accounting stays honest.
+  // The incremental-minimization cache and the traversal cache live
+  // inside the instance and are real heap; count them so the server's
+  // capacity accounting stays honest.
   bytes += minimize_cache_.MemoryFootprint();
+  bytes += traversal_.MemoryFootprint();
   bytes += dirty_flag_.capacity() +
            dirty_list_.capacity() * sizeof(VertexId);
   return bytes;

@@ -81,6 +81,70 @@ struct Edge {
   bool operator==(const Edge&) const = default;
 };
 
+/// \brief Memoized structural traversal of an instance, owned by
+/// `Instance` and rebuilt lazily (docs/INTERNALS.md §8).
+///
+/// Every axis sweep, reachability count, and path-count decode starts
+/// from the same derived data: the DFS post-order over the reachable
+/// DAG, per-vertex heights with their height bands, and per-vertex
+/// root-path counts. Before this cache each operator recomputed them
+/// with a private `PostOrder()` walk — per *op*, which dominates short
+/// queries. The cache computes each section once per structural
+/// generation: any mutation of vertices, edges, or the root bumps
+/// `Instance::structure_generation()` and the next `EnsureTraversal`
+/// rebuilds. Relation-column writes (selections) do not invalidate.
+///
+/// Sections are filled on demand: `order` + `reachable_edges` always,
+/// heights/bands and path counts only when a caller asks (each costs
+/// one extra pass over the order). References returned by
+/// `EnsureTraversal` are stable until the next rebuild — callers that
+/// mutate the instance while iterating must copy first (the kernels
+/// snapshot by holding the reference across a generation they know is
+/// stale only for *later* readers; see docs/PARALLELISM.md §2).
+struct TraversalCache {
+  static constexpr uint32_t kNoHeight = UINT32_MAX;
+
+  /// Reachable vertices, children before parents (DFS post-order).
+  std::vector<VertexId> order;
+  /// RLE edges over the reachable vertices.
+  uint64_t reachable_edges = 0;
+
+  /// height[v] = longest path to a leaf for reachable v; kNoHeight for
+  /// unreachable ids. Leaves are 0; the root is the unique maximum.
+  bool has_heights = false;
+  std::vector<uint32_t> height;
+  /// bands[h] = reachable vertices of height h, in post-order position.
+  std::vector<std::vector<VertexId>> bands;
+
+  /// path_counts[v] = number of root paths to v (saturating), the
+  /// decoding weights of Sec. 2.1; 0 for unreachable ids.
+  bool has_path_counts = false;
+  std::vector<uint64_t> path_counts;
+
+  /// Structure generation this cache was built at (0 = never built).
+  uint64_t generation = 0;
+
+  size_t MemoryFootprint() const {
+    size_t bytes = order.capacity() * sizeof(VertexId) +
+                   height.capacity() * sizeof(uint32_t) +
+                   path_counts.capacity() * sizeof(uint64_t) +
+                   bands.capacity() * sizeof(std::vector<VertexId>);
+    for (const std::vector<VertexId>& band : bands) {
+      bytes += band.capacity() * sizeof(VertexId);
+    }
+    return bytes;
+  }
+};
+
+/// \brief Counters for the resident scratch-relation pool (per-op query
+/// temporaries; see Instance::AcquireScratchRelation).
+struct ScratchPoolStats {
+  uint64_t acquires = 0;     ///< Total checkouts.
+  uint64_t pool_hits = 0;    ///< Served from a resident column: no allocation.
+  uint64_t allocations = 0;  ///< Column storage had to be (re)allocated.
+  uint64_t releases = 0;     ///< Columns returned to the pool.
+};
+
 /// \brief A rooted DAG over a schema of unary relations.
 class Instance {
  public:
@@ -91,7 +155,10 @@ class Instance {
   size_t vertex_count() const { return spans_.size(); }
 
   VertexId root() const { return root_; }
-  void SetRoot(VertexId v) { root_ = v; }
+  void SetRoot(VertexId v) {
+    if (root_ != v) InvalidateTraversal();
+    root_ = v;
+  }
 
   /// Appends a leaf vertex (no edges, no relation memberships).
   VertexId AddVertex();
@@ -111,10 +178,12 @@ class Instance {
   }
 
   /// Mutable access for in-place child rewrites (length is fixed).
-  /// Conservatively marks `v` dirty when dirty tracking is on — callers
-  /// take this span to rewrite edges.
+  /// Conservatively marks `v` dirty when dirty tracking is on and
+  /// conservatively invalidates the traversal cache — callers take this
+  /// span to rewrite edges.
   std::span<Edge> MutableChildren(VertexId v) {
     MarkVertexDirty(v);
+    InvalidateTraversal();
     return {edges_.data() + spans_[v].offset, spans_[v].length};
   }
 
@@ -152,23 +221,93 @@ class Instance {
     relations_[r].Assign(v, value);
   }
 
-  /// Live relation ids in id order (skips tombstones).
+  /// Live relation ids in id order (skips tombstones and scratch).
   std::vector<RelationId> LiveRelations() const;
+
+  /// Named relations tombstoned over this instance's lifetime (the
+  /// schema churn `bench_hotpath` requires to be zero per query).
+  uint64_t tombstones_added() const { return tombstones_added_; }
+
+  // --- Scratch-relation pool -----------------------------------------------
+  //
+  // Per-op query temporaries used to be named relations, interned into
+  // the schema per evaluation and tombstoned right after — churn that
+  // grew the schema, invalidated minimize-cache fingerprints, and
+  // allocated a fresh column per op. The pool keeps a bounded set of
+  // *anonymous* columns resident inside the instance instead: checked
+  // out zeroed per op, returned after evaluation, excluded from
+  // LiveRelations / serialization / merges / signatures, but grown and
+  // split-copied exactly like live columns while checked out (splits
+  // must keep every in-flight selection consistent).
+
+  /// Checks out a zeroed scratch column sized to vertex_count(). Serves
+  /// a resident column when one is free (no allocation); falls back to
+  /// allocating a new or evicted slot otherwise (counted, never fails).
+  RelationId AcquireScratchRelation();
+
+  /// Returns `r` to the pool. Up to `scratch_capacity()` columns stay
+  /// resident (storage kept for the next checkout); beyond that the
+  /// column's storage is released and the slot parked for reuse.
+  void ReleaseScratchRelation(RelationId r);
+
+  /// Resident-column cap for the pool (default 64 — comfortably above
+  /// any compiled plan's op count times a realistic batch width).
+  size_t scratch_capacity() const { return scratch_capacity_; }
+  void set_scratch_capacity(size_t capacity) {
+    scratch_capacity_ = capacity;
+  }
+
+  const ScratchPoolStats& scratch_stats() const { return scratch_stats_; }
+
+  /// Schema slots currently backing scratch columns (any state).
+  size_t scratch_slot_count() const {
+    return scratch_active_ + scratch_free_.size() + scratch_parked_.size();
+  }
 
   // --- Traversal helpers ---------------------------------------------------
 
-  /// Reachable vertices, parents before children (reverse DFS post-order).
+  /// The memoized traversal (see TraversalCache), rebuilt if the
+  /// structure changed since the last call; heights/bands and path
+  /// counts are filled only when requested. The returned reference is
+  /// stable until the next structural mutation *followed by* another
+  /// EnsureTraversal call — callers that mutate while iterating must
+  /// copy the sections they need first. Not thread-safe while it
+  /// (re)builds: like all Instance mutation, first access after a
+  /// structural change requires exclusive access.
+  const TraversalCache& EnsureTraversal(bool need_heights = false,
+                                        bool need_path_counts = false) const;
+
+  /// Monotone counter bumped by every structural mutation; the cache is
+  /// current iff EnsureTraversal().generation equals this.
+  uint64_t structure_generation() const { return structure_generation_; }
+
+  /// True when the next EnsureTraversal() is a pure read (no walk).
+  bool traversal_cache_valid() const {
+    return traversal_.generation == structure_generation_;
+  }
+
+  /// Full post-order walks performed so far (cache rebuilds). After
+  /// warmup a steady-state query must not move this counter.
+  uint64_t traversal_builds() const { return traversal_builds_; }
+
+  /// Reachable vertices, parents before children (reverse DFS
+  /// post-order). Served from the traversal cache (copied).
   std::vector<VertexId> TopologicalOrder() const;
 
   /// Reachable vertices, children before parents (DFS post-order).
+  /// Always a fresh walk, bypassing the cache — this is the oracle the
+  /// traversal-cache tests compare against; hot paths read
+  /// EnsureTraversal() instead.
   std::vector<VertexId> PostOrder() const;
 
-  /// Number of vertices reachable from the root.
-  size_t ReachableCount() const { return PostOrder().size(); }
+  /// Number of vertices reachable from the root (cache read).
+  size_t ReachableCount() const { return EnsureTraversal().order.size(); }
 
   /// RLE edges over the reachable vertices only — the |E| the paper
   /// reports once split leftovers / merged-away garbage are excluded.
-  uint64_t ReachableEdgeCount() const;
+  uint64_t ReachableEdgeCount() const {
+    return EnsureTraversal().reachable_edges;
+  }
 
   // --- Dirty-vertex tracking (incremental re-minimization) -----------------
   //
@@ -225,15 +364,41 @@ class Instance {
     uint32_t length = 0;
   };
 
+  /// Per-column state, parallel to relations_. Dead columns stay empty
+  /// and are skipped by vertex-growth operations; every other state is
+  /// grown (and split-copied) with the vertex array. Only kLive columns
+  /// are visible to LiveRelations().
+  enum RelationState : uint8_t {
+    kRelationDead = 0,     ///< Tombstone or parked scratch slot (empty).
+    kRelationLive = 1,     ///< Named relation.
+    kRelationScratch = 2,  ///< Checked-out scratch column.
+    kRelationIdle = 3,     ///< Resident pooled column awaiting checkout.
+  };
+
+  void InvalidateTraversal() { ++structure_generation_; }
+
   Schema schema_;
   std::vector<EdgeSpan> spans_;
   std::vector<Edge> edges_;
   std::vector<DynamicBitset> relations_;
-  /// Parallel to relations_: false for tombstoned columns, which stay
-  /// empty and must be skipped by vertex-growth operations.
-  std::vector<uint8_t> relation_live_;
+  std::vector<uint8_t> relation_state_;
   VertexId root_ = kNoVertex;
   uint64_t live_edge_count_ = 0;
+  uint64_t tombstones_added_ = 0;
+
+  /// Scratch pool: ids of resident idle columns (storage kept) and of
+  /// parked dead slots (storage released, reusable with a realloc).
+  std::vector<RelationId> scratch_free_;
+  std::vector<RelationId> scratch_parked_;
+  size_t scratch_active_ = 0;
+  size_t scratch_capacity_ = 64;
+  ScratchPoolStats scratch_stats_;
+
+  /// Traversal memoization (see TraversalCache). `mutable`: logically
+  /// derived state filled in by const readers.
+  uint64_t structure_generation_ = 1;
+  mutable TraversalCache traversal_;
+  mutable uint64_t traversal_builds_ = 0;
 
   bool track_dirty_ = false;
   /// Parallel to spans_ (grown lazily): 1 for vertices in dirty_list_.

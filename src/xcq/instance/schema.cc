@@ -17,6 +17,12 @@ RelationId Schema::Intern(std::string_view name) {
   return id;
 }
 
+RelationId Schema::InternAnonymous() {
+  const RelationId id = static_cast<RelationId>(names_.size());
+  names_.emplace_back();
+  return id;
+}
+
 RelationId Schema::Find(std::string_view name) const {
   auto it = index_.find(std::string(name));
   return it == index_.end() ? kNoRelation : it->second;

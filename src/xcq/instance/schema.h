@@ -26,6 +26,13 @@ class Schema {
   /// removed name creates a fresh id.
   RelationId Intern(std::string_view name);
 
+  /// Appends an unnamed slot and returns its id. Anonymous slots back
+  /// pooled scratch columns (Instance::AcquireScratchRelation): they are
+  /// never findable by name, never counted live, and look exactly like
+  /// tombstones to schema iteration — which is what keeps per-query
+  /// temporaries out of signatures, serialization, and merges.
+  RelationId InternAnonymous();
+
   /// Id of `name`, or `kNoRelation`.
   RelationId Find(std::string_view name) const;
 

@@ -20,9 +20,9 @@ uint64_t SaturatingMul(uint64_t a, uint64_t b) {
 uint64_t TreeNodeCount(const Instance& instance) {
   if (instance.vertex_count() == 0 || instance.root() == kNoVertex) return 0;
   // subtree_nodes(v) = 1 + sum over runs (count * subtree_nodes(child)),
-  // computed children-first.
+  // computed children-first over the cached order.
   std::vector<uint64_t> subtree(instance.vertex_count(), 0);
-  for (VertexId v : instance.PostOrder()) {
+  for (VertexId v : instance.EnsureTraversal().order) {
     uint64_t total = 1;
     for (const Edge& e : instance.Children(v)) {
       total = SaturatingAdd(total, SaturatingMul(e.count, subtree[e.child]));
@@ -48,24 +48,15 @@ uint64_t ExpandedDagEdgeCount(const Instance& instance) {
 }
 
 std::vector<uint64_t> PathCounts(const Instance& instance) {
-  std::vector<uint64_t> paths(instance.vertex_count(), 0);
-  if (instance.vertex_count() == 0 || instance.root() == kNoVertex) {
-    return paths;
-  }
-  paths[instance.root()] = 1;
-  // Parents-before-children order guarantees each vertex's own count is
-  // final before it is pushed to its children.
-  for (VertexId v : instance.TopologicalOrder()) {
-    for (const Edge& e : instance.Children(v)) {
-      paths[e.child] = SaturatingAdd(paths[e.child],
-                                     SaturatingMul(paths[v], e.count));
-    }
-  }
-  return paths;
+  // Path counts depend only on structure, so they live in the traversal
+  // cache; this returns a copy for callers that hold the vector across
+  // mutations. Hot paths (SelectedTreeNodeCount below) read in place.
+  return instance.EnsureTraversal(false, true).path_counts;
 }
 
 uint64_t SelectedTreeNodeCount(const Instance& instance, RelationId r) {
-  const std::vector<uint64_t> paths = PathCounts(instance);
+  const std::vector<uint64_t>& paths =
+      instance.EnsureTraversal(false, true).path_counts;
   uint64_t total = 0;
   instance.RelationBits(r).ForEach([&](size_t v) {
     total = SaturatingAdd(total, paths[v]);
@@ -74,7 +65,8 @@ uint64_t SelectedTreeNodeCount(const Instance& instance, RelationId r) {
 }
 
 uint64_t SelectedDagNodeCount(const Instance& instance, RelationId r) {
-  const std::vector<uint64_t> paths = PathCounts(instance);
+  const std::vector<uint64_t>& paths =
+      instance.EnsureTraversal(false, true).path_counts;
   uint64_t total = 0;
   instance.RelationBits(r).ForEach([&](size_t v) {
     if (paths[v] > 0) ++total;
@@ -84,27 +76,19 @@ uint64_t SelectedDagNodeCount(const Instance& instance, RelationId r) {
 
 size_t DagDepth(const Instance& instance) {
   if (instance.vertex_count() == 0 || instance.root() == kNoVertex) return 0;
-  std::vector<size_t> height(instance.vertex_count(), 0);
-  for (VertexId v : instance.PostOrder()) {
-    size_t best = 0;
-    for (const Edge& e : instance.Children(v)) {
-      best = std::max(best, height[e.child]);
-    }
-    height[v] = best + 1;
-  }
-  return height[instance.root()];
+  // Cached heights count edges from the deepest leaf (leaf = 0); depth
+  // here counts vertices on that path, hence the +1.
+  return instance.EnsureTraversal(true).height[instance.root()] + 1;
 }
 
 CompressionStats ComputeCompressionStats(const Instance& instance) {
   CompressionStats stats;
+  const TraversalCache& t = instance.EnsureTraversal();
   stats.tree_nodes = TreeNodeCount(instance);
-  stats.dag_vertices = instance.ReachableCount();
-  stats.dag_rle_edges = 0;
-  // Count RLE edges over reachable vertices only (split leftovers and
+  stats.dag_vertices = t.order.size();
+  // RLE edges over reachable vertices only (split leftovers and
   // never-linked scratch vertices do not represent document structure).
-  for (VertexId v : instance.PostOrder()) {
-    stats.dag_rle_edges += instance.Children(v).size();
-  }
+  stats.dag_rle_edges = t.reachable_edges;
   const uint64_t tree_edges = stats.tree_nodes > 0 ? stats.tree_nodes - 1 : 0;
   stats.edge_ratio =
       tree_edges == 0 ? 0.0

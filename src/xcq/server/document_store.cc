@@ -50,6 +50,7 @@ DocumentInfo StoredDocument::Info(std::string name) const {
   info.name = std::move(name);
   info.queries_served = queries_served_;
   info.batches_served = batches_served_;
+  info.batches_shared = session_.shared_batch_count();
   info.source_parses = session_.source_parse_count();
   info.has_source = session_.has_source();
   info.tracked_tags = session_.tracked_tag_count();

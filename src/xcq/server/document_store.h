@@ -62,6 +62,7 @@ struct DocumentInfo {
   size_t tracked_patterns = 0;    ///< String-constraint relations present.
   uint64_t queries_served = 0;    ///< Single queries evaluated.
   uint64_t batches_served = 0;    ///< BATCH requests evaluated.
+  uint64_t batches_shared = 0;    ///< BATCHes served with shared sweeps.
   uint64_t source_parses = 0;     ///< Scans of the original document.
   bool has_source = false;        ///< False for `.xcqi`-loaded documents.
 };

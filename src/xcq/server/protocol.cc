@@ -100,13 +100,15 @@ std::string FormatOutcome(const QueryOutcome& outcome) {
 std::string FormatDocumentInfo(const DocumentInfo& info) {
   return StrFormat(
       "%s bytes=%zu vertices=%zu edges=%llu tree_nodes=%llu tags=%zu "
-      "patterns=%zu queries=%llu batches=%llu parses=%llu source=%s",
+      "patterns=%zu queries=%llu batches=%llu shared=%llu parses=%llu "
+      "source=%s",
       info.name.c_str(), info.memory_bytes, info.vertex_count,
       static_cast<unsigned long long>(info.rle_edges),
       static_cast<unsigned long long>(info.tree_nodes), info.tracked_tags,
       info.tracked_patterns,
       static_cast<unsigned long long>(info.queries_served),
       static_cast<unsigned long long>(info.batches_served),
+      static_cast<unsigned long long>(info.batches_shared),
       static_cast<unsigned long long>(info.source_parses),
       info.has_source ? "xml" : "xcqi");
 }

@@ -5,6 +5,7 @@
 #include "xcq/algebra/compiler.h"
 #include "xcq/compress/common_extension.h"
 #include "xcq/compress/minimize.h"
+#include "xcq/engine/batch.h"
 #include "xcq/instance/stats.h"
 #include "xcq/util/string_util.h"
 #include "xcq/util/timer.h"
@@ -307,6 +308,53 @@ Result<std::vector<QueryOutcome>> QuerySession::RunBatch(
   double label_seconds = 0.0;
   XCQ_RETURN_IF_ERROR(
       EnsureLabels(all.tags, all.patterns, &label_seconds));
+
+  // Shared sweeps: evaluate the whole batch in lockstep, same-axis ops
+  // of different queries folded into one traversal (engine/batch.h).
+  // Only attempted when per-query evaluation would not interleave
+  // instance mutations between queries; the attempt itself aborts —
+  // leaving the instance untouched — if any query demands a split.
+  if (plans.size() >= 2 && options_.shared_batch_sweeps &&
+      !options_.minimize_after_query) {
+    engine::EvalOptions eval_options;
+    eval_options.context_relation.clear();
+    eval_options.threads = options_.engine_threads;
+    engine::SharedBatchStats shared_stats;
+    engine::SharedBatchResult shared = engine::EvaluateBatchShared(
+        &*instance_, plans, eval_options, &shared_stats);
+    if (shared.engaged) {
+      ++shared_batches_;
+      std::vector<QueryOutcome> outcomes(plans.size());
+      const TraversalCache& t = instance_->EnsureTraversal();
+      for (size_t i = 0; i < plans.size(); ++i) {
+        QueryOutcome& outcome = outcomes[i];
+        // No query mutated the DAG (sharing aborts otherwise), so every
+        // query saw — and left — the same instance.
+        outcome.stats.vertices_before = t.order.size();
+        outcome.stats.vertices_after = t.order.size();
+        outcome.stats.edges_before = t.reachable_edges;
+        outcome.stats.edges_after = t.reachable_edges;
+        outcome.stats.seconds =
+            shared_stats.seconds / static_cast<double>(plans.size());
+        outcome.selected_dag_nodes =
+            SelectedDagNodeCount(*instance_, shared.results[i]);
+        outcome.selected_tree_nodes =
+            SelectedTreeNodeCount(*instance_, shared.results[i]);
+      }
+      // Net observable effect of the per-query loop: the public result
+      // relation holds the last query's selection.
+      const RelationId result =
+          instance_->AddRelation(engine::kResultRelation);
+      instance_->MutableRelationBits(result) =
+          instance_->RelationBits(shared.results.back());
+      for (const RelationId id : shared.results) {
+        instance_->ReleaseScratchRelation(id);
+      }
+      outcomes.front().label_seconds = label_seconds;
+      return outcomes;
+    }
+    ++shared_batch_fallbacks_;
+  }
 
   std::vector<QueryOutcome> outcomes;
   outcomes.reserve(plans.size());

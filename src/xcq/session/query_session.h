@@ -58,6 +58,14 @@ struct SessionOptions {
   /// re-introduces the full-pass cost the incremental pass avoids; for
   /// tests and bring-up only.
   bool verify_incremental_minimize = false;
+  /// Evaluate BATCH requests with *shared sweeps* (engine/batch.h):
+  /// same-axis ops of different queries in a batch are grouped into one
+  /// multi-source traversal instead of one sweep per query. Answers are
+  /// bit-identical to per-query evaluation — sharing engages only while
+  /// no query would split the DAG and falls back (per batch) otherwise.
+  /// Requires `minimize_after_query` off: per-query re-minimization
+  /// between batch members re-orders mutations that sharing elides.
+  bool shared_batch_sweeps = true;
   /// Lanes for the *intra-document* parallelism of docs/PARALLELISM.md:
   /// sharded compression of this document's instance and partitioned
   /// axis sweeps during evaluation. 1 (the default) is the sequential
@@ -141,6 +149,16 @@ class QuerySession {
   /// `FromInstance` sessions — the "zero re-parses" guarantee.
   uint64_t source_parse_count() const { return source_parse_count_; }
 
+  /// Batches served with shared sweeps / batches whose shared attempt
+  /// aborted on a split demand and fell back to per-query evaluation.
+  /// Batches that never attempt sharing (single query, option off,
+  /// `minimize_after_query` on) move neither counter, so their sum is
+  /// the number of shared *attempts*, not of RunBatch calls.
+  uint64_t shared_batch_count() const { return shared_batches_; }
+  uint64_t shared_batch_fallback_count() const {
+    return shared_batch_fallbacks_;
+  }
+
  private:
   QuerySession(std::string xml, SessionOptions options)
       : xml_(std::move(xml)), options_(options) {}
@@ -172,6 +190,8 @@ class QuerySession {
   std::set<std::string> patterns_;
   bool has_source_ = true;
   uint64_t source_parse_count_ = 0;
+  uint64_t shared_batches_ = 0;
+  uint64_t shared_batch_fallbacks_ = 0;
 };
 
 }  // namespace xcq
