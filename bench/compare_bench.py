@@ -22,8 +22,9 @@ Usage:
                          missing from the current set
 
 Field classification: a numeric field whose name ends in `_seconds`,
-`_s`, or `_ms` (or equals `seconds`) is a timing; every other numeric
-field is structural. Rows are matched within a figure by their string
+`_s`, or `_ms` (or equals `seconds`), or is a ratio of two timings
+(`speedup` / `*_speedup`), is a timing; every other numeric field is
+structural. Rows are matched within a figure by their string
 fields (corpus, query, section, ...) plus an occurrence counter, since
 benches repeat a string combination across numeric sweeps and emit
 rows in deterministic order.
@@ -37,7 +38,11 @@ TIME_SUFFIXES = ("_seconds", "_s", "_ms")
 
 
 def is_time_field(name):
-    return name == "seconds" or name.endswith(TIME_SUFFIXES)
+    # `speedup` fields are ratios of two timings — as noisy as the
+    # timings themselves, never exact-matchable.
+    return (name in ("seconds", "speedup")
+            or name.endswith(TIME_SUFFIXES)
+            or name.endswith("_speedup"))
 
 
 def keyed_rows(rows):

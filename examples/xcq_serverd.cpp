@@ -27,6 +27,13 @@
 //                       re-pointed vertices against the persistent
 //                       hash-cons cache (see docs/INTERNALS.md).
 //                       Bare --minimize is an alias for incremental.
+//   --prune=MODE        path-summary sweep pruning (docs/INTERNALS.md
+//                       §9): on (default) restricts every axis sweep to
+//                       the provably contributing region, off sweeps
+//                       the whole DAG, verify additionally re-runs each
+//                       query unpruned on a copy and fails the query on
+//                       any divergence (debug oracle — slow). Answers
+//                       are identical in all three modes.
 //
 // Protocol (line-oriented; try it with `nc 127.0.0.1 7878`):
 //
@@ -62,7 +69,8 @@ int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--port=N] [--threads=N] [--engine-threads=N] "
                "[--capacity-mb=N] [--preload=NAME=PATH]... "
-               "[--minimize[=off|full|incremental]]\n",
+               "[--minimize[=off|full|incremental]] "
+               "[--prune=on|off|verify]\n",
                argv0);
   return 2;
 }
@@ -108,6 +116,15 @@ int main(int argc, char** argv) {
       options.session.incremental_minimize = false;
     } else if (arg == "--minimize=off") {
       options.session.minimize_after_query = false;
+    } else if (arg == "--prune=on") {
+      options.session.prune_sweeps = true;
+      options.session.verify_pruned_sweeps = false;
+    } else if (arg == "--prune=off") {
+      options.session.prune_sweeps = false;
+      options.session.verify_pruned_sweeps = false;
+    } else if (arg == "--prune=verify") {
+      options.session.prune_sweeps = true;
+      options.session.verify_pruned_sweeps = true;
     } else if (arg == "--help" || arg == "-h") {
       return Usage(argv[0]);
     } else {

@@ -31,25 +31,38 @@ struct AxisStats {
 /// splits as the sequential kernels; only the id↔variant association
 /// after a split may differ (isomorphic DAGs, identical once
 /// re-minimized). See docs/PARALLELISM.md.
+///
+/// An optional `region` (from engine/prune.h) restricts the sweep to
+/// the vertices whose summary paths can contribute: downward/upward
+/// kernels only decide vertices inside the region, the sibling kernel
+/// only walks the child lists of region vertices. A non-null region
+/// selects the deterministic banded/phased form at any thread count
+/// (those forms admit region filtering without changing split order);
+/// the caller guarantees the region is closed per docs/INTERNALS.md §9,
+/// which makes the pruned sweep bit-identical to the unpruned one.
 
 /// \brief child / descendant / descendant-or-self — the Fig. 4 algorithm,
 /// implemented iteratively (sequential) or as a root-first height-band
 /// sweep (parallel).
 Status ApplyDownwardAxis(Instance* instance, xpath::Axis axis,
                          RelationId src, RelationId dst,
-                         AxisStats* stats = nullptr, size_t threads = 1);
+                         AxisStats* stats = nullptr, size_t threads = 1,
+                         const DynamicBitset* region = nullptr);
 
 /// \brief self / parent / ancestor / ancestor-or-self — single bottom-up
 /// pass (leaf-first bands in parallel), never splits.
 Status ApplyUpwardAxis(Instance* instance, xpath::Axis axis, RelationId src,
-                       RelationId dst, size_t threads = 1);
+                       RelationId dst, AxisStats* stats = nullptr,
+                       size_t threads = 1,
+                       const DynamicBitset* region = nullptr);
 
 /// \brief following-sibling / preceding-sibling — one pass over child
 /// lists, multiplicity-aware run splitting (demand/resolve/rewrite
 /// phases in parallel).
 Status ApplySiblingAxis(Instance* instance, xpath::Axis axis,
                         RelationId src, RelationId dst,
-                        AxisStats* stats = nullptr, size_t threads = 1);
+                        AxisStats* stats = nullptr, size_t threads = 1,
+                        const DynamicBitset* region = nullptr);
 
 }  // namespace xcq::engine
 

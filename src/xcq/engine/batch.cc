@@ -8,6 +8,7 @@
 #include <span>
 #include <vector>
 
+#include "xcq/engine/prune.h"
 #include "xcq/engine/sweep.h"
 #include "xcq/parallel/task_pool.h"
 #include "xcq/util/timer.h"
@@ -56,6 +57,22 @@ class SharedBatchRunner {
       max_ops = std::max(max_ops, plan.ops.size());
     }
     ComputeLastUses();
+
+    // One summary binding serves the whole run: the shared path never
+    // mutates the DAG (scratch columns only, abort before any split),
+    // so the binding cannot go stale mid-batch. Each plan gets its own
+    // abstract interpretation; chunk gates union the members' sets.
+    if (options_.prune_sweeps) {
+      regions_.Bind(*instance_);
+      if (regions_.active()) {
+        abstracts_.resize(plans_.size());
+        for (size_t p = 0; p < plans_.size(); ++p) {
+          abstracts_[p].Compute(*instance_, regions_.summary(), plans_[p],
+                                options_);
+        }
+        prune_ready_ = true;
+      }
+    }
 
     op_rel_.resize(plans_.size());
     op_scratch_.resize(plans_.size());
@@ -287,6 +304,66 @@ class SharedBatchRunner {
     }
   }
 
+  /// Prune gate for one shared sweep: the union over the chunk members
+  /// of their abstract source / destination node sets, handed to the
+  /// same region construction the per-query pruner uses. Every transfer
+  /// and closure is monotone, so the union gate's region contains each
+  /// member's per-query region — bit-identical parity per member — and
+  /// a skip means *every* member's sweep would select and split nothing.
+  /// `stage` is -1 for a plain axis, 0/1/2 for the composed stages.
+  PruneGate ChunkGate(SweepKind kind, std::span<const AxisEntry> chunk,
+                      int stage) {
+    PruneGate gate;
+    if (!prune_ready_) return gate;
+    const size_t nn = regions_.summary().nodes.size();
+    union_src_.Resize(nn, false);
+    union_src_.ResetAll();
+    union_dst_.Resize(nn, false);
+    union_dst_.ResetAll();
+    bool sources_live = false;
+    for (const AxisEntry& e : chunk) {
+      const PlanAbstract& abs = abstracts_[e.plan];
+      const Op& op = plans_[e.plan].ops[e.op];
+      const size_t input = static_cast<size_t>(op.input0);
+      if (stage <= 0) {
+        union_src_ |= abs.OpSet(input);
+      } else {
+        union_src_ |= abs.StageSet(e.op, stage - 1);
+      }
+      if (stage < 0) {
+        union_dst_ |= abs.OpSet(e.op);
+      } else {
+        union_dst_ |= abs.StageSet(e.op, stage);
+      }
+      sources_live =
+          sources_live || instance_->RelationBits(e.src).Any();
+    }
+    if (!sources_live) {
+      // Every member's concrete source is empty: no sweep of this chunk
+      // can select or demand anything (mirrors the evaluator's
+      // empty-source skip).
+      gate.skip = true;
+      return gate;
+    }
+    return regions_.Gate(kind, union_src_, union_dst_);
+  }
+
+  /// Folds one shared sweep's gate into the batch counters. `visited`
+  /// is what the sweep will walk; a full sweep walks every reachable
+  /// vertex once regardless of chunk width.
+  void CountSweep(const PruneGate& gate, uint64_t reachable) {
+    if (stats_ == nullptr) return;
+    stats_->sweep_full += reachable;
+    if (gate.skip) {
+      ++stats_->skipped_sweeps;
+    } else if (gate.region != nullptr) {
+      ++stats_->pruned_sweeps;
+      stats_->sweep_visited += gate.region_vertices;
+    } else {
+      stats_->sweep_visited += reachable;
+    }
+  }
+
   bool RunAxisChunk(Axis axis, std::span<const AxisEntry> chunk) {
     switch (axis) {
       case Axis::kSelf:
@@ -334,7 +411,7 @@ class SharedBatchRunner {
       mid.push_back(up);
       e.dst = up;
     }
-    SharedUpward(Axis::kAncestorOrSelf, stage);
+    SharedUpward(Axis::kAncestorOrSelf, stage, /*stage=*/0);
 
     for (AxisEntry& e : stage) {  // sibling from the a-o-s columns
       const RelationId side = instance_->AcquireScratchRelation();
@@ -342,7 +419,7 @@ class SharedBatchRunner {
       e.src = e.dst;
       e.dst = side;
     }
-    if (!SharedSibling(sibling, stage)) {
+    if (!SharedSibling(sibling, stage, /*stage=*/1)) {
       cleanup();
       return false;
     }
@@ -351,17 +428,27 @@ class SharedBatchRunner {
       stage[i].src = stage[i].dst;
       stage[i].dst = chunk[i].dst;
     }
-    const bool ok = SharedDownward(Axis::kDescendantOrSelf, stage);
+    const bool ok =
+        SharedDownward(Axis::kDescendantOrSelf, stage, /*stage=*/2);
     cleanup();
     return ok;
   }
 
   /// parent / ancestor / ancestor-or-self for the whole chunk in one
-  /// children-scan: never splits (Prop. 3.3), so never aborts.
-  void SharedUpward(Axis axis, std::span<const AxisEntry> chunk) {
+  /// children-scan: never splits (Prop. 3.3), so never aborts. The
+  /// region is every potential receiver; for the ancestor axes it
+  /// contains all intermediate vertices of every selected chain (their
+  /// paths are trie-ancestors of admissible source paths), so gating
+  /// the scan never severs the child-to-ancestor mask flow.
+  void SharedUpward(Axis axis, std::span<const AxisEntry> chunk,
+                    int stage = -1) {
     const bool ancestor =
         axis == Axis::kAncestor || axis == Axis::kAncestorOrSelf;
     const TraversalCache& t = instance_->EnsureTraversal(ancestor);
+    const PruneGate gate = ChunkGate(SweepKind::kUpward, chunk, stage);
+    CountSweep(gate, t.order.size());
+    if (gate.skip) return;  // dst scratch columns stay all-zero
+    const DynamicBitset* const region = gate.region;
     const size_t threads = options_.threads;
     const std::vector<uint64_t> src_mask =
         SourceMasks(chunk, t.order, threads);
@@ -371,6 +458,7 @@ class SharedBatchRunner {
                                  size_t begin, size_t end) {
       for (size_t i = begin; i < end; ++i) {
         const VertexId v = vertices[i];
+        if (region != nullptr && !region->Test(v)) continue;
         uint64_t m = 0;
         for (const Edge& e : instance_->Children(v)) {
           m |= src_mask[e.child];
@@ -423,10 +511,15 @@ class SharedBatchRunner {
   /// through std::atomic_ref, while single-shard stretches use plain
   /// ORs (an uncontended lock-prefixed RMW per edge would cost more
   /// than the sharing saves on small batches).
-  bool SharedDownward(Axis axis, std::span<const AxisEntry> chunk) {
+  bool SharedDownward(Axis axis, std::span<const AxisEntry> chunk,
+                      int stage = -1) {
     const bool inherit = axis != Axis::kChild;
     const bool or_self = axis == Axis::kDescendantOrSelf;
     const TraversalCache& t = instance_->EnsureTraversal(true);
+    const PruneGate gate = ChunkGate(SweepKind::kDownward, chunk, stage);
+    CountSweep(gate, t.order.size());
+    if (gate.skip) return true;  // selects nothing, demands nothing
+    const DynamicBitset* const region = gate.region;
     const size_t threads = options_.threads;
     const size_t n = instance_->vertex_count();
     const uint64_t full =
@@ -449,6 +542,11 @@ class SharedBatchRunner {
                                   bool concurrent) {
       for (size_t i = begin; i < end; ++i) {
         const VertexId w = band[i];
+        // Outside the region nothing can be demanded selected: any d1
+        // receiver is in V(dst) and every parent of such a receiver is
+        // in the trie-parent closure, so all clash-relevant pushes come
+        // from region vertices (same argument as the per-query kernel).
+        if (region != nullptr && !region->Test(w)) continue;
         uint64_t d1 = demand1[w];
         uint64_t d0 = demand0[w];
         if (w == root) d0 = full;  // the root is entered by no edge
@@ -512,9 +610,14 @@ class SharedBatchRunner {
   /// kernel performs, hence the abort condition. Conflict-free demand
   /// masks ARE the answer: the rewritten lists would equal the
   /// originals run for run.
-  bool SharedSibling(Axis axis, std::span<const AxisEntry> chunk) {
+  bool SharedSibling(Axis axis, std::span<const AxisEntry> chunk,
+                     int stage = -1) {
     const bool forward = axis == Axis::kFollowingSibling;
     const TraversalCache& t = instance_->EnsureTraversal();
+    const PruneGate gate = ChunkGate(SweepKind::kSibling, chunk, stage);
+    CountSweep(gate, t.order.size());
+    if (gate.skip) return true;  // no list can demand a selection
+    const DynamicBitset* const region = gate.region;
     const size_t threads = options_.threads;
     const size_t n = instance_->vertex_count();
     const uint64_t full =
@@ -555,6 +658,10 @@ class SharedBatchRunner {
     const auto walk_slice = [&](size_t begin, size_t end,
                                 bool concurrent) {
       for (size_t i = begin; i < end; ++i) {
+        // The region is the set of sibling lists that can contain a
+        // source child or a receiver; any other list's demands are
+        // all-zero history over non-source runs — nothing to push.
+        if (region != nullptr && !region->Test(t.order[i])) continue;
         const std::span<const Edge> runs =
             instance_->Children(t.order[i]);
         uint64_t seen = 0;
@@ -611,6 +718,15 @@ class SharedBatchRunner {
   std::vector<std::vector<RelationId>> op_rel_;
   std::vector<std::vector<uint8_t>> op_scratch_;  ///< 1 = we own it.
   std::vector<std::vector<size_t>> last_use_;
+
+  /// Sweep pruning (docs/INTERNALS.md §9): one summary binding for the
+  /// run, one abstract interpretation per plan, reusable union buffers
+  /// for the chunk gates.
+  SummaryRegions regions_;
+  std::vector<PlanAbstract> abstracts_;
+  bool prune_ready_ = false;
+  DynamicBitset union_src_;
+  DynamicBitset union_dst_;
 };
 
 }  // namespace

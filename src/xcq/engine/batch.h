@@ -43,6 +43,12 @@ struct SharedBatchStats {
   uint64_t shared_groups = 0;  ///< Axis groups swept once for >= 2 queries.
   uint64_t shared_group_ops = 0;  ///< Axis ops covered by those groups.
   uint64_t conflicts = 0;      ///< Split demands that forced the abort.
+  uint64_t pruned_sweeps = 0;  ///< Shared sweeps restricted to a region
+                               ///< (union of the members' admissible
+                               ///< regions; docs/INTERNALS.md §9).
+  uint64_t skipped_sweeps = 0;  ///< Shared sweeps skipped outright.
+  uint64_t sweep_visited = 0;  ///< Vertices visited by shared sweeps.
+  uint64_t sweep_full = 0;     ///< Visits unpruned sweeps would make.
   double seconds = 0.0;
 };
 

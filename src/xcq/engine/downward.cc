@@ -119,9 +119,17 @@ Status ApplyDownwardAxisSequential(Instance* instance, Axis axis,
 /// per-vertex decision bytes, and per-shard buffers; all Instance
 /// mutation (clones, edge re-points, relation bits) happens on the
 /// calling thread between barriers.
+///
+/// With a `region` (engine/prune.h) only region vertices are decided.
+/// The region contains V(src ∪ dst) closed with every reachable parent
+/// of those vertices, so demand-1 receivers see their complete demand
+/// pair (split parity) while skipped vertices would — in the unpruned
+/// sweep — decide dst=0 and push demand-0, which region fringe vertices
+/// (no demands, no src bit) reproduce exactly.
 Status ApplyDownwardAxisBanded(Instance* instance, Axis axis,
                                RelationId src, RelationId dst,
-                               AxisStats* stats, size_t threads) {
+                               AxisStats* stats, size_t threads,
+                               const DynamicBitset* region) {
   const bool inherit = axis != Axis::kChild;
   const bool or_self = axis == Axis::kDescendantOrSelf;
 
@@ -171,6 +179,7 @@ Status ApplyDownwardAxisBanded(Instance* instance, Axis axis,
     const auto decide_range = [&](size_t s) {
       for (size_t i = ranges[s].first; i < ranges[s].second; ++i) {
         const VertexId w = band[i];
+        if (region != nullptr && !region->Test(w)) continue;
         const bool os = or_self && src_bits.Test(w);
         uint8_t d = demand[w].load(std::memory_order_relaxed);
         if (d == 0) {
@@ -229,6 +238,10 @@ Status ApplyDownwardAxisBanded(Instance* instance, Axis axis,
         const VertexId v = i < total
                                ? plan.order[i]
                                : static_cast<VertexId>(n0 + (i - total));
+        // Reachable parents of split vertices are always in the region
+        // (split vertices sit in its base), so skipped vertices have no
+        // edges to re-point.
+        if (region != nullptr && i < total && !region->Test(v)) continue;
         const bool demands =
             src_bits.Test(v) || (inherit && dst_bit[v] != 0);
         const std::span<const Edge> children = instance->Children(v);
@@ -257,7 +270,10 @@ Status ApplyDownwardAxisBanded(Instance* instance, Axis axis,
     }
   }
 
+  // Skipped vertices keep their (zeroed) dst bit: the destination is a
+  // zeroed column by the operator contract.
   for (const VertexId v : plan.order) {
+    if (region != nullptr && !region->Test(v)) continue;
     instance->AssignBit(dst, v, dst_bit[v] != 0);
   }
   for (VertexId v = static_cast<VertexId>(n0);
@@ -265,7 +281,9 @@ Status ApplyDownwardAxisBanded(Instance* instance, Axis axis,
     instance->AssignBit(dst, v, dst_bit[v] != 0);
   }
   if (stats != nullptr) {
-    stats->visited += plan.order.size() + (instance->vertex_count() - n0);
+    stats->visited +=
+        (region != nullptr ? region->Count() : plan.order.size()) +
+        (instance->vertex_count() - n0);
   }
   return Status::OK();
 }
@@ -274,7 +292,7 @@ Status ApplyDownwardAxisBanded(Instance* instance, Axis axis,
 
 Status ApplyDownwardAxis(Instance* instance, Axis axis, RelationId src,
                          RelationId dst, AxisStats* stats,
-                         size_t threads) {
+                         size_t threads, const DynamicBitset* region) {
   if (axis != Axis::kChild && axis != Axis::kDescendant &&
       axis != Axis::kDescendantOrSelf) {
     return Status::InvalidArgument("ApplyDownwardAxis: not a downward axis");
@@ -282,9 +300,12 @@ Status ApplyDownwardAxis(Instance* instance, Axis axis, RelationId src,
   if (instance->root() == kNoVertex) {
     return Status::InvalidArgument("ApplyDownwardAxis: empty instance");
   }
-  if (threads > 1 && instance->vertex_count() >= 2 * kSweepGrain) {
+  // A region selects the banded form at any thread count: band/phase
+  // iteration admits region filtering without changing split order.
+  if (region != nullptr ||
+      (threads > 1 && instance->vertex_count() >= 2 * kSweepGrain)) {
     return ApplyDownwardAxisBanded(instance, axis, src, dst, stats,
-                                   threads);
+                                   threads, region);
   }
   return ApplyDownwardAxisSequential(instance, axis, src, dst, stats);
 }

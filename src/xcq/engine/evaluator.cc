@@ -1,8 +1,10 @@
 #include "xcq/engine/evaluator.h"
 
+#include <optional>
 #include <vector>
 
 #include "xcq/engine/axes.h"
+#include "xcq/engine/prune.h"
 #include "xcq/util/string_util.h"
 #include "xcq/util/timer.h"
 
@@ -32,6 +34,9 @@ class PlanRunner {
 
   Result<RelationId> Run(const algebra::QueryPlan& plan) {
     op_relation_.assign(plan.ops.size(), kNoRelation);
+    if (options_.prune_sweeps) {
+      pruner_.emplace(instance_, &plan, &options_);
+    }
     const Status status = [&] {
       for (size_t i = 0; i < plan.ops.size(); ++i) {
         XCQ_RETURN_IF_ERROR(RunOp(plan, i));
@@ -60,6 +65,12 @@ class PlanRunner {
     }
     XCQ_RETURN_IF_ERROR(status);
     return result;
+  }
+
+  /// Path-summary size at the pruner's last binding (0 = pruning off
+  /// or unavailable).
+  uint64_t summary_nodes() const {
+    return pruner_.has_value() ? pruner_->summary_nodes() : 0;
   }
 
  private:
@@ -127,69 +138,144 @@ class PlanRunner {
         return Status::OK();
       }
       case OpKind::kAxis: {
-        XCQ_ASSIGN_OR_RETURN(op_relation_[i],
-                             RunAxis(op.axis, op_relation_[op.input0]));
+        XCQ_ASSIGN_OR_RETURN(op_relation_[i], RunAxis(plan, i));
         return Status::OK();
       }
     }
     return Status::Internal("unreachable op kind");
   }
 
-  Result<RelationId> RunAxis(Axis axis, RelationId src) {
-    AxisStats axis_stats;
-    const size_t threads = options_.threads;
-    RelationId dst = kNoRelation;
+  /// One concrete sweep of op `i` with its prune gate: `stage` is -1
+  /// for the op's own axis, 0/1/2 for the staged following/preceding
+  /// composition. A skipped sweep leaves `d` all-zero — exactly the
+  /// unpruned outcome when the admissible region or the concrete source
+  /// is empty (such a sweep selects nothing and never splits).
+  Status Sweep(size_t i, int stage, Axis axis, RelationId s, RelationId d) {
+    // `//` from the document root admits a closed form: every reachable
+    // vertex has the root above it, so descendant(-or-self) from {root}
+    // selects the whole reachable set (minus the root itself for the
+    // proper-descendant axis), no demand can clash, and no sweep is
+    // needed. This removes the one inherently unprunable sweep from the
+    // paper's `//tag` navigation shape. Gated on prune_sweeps so the
+    // verify oracle still exercises the real kernels.
+    if (options_.prune_sweeps &&
+        (axis == Axis::kDescendant || axis == Axis::kDescendantOrSelf)) {
+      const VertexId root = instance_->root();
+      const DynamicBitset& source = instance_->RelationBits(s);
+      if (root != kNoVertex && root < source.size() &&
+          source.Test(root) && source.Count() == 1) {
+        for (const VertexId v : instance_->EnsureTraversal().order) {
+          if (axis == Axis::kDescendant && v == root) continue;
+          instance_->SetBit(d, v);
+        }
+        if (stats_ != nullptr) {
+          ++stats_->pruned_sweeps;
+          stats_->sweep_full += instance_->ReachableCount();
+        }
+        return Status::OK();
+      }
+    }
+    PruneGate gate;
+    if (pruner_.has_value()) {
+      gate = stage < 0 ? pruner_->AxisGate(i) : pruner_->StageGate(i, stage);
+      if (!gate.skip && pruner_->active() &&
+          instance_->RelationBits(s).None()) {
+        gate = PruneGate{};
+        gate.skip = true;
+      }
+    }
+    const uint64_t reachable_before =
+        stats_ != nullptr ? instance_->ReachableCount() : 0;
+    if (stats_ != nullptr) {
+      if (gate.skip) ++stats_->skipped_sweeps;
+      if (gate.region != nullptr) ++stats_->pruned_sweeps;
+    }
+    if (gate.skip) {
+      if (stats_ != nullptr) stats_->sweep_full += reachable_before;
+      return Status::OK();
+    }
+
+    AxisStats sweep_stats;
+    Status status;
     switch (axis) {
-      case Axis::kSelf:
       case Axis::kParent:
       case Axis::kAncestor:
       case Axis::kAncestorOrSelf:
-        dst = NewTemporary();
-        XCQ_RETURN_IF_ERROR(
-            ApplyUpwardAxis(instance_, axis, src, dst, threads));
+        status = ApplyUpwardAxis(instance_, axis, s, d, &sweep_stats,
+                                 options_.threads, gate.region);
         break;
       case Axis::kChild:
       case Axis::kDescendant:
       case Axis::kDescendantOrSelf:
-        dst = NewTemporary();
-        XCQ_RETURN_IF_ERROR(ApplyDownwardAxis(instance_, axis, src, dst,
-                                              &axis_stats, threads));
+        status = ApplyDownwardAxis(instance_, axis, s, d, &sweep_stats,
+                                   options_.threads, gate.region);
         break;
       case Axis::kFollowingSibling:
       case Axis::kPrecedingSibling:
+        status = ApplySiblingAxis(instance_, axis, s, d, &sweep_stats,
+                                  options_.threads, gate.region);
+        break;
+      default:
+        status = Status::Internal("Sweep: unexpected axis");
+        break;
+    }
+    if (stats_ != nullptr) {
+      stats_->splits += sweep_stats.splits;
+      stats_->sweep_visited += sweep_stats.visited;
+      // Kernels count clones created mid-sweep as visits, and a pruned
+      // run splits exactly where the full run would — so the full-sweep
+      // visit count is the pre-sweep reachable set plus those clones.
+      stats_->sweep_full += reachable_before + sweep_stats.splits;
+    }
+    return status;
+  }
+
+  Result<RelationId> RunAxis(const algebra::QueryPlan& plan, size_t i) {
+    const Axis axis = plan.ops[i].axis;
+    const RelationId src = op_relation_[plan.ops[i].input0];
+    RelationId dst = kNoRelation;
+    switch (axis) {
+      case Axis::kSelf:
+        // A plain column copy — nothing to prune.
         dst = NewTemporary();
-        XCQ_RETURN_IF_ERROR(ApplySiblingAxis(instance_, axis, src, dst,
-                                             &axis_stats, threads));
+        XCQ_RETURN_IF_ERROR(ApplyUpwardAxis(instance_, axis, src, dst,
+                                            nullptr, options_.threads));
+        break;
+      case Axis::kParent:
+      case Axis::kAncestor:
+      case Axis::kAncestorOrSelf:
+      case Axis::kChild:
+      case Axis::kDescendant:
+      case Axis::kDescendantOrSelf:
+      case Axis::kFollowingSibling:
+      case Axis::kPrecedingSibling:
+        dst = NewTemporary();
+        XCQ_RETURN_IF_ERROR(Sweep(i, -1, axis, src, dst));
         break;
       case Axis::kFollowing:
       case Axis::kPreceding: {
         // Sec. 3.2: following = d-o-s ∘ following-sibling ∘ a-o-s (and
-        // mirrored for preceding).
+        // mirrored for preceding), each stage gated separately.
         const Axis sibling = axis == Axis::kFollowing
                                  ? Axis::kFollowingSibling
                                  : Axis::kPrecedingSibling;
         const RelationId up = NewTemporary();
-        XCQ_RETURN_IF_ERROR(ApplyUpwardAxis(
-            instance_, Axis::kAncestorOrSelf, src, up, threads));
+        XCQ_RETURN_IF_ERROR(Sweep(i, 0, Axis::kAncestorOrSelf, src, up));
         const RelationId side = NewTemporary();
-        XCQ_RETURN_IF_ERROR(ApplySiblingAxis(instance_, sibling, up, side,
-                                             &axis_stats, threads));
+        XCQ_RETURN_IF_ERROR(Sweep(i, 1, sibling, up, side));
         dst = NewTemporary();
-        AxisStats down_stats;
-        XCQ_RETURN_IF_ERROR(
-            ApplyDownwardAxis(instance_, Axis::kDescendantOrSelf, side,
-                              dst, &down_stats, threads));
-        axis_stats.splits += down_stats.splits;
+        XCQ_RETURN_IF_ERROR(Sweep(i, 2, Axis::kDescendantOrSelf, side,
+                                  dst));
         break;
       }
     }
-    if (stats_ != nullptr) stats_->splits += axis_stats.splits;
     return dst;
   }
 
   Instance* instance_;
   const EvalOptions& options_;
   EvalStats* stats_;
+  std::optional<PlanPruner> pruner_;
   std::vector<RelationId> op_relation_;
   /// Scratch columns checked out for this run (released in Run()).
   std::vector<RelationId> scratch_;
@@ -248,6 +334,7 @@ Result<RelationId> Evaluate(Instance* instance,
     return Status::InvalidArgument("Evaluate: empty instance");
   }
   Timer timer;
+  const uint64_t summary_builds_before = instance->path_summary_builds();
   if (stats != nullptr) {
     ReachableSizes(*instance, &stats->vertices_before,
                    &stats->edges_before);
@@ -256,6 +343,9 @@ Result<RelationId> Evaluate(Instance* instance,
   XCQ_ASSIGN_OR_RETURN(const RelationId result, runner.Run(plan));
   if (stats != nullptr) {
     ReachableSizes(*instance, &stats->vertices_after, &stats->edges_after);
+    stats->summary_nodes = runner.summary_nodes();
+    stats->summary_builds =
+        instance->path_summary_builds() - summary_builds_before;
     stats->seconds = timer.Seconds();
   }
   return result;

@@ -41,6 +41,11 @@ struct EvalOptions {
   /// oracle; more lanes shard each sweep over the process-wide task
   /// pool. Answers are independent of the value.
   size_t threads = 1;
+  /// Restrict axis sweeps to the vertices whose path-summary paths can
+  /// contribute (docs/INTERNALS.md §9). Answers, splits, and the
+  /// resulting instance are independent of the value; `false` is the
+  /// full-sweep oracle.
+  bool prune_sweeps = true;
 };
 
 struct EvalStats {
@@ -49,6 +54,12 @@ struct EvalStats {
   uint64_t edges_before = 0;     ///< RLE edges (reachable) before.
   uint64_t edges_after = 0;      ///< RLE edges (reachable) after.
   uint64_t splits = 0;           ///< Vertices cloned during evaluation.
+  uint64_t sweep_visited = 0;    ///< Vertices visited by axis sweeps.
+  uint64_t sweep_full = 0;       ///< Visits a full (unpruned) run makes.
+  uint64_t pruned_sweeps = 0;    ///< Sweeps restricted to a region.
+  uint64_t skipped_sweeps = 0;   ///< Sweeps skipped outright (∅ region).
+  uint64_t summary_nodes = 0;    ///< Path-summary size used (0 = none).
+  uint64_t summary_builds = 0;   ///< Summary (re)builds this evaluation.
   double seconds = 0.0;
 };
 

@@ -173,9 +173,16 @@ Status ApplySiblingAxisSequential(Instance* instance, Axis axis,
 ///     run to its child's variant, into per-shard buffers; the calling
 ///     thread commits them (SetEdges, relation bits) in plan order, so
 ///     the edge arena layout is identical for every thread count.
+/// With a `region` (engine/prune.h) only region-owned child lists are
+/// walked. The region covers every list containing a potential source
+/// or receiver, so demand-1 flags and split decisions are exactly the
+/// unpruned ones; children of skipped lists are never demanded with
+/// bit 1, which makes those lists' rewrites equal-content no-ops — so
+/// skipping them leaves the instance bit-identical.
 Status ApplySiblingAxisPhased(Instance* instance, Axis axis,
                               RelationId src, RelationId dst,
-                              AxisStats* stats, size_t threads) {
+                              AxisStats* stats, size_t threads,
+                              const DynamicBitset* region) {
   const bool forward = axis == Axis::kFollowingSibling;
   // Cache reference; safe across the mutations below for the same
   // reason as in downward.cc (no mid-sweep cache re-read).
@@ -190,6 +197,7 @@ Status ApplySiblingAxisPhased(Instance* instance, Axis axis,
   std::vector<std::atomic<uint8_t>> demand(n0);
   pool.Run(ranges.size(), [&](size_t s) {
     for (size_t i = ranges[s].first; i < ranges[s].second; ++i) {
+      if (region != nullptr && !region->Test(plan.order[i])) continue;
       WalkSiblingRuns(instance->Children(plan.order[i]), forward, src_bits,
                       [&](VertexId w, uint64_t, bool bit) {
                         demand[w].fetch_or(bit ? 2 : 1,
@@ -221,6 +229,7 @@ Status ApplySiblingAxisPhased(Instance* instance, Axis axis,
     ShardLists& out = shard_lists[s];
     std::vector<Edge> rewritten;
     for (size_t i = ranges[s].first; i < ranges[s].second; ++i) {
+      if (region != nullptr && !region->Test(plan.order[i])) continue;
       rewritten.clear();
       WalkSiblingRuns(
           instance->Children(plan.order[i]), forward, src_bits,
@@ -240,12 +249,17 @@ Status ApplySiblingAxisPhased(Instance* instance, Axis axis,
   // Commit phase (sequential, plan order): rewritten lists — a clone
   // shares its original's list, differing only in the dst bit — then
   // the relation column.
+  // Skipped lists need no commit: their rewrite is a no-op, and a
+  // skipped vertex's clone (split as a *child* elsewhere) was born with
+  // a copy of the identical list.
   for (size_t s = 0; s < ranges.size(); ++s) {
     const ShardLists& out = shard_lists[s];
     size_t offset = 0;
+    size_t emitted = 0;
     for (size_t i = ranges[s].first; i < ranges[s].second; ++i) {
       const VertexId v = plan.order[i];
-      const uint32_t length = out.lengths[i - ranges[s].first];
+      if (region != nullptr && !region->Test(v)) continue;
+      const uint32_t length = out.lengths[emitted++];
       const std::span<const Edge> list{out.edges.data() + offset, length};
       offset += length;
       instance->SetEdges(v, list);
@@ -261,7 +275,9 @@ Status ApplySiblingAxisPhased(Instance* instance, Axis axis,
     }
   }
   if (stats != nullptr) {
-    stats->visited += plan.order.size() + (instance->vertex_count() - n0);
+    stats->visited +=
+        (region != nullptr ? region->Count() : plan.order.size()) +
+        (instance->vertex_count() - n0);
   }
   return Status::OK();
 }
@@ -276,16 +292,18 @@ Status ApplySiblingAxisPhased(Instance* instance, Axis axis,
 /// mentions under Prop. 3.4).
 Status ApplySiblingAxis(Instance* instance, Axis axis, RelationId src,
                         RelationId dst, AxisStats* stats,
-                        size_t threads) {
+                        size_t threads, const DynamicBitset* region) {
   if (axis != Axis::kFollowingSibling && axis != Axis::kPrecedingSibling) {
     return Status::InvalidArgument("ApplySiblingAxis: not a sibling axis");
   }
   if (instance->root() == kNoVertex) {
     return Status::InvalidArgument("ApplySiblingAxis: empty instance");
   }
-  if (threads > 1 && instance->vertex_count() >= 2 * kSweepGrain) {
+  // A region selects the phased form at any thread count.
+  if (region != nullptr ||
+      (threads > 1 && instance->vertex_count() >= 2 * kSweepGrain)) {
     return ApplySiblingAxisPhased(instance, axis, src, dst, stats,
-                                  threads);
+                                  threads, region);
   }
   return ApplySiblingAxisSequential(instance, axis, src, dst, stats);
 }

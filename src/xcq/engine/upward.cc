@@ -20,8 +20,13 @@ namespace {
 /// the relation column in one sequential pass at the end, which also
 /// keeps unreachable split leftovers silent, exactly like the
 /// sequential loop over PostOrder().
+/// With a `region` (engine/prune.h) only region vertices are decided.
+/// The region is V(dst): a vertex outside it can neither be selected
+/// nor (being unselected) influence an ancestor's decision, so skipped
+/// children are read as up_bit = 0, which is their unpruned value.
 Status ApplyUpwardAxisBanded(Instance* instance, Axis axis, RelationId src,
-                             RelationId dst, size_t threads) {
+                             RelationId dst, AxisStats* stats,
+                             size_t threads, const DynamicBitset* region) {
   const bool ancestor =
       axis == Axis::kAncestor || axis == Axis::kAncestorOrSelf;
   const SweepPlan& plan =
@@ -34,6 +39,7 @@ Status ApplyUpwardAxisBanded(Instance* instance, Axis axis, RelationId src,
                                size_t begin, size_t end) {
     for (size_t i = begin; i < end; ++i) {
       const VertexId v = vertices[i];
+      if (region != nullptr && !region->Test(v)) continue;
       for (const Edge& e : instance->Children(v)) {
         if (src_bits.Test(e.child) ||
             (ancestor && up_bit[e.child] != 0)) {
@@ -74,6 +80,10 @@ Status ApplyUpwardAxisBanded(Instance* instance, Axis axis, RelationId src,
   if (axis == Axis::kAncestorOrSelf) {
     instance->MutableRelationBits(dst) |= src_bits;
   }
+  if (stats != nullptr) {
+    stats->visited +=
+        region != nullptr ? region->Count() : plan.order.size();
+  }
   return Status::OK();
 }
 
@@ -85,7 +95,8 @@ Status ApplyUpwardAxisBanded(Instance* instance, Axis axis, RelationId src,
 /// vertex is the same for all of its occurrences), so one bottom-up pass
 /// suffices.
 Status ApplyUpwardAxis(Instance* instance, Axis axis, RelationId src,
-                       RelationId dst, size_t threads) {
+                       RelationId dst, AxisStats* stats, size_t threads,
+                       const DynamicBitset* region) {
   if (!xpath::IsUpwardAxis(axis)) {
     return Status::InvalidArgument("ApplyUpwardAxis: not an upward axis");
   }
@@ -93,9 +104,13 @@ Status ApplyUpwardAxis(Instance* instance, Axis axis, RelationId src,
     return Status::InvalidArgument("ApplyUpwardAxis: empty instance");
   }
 
-  if (axis != Axis::kSelf && threads > 1 &&
-      instance->vertex_count() >= 2 * kSweepGrain) {
-    return ApplyUpwardAxisBanded(instance, axis, src, dst, threads);
+  // A region selects the banded form at any thread count (kSelf is a
+  // plain column copy and is never gated).
+  if (axis != Axis::kSelf &&
+      (region != nullptr ||
+       (threads > 1 && instance->vertex_count() >= 2 * kSweepGrain))) {
+    return ApplyUpwardAxisBanded(instance, axis, src, dst, stats, threads,
+                                 region);
   }
 
   switch (axis) {
@@ -115,6 +130,9 @@ Status ApplyUpwardAxis(Instance* instance, Axis axis, RelationId src,
           }
         }
       }
+      if (stats != nullptr) {
+        stats->visited += instance->EnsureTraversal().order.size();
+      }
       return Status::OK();
     }
     case Axis::kAncestor:
@@ -131,6 +149,9 @@ Status ApplyUpwardAxis(Instance* instance, Axis axis, RelationId src,
       }
       if (axis == Axis::kAncestorOrSelf) {
         instance->MutableRelationBits(dst) |= instance->RelationBits(src);
+      }
+      if (stats != nullptr) {
+        stats->visited += instance->EnsureTraversal().order.size();
       }
       return Status::OK();
     }

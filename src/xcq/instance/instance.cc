@@ -1,6 +1,9 @@
 #include "xcq/instance/instance.h"
 
 #include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
 
 #include "xcq/instance/stats.h"
 #include "xcq/util/string_util.h"
@@ -273,6 +276,147 @@ const TraversalCache& Instance::EnsureTraversal(
   return traversal_;
 }
 
+uint64_t Instance::LabelSchemaFingerprint() const {
+  // FNV-1a over (id, name) of every live non-`xcq:` relation. Ids are
+  // mixed in because summary labels store ids: a removed-and-reinterned
+  // name gets a fresh id and must invalidate.
+  uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](uint64_t x) {
+    h ^= x;
+    h *= 1099511628211ull;
+  };
+  for (RelationId r = 0; r < schema_.size(); ++r) {
+    const std::string_view name = schema_.Name(r);
+    if (name.empty() || name.starts_with("xcq:")) continue;
+    mix(r);
+    for (const char c : name) mix(static_cast<unsigned char>(c));
+    mix(0x1F);  // name terminator
+  }
+  return h;
+}
+
+const PathSummary& Instance::EnsurePathSummary() const {
+  const uint64_t fingerprint = LabelSchemaFingerprint();
+  if (path_summary_.generation == structure_generation_ &&
+      path_summary_.schema_fingerprint == fingerprint) {
+    return path_summary_;
+  }
+  ++path_summary_builds_;
+  path_summary_ = PathSummary{};
+  path_summary_.generation = structure_generation_;
+  path_summary_.schema_fingerprint = fingerprint;
+
+  const size_t n = vertex_count();
+  const TraversalCache& t = EnsureTraversal();
+  if (root_ == kNoVertex || t.order.empty()) {
+    path_summary_.vertex_begin.assign(n + 1, 0);
+    return path_summary_;
+  }
+
+  // Intern per-vertex labels (sorted live non-`xcq:` relation id sets).
+  std::vector<RelationId> label_rels;
+  for (RelationId r = 0; r < schema_.size(); ++r) {
+    const std::string_view name = schema_.Name(r);
+    if (!name.empty() && !name.starts_with("xcq:")) label_rels.push_back(r);
+  }
+  std::map<std::vector<RelationId>, uint32_t> label_ids;
+  std::vector<uint32_t> vertex_label(n, 0);
+  std::vector<RelationId> key;
+  for (const VertexId v : t.order) {
+    key.clear();
+    for (const RelationId r : label_rels) {
+      const DynamicBitset& column = relations_[r];
+      if (v < column.size() && column.Test(v)) key.push_back(r);
+    }
+    const auto it = label_ids.find(key);
+    if (it != label_ids.end()) {
+      vertex_label[v] = it->second;
+    } else {
+      const uint32_t id = static_cast<uint32_t>(path_summary_.labels.size());
+      label_ids.emplace(key, id);
+      path_summary_.labels.push_back(key);
+      vertex_label[v] = id;
+    }
+  }
+
+  // Grow the trie over reverse post-order (parents before children), so
+  // every vertex's realized-path set is final before it is pushed down.
+  std::vector<PathSummary::Node>& nodes = path_summary_.nodes;
+  std::unordered_map<uint64_t, uint32_t> child_index;  // parent<<32 | label
+  std::unordered_set<uint64_t> realization_seen;       // vertex<<32 | node
+  std::vector<std::vector<uint32_t>> realized(n);
+  size_t realizations = 1;
+  bool saturated = false;
+  nodes.push_back(
+      PathSummary::Node{PathSummary::kNoNode, vertex_label[root_]});
+  realized[root_].push_back(0);
+
+  for (auto it = t.order.rbegin(); it != t.order.rend() && !saturated;
+       ++it) {
+    const VertexId v = *it;
+    for (const uint32_t path : realized[v]) {
+      for (const Edge& e : Children(v)) {
+        const uint64_t lookup =
+            (uint64_t{path} << 32) | vertex_label[e.child];
+        uint32_t node;
+        const auto found = child_index.find(lookup);
+        if (found != child_index.end()) {
+          node = found->second;
+        } else {
+          if (nodes.size() >= PathSummary::kMaxNodes) {
+            saturated = true;
+            break;
+          }
+          node = static_cast<uint32_t>(nodes.size());
+          nodes.push_back(PathSummary::Node{path, vertex_label[e.child]});
+          child_index.emplace(lookup, node);
+        }
+        // RLE lists may repeat a child in non-adjacent runs, and many
+        // parents realizing the same path reach the same child; the
+        // hash dedups in O(1) (deep corpora realize tens of thousands
+        // of paths at one vertex, so a linear scan would be quadratic).
+        // Membership only — push order stays deterministic.
+        std::vector<uint32_t>& into = realized[e.child];
+        if (realization_seen
+                .emplace((uint64_t{e.child} << 32) | node)
+                .second) {
+          if (realizations >= PathSummary::kMaxRealizations) {
+            saturated = true;
+            break;
+          }
+          into.push_back(node);
+          ++realizations;
+        }
+      }
+      if (saturated) break;
+    }
+  }
+
+  if (saturated) {
+    // Stay "built" for this generation so hot paths do not rebuild per
+    // query; carry no nodes so pruning stands down.
+    path_summary_.saturated = true;
+    path_summary_.nodes.clear();
+    path_summary_.nodes.shrink_to_fit();
+    path_summary_.labels.clear();
+    path_summary_.vertex_begin.assign(n + 1, 0);
+    return path_summary_;
+  }
+
+  path_summary_.vertex_begin.resize(n + 1);
+  path_summary_.vertex_nodes.reserve(realizations);
+  uint32_t offset = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    path_summary_.vertex_begin[v] = offset;
+    path_summary_.vertex_nodes.insert(path_summary_.vertex_nodes.end(),
+                                      realized[v].begin(),
+                                      realized[v].end());
+    offset += static_cast<uint32_t>(realized[v].size());
+  }
+  path_summary_.vertex_begin[n] = offset;
+  return path_summary_;
+}
+
 Status Instance::Validate() const {
   const size_t n = vertex_count();
   if (n == 0) {
@@ -350,6 +494,7 @@ size_t Instance::MemoryFootprint() const {
   // capacity accounting stays honest.
   bytes += minimize_cache_.MemoryFootprint();
   bytes += traversal_.MemoryFootprint();
+  bytes += path_summary_.MemoryFootprint();
   bytes += dirty_flag_.capacity() +
            dirty_list_.capacity() * sizeof(VertexId);
   return bytes;

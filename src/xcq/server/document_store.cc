@@ -27,7 +27,10 @@ Result<QueryOutcome> StoredDocument::Query(std::string_view query_text) {
   const Result<QueryOutcome> outcome = session_.Run(query_text);
   // Even failed runs can have merged labels in before erroring.
   RefreshFootprintLocked();
-  if (outcome.ok()) ++queries_served_;
+  if (outcome.ok()) {
+    ++queries_served_;
+    AccumulateSweepStats(outcome->stats);
+  }
   return outcome;
 }
 
@@ -40,8 +43,18 @@ Result<std::vector<QueryOutcome>> StoredDocument::Batch(
   if (outcomes.ok()) {
     ++batches_served_;
     queries_served_ += outcomes->size();
+    for (const QueryOutcome& outcome : *outcomes) {
+      AccumulateSweepStats(outcome.stats);
+    }
   }
   return outcomes;
+}
+
+void StoredDocument::AccumulateSweepStats(const engine::EvalStats& stats) {
+  sweep_visited_ += stats.sweep_visited;
+  sweep_full_ += stats.sweep_full;
+  pruned_sweeps_ += stats.pruned_sweeps;
+  skipped_sweeps_ += stats.skipped_sweeps;
 }
 
 DocumentInfo StoredDocument::Info(std::string name) const {
@@ -55,12 +68,20 @@ DocumentInfo StoredDocument::Info(std::string name) const {
   info.has_source = session_.has_source();
   info.tracked_tags = session_.tracked_tag_count();
   info.tracked_patterns = session_.tracked_pattern_count();
+  info.sweep_visited = sweep_visited_;
+  info.sweep_full = sweep_full_;
+  info.pruned_sweeps = pruned_sweeps_;
+  info.skipped_sweeps = skipped_sweeps_;
   if (session_.has_instance()) {
     const Instance& instance = session_.instance();
     info.memory_bytes = instance.MemoryFootprint();
     info.vertex_count = instance.vertex_count();
     info.rle_edges = instance.rle_edge_count();
     info.tree_nodes = TreeNodeCount(instance);
+    // Report the built size only — STATS must not trigger a build.
+    if (instance.path_summary_valid()) {
+      info.summary_nodes = instance.EnsurePathSummary().nodes.size();
+    }
   }
   return info;
 }
@@ -96,8 +117,11 @@ Status DocumentStore::LoadInstance(const std::string& name,
 
 Status DocumentStore::LoadFile(const std::string& name,
                                const std::string& path) {
-  // Two-step declare + assign: GCC 12's -Wmaybe-uninitialized misfires on
-  // the declaration-inside-macro form (same workaround as corpus/).
+  // Two-step declare + assign: GCC 12's -Wmaybe-uninitialized misfires
+  // on the declaration-inside-macro form (bogus warning through the
+  // StatusOr move, https://gcc.gnu.org/bugzilla/show_bug.cgi?id=105562;
+  // re-verified against g++ 12.2.0 with -DXCQ_WARNINGS_AS_ERRORS=ON).
+  // Collapse to one line once the floor compiler is GCC >= 13.
   std::string bytes;
   XCQ_ASSIGN_OR_RETURN(bytes, xml::ReadFileToString(path));
   if (StartsWith(bytes, "XCQI")) {

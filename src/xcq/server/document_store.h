@@ -65,6 +65,11 @@ struct DocumentInfo {
   uint64_t batches_shared = 0;    ///< BATCHes served with shared sweeps.
   uint64_t source_parses = 0;     ///< Scans of the original document.
   bool has_source = false;        ///< False for `.xcqi`-loaded documents.
+  uint64_t summary_nodes = 0;     ///< Path-summary size (0 = not built).
+  uint64_t sweep_visited = 0;     ///< Vertices visited by axis sweeps.
+  uint64_t sweep_full = 0;        ///< Visits unpruned sweeps would make.
+  uint64_t pruned_sweeps = 0;     ///< Sweeps restricted by the summary.
+  uint64_t skipped_sweeps = 0;    ///< Sweeps skipped outright.
 };
 
 /// \brief A cached compressed document: a `QuerySession` plus serving
@@ -95,6 +100,10 @@ class StoredDocument {
   /// Recomputes the cached footprint; mu_ must be held.
   void RefreshFootprintLocked();
 
+  /// Folds one outcome's pruning counters into the cumulative totals;
+  /// mu_ must be held.
+  void AccumulateSweepStats(const engine::EvalStats& stats);
+
   mutable std::mutex mu_;
   QuerySession session_;
   std::atomic<size_t> footprint_{0};
@@ -103,6 +112,12 @@ class StoredDocument {
   std::atomic<uint64_t> last_used_{0};
   uint64_t queries_served_ = 0;
   uint64_t batches_served_ = 0;
+  /// Cumulative sweep-pruning counters over all served queries
+  /// (docs/INTERNALS.md §9); surfaced via STATS.
+  uint64_t sweep_visited_ = 0;
+  uint64_t sweep_full_ = 0;
+  uint64_t pruned_sweeps_ = 0;
+  uint64_t skipped_sweeps_ = 0;
 };
 
 /// \brief Thread-safe name → StoredDocument map with LRU eviction.

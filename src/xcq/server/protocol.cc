@@ -101,7 +101,8 @@ std::string FormatDocumentInfo(const DocumentInfo& info) {
   return StrFormat(
       "%s bytes=%zu vertices=%zu edges=%llu tree_nodes=%llu tags=%zu "
       "patterns=%zu queries=%llu batches=%llu shared=%llu parses=%llu "
-      "source=%s",
+      "source=%s summary=%llu visited=%llu full=%llu pruned=%llu "
+      "skipped=%llu",
       info.name.c_str(), info.memory_bytes, info.vertex_count,
       static_cast<unsigned long long>(info.rle_edges),
       static_cast<unsigned long long>(info.tree_nodes), info.tracked_tags,
@@ -110,7 +111,12 @@ std::string FormatDocumentInfo(const DocumentInfo& info) {
       static_cast<unsigned long long>(info.batches_served),
       static_cast<unsigned long long>(info.batches_shared),
       static_cast<unsigned long long>(info.source_parses),
-      info.has_source ? "xml" : "xcqi");
+      info.has_source ? "xml" : "xcqi",
+      static_cast<unsigned long long>(info.summary_nodes),
+      static_cast<unsigned long long>(info.sweep_visited),
+      static_cast<unsigned long long>(info.sweep_full),
+      static_cast<unsigned long long>(info.pruned_sweeps),
+      static_cast<unsigned long long>(info.skipped_sweeps));
 }
 
 std::string FormatError(const Status& status) {

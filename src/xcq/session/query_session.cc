@@ -4,6 +4,7 @@
 
 #include "xcq/algebra/compiler.h"
 #include "xcq/compress/common_extension.h"
+#include "xcq/compress/decompress.h"
 #include "xcq/compress/minimize.h"
 #include "xcq/engine/batch.h"
 #include "xcq/instance/stats.h"
@@ -180,13 +181,25 @@ Result<QueryOutcome> QuerySession::EvaluatePlan(
     }
   }
 
+  // The pruning oracle needs the exact pre-query instance; copy it
+  // before the pruned evaluation mutates anything.
+  std::optional<Instance> snapshot;
+  if (options_.verify_pruned_sweeps && options_.prune_sweeps) {
+    snapshot = *instance_;
+  }
+
   engine::EvalOptions eval_options;
   eval_options.threads = options_.engine_threads;
+  eval_options.prune_sweeps = options_.prune_sweeps;
   XCQ_ASSIGN_OR_RETURN(
       const RelationId result,
       engine::Evaluate(&*instance_, plan, eval_options, &outcome.stats));
   outcome.selected_dag_nodes = SelectedDagNodeCount(*instance_, result);
   outcome.selected_tree_nodes = SelectedTreeNodeCount(*instance_, result);
+  if (snapshot.has_value()) {
+    XCQ_RETURN_IF_ERROR(
+        VerifyPrunedSweeps(std::move(*snapshot), plan, outcome, result));
+  }
   if (options_.minimize_after_query) {
     // Counts were taken above; the result relation survives minimization
     // (vertices differing on it are not bisimilar), so enumeration over
@@ -286,6 +299,74 @@ Result<QueryOutcome> QuerySession::Run(std::string_view query_text) {
   return outcome;
 }
 
+Status QuerySession::VerifyPrunedSweeps(Instance snapshot,
+                                        const algebra::QueryPlan& plan,
+                                        const QueryOutcome& outcome,
+                                        RelationId result) const {
+  engine::EvalOptions oracle_options;
+  oracle_options.threads = options_.engine_threads;
+  oracle_options.prune_sweeps = false;
+  engine::EvalStats oracle_stats;
+  XCQ_ASSIGN_OR_RETURN(
+      const RelationId oracle_result,
+      engine::Evaluate(&snapshot, plan, oracle_options, &oracle_stats));
+  if (outcome.stats.splits != oracle_stats.splits ||
+      outcome.stats.vertices_after != oracle_stats.vertices_after ||
+      outcome.stats.edges_after != oracle_stats.edges_after) {
+    return Status::Internal(StrFormat(
+        "pruned sweeps diverged from the full-sweep oracle: "
+        "%llu splits / %llu vertices / %llu edges (pruned) vs "
+        "%llu / %llu / %llu (full)",
+        static_cast<unsigned long long>(outcome.stats.splits),
+        static_cast<unsigned long long>(outcome.stats.vertices_after),
+        static_cast<unsigned long long>(outcome.stats.edges_after),
+        static_cast<unsigned long long>(oracle_stats.splits),
+        static_cast<unsigned long long>(oracle_stats.vertices_after),
+        static_cast<unsigned long long>(oracle_stats.edges_after)));
+  }
+  const uint64_t oracle_dag = SelectedDagNodeCount(snapshot, oracle_result);
+  const uint64_t oracle_tree =
+      SelectedTreeNodeCount(snapshot, oracle_result);
+  if (outcome.selected_dag_nodes != oracle_dag ||
+      outcome.selected_tree_nodes != oracle_tree) {
+    return Status::Internal(StrFormat(
+        "pruned sweeps diverged from the full-sweep oracle: "
+        "%llu dag / %llu tree selected (pruned) vs %llu / %llu (full)",
+        static_cast<unsigned long long>(outcome.selected_dag_nodes),
+        static_cast<unsigned long long>(outcome.selected_tree_nodes),
+        static_cast<unsigned long long>(oracle_dag),
+        static_cast<unsigned long long>(oracle_tree)));
+  }
+  // The pruning claim is bit-identical *answers*. Without splits the
+  // vertex numbering cannot change, so the result columns must agree
+  // bit for bit. With splits the two runs may assign original-vs-clone
+  // ids differently (a region forces the banded downward kernel, whose
+  // variant orientation differs from the sequential DFS — isomorphic
+  // DAGs either way), so the exact check moves to the tree level:
+  // decompress both and compare the selected tree-node sets.
+  if (outcome.stats.splits == 0) {
+    if (instance_->RelationBits(result) !=
+        snapshot.RelationBits(oracle_result)) {
+      return Status::Internal(
+          "pruned sweeps diverged from the full-sweep oracle: result "
+          "selection bits differ");
+    }
+    return Status::OK();
+  }
+  DecompressOptions dopts;
+  XCQ_ASSIGN_OR_RETURN(const DecompressedTree pruned_tree,
+                       Decompress(*instance_, dopts));
+  XCQ_ASSIGN_OR_RETURN(const DecompressedTree oracle_tree_doc,
+                       Decompress(snapshot, dopts));
+  if (pruned_tree.RelationSet(instance_->schema().Name(result)) !=
+      oracle_tree_doc.RelationSet(snapshot.schema().Name(oracle_result))) {
+    return Status::Internal(
+        "pruned sweeps diverged from the full-sweep oracle: selected "
+        "tree-node sets differ");
+  }
+  return Status::OK();
+}
+
 Result<std::vector<QueryOutcome>> QuerySession::RunBatch(
     const std::vector<std::string>& query_texts) {
   // Parse and compile everything first — a batch is all-or-nothing, and
@@ -319,6 +400,7 @@ Result<std::vector<QueryOutcome>> QuerySession::RunBatch(
     engine::EvalOptions eval_options;
     eval_options.context_relation.clear();
     eval_options.threads = options_.engine_threads;
+    eval_options.prune_sweeps = options_.prune_sweeps;
     engine::SharedBatchStats shared_stats;
     engine::SharedBatchResult shared = engine::EvaluateBatchShared(
         &*instance_, plans, eval_options, &shared_stats);
@@ -350,6 +432,12 @@ Result<std::vector<QueryOutcome>> QuerySession::RunBatch(
       for (const RelationId id : shared.results) {
         instance_->ReleaseScratchRelation(id);
       }
+      // Shared sweeps are per batch, not per query: report the prune
+      // counters on the first outcome (like the shared label time).
+      outcomes.front().stats.pruned_sweeps = shared_stats.pruned_sweeps;
+      outcomes.front().stats.skipped_sweeps = shared_stats.skipped_sweeps;
+      outcomes.front().stats.sweep_visited = shared_stats.sweep_visited;
+      outcomes.front().stats.sweep_full = shared_stats.sweep_full;
       outcomes.front().label_seconds = label_seconds;
       return outcomes;
     }

@@ -66,6 +66,17 @@ struct SessionOptions {
   /// Requires `minimize_after_query` off: per-query re-minimization
   /// between batch members re-orders mutations that sharing elides.
   bool shared_batch_sweeps = true;
+  /// Restrict axis sweeps to the vertices the path summary proves can
+  /// contribute (docs/INTERNALS.md §9). Answers, splits, and the
+  /// resulting instance are independent of the value; off = every sweep
+  /// walks the whole reachable DAG.
+  bool prune_sweeps = true;
+  /// Debug oracle: evaluate every query a second time *without* pruning
+  /// on a copy of the pre-query instance and fail with `kInternal`
+  /// unless both runs agree on the result selection, the splits, and
+  /// the resulting reachable sizes. Expensive — it re-introduces the
+  /// full-sweep cost pruning avoids; for tests and bring-up only.
+  bool verify_pruned_sweeps = false;
   /// Lanes for the *intra-document* parallelism of docs/PARALLELISM.md:
   /// sharded compression of this document's instance and partitioned
   /// axis sweeps during evaluation. 1 (the default) is the sequential
@@ -182,6 +193,15 @@ class QuerySession {
   /// The `verify_incremental_minimize` oracle: full-minimizes a copy and
   /// compares reachable counts and the result selection.
   Status VerifyIncrementalMinimize() const;
+
+  /// The `verify_pruned_sweeps` oracle: re-evaluates `plan` with
+  /// pruning off on `snapshot` (the instance as it stood before the
+  /// pruned evaluation) and compares result selection, splits, and
+  /// reachable sizes against the pruned run.
+  Status VerifyPrunedSweeps(Instance snapshot,
+                            const algebra::QueryPlan& plan,
+                            const QueryOutcome& outcome,
+                            RelationId result) const;
 
   std::string xml_;
   SessionOptions options_;

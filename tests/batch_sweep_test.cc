@@ -264,6 +264,57 @@ TEST(BatchSweepEquivalenceTest, WarmedBatchesOverEveryCorpus) {
   }
 }
 
+TEST(BatchSweepPruningTest, PrunedSharedBatchMatchesUnprunedSharedBatch) {
+  // Sweep pruning composes with sharing: the same warmed batch run with
+  // pruning on and off must engage both times and answer identically,
+  // with the pruned run actually restricting sweeps (the counter on the
+  // first outcome is the batch-wide total).
+  const std::vector<std::string> queries = {
+      "//SPEECH/SPEAKER",
+      "//SCENE/SPEECH",
+      "//SPEECH[SPEAKER]",
+      "//ACT//SPEECH/LINE/parent::SPEECH",
+  };
+  corpus::GenerateOptions gen;
+  gen.target_nodes = 1500;
+  gen.seed = 23;
+  const std::string xml = corpus::Shakespeare().Generate(gen);
+
+  for (const size_t threads : {size_t{1}, size_t{4}}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    SessionOptions with = ServingOptions(threads);
+    SessionOptions without = ServingOptions(threads);
+    without.prune_sweeps = false;
+    XCQ_ASSERT_OK_AND_ASSIGN(QuerySession pruned,
+                             QuerySession::Open(xml, with));
+    XCQ_ASSERT_OK_AND_ASSIGN(QuerySession full,
+                             QuerySession::Open(xml, without));
+    for (int r = 0; r < 2; ++r) {  // warm both to the split fixpoint
+      for (const std::string& query : queries) {
+        XCQ_ASSERT_OK(pruned.Run(query).status());
+        XCQ_ASSERT_OK(full.Run(query).status());
+      }
+    }
+    XCQ_ASSERT_OK_AND_ASSIGN(const std::vector<QueryOutcome> a,
+                             pruned.RunBatch(queries));
+    XCQ_ASSERT_OK_AND_ASSIGN(const std::vector<QueryOutcome> b,
+                             full.RunBatch(queries));
+    EXPECT_EQ(pruned.shared_batch_count(), 1u);
+    EXPECT_EQ(full.shared_batch_count(), 1u);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      SCOPED_TRACE(queries[i]);
+      EXPECT_EQ(a[i].selected_tree_nodes, b[i].selected_tree_nodes);
+      EXPECT_EQ(a[i].selected_dag_nodes, b[i].selected_dag_nodes);
+    }
+    EXPECT_GT(a.front().stats.pruned_sweeps + a.front().stats.skipped_sweeps,
+              0u);
+    EXPECT_LE(a.front().stats.sweep_visited, a.front().stats.sweep_full);
+    EXPECT_EQ(b.front().stats.pruned_sweeps, 0u);
+    EXPECT_EQ(b.front().stats.skipped_sweeps, 0u);
+  }
+}
+
 TEST(BatchSweepServerTest, StoredDocumentReportsSharedBatches) {
   server::DocumentStore store;
   XCQ_ASSERT_OK(store.LoadXml("doc", testing::BibExampleXml()));

@@ -344,7 +344,8 @@ SweepOutcome RunAxisSweep(const Instance& base, xpath::Axis axis,
   engine::AxisStats stats;
   Status status;
   if (xpath::IsUpwardAxis(axis)) {
-    status = engine::ApplyUpwardAxis(&instance, axis, src, dst, threads);
+    status = engine::ApplyUpwardAxis(&instance, axis, src, dst, &stats,
+                                     threads);
   } else if (axis == xpath::Axis::kFollowingSibling ||
              axis == xpath::Axis::kPrecedingSibling) {
     status = engine::ApplySiblingAxis(&instance, axis, src, dst, &stats,

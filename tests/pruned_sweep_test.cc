@@ -1,0 +1,379 @@
+// Path-summary pruned sweeps (docs/INTERNALS.md §9).
+//
+// The contract under test: evaluation with `prune_sweeps` on is
+// *bit-identical* to the full-sweep oracle — same answers, same splits,
+// same resulting instance — for every corpus, thread count, and
+// minimize mode, while visiting no more vertices than the full sweep.
+// The summary itself is pinned against an independent oracle (every
+// realized (vertex, path) pair recomputed by walking the DAG), and its
+// validity tracking across structural and non-structural mutations is
+// pinned explicitly: rebuilt after splits and in-place minimization,
+// kept across edge compaction and relation-bit churn.
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "xcq/api.h"
+#include "xcq/util/rng.h"
+
+namespace xcq {
+namespace {
+
+Instance CompressAllTags(const std::string& xml) {
+  CompressOptions options;  // LabelMode::kAllTags by default
+  auto result = CompressXml(xml, options);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return std::move(result).Value();
+}
+
+/// The summary label of `v`: the sorted ids of the live, named, non-xcq
+/// relations whose column holds v — recomputed from the schema, not
+/// from the summary's interned tables.
+std::vector<RelationId> OracleLabel(const Instance& instance, VertexId v) {
+  std::vector<RelationId> label;
+  for (const RelationId r : instance.LiveRelations()) {
+    const std::string& name = instance.schema().Name(r);
+    if (name.empty() || name.rfind("xcq:", 0) == 0) continue;
+    const DynamicBitset& column = instance.RelationBits(r);
+    if (v < column.size() && column.Test(v)) label.push_back(r);
+  }
+  std::sort(label.begin(), label.end());
+  return label;
+}
+
+/// Recomputes every (vertex, summary node) realization pair by walking
+/// the DAG from the root, following trie edges by child label, and
+/// asserts the summary's CSR slices hold exactly those pairs.
+void ExpectSummaryMatchesOracle(const Instance& instance) {
+  const PathSummary& s = instance.EnsurePathSummary();
+  ASSERT_FALSE(s.saturated);
+  ASSERT_TRUE(instance.path_summary_valid());
+  const size_t n = instance.vertex_count();
+  ASSERT_EQ(s.vertex_begin.size(), n + 1);
+
+  const auto trie_child = [&](uint32_t parent,
+                              const std::vector<RelationId>& label) {
+    for (uint32_t j = 0; j < s.nodes.size(); ++j) {
+      if (s.nodes[j].parent == parent && s.labels[s.nodes[j].label] == label) {
+        return j;
+      }
+    }
+    return PathSummary::kNoNode;
+  };
+
+  std::vector<std::set<uint32_t>> expected(n);
+  std::set<std::pair<VertexId, uint32_t>> seen;
+  std::vector<std::pair<VertexId, uint32_t>> work;
+  if (instance.root() != kNoVertex && !s.nodes.empty()) {
+    const uint32_t root_node =
+        trie_child(PathSummary::kNoNode, OracleLabel(instance, instance.root()));
+    ASSERT_NE(root_node, PathSummary::kNoNode)
+        << "root path missing from the summary";
+    ASSERT_EQ(root_node, 0u) << "root path must be node 0";
+    work.emplace_back(instance.root(), root_node);
+    seen.insert(work.back());
+  }
+  while (!work.empty()) {
+    const auto [v, node] = work.back();
+    work.pop_back();
+    expected[v].insert(node);
+    for (const Edge& e : instance.Children(v)) {
+      const uint32_t child_node =
+          trie_child(node, OracleLabel(instance, e.child));
+      ASSERT_NE(child_node, PathSummary::kNoNode)
+          << "path of vertex " << e.child << " missing from the summary";
+      if (seen.insert({e.child, child_node}).second) {
+        work.emplace_back(e.child, child_node);
+      }
+    }
+  }
+
+  for (size_t v = 0; v < n; ++v) {
+    const std::set<uint32_t> realized(
+        s.vertex_nodes.begin() + s.vertex_begin[v],
+        s.vertex_nodes.begin() + s.vertex_begin[v + 1]);
+    ASSERT_EQ(realized, expected[v]) << "vertex " << v;
+  }
+}
+
+SessionOptions PruningOptions(size_t threads, bool prune, bool minimize) {
+  SessionOptions options;
+  options.engine_threads = threads;
+  options.prune_sweeps = prune;
+  options.minimize_after_query = minimize;
+  options.incremental_minimize = minimize;
+  return options;
+}
+
+/// Runs `queries` through two lockstep sessions — pruned and the
+/// full-sweep oracle — and asserts bit-level agreement after every
+/// query: answers, splits, the reachable structure the query left
+/// behind, and (with `minimize`) the re-minimized structure. Also
+/// checks the pruning counters stay on their own side: the oracle never
+/// prunes, the pruned run never visits more than the full sweep would.
+void ExpectPrunedMatchesUnpruned(const std::string& xml,
+                                 const std::vector<std::string>& queries,
+                                 size_t threads, bool minimize,
+                                 uint64_t* pruned_or_skipped = nullptr) {
+  XCQ_ASSERT_OK_AND_ASSIGN(
+      QuerySession pruned,
+      QuerySession::Open(xml, PruningOptions(threads, true, minimize)));
+  XCQ_ASSERT_OK_AND_ASSIGN(
+      QuerySession oracle,
+      QuerySession::Open(xml, PruningOptions(threads, false, minimize)));
+
+  uint64_t restricted = 0;
+  for (const std::string& query : queries) {
+    SCOPED_TRACE(query);
+    XCQ_ASSERT_OK_AND_ASSIGN(const QueryOutcome p, pruned.Run(query));
+    XCQ_ASSERT_OK_AND_ASSIGN(const QueryOutcome o, oracle.Run(query));
+
+    EXPECT_EQ(p.selected_tree_nodes, o.selected_tree_nodes);
+    EXPECT_EQ(p.selected_dag_nodes, o.selected_dag_nodes);
+    EXPECT_EQ(p.stats.splits, o.stats.splits);
+    // Pre-minimize structure after the sweep (Evaluate measures before
+    // any session re-minimization).
+    EXPECT_EQ(p.stats.vertices_after, o.stats.vertices_after);
+    EXPECT_EQ(p.stats.edges_after, o.stats.edges_after);
+
+    EXPECT_EQ(o.stats.pruned_sweeps, 0u);
+    EXPECT_EQ(o.stats.skipped_sweeps, 0u);
+    EXPECT_EQ(o.stats.summary_builds, 0u);
+    EXPECT_LE(p.stats.sweep_visited, p.stats.sweep_full);
+    restricted += p.stats.pruned_sweeps + p.stats.skipped_sweeps;
+
+    // Post-minimize (or just post-query) structure.
+    EXPECT_EQ(pruned.instance().ReachableCount(),
+              oracle.instance().ReachableCount());
+    EXPECT_EQ(pruned.instance().ReachableEdgeCount(),
+              oracle.instance().ReachableEdgeCount());
+    const RelationId rp =
+        pruned.instance().FindRelation(engine::kResultRelation);
+    const RelationId ro =
+        oracle.instance().FindRelation(engine::kResultRelation);
+    ASSERT_NE(rp, kNoRelation);
+    ASSERT_NE(ro, kNoRelation);
+    EXPECT_EQ(SelectedTreeNodeCount(pruned.instance(), rp),
+              SelectedTreeNodeCount(oracle.instance(), ro));
+  }
+  XCQ_ASSERT_OK(pruned.instance().Validate());
+  if (pruned_or_skipped != nullptr) *pruned_or_skipped = restricted;
+}
+
+/// The generic mix: recursive descent, splitting sibling walks, and an
+/// upward tail — the same pool the traversal-cache oracle drives.
+std::vector<std::string> QueryPool(std::string_view corpus_name) {
+  std::vector<std::string> pool = {
+      "//*/following-sibling::*",
+      "//*",
+      "/*",
+      "//*/preceding-sibling::*/parent::*",
+  };
+  const Result<corpus::QuerySet> set = corpus::QueriesFor(corpus_name);
+  if (set.ok()) {
+    for (const std::string_view q : set->queries) pool.emplace_back(q);
+  }
+  return pool;
+}
+
+TEST(PrunedSweepEquivalenceTest, RandomizedSequencesOverEveryCorpus) {
+  size_t corpus_index = 0;
+  for (const corpus::CorpusGenerator* generator : corpus::AllCorpora()) {
+    SCOPED_TRACE(std::string(generator->name()));
+    corpus::GenerateOptions gen;
+    gen.target_nodes = 900;
+    gen.seed = 31 + corpus_index;
+    const std::string xml = generator->Generate(gen);
+
+    const std::vector<std::string> pool = QueryPool(generator->name());
+    Rng rng(4321 + corpus_index);
+    std::vector<std::string> sequence;
+    for (int i = 0; i < 6; ++i) sequence.push_back(rng.Pick(pool));
+
+    uint64_t restricted_total = 0;
+    for (const size_t threads : {size_t{1}, size_t{4}}) {
+      SCOPED_TRACE("threads=" + std::to_string(threads));
+      uint64_t restricted = 0;
+      ExpectPrunedMatchesUnpruned(xml, sequence, threads,
+                                  /*minimize=*/false, &restricted);
+      restricted_total += restricted;
+      ExpectPrunedMatchesUnpruned(xml, sequence, threads,
+                                  /*minimize=*/true);
+    }
+    // The corpora are small enough that the summary never saturates:
+    // pruning must actually have engaged somewhere in the sequence.
+    EXPECT_GT(restricted_total, 0u) << "pruning never engaged";
+    ++corpus_index;
+  }
+}
+
+TEST(PrunedSweepEquivalenceTest, SessionVerifyOracleHoldsOverEveryCorpus) {
+  // The built-in verify_pruned_sweeps oracle re-runs every query
+  // unpruned on a snapshot and fails the query on any divergence —
+  // driving it over every corpus is the acceptance check that the
+  // shipped verification mode itself works.
+  size_t corpus_index = 0;
+  for (const corpus::CorpusGenerator* generator : corpus::AllCorpora()) {
+    SCOPED_TRACE(std::string(generator->name()));
+    corpus::GenerateOptions gen;
+    gen.target_nodes = 600;
+    gen.seed = 131 + corpus_index;
+    const std::string xml = generator->Generate(gen);
+
+    const std::vector<std::string> pool = QueryPool(generator->name());
+    Rng rng(99 + corpus_index);
+    for (const size_t threads : {size_t{1}, size_t{4}}) {
+      SCOPED_TRACE("threads=" + std::to_string(threads));
+      SessionOptions options = PruningOptions(threads, true, false);
+      options.verify_pruned_sweeps = true;
+      XCQ_ASSERT_OK_AND_ASSIGN(QuerySession session,
+                               QuerySession::Open(xml, options));
+      for (int i = 0; i < 4; ++i) {
+        const std::string query = rng.Pick(pool);
+        SCOPED_TRACE(query);
+        XCQ_ASSERT_OK(session.Run(query).status());
+      }
+    }
+    ++corpus_index;
+  }
+}
+
+TEST(PathSummaryTest, MatchesOracleOnExampleAndAfterSplits) {
+  Instance instance = CompressAllTags(testing::BibExampleXml());
+  ExpectSummaryMatchesOracle(instance);
+
+  // Split something (sibling axis on a repetitive document), then the
+  // rebuilt summary must match the oracle on the grown DAG too.
+  Instance rep = CompressAllTags(
+      "<r><a><b/><b/><b/></a><a><b/><b/><b/></a><a><c/><b/></a></r>");
+  ExpectSummaryMatchesOracle(rep);
+  XCQ_ASSERT_OK_AND_ASSIGN(
+      const algebra::QueryPlan plan,
+      algebra::CompileString("//b/following-sibling::b"));
+  engine::EvalStats stats;
+  XCQ_ASSERT_OK(
+      engine::Evaluate(&rep, plan, engine::EvalOptions{}, &stats).status());
+  ExpectSummaryMatchesOracle(rep);
+  XCQ_ASSERT_OK(rep.Validate());
+}
+
+TEST(PathSummaryTest, ColdBuildThenWarmReuse) {
+  Instance instance = CompressAllTags(testing::BibExampleXml());
+  // `/bib/book` runs a gated child sweep (a bare `//label` from the
+  // root is answered closed-form without consulting the summary), and
+  // book vertices occur only as children of the selected root, so the
+  // plan cannot split and the second evaluation sees untouched
+  // structure.
+  XCQ_ASSERT_OK_AND_ASSIGN(const algebra::QueryPlan plan,
+                           algebra::CompileString("/bib/book"));
+
+  // Cold: the first pruned evaluation pays exactly one summary build.
+  engine::EvalStats cold;
+  XCQ_ASSERT_OK(
+      engine::Evaluate(&instance, plan, engine::EvalOptions{}, &cold)
+          .status());
+  EXPECT_EQ(cold.summary_builds, 1u);
+  EXPECT_GT(cold.summary_nodes, 0u);
+
+  // Warm: a non-splitting plan left the structure alone, so the next
+  // evaluation reuses the summary without rebuilding.
+  EXPECT_TRUE(instance.path_summary_valid());
+  engine::EvalStats warm;
+  XCQ_ASSERT_OK(
+      engine::Evaluate(&instance, plan, engine::EvalOptions{}, &warm)
+          .status());
+  EXPECT_EQ(warm.summary_builds, 0u);
+  EXPECT_EQ(warm.summary_nodes, cold.summary_nodes);
+  EXPECT_EQ(warm.sweep_visited, cold.sweep_visited);
+  EXPECT_EQ(instance.path_summary_builds(), 1u);
+}
+
+TEST(PathSummaryTest, ValidityTracksStructureAndSchema) {
+  Instance instance = CompressAllTags(testing::BibExampleXml());
+  (void)instance.EnsurePathSummary();
+  EXPECT_TRUE(instance.path_summary_valid());
+  const uint64_t builds = instance.path_summary_builds();
+
+  // Repeated reads do not rebuild.
+  (void)instance.EnsurePathSummary();
+  EXPECT_EQ(instance.path_summary_builds(), builds);
+
+  // Non-structural churn keeps it valid: scratch columns, xcq: result
+  // relations, edge compaction, identical rewrites.
+  const RelationId scratch = instance.AcquireScratchRelation();
+  instance.SetBit(scratch, instance.root());
+  instance.ReleaseScratchRelation(scratch);
+  instance.CompactEdges();
+  std::vector<Edge> same(instance.Children(instance.root()).begin(),
+                         instance.Children(instance.root()).end());
+  instance.SetEdges(instance.root(), same);
+  EXPECT_TRUE(instance.path_summary_valid());
+  EXPECT_EQ(instance.path_summary_builds(), builds);
+
+  // A structural mutation invalidates; the next Ensure rebuilds.
+  const VertexId clone = instance.CloneVertex(instance.root());
+  (void)clone;
+  EXPECT_FALSE(instance.path_summary_valid());
+  (void)instance.EnsurePathSummary();
+  EXPECT_EQ(instance.path_summary_builds(), builds + 1);
+  EXPECT_TRUE(instance.path_summary_valid());
+
+  // A *label schema* change invalidates even without a structure bump:
+  // the label alphabet the trie was interned over is gone.
+  const RelationId added = instance.AddRelation("brand-new-tag");
+  instance.SetBit(added, instance.root());
+  EXPECT_FALSE(instance.path_summary_valid());
+  (void)instance.EnsurePathSummary();
+  EXPECT_TRUE(instance.path_summary_valid());
+  EXPECT_EQ(instance.path_summary_builds(), builds + 2);
+}
+
+TEST(PathSummaryTest, InvalidatedByInPlaceMinimizeThatChangesStructure) {
+  // A splitting query grows the DAG; with minimize_after_query the
+  // in-place pass re-compresses it. Both steps are structural: a
+  // summary bound before the query must be stale after it, and the next
+  // pruned query must rebuild against the minimized DAG and still agree
+  // with the oracle.
+  const std::string xml =
+      "<r><a><b/><b/><b/></a><a><b/><b/><b/></a><a><c/><b/></a></r>";
+  SessionOptions options = PruningOptions(1, true, true);
+  options.verify_pruned_sweeps = true;
+  XCQ_ASSERT_OK_AND_ASSIGN(QuerySession session,
+                           QuerySession::Open(xml, options));
+  XCQ_ASSERT_OK_AND_ASSIGN(const QueryOutcome split,
+                           session.Run("//b/following-sibling::b"));
+  EXPECT_GT(split.stats.splits, 0u);
+  EXPECT_GE(split.stats.summary_builds, 1u);
+  ExpectSummaryMatchesOracle(session.instance());
+
+  XCQ_ASSERT_OK_AND_ASSIGN(const QueryOutcome next, session.Run("//a/b"));
+  EXPECT_GE(next.stats.summary_builds, 1u)
+      << "minimize changed the structure; the summary must rebuild";
+  ExpectSummaryMatchesOracle(session.instance());
+}
+
+TEST(PrunedSweepStatsTest, RecursiveDescentVisitsLessThanFullSweep) {
+  // A label-targeted recursive query on a corpus with many labels must
+  // actually save work, not just match the oracle: the pruned sweeps
+  // visit a strict subset of what the full sweeps walk.
+  corpus::GenerateOptions gen;
+  gen.target_nodes = 2000;
+  gen.seed = 7;
+  const std::string xml = corpus::Shakespeare().Generate(gen);
+  SessionOptions options = PruningOptions(1, true, false);
+  XCQ_ASSERT_OK_AND_ASSIGN(QuerySession session,
+                           QuerySession::Open(xml, options));
+  XCQ_ASSERT_OK_AND_ASSIGN(const QueryOutcome outcome,
+                           session.Run("//SPEECH/SPEAKER"));
+  EXPECT_GT(outcome.stats.pruned_sweeps + outcome.stats.skipped_sweeps, 0u);
+  EXPECT_LT(outcome.stats.sweep_visited, outcome.stats.sweep_full);
+}
+
+}  // namespace
+}  // namespace xcq

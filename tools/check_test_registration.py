@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Fail on unregistered test suites and benches without baselines.
+
+Two conventions hold this repository's coverage together, and until now
+both were enforced only by habit:
+
+  * every ``tests/*_test.cc`` must appear in the ``XCQ_TEST_SUITES``
+    list in ``tests/CMakeLists.txt`` — a suite missing from the list
+    compiles nobody and silently never runs under ctest;
+  * every self-timed bench in the ``XCQ_BENCHMARKS`` list in
+    ``bench/CMakeLists.txt`` must have a checked-in baseline
+    ``bench/baselines/BENCH_<name>.json`` — without one,
+    ``compare_bench.py`` has nothing to diff against and the bench's
+    structural counters are a write-only record.
+
+(``bench_axes_micro`` is exempt by construction: it is the
+google-benchmark micro harness outside ``XCQ_BENCHMARKS`` and emits no
+BENCH json.)
+
+Usage:
+    check_test_registration.py [ROOT]
+
+Exits non-zero listing every unregistered suite and baseline-less
+bench. CI runs this next to the markdown-link check.
+"""
+
+import os
+import re
+import sys
+
+
+def cmake_list_entries(path, variable):
+    """Names inside ``set(<variable> ...)`` in a CMakeLists.txt."""
+    with open(path, encoding="utf-8") as f:
+        text = f.read()
+    match = re.search(r"set\(" + re.escape(variable) + r"\s+([^)]*)\)",
+                      text)
+    if match is None:
+        raise SystemExit(f"{path}: no set({variable} ...) block found")
+    entries = []
+    for line in match.group(1).splitlines():
+        line = line.split("#", 1)[0].strip()
+        entries.extend(line.split())
+    return entries
+
+
+def main(argv):
+    root = os.path.abspath(argv[1]) if len(argv) > 1 else os.getcwd()
+    problems = []
+
+    tests_dir = os.path.join(root, "tests")
+    suites = set(cmake_list_entries(
+        os.path.join(tests_dir, "CMakeLists.txt"), "XCQ_TEST_SUITES"))
+    sources = sorted(
+        name[:-3] for name in os.listdir(tests_dir)
+        if name.endswith("_test.cc"))
+    for suite in sources:
+        if suite not in suites:
+            problems.append(
+                f"tests/{suite}.cc is not in XCQ_TEST_SUITES "
+                "(tests/CMakeLists.txt) — the suite never runs")
+    for suite in sorted(suites):
+        if suite not in sources:
+            problems.append(
+                f"XCQ_TEST_SUITES names {suite} but tests/{suite}.cc "
+                "does not exist")
+
+    bench_dir = os.path.join(root, "bench")
+    baselines_dir = os.path.join(bench_dir, "baselines")
+    benches = cmake_list_entries(
+        os.path.join(bench_dir, "CMakeLists.txt"), "XCQ_BENCHMARKS")
+    for bench in sorted(benches):
+        figure = bench.removeprefix("bench_")
+        baseline = os.path.join(baselines_dir, f"BENCH_{figure}.json")
+        if not os.path.exists(baseline):
+            problems.append(
+                f"{bench} has no baseline bench/baselines/"
+                f"BENCH_{figure}.json — compare_bench.py cannot "
+                "track it")
+
+    if problems:
+        print(f"{len(problems)} registration problem(s):")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    print(f"all {len(sources)} test suites registered, "
+          f"all {len(benches)} benches have baselines")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
