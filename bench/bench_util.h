@@ -16,6 +16,13 @@
 /// paper's figure (so docs/BENCHMARKS.md can cite rows verbatim), plus a
 /// machine-readable BENCH_<name>.json written to the working directory
 /// via BenchReport — the perf-trajectory record compared across PRs.
+///
+/// Timing convention: every measurement in a bench goes through
+/// `xcq::Timer` / `xcq::ScopedTimer` (util/timer.h) — the same steady
+/// clock the engine's EvalStats, the session's phase timing, and the
+/// obs trace spans use. Do not hand-roll `std::chrono` stopwatches
+/// here; one clock path keeps bench numbers, STATS fields, and METRICS
+/// series directly comparable.
 
 #include <cmath>
 #include <cstdio>

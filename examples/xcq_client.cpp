@@ -2,25 +2,37 @@
 //
 //   ./build/examples/xcq_client <port> <request...>
 //   ./build/examples/xcq_client <port>            # read requests from stdin
+//   ./build/examples/xcq_client <port> metrics [--watch <sec>]
 //
 // Examples (against a server started with --preload=bib=bib.xml):
 //
 //   xcq_client 7878 STATS
 //   xcq_client 7878 QUERY bib '//paper/author'
 //   printf 'BATCH bib 2\n//paper\n//book\nQUIT\n' | xcq_client 7878
+//   xcq_client 7878 metrics                # one Prometheus scrape
+//   xcq_client 7878 metrics --watch 2      # deltas every 2 seconds
 //
 // The client sends each request line, then prints the response: one line
 // for LOAD/QUERY/EVICT, `OK <n>` plus n detail lines for BATCH/STATS.
+//
+// `metrics` scrapes the METRICS verb and prints the raw Prometheus text
+// exposition (docs/OBSERVABILITY.md). With `--watch <sec>` it scrapes
+// repeatedly over one connection and prints only the series whose value
+// changed since the previous scrape, with the delta — a poor man's
+// `rate()` for eyeballing a live server.
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
+#include <time.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -131,6 +143,68 @@ bool PrintResponse(LineReader* reader) {
   return true;
 }
 
+/// One METRICS scrape over `fd`. Prints the raw exposition lines when
+/// `print_raw`; always fills `samples` with series -> value (comment
+/// lines skipped). False on a connection or framing error.
+bool ScrapeMetrics(int fd, LineReader* reader, bool print_raw,
+                   std::map<std::string, double>* samples) {
+  if (!SendLine(fd, "METRICS")) return false;
+  std::string line;
+  if (!reader->ReadLine(&line)) return false;
+  unsigned long long detail_lines = 0;
+  if (std::sscanf(line.c_str(), "OK %llu", &detail_lines) != 1) {
+    std::fprintf(stderr, "unexpected METRICS response: %s\n", line.c_str());
+    return false;
+  }
+  samples->clear();
+  for (unsigned long long i = 0; i < detail_lines; ++i) {
+    if (!reader->ReadLine(&line)) return false;
+    if (print_raw) std::printf("%s\n", line.c_str());
+    if (line.empty() || line[0] == '#') continue;
+    const size_t space = line.rfind(' ');
+    if (space == std::string::npos) continue;
+    (*samples)[line.substr(0, space)] =
+        std::strtod(line.c_str() + space + 1, nullptr);
+  }
+  return true;
+}
+
+/// The `metrics` subcommand: single scrape, or `--watch <sec>` deltas.
+int RunMetrics(int fd, double watch_seconds) {
+  LineReader reader(fd);
+  std::map<std::string, double> previous;
+  if (watch_seconds <= 0) {
+    return ScrapeMetrics(fd, &reader, /*print_raw=*/true, &previous) ? 0 : 1;
+  }
+  if (!ScrapeMetrics(fd, &reader, /*print_raw=*/false, &previous)) return 1;
+  std::printf("baseline: %zu series; printing changes every %.3gs\n",
+              previous.size(), watch_seconds);
+  std::fflush(stdout);
+  for (unsigned long long tick = 1;; ++tick) {
+    timespec delay;
+    delay.tv_sec = static_cast<time_t>(watch_seconds);
+    delay.tv_nsec = static_cast<long>(
+        (watch_seconds - static_cast<double>(delay.tv_sec)) * 1e9);
+    ::nanosleep(&delay, nullptr);
+    std::map<std::string, double> current;
+    if (!ScrapeMetrics(fd, &reader, /*print_raw=*/false, &current)) {
+      return 1;
+    }
+    std::printf("--- scrape %llu ---\n", tick);
+    for (const auto& [series, value] : current) {
+      const auto it = previous.find(series);
+      if (it == previous.end()) {
+        std::printf("%s %g (new)\n", series.c_str(), value);
+      } else if (value != it->second) {
+        const double delta = value - it->second;
+        std::printf("%s %g (%+g)\n", series.c_str(), value, delta);
+      }
+    }
+    std::fflush(stdout);
+    previous = std::move(current);
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -145,6 +219,26 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "cannot connect to 127.0.0.1:%u\n",
                  static_cast<unsigned>(port));
     return 1;
+  }
+
+  if (argc >= 3 && std::strcmp(argv[2], "metrics") == 0) {
+    double watch_seconds = 0.0;
+    if (argc == 5 && std::strcmp(argv[3], "--watch") == 0) {
+      watch_seconds = std::strtod(argv[4], nullptr);
+      if (!(watch_seconds > 0)) {
+        std::fprintf(stderr, "--watch needs a positive interval\n");
+        ::close(fd);
+        return 2;
+      }
+    } else if (argc != 3) {
+      std::fprintf(stderr, "usage: %s <port> metrics [--watch <sec>]\n",
+                   argv[0]);
+      ::close(fd);
+      return 2;
+    }
+    const int metrics_status = RunMetrics(fd, watch_seconds);
+    ::close(fd);
+    return metrics_status;
   }
   LineReader reader(fd);
 

@@ -34,6 +34,11 @@
 //                       query unpruned on a copy and fails the query on
 //                       any divergence (debug oracle — slow). Answers
 //                       are identical in all three modes.
+//   --trace=MODE        per-query phase-trace logging to stderr, one
+//                       JSON line per traced query
+//                       (docs/OBSERVABILITY.md): off (default), all
+//                       traces every query, slow:<ms> only queries
+//                       slower than <ms> milliseconds end to end.
 //
 // Protocol (line-oriented; try it with `nc 127.0.0.1 7878`):
 //
@@ -70,7 +75,7 @@ int Usage(const char* argv0) {
                "usage: %s [--port=N] [--threads=N] [--engine-threads=N] "
                "[--capacity-mb=N] [--preload=NAME=PATH]... "
                "[--minimize[=off|full|incremental]] "
-               "[--prune=on|off|verify]\n",
+               "[--prune=on|off|verify] [--trace=off|slow:<ms>|all]\n",
                argv0);
   return 2;
 }
@@ -125,6 +130,19 @@ int main(int argc, char** argv) {
     } else if (arg == "--prune=verify") {
       options.session.prune_sweeps = true;
       options.session.verify_pruned_sweeps = true;
+    } else if (arg == "--trace=off") {
+      options.trace.mode = xcq::server::TraceOptions::Mode::kOff;
+    } else if (arg == "--trace=all") {
+      options.trace.mode = xcq::server::TraceOptions::Mode::kAll;
+    } else if (arg.rfind("--trace=slow:", 0) == 0) {
+      char* end = nullptr;
+      const double ms = std::strtod(arg.substr(13).data(), &end);
+      if (end == arg.substr(13).data() || ms < 0) {
+        std::fprintf(stderr, "bad --trace spec: %s\n", argv[i]);
+        return 2;
+      }
+      options.trace.mode = xcq::server::TraceOptions::Mode::kSlow;
+      options.trace.slow_threshold_s = ms / 1e3;
     } else if (arg == "--help" || arg == "-h") {
       return Usage(argv[0]);
     } else {

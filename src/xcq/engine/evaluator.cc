@@ -35,6 +35,8 @@ class PlanRunner {
   Result<RelationId> Run(const algebra::QueryPlan& plan) {
     op_relation_.assign(plan.ops.size(), kNoRelation);
     if (options_.prune_sweeps) {
+      ScopedTimer bind(stats_ != nullptr ? &stats_->prune_bind_seconds
+                                         : nullptr);
       pruner_.emplace(instance_, &plan, &options_);
     }
     const Status status = [&] {
@@ -145,12 +147,31 @@ class PlanRunner {
     return Status::Internal("unreachable op kind");
   }
 
+  static AxisFamily FamilyOf(Axis axis) {
+    switch (axis) {
+      case Axis::kChild:
+      case Axis::kDescendant:
+      case Axis::kDescendantOrSelf:
+        return AxisFamily::kDownward;
+      case Axis::kFollowingSibling:
+      case Axis::kPrecedingSibling:
+        return AxisFamily::kSibling;
+      default:
+        return AxisFamily::kUpward;
+    }
+  }
+
   /// One concrete sweep of op `i` with its prune gate: `stage` is -1
   /// for the op's own axis, 0/1/2 for the staged following/preceding
   /// composition. A skipped sweep leaves `d` all-zero — exactly the
   /// unpruned outcome when the admissible region or the concrete source
   /// is empty (such a sweep selects nothing and never splits).
   Status Sweep(size_t i, int stage, Axis axis, RelationId s, RelationId d) {
+    AxisFamilyStats* family =
+        stats_ != nullptr
+            ? &stats_->axis[static_cast<size_t>(FamilyOf(axis))]
+            : nullptr;
+    if (family != nullptr) ++family->sweeps;
     // `//` from the document root admits a closed form: every reachable
     // vertex has the root above it, so descendant(-or-self) from {root}
     // selects the whole reachable set (minus the root itself for the
@@ -171,6 +192,8 @@ class PlanRunner {
         if (stats_ != nullptr) {
           ++stats_->pruned_sweeps;
           stats_->sweep_full += instance_->ReachableCount();
+          ++family->pruned;
+          family->full += instance_->ReachableCount();
         }
         return Status::OK();
       }
@@ -187,37 +210,51 @@ class PlanRunner {
     const uint64_t reachable_before =
         stats_ != nullptr ? instance_->ReachableCount() : 0;
     if (stats_ != nullptr) {
-      if (gate.skip) ++stats_->skipped_sweeps;
-      if (gate.region != nullptr) ++stats_->pruned_sweeps;
+      if (gate.skip) {
+        ++stats_->skipped_sweeps;
+        ++family->skipped;
+      }
+      if (gate.region != nullptr) {
+        ++stats_->pruned_sweeps;
+        ++family->pruned;
+      }
     }
     if (gate.skip) {
-      if (stats_ != nullptr) stats_->sweep_full += reachable_before;
+      if (stats_ != nullptr) {
+        stats_->sweep_full += reachable_before;
+        family->full += reachable_before;
+      }
       return Status::OK();
     }
 
     AxisStats sweep_stats;
     Status status;
-    switch (axis) {
-      case Axis::kParent:
-      case Axis::kAncestor:
-      case Axis::kAncestorOrSelf:
-        status = ApplyUpwardAxis(instance_, axis, s, d, &sweep_stats,
-                                 options_.threads, gate.region);
-        break;
-      case Axis::kChild:
-      case Axis::kDescendant:
-      case Axis::kDescendantOrSelf:
-        status = ApplyDownwardAxis(instance_, axis, s, d, &sweep_stats,
+    double kernel_seconds = 0.0;
+    {
+      ScopedTimer kernel_timer(stats_ != nullptr ? &kernel_seconds
+                                                 : nullptr);
+      switch (axis) {
+        case Axis::kParent:
+        case Axis::kAncestor:
+        case Axis::kAncestorOrSelf:
+          status = ApplyUpwardAxis(instance_, axis, s, d, &sweep_stats,
                                    options_.threads, gate.region);
-        break;
-      case Axis::kFollowingSibling:
-      case Axis::kPrecedingSibling:
-        status = ApplySiblingAxis(instance_, axis, s, d, &sweep_stats,
-                                  options_.threads, gate.region);
-        break;
-      default:
-        status = Status::Internal("Sweep: unexpected axis");
-        break;
+          break;
+        case Axis::kChild:
+        case Axis::kDescendant:
+        case Axis::kDescendantOrSelf:
+          status = ApplyDownwardAxis(instance_, axis, s, d, &sweep_stats,
+                                     options_.threads, gate.region);
+          break;
+        case Axis::kFollowingSibling:
+        case Axis::kPrecedingSibling:
+          status = ApplySiblingAxis(instance_, axis, s, d, &sweep_stats,
+                                    options_.threads, gate.region);
+          break;
+        default:
+          status = Status::Internal("Sweep: unexpected axis");
+          break;
+      }
     }
     if (stats_ != nullptr) {
       stats_->splits += sweep_stats.splits;
@@ -226,6 +263,10 @@ class PlanRunner {
       // run splits exactly where the full run would — so the full-sweep
       // visit count is the pre-sweep reachable set plus those clones.
       stats_->sweep_full += reachable_before + sweep_stats.splits;
+      stats_->sweep_seconds += kernel_seconds;
+      family->visited += sweep_stats.visited;
+      family->full += reachable_before + sweep_stats.splits;
+      family->seconds += kernel_seconds;
     }
     return status;
   }

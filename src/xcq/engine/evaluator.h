@@ -19,6 +19,7 @@
 ///    (Thm. 3.6) — and never beyond |T(I)|.
 
 #include <string>
+#include <string_view>
 
 #include "xcq/algebra/op.h"
 #include "xcq/instance/instance.h"
@@ -48,6 +49,42 @@ struct EvalOptions {
   bool prune_sweeps = true;
 };
 
+/// \brief The three sweep-kernel families, the `axis=` label of the
+/// engine's exported metrics (docs/OBSERVABILITY.md).
+enum class AxisFamily : uint8_t {
+  kDownward = 0,  ///< child / descendant / descendant-or-self.
+  kUpward = 1,    ///< parent / ancestor / ancestor-or-self / self.
+  kSibling = 2,   ///< following- / preceding-sibling.
+};
+inline constexpr size_t kAxisFamilyCount = 3;
+
+/// Stable lower-case family name ("downward" / "upward" / "sibling").
+constexpr std::string_view AxisFamilyName(AxisFamily family) {
+  switch (family) {
+    case AxisFamily::kDownward:
+      return "downward";
+    case AxisFamily::kUpward:
+      return "upward";
+    case AxisFamily::kSibling:
+      return "sibling";
+  }
+  return "unknown";
+}
+
+/// \brief Per-family slice of the sweep counters: for per-query
+/// evaluation the family entries sum to the aggregate EvalStats fields
+/// of the same name (shared-batch evaluation reports its sweeps in the
+/// aggregates only), and `seconds` is time inside the family's kernels
+/// (excluded: plan bookkeeping, prune binding, column ops).
+struct AxisFamilyStats {
+  uint64_t sweeps = 0;        ///< Sweeps of this family (incl. closed forms).
+  uint64_t visited = 0;       ///< Vertices the family's sweeps visited.
+  uint64_t full = 0;          ///< Visits unpruned sweeps would make.
+  uint64_t pruned = 0;        ///< Sweeps restricted to a summary region.
+  uint64_t skipped = 0;       ///< Sweeps skipped outright (∅ region).
+  double seconds = 0.0;       ///< Time inside the kernels.
+};
+
 struct EvalStats {
   uint64_t vertices_before = 0;
   uint64_t vertices_after = 0;   ///< Reachable vertices after the query.
@@ -60,6 +97,11 @@ struct EvalStats {
   uint64_t skipped_sweeps = 0;   ///< Sweeps skipped outright (∅ region).
   uint64_t summary_nodes = 0;    ///< Path-summary size used (0 = none).
   uint64_t summary_builds = 0;   ///< Summary (re)builds this evaluation.
+  /// Per-family counter slices, indexed by AxisFamily; inline array so
+  /// collecting stats still allocates nothing on the hot path.
+  AxisFamilyStats axis[kAxisFamilyCount];
+  double prune_bind_seconds = 0.0;  ///< PlanPruner binding time.
+  double sweep_seconds = 0.0;       ///< Total time inside sweep kernels.
   double seconds = 0.0;
 };
 

@@ -1,0 +1,142 @@
+#include "xcq/obs/trace.h"
+
+#include "xcq/util/string_util.h"
+
+namespace xcq::obs {
+
+std::string_view PhaseName(Phase phase) {
+  switch (phase) {
+    case Phase::kParse:
+      return "parse";
+    case Phase::kCompile:
+      return "compile";
+    case Phase::kLabel:
+      return "label";
+    case Phase::kPruneBind:
+      return "prune_bind";
+    case Phase::kSweep:
+      return "sweep";
+    case Phase::kMinimize:
+      return "minimize";
+    case Phase::kSerialize:
+      return "serialize";
+  }
+  return "unknown";
+}
+
+// --- Scope -----------------------------------------------------------------
+
+QueryTrace::Scope::Scope(QueryTrace* trace, Phase phase)
+    : trace_(trace), phase_(phase) {
+  if (trace_ == nullptr) return;
+  start_seconds_ = trace_->Elapsed();
+  depth_ = trace_->depth_;
+  // Saturate rather than wrap on absurd nesting; depth is diagnostic.
+  if (trace_->depth_ < 255) ++trace_->depth_;
+  open_ = true;
+}
+
+void QueryTrace::Scope::Close() {
+  if (!open_) return;
+  open_ = false;
+  if (trace_->depth_ > 0) --trace_->depth_;
+  const double duration = trace_->Elapsed() - start_seconds_;
+  if (trace_->count_ < kMaxSpans) {
+    TraceSpan& span = trace_->spans_[trace_->count_++];
+    span.phase = phase_;
+    span.start_seconds = start_seconds_;
+    span.duration_seconds = duration;
+    span.depth = depth_;
+  } else {
+    ++trace_->dropped_;
+  }
+}
+
+// --- QueryTrace ------------------------------------------------------------
+
+void QueryTrace::AddSpan(Phase phase, double start_seconds,
+                         double duration_seconds) {
+  if (count_ >= kMaxSpans) {
+    ++dropped_;
+    return;
+  }
+  TraceSpan& span = spans_[count_++];
+  span.phase = phase;
+  span.start_seconds = start_seconds;
+  span.duration_seconds = duration_seconds;
+  span.depth = depth_;
+}
+
+double QueryTrace::PhaseSeconds(Phase phase) const {
+  double total = 0.0;
+  for (size_t i = 0; i < count_; ++i) {
+    if (spans_[i].phase == phase) total += spans_[i].duration_seconds;
+  }
+  return total;
+}
+
+namespace {
+
+void AppendJsonString(std::string* out, std::string_view s) {
+  *out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          *out += StrFormat("\\u%04x", c);
+        } else {
+          *out += c;
+        }
+    }
+  }
+  *out += '"';
+}
+
+}  // namespace
+
+std::string QueryTrace::ToJson(std::string_view document,
+                               std::string_view query,
+                               uint64_t selected_tree_nodes,
+                               uint64_t splits) const {
+  std::string out = "{\"document\":";
+  AppendJsonString(&out, document);
+  out += ",\"query\":";
+  AppendJsonString(&out, query);
+  out += StrFormat(",\"tree\":%llu,\"splits\":%llu,\"total_s\":%.6f",
+                   static_cast<unsigned long long>(selected_tree_nodes),
+                   static_cast<unsigned long long>(splits), Elapsed());
+  if (dropped_ > 0) {
+    out += StrFormat(",\"dropped_spans\":%llu",
+                     static_cast<unsigned long long>(dropped_));
+  }
+  out += ",\"spans\":[";
+  for (size_t i = 0; i < count_; ++i) {
+    const TraceSpan& span = spans_[i];
+    if (i > 0) out += ',';
+    out += StrFormat(
+        "{\"phase\":\"%.*s\",\"start_s\":%.6f,\"dur_s\":%.6f,"
+        "\"depth\":%u}",
+        static_cast<int>(PhaseName(span.phase).size()),
+        PhaseName(span.phase).data(), span.start_seconds,
+        span.duration_seconds, static_cast<unsigned>(span.depth));
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace xcq::obs

@@ -5,15 +5,123 @@
 #include "xcq/instance/instance_io.h"
 #include "xcq/instance/stats.h"
 #include "xcq/util/string_util.h"
+#include "xcq/util/timer.h"
 #include "xcq/xml/sax_parser.h"
 
 namespace xcq::server {
 
+namespace {
+
+/// The per-document label every document-scoped series carries.
+obs::LabelSet DocLabels(const std::string& name) {
+  return obs::LabelSet{{"document", name}};
+}
+
+obs::LabelSet DocAxisLabels(const std::string& name,
+                            engine::AxisFamily family) {
+  return obs::LabelSet{
+      {"document", name},
+      {"axis", std::string(engine::AxisFamilyName(family))}};
+}
+
+}  // namespace
+
 // --- StoredDocument --------------------------------------------------------
 
-StoredDocument::StoredDocument(QuerySession session)
-    : session_(std::move(session)) {
+StoredDocument::StoredDocument(QuerySession session, std::string name,
+                               obs::Registry* registry)
+    : session_(std::move(session)),
+      name_(std::move(name)),
+      registry_(registry) {
   RefreshFootprintLocked();  // single-threaded here: no lock needed yet
+  if (registry_ == nullptr) return;
+  // Resolve every handle once; the per-query metrics cost is then only
+  // relaxed atomic adds. The full series catalog is documented in
+  // docs/OBSERVABILITY.md — keep the two in sync.
+  obs::Registry& r = *registry_;
+  handles_.queries = r.GetCounter("xcq_document_queries_total",
+                                  DocLabels(name_),
+                                  "Queries evaluated against the document");
+  handles_.query_errors =
+      r.GetCounter("xcq_document_query_errors_total", DocLabels(name_),
+                   "Queries that failed (parse, compile, or evaluation)");
+  handles_.batches =
+      r.GetCounter("xcq_document_batches_total", DocLabels(name_),
+                   "BATCH requests evaluated against the document");
+  handles_.batches_shared = r.GetCounter(
+      "xcq_document_batches_shared_total", DocLabels(name_),
+      "Batches served with shared (multi-query) axis sweeps");
+  handles_.latency = r.GetHistogram(
+      "xcq_query_seconds", DocLabels(name_),
+      obs::Histogram::LatencyBounds(),
+      "End-to-end query latency at the document store (lock held)");
+  for (size_t p = 0; p < obs::kPhaseCount; ++p) {
+    obs::LabelSet labels = DocLabels(name_);
+    labels.Add("phase",
+               std::string(obs::PhaseName(static_cast<obs::Phase>(p))));
+    handles_.phase_seconds[p] =
+        r.GetCounter("xcq_phase_seconds_total", std::move(labels),
+                     "Seconds spent per query phase (from trace spans)");
+  }
+  for (size_t f = 0; f < engine::kAxisFamilyCount; ++f) {
+    const auto family = static_cast<engine::AxisFamily>(f);
+    AxisHandles& ah = handles_.axis[f];
+    ah.sweeps = r.GetCounter("xcq_sweeps_total",
+                             DocAxisLabels(name_, family),
+                             "Axis sweeps run, by kernel family");
+    ah.visited = r.GetCounter("xcq_sweep_visited_total",
+                              DocAxisLabels(name_, family),
+                              "Vertices visited by axis sweeps");
+    ah.full = r.GetCounter(
+        "xcq_sweep_full_total", DocAxisLabels(name_, family),
+        "Vertices unpruned sweeps would have visited");
+    ah.pruned = r.GetCounter("xcq_sweeps_pruned_total",
+                             DocAxisLabels(name_, family),
+                             "Sweeps restricted to a path-summary region");
+    ah.skipped = r.GetCounter("xcq_sweeps_skipped_total",
+                              DocAxisLabels(name_, family),
+                              "Sweeps skipped outright (empty region)");
+    ah.seconds = r.GetCounter("xcq_sweep_seconds_total",
+                              DocAxisLabels(name_, family),
+                              "Seconds inside sweep kernels");
+    ah.prune_ratio = r.GetGauge(
+        "xcq_sweep_prune_ratio", DocAxisLabels(name_, family),
+        "Fraction of full-sweep visits avoided by pruning (on scrape)");
+  }
+  handles_.memory_bytes =
+      r.GetGauge("xcq_document_memory_bytes", DocLabels(name_),
+                 "Instance footprint in bytes");
+  handles_.vertices = r.GetGauge("xcq_document_vertices", DocLabels(name_),
+                                 "DAG vertices (including splits)");
+  handles_.tree_nodes =
+      r.GetGauge("xcq_document_tree_nodes", DocLabels(name_),
+                 "Tree nodes the DAG represents");
+  handles_.summary_nodes =
+      r.GetGauge("xcq_document_summary_nodes", DocLabels(name_),
+                 "Path-summary nodes (0 = not built)");
+  handles_.summary_builds =
+      r.GetGauge("xcq_document_summary_builds", DocLabels(name_),
+                 "Path-summary (re)builds so far");
+  handles_.traversal_builds =
+      r.GetGauge("xcq_document_traversal_builds", DocLabels(name_),
+                 "Traversal-cache (re)builds so far");
+  handles_.scratch_resident =
+      r.GetGauge("xcq_document_scratch_resident", DocLabels(name_),
+                 "Scratch-pool slots currently held by the instance");
+  handles_.scratch_capacity =
+      r.GetGauge("xcq_document_scratch_capacity", DocLabels(name_),
+                 "Scratch-pool residency cap");
+  handles_.scratch_hits =
+      r.GetGauge("xcq_document_scratch_hits", DocLabels(name_),
+                 "Scratch checkouts served without allocating");
+  handles_.scratch_allocations =
+      r.GetGauge("xcq_document_scratch_allocations", DocLabels(name_),
+                 "Scratch checkouts that had to (re)allocate");
+  handles_.qps = r.GetGauge("xcq_document_qps", DocLabels(name_),
+                            "Queries per second of registry uptime");
+  handles_.batch_share_rate =
+      r.GetGauge("xcq_document_batch_share_rate", DocLabels(name_),
+                 "Fraction of batches served with shared sweeps");
 }
 
 void StoredDocument::RefreshFootprintLocked() {
@@ -24,12 +132,23 @@ void StoredDocument::RefreshFootprintLocked() {
 
 Result<QueryOutcome> StoredDocument::Query(std::string_view query_text) {
   std::lock_guard<std::mutex> lock(mu_);
-  const Result<QueryOutcome> outcome = session_.Run(query_text);
+  double elapsed = 0.0;
+  Result<QueryOutcome> outcome = Status::Internal("query did not run");
+  {
+    ScopedTimer timer(&elapsed);
+    outcome = session_.Run(query_text);
+  }
   // Even failed runs can have merged labels in before erroring.
   RefreshFootprintLocked();
   if (outcome.ok()) {
     ++queries_served_;
+    label_seconds_ += outcome->label_seconds;
+    minimize_seconds_ += outcome->minimize_seconds;
     AccumulateSweepStats(outcome->stats);
+    if (handles_.queries != nullptr) handles_.queries->Increment();
+    RecordOutcomeMetricsLocked(*outcome, elapsed);
+  } else if (handles_.query_errors != nullptr) {
+    handles_.query_errors->Increment();
   }
   return outcome;
 }
@@ -37,15 +156,43 @@ Result<QueryOutcome> StoredDocument::Query(std::string_view query_text) {
 Result<std::vector<QueryOutcome>> StoredDocument::Batch(
     const std::vector<std::string>& query_texts) {
   std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t shared_before = session_.shared_batch_count();
+  double elapsed = 0.0;
   Result<std::vector<QueryOutcome>> outcomes =
-      session_.RunBatch(query_texts);
+      Status::Internal("batch did not run");
+  {
+    ScopedTimer timer(&elapsed);
+    outcomes = session_.RunBatch(query_texts);
+  }
   RefreshFootprintLocked();
   if (outcomes.ok()) {
     ++batches_served_;
     queries_served_ += outcomes->size();
+    // Each batch member is charged an equal share of the batch's wall
+    // time in the latency histogram — per-member times do not exist on
+    // the shared-sweep path.
+    const double share =
+        outcomes->empty() ? 0.0
+                          : elapsed / static_cast<double>(outcomes->size());
     for (const QueryOutcome& outcome : *outcomes) {
+      label_seconds_ += outcome.label_seconds;
+      minimize_seconds_ += outcome.minimize_seconds;
       AccumulateSweepStats(outcome.stats);
+      if (handles_.queries != nullptr) handles_.queries->Increment();
+      RecordOutcomeMetricsLocked(outcome, share);
     }
+    if (handles_.batches != nullptr) handles_.batches->Increment();
+    if (handles_.batches_shared != nullptr) {
+      const uint64_t shared_delta =
+          session_.shared_batch_count() - shared_before;
+      if (shared_delta > 0) {
+        handles_.batches_shared->Increment(
+            static_cast<double>(shared_delta));
+      }
+    }
+  } else if (handles_.query_errors != nullptr) {
+    handles_.query_errors->Increment(
+        static_cast<double>(query_texts.size()));
   }
   return outcomes;
 }
@@ -55,6 +202,31 @@ void StoredDocument::AccumulateSweepStats(const engine::EvalStats& stats) {
   sweep_full_ += stats.sweep_full;
   pruned_sweeps_ += stats.pruned_sweeps;
   skipped_sweeps_ += stats.skipped_sweeps;
+}
+
+void StoredDocument::RecordOutcomeMetricsLocked(const QueryOutcome& outcome,
+                                                double elapsed_seconds) {
+  if (registry_ == nullptr) return;
+  handles_.latency->Observe(elapsed_seconds);
+  for (size_t p = 0; p < obs::kPhaseCount; ++p) {
+    const double seconds =
+        outcome.trace.PhaseSeconds(static_cast<obs::Phase>(p));
+    if (seconds > 0.0) handles_.phase_seconds[p]->Increment(seconds);
+  }
+  for (size_t f = 0; f < engine::kAxisFamilyCount; ++f) {
+    const engine::AxisFamilyStats& src = outcome.stats.axis[f];
+    AxisHandles& ah = handles_.axis[f];
+    if (src.sweeps > 0) ah.sweeps->Increment(static_cast<double>(src.sweeps));
+    if (src.visited > 0) {
+      ah.visited->Increment(static_cast<double>(src.visited));
+    }
+    if (src.full > 0) ah.full->Increment(static_cast<double>(src.full));
+    if (src.pruned > 0) ah.pruned->Increment(static_cast<double>(src.pruned));
+    if (src.skipped > 0) {
+      ah.skipped->Increment(static_cast<double>(src.skipped));
+    }
+    if (src.seconds > 0.0) ah.seconds->Increment(src.seconds);
+  }
 }
 
 DocumentInfo StoredDocument::Info(std::string name) const {
@@ -72,6 +244,8 @@ DocumentInfo StoredDocument::Info(std::string name) const {
   info.sweep_full = sweep_full_;
   info.pruned_sweeps = pruned_sweeps_;
   info.skipped_sweeps = skipped_sweeps_;
+  info.label_seconds = label_seconds_;
+  info.minimize_seconds = minimize_seconds_;
   if (session_.has_instance()) {
     const Instance& instance = session_.instance();
     info.memory_bytes = instance.MemoryFootprint();
@@ -82,20 +256,93 @@ DocumentInfo StoredDocument::Info(std::string name) const {
     if (instance.path_summary_valid()) {
       info.summary_nodes = instance.EnsurePathSummary().nodes.size();
     }
+    info.scratch_resident = instance.scratch_slot_count();
+    info.scratch_hits = instance.scratch_stats().pool_hits;
+    info.scratch_allocs = instance.scratch_stats().allocations;
+    info.traversal_builds = instance.traversal_builds();
+    info.summary_builds = instance.path_summary_builds();
+  }
+  if (batches_served_ > 0) {
+    info.share_rate = static_cast<double>(session_.shared_batch_count()) /
+                      static_cast<double>(batches_served_);
+  }
+  if (registry_ != nullptr) {
+    const double uptime = registry_->UptimeSeconds();
+    if (uptime > 0.0) {
+      info.qps = static_cast<double>(queries_served_) / uptime;
+    }
+    const obs::Histogram::Snapshot snap = handles_.latency->Snap();
+    const std::vector<double>& bounds = handles_.latency->bounds();
+    info.p50_ms = obs::Histogram::Quantile(snap, bounds, 0.50) * 1e3;
+    info.p95_ms = obs::Histogram::Quantile(snap, bounds, 0.95) * 1e3;
+    info.p99_ms = obs::Histogram::Quantile(snap, bounds, 0.99) * 1e3;
   }
   return info;
+}
+
+void StoredDocument::UpdateScrapeGauges(double uptime_seconds) {
+  if (registry_ == nullptr) return;
+  const DocumentInfo info = Info(name_);
+  handles_.memory_bytes->Set(static_cast<double>(info.memory_bytes));
+  handles_.vertices->Set(static_cast<double>(info.vertex_count));
+  handles_.tree_nodes->Set(static_cast<double>(info.tree_nodes));
+  handles_.summary_nodes->Set(static_cast<double>(info.summary_nodes));
+  handles_.summary_builds->Set(static_cast<double>(info.summary_builds));
+  handles_.traversal_builds->Set(
+      static_cast<double>(info.traversal_builds));
+  handles_.scratch_resident->Set(
+      static_cast<double>(info.scratch_resident));
+  handles_.scratch_hits->Set(static_cast<double>(info.scratch_hits));
+  handles_.scratch_allocations->Set(
+      static_cast<double>(info.scratch_allocs));
+  handles_.batch_share_rate->Set(info.share_rate);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (session_.has_instance()) {
+      handles_.scratch_capacity->Set(
+          static_cast<double>(session_.instance().scratch_capacity()));
+    }
+    if (uptime_seconds > 0.0) {
+      handles_.qps->Set(static_cast<double>(queries_served_) /
+                        uptime_seconds);
+    }
+    for (size_t f = 0; f < engine::kAxisFamilyCount; ++f) {
+      AxisHandles& ah = handles_.axis[f];
+      const double full = ah.full->Value();
+      const double visited = ah.visited->Value();
+      ah.prune_ratio->Set(full > 0.0 ? 1.0 - visited / full : 0.0);
+    }
+  }
 }
 
 // --- DocumentStore ---------------------------------------------------------
 
 DocumentStore::DocumentStore(StoreOptions options)
-    : options_(std::move(options)) {}
+    : options_(std::move(options)),
+      loads_total_(registry_.GetCounter("xcq_store_loads_total", {},
+                                        "Documents loaded (LOAD requests)")),
+      load_misses_total_(registry_.GetCounter(
+          "xcq_store_load_misses_total", {},
+          "Lookups of documents that were not loaded")),
+      evictions_total_(registry_.GetCounter(
+          "xcq_store_evictions_total", {},
+          "Documents dropped (EVICT requests and capacity eviction)")),
+      documents_gauge_(registry_.GetGauge("xcq_store_documents", {},
+                                          "Documents currently cached")),
+      bytes_gauge_(registry_.GetGauge(
+          "xcq_store_bytes", {},
+          "Summed instance footprint of cached documents")),
+      uptime_gauge_(registry_.GetGauge("xcq_server_uptime_seconds", {},
+                                       "Seconds since the store started")) {
+}
 
 Status DocumentStore::LoadXml(const std::string& name, std::string xml) {
   XCQ_ASSIGN_OR_RETURN(QuerySession session,
                        QuerySession::Open(std::move(xml), options_.session));
-  auto doc = std::make_shared<StoredDocument>(std::move(session));
+  auto doc =
+      std::make_shared<StoredDocument>(std::move(session), name, &registry_);
   doc->last_used_.store(++clock_);
+  loads_total_->Increment();
   std::unique_lock<std::shared_mutex> lock(mu_);
   docs_[name] = std::move(doc);
   EnforceCapacityLocked(name);
@@ -107,8 +354,10 @@ Status DocumentStore::LoadInstance(const std::string& name,
   XCQ_ASSIGN_OR_RETURN(
       QuerySession session,
       QuerySession::FromInstance(std::move(instance), options_.session));
-  auto doc = std::make_shared<StoredDocument>(std::move(session));
+  auto doc =
+      std::make_shared<StoredDocument>(std::move(session), name, &registry_);
   doc->last_used_.store(++clock_);
+  loads_total_->Increment();
   std::unique_lock<std::shared_mutex> lock(mu_);
   docs_[name] = std::move(doc);
   EnforceCapacityLocked(name);
@@ -135,14 +384,22 @@ std::shared_ptr<StoredDocument> DocumentStore::Find(
     const std::string& name) {
   std::shared_lock<std::shared_mutex> lock(mu_);
   const auto it = docs_.find(name);
-  if (it == docs_.end()) return nullptr;
+  if (it == docs_.end()) {
+    load_misses_total_->Increment();
+    return nullptr;
+  }
   it->second->last_used_.store(++clock_);
   return it->second;
 }
 
 bool DocumentStore::Evict(const std::string& name) {
   std::unique_lock<std::shared_mutex> lock(mu_);
-  return docs_.erase(name) > 0;
+  if (docs_.erase(name) == 0) return false;
+  evictions_total_->Increment();
+  // Stop rendering the evicted document's series; cached handles stay
+  // valid (clients may still hold the StoredDocument shared_ptr).
+  registry_.RemoveLabeled("document", name);
+  return true;
 }
 
 std::vector<DocumentInfo> DocumentStore::Stats() const {
@@ -193,8 +450,30 @@ void DocumentStore::EnforceCapacityLocked(const std::string& keep) {
       }
     }
     if (victim == docs_.end()) return;  // only `keep` is left
+    evictions_total_->Increment();
+    registry_.RemoveLabeled("document", victim->first);
     docs_.erase(victim);
   }
+}
+
+std::string DocumentStore::ScrapeMetrics() {
+  // Snapshot the document pointers under the shared lock, then refresh
+  // each document's gauges outside it (gauge refresh takes the document
+  // lock and counts tree nodes — it must not block loads).
+  std::vector<std::shared_ptr<StoredDocument>> docs;
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    docs.reserve(docs_.size());
+    for (const auto& [name, doc] : docs_) docs.push_back(doc);
+  }
+  const double uptime = registry_.UptimeSeconds();
+  for (const std::shared_ptr<StoredDocument>& doc : docs) {
+    doc->UpdateScrapeGauges(uptime);
+  }
+  documents_gauge_->Set(static_cast<double>(document_count()));
+  bytes_gauge_->Set(static_cast<double>(total_bytes()));
+  uptime_gauge_->Set(uptime);
+  return registry_.RenderPrometheus();
 }
 
 }  // namespace xcq::server

@@ -32,23 +32,46 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "xcq/obs/metrics.h"
+#include "xcq/obs/trace.h"
 #include "xcq/session/query_session.h"
 #include "xcq/util/result.h"
 
 namespace xcq::server {
+
+/// \brief Structured query-trace logging (docs/OBSERVABILITY.md §4):
+/// which queries get their phase trace rendered as a one-line JSON
+/// record, and where the line goes.
+struct TraceOptions {
+  enum class Mode {
+    kOff,   ///< No trace output (the default).
+    kSlow,  ///< Only queries slower than `slow_threshold_s` end to end.
+    kAll,   ///< Every query.
+  };
+  Mode mode = Mode::kOff;
+  double slow_threshold_s = 0.0;
+  /// Receives each rendered trace line (no trailing newline). Null =
+  /// write to stderr. Must be thread-safe: traces are emitted from
+  /// whatever thread served the query.
+  std::function<void(std::string_view)> sink;
+};
 
 struct StoreOptions {
   /// Soft cap on the summed instance footprint in bytes; 0 = unlimited.
   size_t capacity_bytes = 0;
   /// Session configuration applied to every stored document.
   SessionOptions session;
+  /// Per-query trace logging; off by default.
+  TraceOptions trace;
 };
 
 /// \brief One row of STATS: a snapshot of a cached document.
@@ -70,13 +93,30 @@ struct DocumentInfo {
   uint64_t sweep_full = 0;        ///< Visits unpruned sweeps would make.
   uint64_t pruned_sweeps = 0;     ///< Sweeps restricted by the summary.
   uint64_t skipped_sweeps = 0;    ///< Sweeps skipped outright.
+  size_t scratch_resident = 0;    ///< Scratch-pool slots currently held.
+  uint64_t scratch_hits = 0;      ///< Scratch checkouts with no allocation.
+  uint64_t scratch_allocs = 0;    ///< Scratch checkouts that allocated.
+  uint64_t traversal_builds = 0;  ///< Traversal-cache (re)builds.
+  uint64_t summary_builds = 0;    ///< Path-summary (re)builds.
+  double label_seconds = 0.0;     ///< Cumulative label/merge time.
+  double minimize_seconds = 0.0;  ///< Cumulative post-query reclaim time.
+  double qps = 0.0;               ///< queries / registry uptime.
+  double share_rate = 0.0;        ///< batches_shared / batches_served.
+  double p50_ms = 0.0;            ///< Query latency percentiles, from the
+  double p95_ms = 0.0;            ///  same histogram METRICS exports.
+  double p99_ms = 0.0;
 };
 
 /// \brief A cached compressed document: a `QuerySession` plus serving
 /// counters, evaluated under the document's own lock.
 class StoredDocument {
  public:
-  explicit StoredDocument(QuerySession session);
+  /// `registry` may be null (no metrics; for embedders that only want
+  /// the cache). With a registry, every per-document handle is resolved
+  /// here, once — the per-query cost of metrics is then only relaxed
+  /// atomic adds on the cached handles.
+  StoredDocument(QuerySession session, std::string name,
+                 obs::Registry* registry);
 
   /// Evaluates one query (exclusive document lock).
   Result<QueryOutcome> Query(std::string_view query_text);
@@ -88,6 +128,13 @@ class StoredDocument {
 
   DocumentInfo Info(std::string name) const;
 
+  /// Refreshes this document's scrape-time gauges (instance footprint,
+  /// scratch-pool residency, cache build counts, QPS, share rate) from
+  /// the current state; called by `DocumentStore::ScrapeMetrics` right
+  /// before rendering. `uptime_seconds` is the registry uptime used for
+  /// the QPS rate. No-op without a registry.
+  void UpdateScrapeGauges(double uptime_seconds);
+
   /// Current instance footprint in bytes (0 before the first query of an
   /// XML-loaded document). Reads a cached value refreshed after every
   /// evaluation — never blocks on the document lock, so the store's
@@ -97,6 +144,39 @@ class StoredDocument {
  private:
   friend class DocumentStore;
 
+  /// Resolved metric handles for one document (and, for the axis block,
+  /// one sweep family). All owned by the registry; null without one.
+  struct AxisHandles {
+    obs::Counter* sweeps = nullptr;
+    obs::Counter* visited = nullptr;
+    obs::Counter* full = nullptr;
+    obs::Counter* pruned = nullptr;
+    obs::Counter* skipped = nullptr;
+    obs::Counter* seconds = nullptr;
+    obs::Gauge* prune_ratio = nullptr;
+  };
+  struct Handles {
+    obs::Counter* queries = nullptr;
+    obs::Counter* query_errors = nullptr;
+    obs::Counter* batches = nullptr;
+    obs::Counter* batches_shared = nullptr;
+    obs::Histogram* latency = nullptr;
+    obs::Counter* phase_seconds[obs::kPhaseCount] = {};
+    AxisHandles axis[engine::kAxisFamilyCount];
+    obs::Gauge* memory_bytes = nullptr;
+    obs::Gauge* vertices = nullptr;
+    obs::Gauge* tree_nodes = nullptr;
+    obs::Gauge* summary_nodes = nullptr;
+    obs::Gauge* summary_builds = nullptr;
+    obs::Gauge* traversal_builds = nullptr;
+    obs::Gauge* scratch_resident = nullptr;
+    obs::Gauge* scratch_capacity = nullptr;
+    obs::Gauge* scratch_hits = nullptr;
+    obs::Gauge* scratch_allocations = nullptr;
+    obs::Gauge* qps = nullptr;
+    obs::Gauge* batch_share_rate = nullptr;
+  };
+
   /// Recomputes the cached footprint; mu_ must be held.
   void RefreshFootprintLocked();
 
@@ -104,8 +184,17 @@ class StoredDocument {
   /// mu_ must be held.
   void AccumulateSweepStats(const engine::EvalStats& stats);
 
+  /// Pushes one successful outcome into the resolved metric handles
+  /// (per-axis counters, phase seconds, latency histogram); mu_ must be
+  /// held. `elapsed_seconds` is this query's share of serving time.
+  void RecordOutcomeMetricsLocked(const QueryOutcome& outcome,
+                                  double elapsed_seconds);
+
   mutable std::mutex mu_;
   QuerySession session_;
+  std::string name_;
+  obs::Registry* registry_;  ///< Null = metrics disabled.
+  Handles handles_;
   std::atomic<size_t> footprint_{0};
   /// LRU stamp, owned by the store; atomic so Find() can bump it under
   /// the store's *shared* lock.
@@ -118,6 +207,8 @@ class StoredDocument {
   uint64_t sweep_full_ = 0;
   uint64_t pruned_sweeps_ = 0;
   uint64_t skipped_sweeps_ = 0;
+  double label_seconds_ = 0.0;
+  double minimize_seconds_ = 0.0;
 };
 
 /// \brief Thread-safe name → StoredDocument map with LRU eviction.
@@ -143,11 +234,22 @@ class DocumentStore {
   /// on each other.
   std::shared_ptr<StoredDocument> Find(const std::string& name);
 
-  /// Drops `name`. False if absent.
+  /// Drops `name`. False if absent. The evicted document's metric
+  /// series stop rendering (RemoveLabeled), and `evictions_total` moves.
   bool Evict(const std::string& name);
 
   /// Snapshot of every cached document, name order.
   std::vector<DocumentInfo> Stats() const;
+
+  /// The METRICS scrape: refreshes every document's gauges and the
+  /// store-level gauges, then renders the registry as Prometheus text
+  /// exposition format (docs/OBSERVABILITY.md).
+  std::string ScrapeMetrics();
+
+  /// The store's metrics registry (never null; owned by the store, so
+  /// it outlives every StoredDocument handle the store hands out).
+  obs::Registry* registry() { return &registry_; }
+  const obs::Registry* registry() const { return &registry_; }
 
   /// Summed instance footprint of all cached documents.
   size_t total_bytes() const;
@@ -162,7 +264,17 @@ class DocumentStore {
   void EnforceCapacityLocked(const std::string& keep);
   size_t TotalBytesLocked() const;
 
+  /// Declared first: documents cache raw handle pointers into the
+  /// registry, so it must outlive `docs_` during destruction.
+  obs::Registry registry_;
   StoreOptions options_;
+  /// Store-level handles, resolved once in the constructor.
+  obs::Counter* loads_total_;
+  obs::Counter* load_misses_total_;
+  obs::Counter* evictions_total_;
+  obs::Gauge* documents_gauge_;
+  obs::Gauge* bytes_gauge_;
+  obs::Gauge* uptime_gauge_;
   mutable std::shared_mutex mu_;
   /// Ordered so STATS is stable.
   std::map<std::string, std::shared_ptr<StoredDocument>> docs_;

@@ -1,5 +1,6 @@
 #include "xcq/server/protocol.h"
 
+#include <cstdio>
 #include <cstdlib>
 
 #include "xcq/util/string_util.h"
@@ -71,6 +72,11 @@ Result<Request> ParseRequest(std::string_view line) {
     if (!rest.empty()) {
       return Status::InvalidArgument("usage: STATS");
     }
+  } else if (verb == "METRICS") {
+    request.kind = Request::Kind::kMetrics;
+    if (!rest.empty()) {
+      return Status::InvalidArgument("usage: METRICS");
+    }
   } else if (verb == "EVICT") {
     request.kind = Request::Kind::kEvict;
     request.name = std::string(rest);
@@ -82,7 +88,7 @@ Result<Request> ParseRequest(std::string_view line) {
   } else {
     return Status::InvalidArgument(
         StrFormat("unknown verb '%s' (expected LOAD, QUERY, BATCH, STATS, "
-                  "EVICT, or QUIT)",
+                  "METRICS, EVICT, or QUIT)",
                   std::string(verb).c_str()));
   }
   return request;
@@ -98,11 +104,18 @@ std::string FormatOutcome(const QueryOutcome& outcome) {
 }
 
 std::string FormatDocumentInfo(const DocumentInfo& info) {
+  // The field order below is FROZEN (docs/SERVER.md documents every
+  // key): scripts parse these lines by position or key, so new fields
+  // are appended at the end and existing ones never move. server_test
+  // asserts the exact field set.
   return StrFormat(
       "%s bytes=%zu vertices=%zu edges=%llu tree_nodes=%llu tags=%zu "
       "patterns=%zu queries=%llu batches=%llu shared=%llu parses=%llu "
       "source=%s summary=%llu visited=%llu full=%llu pruned=%llu "
-      "skipped=%llu",
+      "skipped=%llu scratch_resident=%zu scratch_hits=%llu "
+      "scratch_allocs=%llu traversal_builds=%llu summary_builds=%llu "
+      "label_s=%.6f minimize_s=%.6f qps=%.3f share_rate=%.3f "
+      "p50_ms=%.3f p95_ms=%.3f p99_ms=%.3f",
       info.name.c_str(), info.memory_bytes, info.vertex_count,
       static_cast<unsigned long long>(info.rle_edges),
       static_cast<unsigned long long>(info.tree_nodes), info.tracked_tags,
@@ -116,7 +129,14 @@ std::string FormatDocumentInfo(const DocumentInfo& info) {
       static_cast<unsigned long long>(info.sweep_visited),
       static_cast<unsigned long long>(info.sweep_full),
       static_cast<unsigned long long>(info.pruned_sweeps),
-      static_cast<unsigned long long>(info.skipped_sweeps));
+      static_cast<unsigned long long>(info.skipped_sweeps),
+      info.scratch_resident,
+      static_cast<unsigned long long>(info.scratch_hits),
+      static_cast<unsigned long long>(info.scratch_allocs),
+      static_cast<unsigned long long>(info.traversal_builds),
+      static_cast<unsigned long long>(info.summary_builds),
+      info.label_seconds, info.minimize_seconds, info.qps,
+      info.share_rate, info.p50_ms, info.p95_ms, info.p99_ms);
 }
 
 std::string FormatError(const Status& status) {
@@ -125,6 +145,24 @@ std::string FormatError(const Status& status) {
     if (c == '\n' || c == '\r') c = ' ';
   }
   return "ERR " + flat;
+}
+
+void RequestHandler::MaybeEmitTrace(const std::string& document,
+                                    const std::string& query,
+                                    const QueryOutcome& outcome) const {
+  const TraceOptions& trace_options = store_->options().trace;
+  if (trace_options.mode == TraceOptions::Mode::kOff) return;
+  if (trace_options.mode == TraceOptions::Mode::kSlow &&
+      outcome.trace.Elapsed() < trace_options.slow_threshold_s) {
+    return;
+  }
+  const std::string line = outcome.trace.ToJson(
+      document, query, outcome.selected_tree_nodes, outcome.stats.splits);
+  if (trace_options.sink) {
+    trace_options.sink(line);
+  } else {
+    std::fprintf(stderr, "%s\n", line.c_str());
+  }
 }
 
 bool RequestHandler::Handle(
@@ -174,7 +212,15 @@ bool RequestHandler::Handle(
       if (!response.ok()) {
         write_line(FormatError(response.status()));
       } else {
-        write_line("OK " + FormatOutcome(response->front()));
+        QueryOutcome outcome = response->front();
+        std::string formatted;
+        {
+          obs::QueryTrace::Scope serialize_span(&outcome.trace,
+                                                obs::Phase::kSerialize);
+          formatted = "OK " + FormatOutcome(outcome);
+        }
+        MaybeEmitTrace(request.name, request.query, outcome);
+        write_line(formatted);
       }
       return true;
     }
@@ -193,6 +239,7 @@ bool RequestHandler::Handle(
         }
         job.queries.push_back(std::move(query));
       }
+      const std::vector<std::string> queries = job.queries;
       const QueryResponse response =
           service_->Submit(std::move(job)).get();
       if (!response.ok()) {
@@ -201,7 +248,17 @@ bool RequestHandler::Handle(
       }
       write_line(StrFormat("OK %zu", response->size()));
       for (size_t i = 0; i < response->size(); ++i) {
-        write_line(StrFormat("%zu ", i) + FormatOutcome((*response)[i]));
+        QueryOutcome outcome = (*response)[i];
+        std::string formatted;
+        {
+          obs::QueryTrace::Scope serialize_span(&outcome.trace,
+                                                obs::Phase::kSerialize);
+          formatted = StrFormat("%zu ", i) + FormatOutcome(outcome);
+        }
+        MaybeEmitTrace(request.name,
+                       i < queries.size() ? queries[i] : std::string(),
+                       outcome);
+        write_line(formatted);
       }
       return true;
     }
@@ -211,6 +268,27 @@ bool RequestHandler::Handle(
       write_line(StrFormat("OK %zu", infos.size()));
       for (const DocumentInfo& info : infos) {
         write_line(FormatDocumentInfo(info));
+      }
+      return true;
+    }
+
+    case Request::Kind::kMetrics: {
+      const std::string exposition = store_->ScrapeMetrics();
+      // Split into lines for the `OK <n>` framing; the exposition never
+      // contains empty interior lines, and the trailing newline does
+      // not produce a phantom final line.
+      std::vector<std::string_view> lines;
+      size_t begin = 0;
+      while (begin < exposition.size()) {
+        size_t end = exposition.find('\n', begin);
+        if (end == std::string::npos) end = exposition.size();
+        lines.push_back(
+            std::string_view(exposition).substr(begin, end - begin));
+        begin = end + 1;
+      }
+      write_line(StrFormat("OK %zu", lines.size()));
+      for (const std::string_view metric_line : lines) {
+        write_line(metric_line);
       }
       return true;
     }

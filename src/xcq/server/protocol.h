@@ -15,14 +15,21 @@
 ///   BATCH <name> <count>    followed by <count> lines, one query each;
 ///                           evaluated with a single merged label pass
 ///   STATS                   one line per cached document
+///   METRICS                 Prometheus text exposition format scrape
+///                           (docs/OBSERVABILITY.md)
 ///   EVICT <name>            drop a document
 ///   QUIT                    close the conversation
 ///
 /// Responses: first line `OK ...` or `ERR <Code>: <message>`. QUERY:
-/// `OK dag=<d> tree=<t> splits=<s> label_s=<x> eval_s=<y>`. BATCH and
-/// STATS: `OK <n>` followed by exactly n detail lines, so clients can
-/// read a response without a terminator sentinel. A failed BATCH fails
-/// as a whole (one ERR line) — batches are atomic.
+/// `OK dag=<d> tree=<t> splits=<s> label_s=<x> eval_s=<y>`. BATCH,
+/// STATS, and METRICS: `OK <n>` followed by exactly n detail lines, so
+/// clients can read a response without a terminator sentinel. A failed
+/// BATCH fails as a whole (one ERR line) — batches are atomic.
+///
+/// The STATS line format is frozen: fields are `key=value`, space
+/// separated, in the exact order documented in docs/SERVER.md; new
+/// fields are appended, existing ones never move or disappear —
+/// scripts may parse by position or by key.
 
 #include <functional>
 #include <string>
@@ -37,7 +44,7 @@ namespace xcq::server {
 
 /// \brief A parsed request line.
 struct Request {
-  enum class Kind { kLoad, kQuery, kBatch, kStats, kEvict, kQuit };
+  enum class Kind { kLoad, kQuery, kBatch, kStats, kMetrics, kEvict, kQuit };
   Kind kind = Kind::kStats;
   std::string name;      ///< Document name (LOAD/QUERY/BATCH/EVICT).
   std::string path;      ///< LOAD only.
@@ -78,6 +85,12 @@ class RequestHandler {
               const std::function<void(std::string_view)>& write_line);
 
  private:
+  /// Appends the serialize span to `outcome`'s trace and emits the
+  /// one-line JSON trace when `StoreOptions::trace` says so.
+  void MaybeEmitTrace(const std::string& document,
+                      const std::string& query,
+                      const QueryOutcome& outcome) const;
+
   DocumentStore* store_;
   QueryService* service_;
 };

@@ -71,7 +71,8 @@ bool SendAll(int fd, std::string_view data) {
 
 TcpServer::TcpServer(ServerOptions options)
     : options_(std::move(options)),
-      store_(StoreOptions{options_.capacity_bytes, options_.session}),
+      store_(StoreOptions{options_.capacity_bytes, options_.session,
+                          options_.trace}),
       service_(&store_, ServiceOptions{options_.worker_threads}) {}
 
 TcpServer::~TcpServer() { Stop(); }

@@ -40,6 +40,8 @@ struct ServerOptions {
   size_t capacity_bytes = 0;
   /// Session behaviour for every stored document.
   SessionOptions session;
+  /// Per-query trace logging (`--trace=off|slow:<ms>|all`).
+  TraceOptions trace;
 };
 
 class TcpServer {

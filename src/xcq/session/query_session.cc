@@ -161,7 +161,7 @@ Status QuerySession::EnsureLabels(const std::vector<std::string>& tags,
 }
 
 Result<QueryOutcome> QuerySession::EvaluatePlan(
-    const algebra::QueryPlan& plan) {
+    const algebra::QueryPlan& plan, obs::QueryTrace* trace) {
   QueryOutcome outcome;
   const bool incremental =
       options_.minimize_after_query && options_.incremental_minimize;
@@ -191,9 +191,23 @@ Result<QueryOutcome> QuerySession::EvaluatePlan(
   engine::EvalOptions eval_options;
   eval_options.threads = options_.engine_threads;
   eval_options.prune_sweeps = options_.prune_sweeps;
-  XCQ_ASSIGN_OR_RETURN(
-      const RelationId result,
-      engine::Evaluate(&*instance_, plan, eval_options, &outcome.stats));
+  RelationId result = kNoRelation;
+  {
+    obs::QueryTrace::Scope sweep_span(trace, obs::Phase::kSweep);
+    XCQ_ASSIGN_OR_RETURN(
+        const RelationId sweep_result,
+        engine::Evaluate(&*instance_, plan, eval_options, &outcome.stats));
+    result = sweep_result;
+  }
+  if (trace != nullptr && outcome.stats.prune_bind_seconds > 0.0) {
+    // The engine times pruner binding itself (it happens mid-Evaluate,
+    // inside the sweep span); book it as a nested span whose start is
+    // reconstructed from the evaluation total.
+    const double eval_start =
+        std::max(0.0, trace->Elapsed() - outcome.stats.seconds);
+    trace->AddSpan(obs::Phase::kPruneBind, eval_start,
+                   outcome.stats.prune_bind_seconds);
+  }
   outcome.selected_dag_nodes = SelectedDagNodeCount(*instance_, result);
   outcome.selected_tree_nodes = SelectedTreeNodeCount(*instance_, result);
   if (snapshot.has_value()) {
@@ -204,6 +218,7 @@ Result<QueryOutcome> QuerySession::EvaluatePlan(
     // Counts were taken above; the result relation survives minimization
     // (vertices differing on it are not bisimilar), so enumeration over
     // `instance()` stays possible — just over the re-compressed DAG.
+    obs::QueryTrace::Scope minimize_span(trace, obs::Phase::kMinimize);
     if (incremental) {
       MarkResultFlips(previous_result, had_previous, result);
       InPlaceMinimizeStats mstats;
@@ -285,17 +300,26 @@ Status QuerySession::VerifyIncrementalMinimize() const {
 }
 
 Result<QueryOutcome> QuerySession::Run(std::string_view query_text) {
+  obs::QueryTrace trace;
+  obs::QueryTrace::Scope parse_span(&trace, obs::Phase::kParse);
   XCQ_ASSIGN_OR_RETURN(const xpath::Query query,
                        xpath::ParseQuery(query_text));
+  parse_span.Close();
+  obs::QueryTrace::Scope compile_span(&trace, obs::Phase::kCompile);
   XCQ_ASSIGN_OR_RETURN(const algebra::QueryPlan plan,
                        algebra::Compile(query));
+  compile_span.Close();
   const xpath::QueryRequirements reqs = CollectRequirements(query);
 
   double label_seconds = 0.0;
-  XCQ_RETURN_IF_ERROR(
-      EnsureLabels(reqs.tags, reqs.patterns, &label_seconds));
-  XCQ_ASSIGN_OR_RETURN(QueryOutcome outcome, EvaluatePlan(plan));
+  {
+    obs::QueryTrace::Scope label_span(&trace, obs::Phase::kLabel);
+    XCQ_RETURN_IF_ERROR(
+        EnsureLabels(reqs.tags, reqs.patterns, &label_seconds));
+  }
+  XCQ_ASSIGN_OR_RETURN(QueryOutcome outcome, EvaluatePlan(plan, &trace));
   outcome.label_seconds = label_seconds;
+  outcome.trace = trace;
   return outcome;
 }
 
@@ -374,21 +398,32 @@ Result<std::vector<QueryOutcome>> QuerySession::RunBatch(
   // on bad input.
   std::vector<xpath::Query> queries;
   std::vector<algebra::QueryPlan> plans;
+  std::vector<obs::QueryTrace> traces(query_texts.size());
   queries.reserve(query_texts.size());
   plans.reserve(query_texts.size());
-  for (const std::string& text : query_texts) {
-    XCQ_ASSIGN_OR_RETURN(xpath::Query query, xpath::ParseQuery(text));
+  for (size_t i = 0; i < query_texts.size(); ++i) {
+    obs::QueryTrace::Scope parse_span(&traces[i], obs::Phase::kParse);
+    XCQ_ASSIGN_OR_RETURN(xpath::Query query,
+                         xpath::ParseQuery(query_texts[i]));
+    parse_span.Close();
+    obs::QueryTrace::Scope compile_span(&traces[i], obs::Phase::kCompile);
     XCQ_ASSIGN_OR_RETURN(algebra::QueryPlan plan, algebra::Compile(query));
+    compile_span.Close();
     queries.push_back(std::move(query));
     plans.push_back(std::move(plan));
   }
   const xpath::QueryRequirements all = CollectBatchRequirements(queries);
 
   // One scan + one common-extension merge for the union of all label
-  // sets — the amortization that makes batching worthwhile.
+  // sets — the amortization that makes batching worthwhile. Like the
+  // shared label time, the shared label span lands on the first trace.
   double label_seconds = 0.0;
-  XCQ_RETURN_IF_ERROR(
-      EnsureLabels(all.tags, all.patterns, &label_seconds));
+  {
+    obs::QueryTrace::Scope label_span(
+        traces.empty() ? nullptr : &traces.front(), obs::Phase::kLabel);
+    XCQ_RETURN_IF_ERROR(
+        EnsureLabels(all.tags, all.patterns, &label_seconds));
+  }
 
   // Shared sweeps: evaluate the whole batch in lockstep, same-axis ops
   // of different queries folded into one traversal (engine/batch.h).
@@ -402,9 +437,15 @@ Result<std::vector<QueryOutcome>> QuerySession::RunBatch(
     eval_options.threads = options_.engine_threads;
     eval_options.prune_sweeps = options_.prune_sweeps;
     engine::SharedBatchStats shared_stats;
+    const double shared_start = traces.front().Elapsed();
     engine::SharedBatchResult shared = engine::EvaluateBatchShared(
         &*instance_, plans, eval_options, &shared_stats);
     if (shared.engaged) {
+      // Book the whole shared traversal as one sweep span on the first
+      // trace (the convention for per-batch figures); on fallback the
+      // per-query EvaluatePlan spans cover it instead.
+      traces.front().AddSpan(obs::Phase::kSweep, shared_start,
+                             traces.front().Elapsed() - shared_start);
       ++shared_batches_;
       std::vector<QueryOutcome> outcomes(plans.size());
       const TraversalCache& t = instance_->EnsureTraversal();
@@ -439,6 +480,9 @@ Result<std::vector<QueryOutcome>> QuerySession::RunBatch(
       outcomes.front().stats.sweep_visited = shared_stats.sweep_visited;
       outcomes.front().stats.sweep_full = shared_stats.sweep_full;
       outcomes.front().label_seconds = label_seconds;
+      for (size_t i = 0; i < outcomes.size(); ++i) {
+        outcomes[i].trace = std::move(traces[i]);
+      }
       return outcomes;
     }
     ++shared_batch_fallbacks_;
@@ -446,9 +490,11 @@ Result<std::vector<QueryOutcome>> QuerySession::RunBatch(
 
   std::vector<QueryOutcome> outcomes;
   outcomes.reserve(plans.size());
-  for (const algebra::QueryPlan& plan : plans) {
-    XCQ_ASSIGN_OR_RETURN(QueryOutcome outcome, EvaluatePlan(plan));
-    outcomes.push_back(outcome);
+  for (size_t i = 0; i < plans.size(); ++i) {
+    XCQ_ASSIGN_OR_RETURN(QueryOutcome outcome,
+                         EvaluatePlan(plans[i], &traces[i]));
+    outcome.trace = std::move(traces[i]);
+    outcomes.push_back(std::move(outcome));
   }
   if (!outcomes.empty()) outcomes.front().label_seconds = label_seconds;
   return outcomes;

@@ -28,6 +28,7 @@
 #include "xcq/compress/compressor.h"
 #include "xcq/engine/evaluator.h"
 #include "xcq/instance/instance.h"
+#include "xcq/obs/trace.h"
 #include "xcq/util/result.h"
 
 namespace xcq {
@@ -100,6 +101,10 @@ struct QueryOutcome {
   /// `minimize_after_query` is set); covers the incremental or full
   /// pass, whichever the options selected.
   double minimize_seconds = 0.0;
+  /// Phase spans of this query (parse / compile / label / prune-bind /
+  /// sweep / minimize), recorded inline — no allocation. The serving
+  /// layer appends its serialize span and renders the JSON trace line.
+  obs::QueryTrace trace;
 };
 
 /// \brief Everything a *set* of queries needs from the document: the
@@ -180,8 +185,10 @@ class QuerySession {
                       double* seconds);
 
   /// Evaluates one compiled plan on the ensured instance; shared by Run
-  /// and RunBatch.
-  Result<QueryOutcome> EvaluatePlan(const algebra::QueryPlan& plan);
+  /// and RunBatch. Records sweep / prune-bind / minimize spans on
+  /// `trace` (null = no tracing).
+  Result<QueryOutcome> EvaluatePlan(const algebra::QueryPlan& plan,
+                                    obs::QueryTrace* trace);
 
   /// Marks vertices whose result-relation bit flipped between queries as
   /// dirty (relation columns are rewritten wholesale, so the instance

@@ -2,7 +2,10 @@
 #define XCQ_UTIL_TIMER_H_
 
 /// \file timer.h
-/// Wall-clock stopwatch for the benchmark harnesses.
+/// The one steady-clock timing path — benches, the engine's EvalStats,
+/// the session's phase timing, and the obs trace spans all measure
+/// through these two types, so every `*_s` / `*_seconds` figure in the
+/// system is comparable (same clock, same resolution).
 
 #include <chrono>
 
@@ -26,6 +29,29 @@ class Timer {
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
+};
+
+/// \brief RAII accumulator: adds the scope's elapsed seconds to
+/// `*target` on destruction (null = measure-only). Exception-safe, so
+/// a phase that errors out still books the time it spent — prefer this
+/// over a hand-rolled `Timer t; ...; x = t.Seconds();` pair wherever
+/// the measured region is a lexical scope.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(double* target) : target_(target) {}
+  ~ScopedTimer() {
+    if (target_ != nullptr) *target_ += timer_.Seconds();
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  /// Elapsed so far, without closing the scope.
+  double Seconds() const { return timer_.Seconds(); }
+
+ private:
+  Timer timer_;
+  double* target_;
 };
 
 }  // namespace xcq

@@ -1,0 +1,442 @@
+// The observability layer: the metrics registry's sharded counters /
+// gauges / histograms (including the TSAN target: many writer threads
+// against a concurrent scraper, with exact totals after the join), the
+// Prometheus exposition renderer, series removal and resurrection, and
+// QueryTrace span recording / nesting / JSON serialization.
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "xcq/obs/metrics.h"
+#include "xcq/obs/trace.h"
+
+namespace xcq::obs {
+namespace {
+
+// --- LabelSet --------------------------------------------------------------
+
+TEST(LabelSetTest, SortsByKeyAndRenders) {
+  const LabelSet labels{{"phase", "sweep"}, {"document", "bib"}};
+  ASSERT_EQ(labels.pairs().size(), 2u);
+  EXPECT_EQ(labels.pairs()[0].first, "document");
+  EXPECT_EQ(labels.pairs()[1].first, "phase");
+  EXPECT_EQ(labels.Render(), "{document=\"bib\",phase=\"sweep\"}");
+  EXPECT_TRUE(labels.Has("document", "bib"));
+  EXPECT_FALSE(labels.Has("document", "other"));
+  EXPECT_FALSE(labels.Has("axis", "bib"));
+}
+
+TEST(LabelSetTest, EmptyRendersEmpty) {
+  EXPECT_EQ(LabelSet().Render(), "");
+  EXPECT_TRUE(LabelSet().empty());
+}
+
+TEST(LabelSetTest, EscapesQuotesBackslashesAndNewlines) {
+  const LabelSet labels{{"document", "a\"b\\c\nd"}};
+  EXPECT_EQ(labels.Render(), "{document=\"a\\\"b\\\\c\\nd\"}");
+}
+
+TEST(LabelSetTest, OrderInsensitiveEquality) {
+  const LabelSet a{{"x", "1"}, {"y", "2"}};
+  const LabelSet b{{"y", "2"}, {"x", "1"}};
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a < b);
+  EXPECT_FALSE(b < a);
+}
+
+// --- Counter / Gauge -------------------------------------------------------
+
+TEST(RegistryTest, CounterHandleIsStableAndAccumulates) {
+  Registry registry;
+  Counter* c = registry.GetCounter("test_total", {{"document", "bib"}});
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c, registry.GetCounter("test_total", {{"document", "bib"}}));
+  // A different label set is a different series.
+  EXPECT_NE(c, registry.GetCounter("test_total", {{"document", "other"}}));
+
+  c->Increment();
+  c->Increment(2.5);
+  EXPECT_DOUBLE_EQ(c->Value(), 3.5);
+  EXPECT_DOUBLE_EQ(
+      registry.CounterValue("test_total", LabelSet{{"document", "bib"}}),
+      3.5);
+  // Absent series read 0.
+  EXPECT_DOUBLE_EQ(
+      registry.CounterValue("no_such_total", LabelSet{{"document", "bib"}}),
+      0.0);
+}
+
+TEST(RegistryTest, GaugeSetAndAdd) {
+  Registry registry;
+  Gauge* g = registry.GetGauge("test_gauge", {});
+  g->Set(7.0);
+  EXPECT_DOUBLE_EQ(g->Value(), 7.0);
+  g->Add(-2.0);
+  EXPECT_DOUBLE_EQ(g->Value(), 5.0);
+  g->Set(1.0);  // last write wins over accumulated state
+  EXPECT_DOUBLE_EQ(registry.GaugeValue("test_gauge", LabelSet{}), 1.0);
+}
+
+TEST(RegistryTest, UptimeAdvances) {
+  Registry registry;
+  const double t0 = registry.UptimeSeconds();
+  EXPECT_GE(t0, 0.0);
+  EXPECT_GE(registry.UptimeSeconds(), t0);
+}
+
+// --- Histogram -------------------------------------------------------------
+
+TEST(HistogramTest, BucketsAreCumulativeInSnapshotSemantics) {
+  Histogram histogram({1.0, 2.0, 4.0});
+  histogram.Observe(0.5);   // bucket 0 (le=1)
+  histogram.Observe(1.0);   // bucket 0 (le is inclusive)
+  histogram.Observe(3.0);   // bucket 2 (le=4)
+  histogram.Observe(100.0); // overflow (+Inf)
+  const Histogram::Snapshot snap = histogram.Snap();
+  ASSERT_EQ(snap.buckets.size(), 4u);  // 3 bounds + overflow
+  EXPECT_EQ(snap.buckets[0], 2u);
+  EXPECT_EQ(snap.buckets[1], 0u);
+  EXPECT_EQ(snap.buckets[2], 1u);
+  EXPECT_EQ(snap.buckets[3], 1u);
+  EXPECT_EQ(snap.count, 4u);
+  EXPECT_DOUBLE_EQ(snap.sum, 104.5);
+}
+
+TEST(HistogramTest, EmptyQuantileIsZero) {
+  Histogram histogram(Histogram::LatencyBounds());
+  EXPECT_DOUBLE_EQ(histogram.Quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(histogram.Quantile(0.99), 0.0);
+}
+
+TEST(HistogramTest, LatencyBoundsAreStrictlyAscending) {
+  const std::vector<double> bounds = Histogram::LatencyBounds();
+  ASSERT_GE(bounds.size(), 2u);
+  for (size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_LT(bounds[i - 1], bounds[i]) << "at " << i;
+  }
+}
+
+/// The bucket (by upper bound) a value falls into; bounds.size() means
+/// the +Inf overflow bucket.
+size_t BucketOf(const std::vector<double>& bounds, double value) {
+  for (size_t i = 0; i < bounds.size(); ++i) {
+    if (value <= bounds[i]) return i;
+  }
+  return bounds.size();
+}
+
+TEST(HistogramTest, QuantileMatchesSortedVectorOracleWithinBucket) {
+  const std::vector<double> bounds = Histogram::LatencyBounds();
+  Histogram histogram(bounds);
+  std::mt19937_64 rng(7);
+  // Log-uniform over the ladder's range so every decade gets mass.
+  std::uniform_real_distribution<double> exponent(-4.7, 0.7);
+  std::vector<double> values;
+  values.reserve(5000);
+  for (int i = 0; i < 5000; ++i) {
+    const double v = std::pow(10.0, exponent(rng));
+    values.push_back(v);
+    histogram.Observe(v);
+  }
+  std::sort(values.begin(), values.end());
+  const Histogram::Snapshot snap = histogram.Snap();
+  for (const double q : {0.5, 0.95, 0.99}) {
+    const double oracle =
+        values[static_cast<size_t>(q * (values.size() - 1))];
+    const double estimate = Histogram::Quantile(snap, bounds, q);
+    // The estimate interpolates inside some bucket; it can never do
+    // better than bucket resolution, so assert it lands in (or adjacent
+    // to the boundary of) the oracle's bucket.
+    const size_t oracle_bucket = BucketOf(bounds, oracle);
+    const double lo = oracle_bucket == 0 ? 0.0 : bounds[oracle_bucket - 1];
+    const double hi = oracle_bucket < bounds.size()
+                          ? bounds[oracle_bucket]
+                          : bounds.back();
+    EXPECT_GE(estimate, lo * (1.0 - 1e-9))
+        << "q=" << q << " oracle=" << oracle;
+    EXPECT_LE(estimate, hi * (1.0 + 1e-9))
+        << "q=" << q << " oracle=" << oracle;
+  }
+}
+
+TEST(HistogramTest, OverflowMassClampsToLastBound) {
+  Histogram histogram({1.0, 2.0});
+  for (int i = 0; i < 10; ++i) histogram.Observe(50.0);
+  EXPECT_DOUBLE_EQ(histogram.Quantile(0.99), 2.0);
+}
+
+// --- Exposition rendering --------------------------------------------------
+
+/// Splits rendered exposition text into lines (no trailing empty line).
+std::vector<std::string> Lines(const std::string& text) {
+  std::vector<std::string> lines;
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    lines.push_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+  return lines;
+}
+
+bool Contains(const std::vector<std::string>& lines,
+              const std::string& line) {
+  return std::find(lines.begin(), lines.end(), line) != lines.end();
+}
+
+TEST(RegistryTest, RenderPrometheusStructure) {
+  Registry registry;
+  registry.GetCounter("xcq_test_queries_total", {{"document", "bib"}},
+                      "Queries answered.")
+      ->Increment(3);
+  registry.GetGauge("xcq_test_bytes", {}, "Resident bytes.")->Set(1024);
+  Histogram* h = registry.GetHistogram("xcq_test_seconds", {}, {0.1, 1.0},
+                                       "Latency.");
+  h->Observe(0.05);
+  h->Observe(0.5);
+  h->Observe(5.0);
+
+  const std::vector<std::string> lines =
+      Lines(registry.RenderPrometheus());
+
+  EXPECT_TRUE(
+      Contains(lines, "# HELP xcq_test_queries_total Queries answered."));
+  EXPECT_TRUE(Contains(lines, "# TYPE xcq_test_queries_total counter"));
+  EXPECT_TRUE(
+      Contains(lines, "xcq_test_queries_total{document=\"bib\"} 3"));
+  EXPECT_TRUE(Contains(lines, "# TYPE xcq_test_bytes gauge"));
+  EXPECT_TRUE(Contains(lines, "xcq_test_bytes 1024"));
+
+  // Histogram: cumulative buckets, +Inf, _sum/_count, and the
+  // companion quantile gauges under distinct metric names.
+  EXPECT_TRUE(Contains(lines, "# TYPE xcq_test_seconds histogram"));
+  EXPECT_TRUE(Contains(lines, "xcq_test_seconds_bucket{le=\"0.1\"} 1"));
+  EXPECT_TRUE(Contains(lines, "xcq_test_seconds_bucket{le=\"1\"} 2"));
+  EXPECT_TRUE(Contains(lines, "xcq_test_seconds_bucket{le=\"+Inf\"} 3"));
+  EXPECT_TRUE(Contains(lines, "xcq_test_seconds_count 3"));
+  bool saw_sum = false;
+  bool saw_p50 = false;
+  for (const std::string& line : lines) {
+    if (line.rfind("xcq_test_seconds_sum ", 0) == 0) saw_sum = true;
+    if (line.rfind("xcq_test_seconds_p50", 0) == 0) saw_p50 = true;
+  }
+  EXPECT_TRUE(saw_sum);
+  EXPECT_TRUE(saw_p50);
+
+  // Every # TYPE appears exactly once per metric name, before any of
+  // that metric's samples.
+  std::map<std::string, int> type_counts;
+  for (const std::string& line : lines) {
+    if (line.rfind("# TYPE ", 0) == 0) {
+      const std::string rest = line.substr(7);
+      type_counts[rest.substr(0, rest.find(' '))]++;
+    }
+  }
+  for (const auto& [name, count] : type_counts) {
+    EXPECT_EQ(count, 1) << name;
+  }
+
+  // No duplicate sample lines (series identity is name+labels).
+  std::vector<std::string> samples;
+  for (const std::string& line : lines) {
+    if (!line.empty() && line[0] != '#') {
+      samples.push_back(line.substr(0, line.rfind(' ')));
+    }
+  }
+  std::sort(samples.begin(), samples.end());
+  EXPECT_EQ(std::adjacent_find(samples.begin(), samples.end()),
+            samples.end());
+}
+
+TEST(RegistryTest, RemoveLabeledUnlistsButHandleStaysUsable) {
+  Registry registry;
+  Counter* c =
+      registry.GetCounter("xcq_rm_total", {{"document", "bib"}});
+  Counter* other =
+      registry.GetCounter("xcq_rm_total", {{"document", "keep"}});
+  c->Increment(5);
+  other->Increment(1);
+
+  registry.RemoveLabeled("document", "bib");
+  const std::string rendered = registry.RenderPrometheus();
+  EXPECT_EQ(rendered.find("document=\"bib\""), std::string::npos);
+  EXPECT_NE(rendered.find("document=\"keep\""), std::string::npos);
+
+  // The handle survives removal (cached handles must stay writable)...
+  c->Increment(2);
+  EXPECT_DOUBLE_EQ(c->Value(), 7.0);
+
+  // ...and re-registration resurrects the same series with its count
+  // intact (counter continuity across EVICT + re-LOAD).
+  Counter* again =
+      registry.GetCounter("xcq_rm_total", {{"document", "bib"}});
+  EXPECT_EQ(again, c);
+  EXPECT_NE(registry.RenderPrometheus().find("document=\"bib\"} 7"),
+            std::string::npos);
+}
+
+// --- Concurrency (the TSAN target) -----------------------------------------
+
+TEST(RegistryTest, ConcurrentWritersAndScraperAgreeOnTotals) {
+  Registry registry;
+  Counter* counter = registry.GetCounter("xcq_mt_total", {});
+  Histogram* histogram =
+      registry.GetHistogram("xcq_mt_seconds", {}, {0.001, 0.01, 0.1});
+  Gauge* gauge = registry.GetGauge("xcq_mt_gauge", {});
+
+  constexpr int kWriters = 8;
+  constexpr int kIncrementsPerWriter = 20000;
+  std::atomic<bool> stop_scraping{false};
+
+  std::thread scraper([&] {
+    // Scrape continuously while writers run; values are monotone so
+    // every intermediate render must parse and never exceed the final
+    // total. The race-detection value is in TSAN seeing loads overlap
+    // the relaxed writes.
+    while (!stop_scraping.load(std::memory_order_relaxed)) {
+      const std::string text = registry.RenderPrometheus();
+      EXPECT_NE(text.find("xcq_mt_total"), std::string::npos);
+      const double seen = registry.CounterValue("xcq_mt_total", LabelSet{});
+      EXPECT_LE(seen, 1.0 * kWriters * kIncrementsPerWriter);
+    }
+  });
+
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      for (int i = 0; i < kIncrementsPerWriter; ++i) {
+        counter->Increment();
+        histogram->Observe(0.001 * ((w + i) % 200));
+        gauge->Set(static_cast<double>(i));
+      }
+    });
+  }
+  for (std::thread& t : writers) t.join();
+  stop_scraping.store(true, std::memory_order_relaxed);
+  scraper.join();
+
+  EXPECT_DOUBLE_EQ(counter->Value(), 1.0 * kWriters * kIncrementsPerWriter);
+  const Histogram::Snapshot snap = histogram->Snap();
+  EXPECT_EQ(snap.count,
+            static_cast<uint64_t>(kWriters) * kIncrementsPerWriter);
+  uint64_t bucket_total = 0;
+  for (const uint64_t b : snap.buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, snap.count);
+}
+
+TEST(RegistryTest, ConcurrentRegistrationIsSafe) {
+  Registry registry;
+  constexpr int kThreads = 8;
+  std::vector<Counter*> handles(kThreads, nullptr);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      // All threads race to register the same series and a private one.
+      handles[t] = registry.GetCounter("xcq_race_total", {});
+      registry
+          .GetCounter("xcq_race_private_total",
+                      {{"document", "doc" + std::to_string(t)}})
+          ->Increment();
+      handles[t]->Increment();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (int t = 1; t < kThreads; ++t) EXPECT_EQ(handles[t], handles[0]);
+  EXPECT_DOUBLE_EQ(registry.CounterValue("xcq_race_total", LabelSet{}),
+                   kThreads);
+}
+
+// --- QueryTrace ------------------------------------------------------------
+
+TEST(TraceTest, PhaseNamesAreStable) {
+  EXPECT_EQ(PhaseName(Phase::kParse), "parse");
+  EXPECT_EQ(PhaseName(Phase::kCompile), "compile");
+  EXPECT_EQ(PhaseName(Phase::kLabel), "label");
+  EXPECT_EQ(PhaseName(Phase::kPruneBind), "prune_bind");
+  EXPECT_EQ(PhaseName(Phase::kSweep), "sweep");
+  EXPECT_EQ(PhaseName(Phase::kMinimize), "minimize");
+  EXPECT_EQ(PhaseName(Phase::kSerialize), "serialize");
+}
+
+TEST(TraceTest, ScopeRecordsSpansWithNestingDepth) {
+  QueryTrace trace;
+  {
+    QueryTrace::Scope outer(&trace, Phase::kSweep);
+    {
+      QueryTrace::Scope inner(&trace, Phase::kPruneBind);
+    }
+  }
+  ASSERT_EQ(trace.span_count(), 2u);
+  // Spans close inner-first.
+  EXPECT_EQ(trace.span(0).phase, Phase::kPruneBind);
+  EXPECT_EQ(trace.span(0).depth, 1u);
+  EXPECT_EQ(trace.span(1).phase, Phase::kSweep);
+  EXPECT_EQ(trace.span(1).depth, 0u);
+  EXPECT_GE(trace.span(1).duration_seconds,
+            trace.span(0).duration_seconds);
+  EXPECT_GE(trace.span(0).start_seconds, 0.0);
+  EXPECT_EQ(trace.dropped(), 0u);
+}
+
+TEST(TraceTest, NullTraceScopesAreNoOps) {
+  QueryTrace::Scope scope(nullptr, Phase::kParse);
+  scope.Close();  // must not crash
+}
+
+TEST(TraceTest, CloseIsIdempotent) {
+  QueryTrace trace;
+  QueryTrace::Scope scope(&trace, Phase::kParse);
+  scope.Close();
+  scope.Close();
+  EXPECT_EQ(trace.span_count(), 1u);
+}
+
+TEST(TraceTest, PhaseSecondsSumsSpansOfOnePhase) {
+  QueryTrace trace;
+  trace.AddSpan(Phase::kSweep, 0.0, 0.25);
+  trace.AddSpan(Phase::kSweep, 0.5, 0.25);
+  trace.AddSpan(Phase::kParse, 0.0, 0.125);
+  EXPECT_DOUBLE_EQ(trace.PhaseSeconds(Phase::kSweep), 0.5);
+  EXPECT_DOUBLE_EQ(trace.PhaseSeconds(Phase::kParse), 0.125);
+  EXPECT_DOUBLE_EQ(trace.PhaseSeconds(Phase::kMinimize), 0.0);
+}
+
+TEST(TraceTest, OverflowDropsSpansButCountsThem) {
+  QueryTrace trace;
+  const size_t extra = 5;
+  for (size_t i = 0; i < QueryTrace::kMaxSpans + extra; ++i) {
+    trace.AddSpan(Phase::kSweep, 0.0, 0.001);
+  }
+  EXPECT_EQ(trace.span_count(), QueryTrace::kMaxSpans);
+  EXPECT_EQ(trace.dropped(), extra);
+}
+
+TEST(TraceTest, ToJsonIsOneEscapedLine) {
+  QueryTrace trace;
+  trace.AddSpan(Phase::kParse, 0.0, 0.001);
+  const std::string json =
+      trace.ToJson("bib\"doc", "//a[b=\"c\\d\"]", 42, 7);
+  EXPECT_EQ(json.find('\n'), std::string::npos);
+  EXPECT_NE(json.find("\"document\":\"bib\\\"doc\""), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\\\"c\\\\d\\\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"tree\":42"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"splits\":7"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"phase\":\"parse\""), std::string::npos) << json;
+}
+
+}  // namespace
+}  // namespace xcq::obs

@@ -15,6 +15,8 @@
 
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
+#include <mutex>
 #include <iterator>
 #include <map>
 #include <string>
@@ -589,6 +591,202 @@ TEST(TcpServerTest, StopUnblocksIdleClient) {
   server.Stop();
   std::string line;
   EXPECT_FALSE(idle.ReadLine(&line));
+}
+
+// --- Observability (ISSUE 7) -----------------------------------------------
+
+/// Splits a STATS row into its ordered `key=` names (the token before
+/// the first is the document name and is skipped).
+std::vector<std::string> StatsKeys(const std::string& row) {
+  std::vector<std::string> keys;
+  size_t start = 0;
+  bool first = true;
+  while (start < row.size()) {
+    size_t end = row.find(' ', start);
+    if (end == std::string::npos) end = row.size();
+    const std::string token = row.substr(start, end - start);
+    start = end + 1;
+    if (first) {  // document name carries no '='
+      first = false;
+      continue;
+    }
+    const size_t eq = token.find('=');
+    if (eq != std::string::npos) keys.push_back(token.substr(0, eq));
+  }
+  return keys;
+}
+
+TEST(ProtocolTest, StatsFieldSetIsFrozen) {
+  const std::string xml_path = ::testing::TempDir() + "/stats_bib.xml";
+  XCQ_ASSERT_OK(xml::WriteStringToFile(xml_path, testing::BibExampleXml()));
+
+  DocumentStore store;
+  QueryService service(&store, ServiceOptions{1});
+  const std::vector<std::string> output = Converse(
+      &store, &service,
+      {"LOAD bib " + xml_path, "QUERY bib //paper/author", "STATS"});
+  ASSERT_EQ(output.size(), 4u);  // LOAD, QUERY, "OK 1", the row
+  ASSERT_EQ(output[2], "OK 1");
+
+  // The exact ordered field set of a STATS row. This list is FROZEN
+  // (docs/SERVER.md): scripts parse by position or key, so existing
+  // fields never move or vanish; new fields are appended at the end —
+  // extend this vector when (and only when) you append one.
+  const std::vector<std::string> expected = {
+      "bytes",           "vertices",       "edges",
+      "tree_nodes",      "tags",           "patterns",
+      "queries",         "batches",        "shared",
+      "parses",          "source",         "summary",
+      "visited",         "full",           "pruned",
+      "skipped",         "scratch_resident", "scratch_hits",
+      "scratch_allocs",  "traversal_builds", "summary_builds",
+      "label_s",         "minimize_s",     "qps",
+      "share_rate",      "p50_ms",         "p95_ms",
+      "p99_ms",
+  };
+  EXPECT_EQ(StatsKeys(output[3]), expected) << output[3];
+  std::remove(xml_path.c_str());
+}
+
+/// Parses exposition sample lines (from a METRICS response body) into
+/// series -> value; comment lines are skipped.
+std::map<std::string, double> ParseSamples(
+    const std::vector<std::string>& response) {
+  std::map<std::string, double> samples;
+  for (size_t i = 1; i < response.size(); ++i) {  // [0] is "OK <n>"
+    const std::string& line = response[i];
+    if (line.empty() || line[0] == '#') continue;
+    const size_t space = line.rfind(' ');
+    if (space == std::string::npos) continue;
+    samples[line.substr(0, space)] =
+        std::strtod(line.c_str() + space + 1, nullptr);
+  }
+  return samples;
+}
+
+TEST(TcpServerTest, MetricsMoveWithQueriesAndVanishOnEvict) {
+  ServerOptions options;
+  options.port = 0;
+  options.worker_threads = 2;
+  TcpServer server(options);
+  XCQ_ASSERT_OK(server.store().LoadXml("bib", testing::BibExampleXml()));
+  XCQ_ASSERT_OK(server.Start());
+
+  TestClient client(server.port());
+  ASSERT_TRUE(client.connected());
+
+  // Two queries and one two-member batch move the counters.
+  EXPECT_EQ(client.Ask("QUERY bib //paper/author").size(), 1u);
+  EXPECT_EQ(client.Ask("QUERY bib //book").size(), 1u);
+  ASSERT_TRUE(client.Send("BATCH bib 2"));
+  ASSERT_TRUE(client.Send("//paper"));
+  ASSERT_TRUE(client.Send("//book/author"));
+  std::string line;
+  ASSERT_TRUE(client.ReadLine(&line));
+  EXPECT_EQ(line, "OK 2");
+  ASSERT_TRUE(client.ReadLine(&line));
+  ASSERT_TRUE(client.ReadLine(&line));
+
+  const auto scrape = client.Ask("METRICS");
+  ASSERT_GT(scrape.size(), 1u);
+  const std::map<std::string, double> samples = ParseSamples(scrape);
+
+  const std::string doc = "{document=\"bib\"}";
+  ASSERT_TRUE(samples.count("xcq_document_queries_total" + doc));
+  EXPECT_GE(samples.at("xcq_document_queries_total" + doc), 2.0);
+  ASSERT_TRUE(samples.count("xcq_document_batches_total" + doc));
+  EXPECT_DOUBLE_EQ(samples.at("xcq_document_batches_total" + doc), 1.0);
+  ASSERT_TRUE(samples.count("xcq_query_seconds_count" + doc));
+  EXPECT_GE(samples.at("xcq_query_seconds_count" + doc), 2.0);
+  // The ISSUE's required scrape surface.
+  EXPECT_TRUE(samples.count("xcq_document_qps" + doc));
+  EXPECT_TRUE(samples.count("xcq_document_batch_share_rate" + doc));
+  EXPECT_TRUE(samples.count("xcq_document_scratch_resident" + doc));
+  EXPECT_TRUE(samples.count("xcq_query_seconds_p50" + doc));
+  EXPECT_TRUE(samples.count("xcq_query_seconds_p95" + doc));
+  EXPECT_TRUE(samples.count("xcq_query_seconds_p99" + doc));
+  EXPECT_TRUE(samples.count(
+      "xcq_sweep_prune_ratio{axis=\"downward\",document=\"bib\"}"));
+  EXPECT_TRUE(samples.count("xcq_store_documents"));
+  EXPECT_TRUE(samples.count("xcq_server_uptime_seconds"));
+  // Phase counters carry the phase label and accumulated sweep time.
+  EXPECT_TRUE(samples.count(
+      "xcq_phase_seconds_total{document=\"bib\",phase=\"sweep\"}"));
+
+  // EVICT unlists every document="bib" series; store counters remain.
+  EXPECT_EQ(client.Ask("EVICT bib").size(), 1u);
+  const auto after = client.Ask("METRICS");
+  ASSERT_GT(after.size(), 1u);
+  const std::map<std::string, double> post = ParseSamples(after);
+  for (const auto& [series, value] : post) {
+    EXPECT_EQ(series.find("document=\"bib\""), std::string::npos)
+        << series;
+  }
+  ASSERT_TRUE(post.count("xcq_store_evictions_total"));
+  EXPECT_DOUBLE_EQ(post.at("xcq_store_evictions_total"), 1.0);
+
+  client.Ask("QUIT");
+  server.Stop();
+}
+
+TEST(ProtocolTest, TraceSinkCapturesOneJsonLinePerQuery) {
+  const std::string xml_path = ::testing::TempDir() + "/trace_bib.xml";
+  XCQ_ASSERT_OK(xml::WriteStringToFile(xml_path, testing::BibExampleXml()));
+
+  StoreOptions store_options;
+  store_options.trace.mode = TraceOptions::Mode::kAll;
+  std::mutex mu;
+  std::vector<std::string> traces;
+  store_options.trace.sink = [&](std::string_view trace_line) {
+    std::lock_guard<std::mutex> lock(mu);
+    traces.emplace_back(trace_line);
+  };
+
+  DocumentStore store(store_options);
+  QueryService service(&store, ServiceOptions{1});
+  Converse(&store, &service,
+           {
+               "LOAD bib " + xml_path,
+               "QUERY bib //paper/author",
+               "BATCH bib 2",
+               "//book",
+               "//paper",
+           });
+
+  // One line for the QUERY, one per batch member.
+  ASSERT_EQ(traces.size(), 3u);
+  EXPECT_NE(traces[0].find("\"document\":\"bib\""), std::string::npos)
+      << traces[0];
+  EXPECT_NE(traces[0].find("\"query\":\"//paper/author\""),
+            std::string::npos)
+      << traces[0];
+  EXPECT_NE(traces[0].find("\"phase\":\"sweep\""), std::string::npos)
+      << traces[0];
+  EXPECT_NE(traces[0].find("\"phase\":\"serialize\""), std::string::npos)
+      << traces[0];
+  for (const std::string& t : traces) {
+    EXPECT_EQ(t.find('\n'), std::string::npos);
+    EXPECT_NE(t.find("\"spans\":["), std::string::npos) << t;
+  }
+  std::remove(xml_path.c_str());
+}
+
+TEST(ProtocolTest, SlowTraceModeSkipsFastQueries) {
+  const std::string xml_path = ::testing::TempDir() + "/slow_bib.xml";
+  XCQ_ASSERT_OK(xml::WriteStringToFile(xml_path, testing::BibExampleXml()));
+
+  StoreOptions store_options;
+  store_options.trace.mode = TraceOptions::Mode::kSlow;
+  store_options.trace.slow_threshold_s = 3600.0;  // nothing is this slow
+  std::atomic<int> emitted{0};
+  store_options.trace.sink = [&](std::string_view) { ++emitted; };
+
+  DocumentStore store(store_options);
+  QueryService service(&store, ServiceOptions{1});
+  Converse(&store, &service,
+           {"LOAD bib " + xml_path, "QUERY bib //paper/author"});
+  EXPECT_EQ(emitted.load(), 0);
+  std::remove(xml_path.c_str());
 }
 
 }  // namespace

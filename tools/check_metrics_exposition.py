@@ -1,0 +1,370 @@
+#!/usr/bin/env python3
+"""Validate a Prometheus text exposition scraped from xcq_serverd.
+
+The daemon's ``METRICS`` verb (docs/OBSERVABILITY.md) renders the
+registry as the Prometheus text format. A scrape that *looks* plausible
+can still be unscrapeable — duplicate series, samples before their
+``# TYPE``, non-monotone histogram buckets — and nothing in the server
+tests reads the exposition the way a real scraper would. This validator
+does, and the Release server-smoke CI job pipes a live scrape through
+it.
+
+Checked, in order:
+
+  * line grammar: every line is ``# HELP``, ``# TYPE``, or a sample
+    ``name{labels} value`` with parseable labels and a float value;
+  * one ``# TYPE`` per metric name, declared before any of the metric's
+    samples, with a valid type (counter / gauge / histogram);
+  * no duplicate series (name + label set appears at most once);
+  * histogram shape per labeled series: cumulative ``_bucket`` counts
+    are monotone non-decreasing in ``le`` order, the ``+Inf`` bucket
+    equals ``_count``, and ``_sum`` / ``_count`` are present;
+  * the required series of the serving stack are present whenever any
+    document series is (per-document QPS, batch share rate, scratch
+    residency, per-axis prune ratios, latency p50/p95/p99).
+
+Usage:
+    check_metrics_exposition.py <exposition-file>   # '-' reads stdin
+    check_metrics_exposition.py --self-test
+
+Exits non-zero listing every violation. ``--self-test`` runs the
+embedded good/bad payloads (the docs CI job runs this, so the validator
+cannot itself rot).
+"""
+
+import re
+import sys
+
+# Metric names that must appear (with a document label) on any scrape
+# that exposes at least one document — the ISSUE 7 scrape surface.
+REQUIRED_DOCUMENT_SERIES = [
+    "xcq_document_queries_total",
+    "xcq_document_qps",
+    "xcq_document_batch_share_rate",
+    "xcq_document_scratch_resident",
+    "xcq_query_seconds_p50",
+    "xcq_query_seconds_p95",
+    "xcq_query_seconds_p99",
+    "xcq_sweep_prune_ratio",
+    "xcq_phase_seconds_total",
+]
+
+# Store-level series that must appear on every scrape.
+REQUIRED_STORE_SERIES = [
+    "xcq_store_loads_total",
+    "xcq_store_documents",
+    "xcq_server_uptime_seconds",
+]
+
+VALID_TYPES = {"counter", "gauge", "histogram"}
+
+NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*")
+# One label: key="value" with \\, \" and \n escapes inside the value.
+LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def parse_sample(line):
+    """Returns (name, labels-dict, value-string) or an error string."""
+    match = NAME_RE.match(line)
+    if match is None:
+        return f"sample does not start with a metric name: {line!r}"
+    name = match.group(0)
+    rest = line[match.end():]
+    labels = {}
+    if rest.startswith("{"):
+        end = rest.find("}")
+        if end < 0:
+            return f"unterminated label set: {line!r}"
+        body, rest = rest[1:end], rest[end + 1:]
+        pos = 0
+        while pos < len(body):
+            label = LABEL_RE.match(body, pos)
+            if label is None:
+                return f"bad label syntax at {body[pos:]!r}: {line!r}"
+            key = label.group(1)
+            if key in labels:
+                return f"duplicate label key {key!r}: {line!r}"
+            labels[key] = label.group(2)
+            pos = label.end()
+            if pos < len(body):
+                if body[pos] != ",":
+                    return f"expected ',' between labels: {line!r}"
+                pos += 1
+    if not rest.startswith(" "):
+        return f"no space before sample value: {line!r}"
+    value = rest[1:].strip()
+    if value in ("+Inf", "-Inf", "NaN"):
+        return name, labels, value
+    try:
+        float(value)
+    except ValueError:
+        return f"unparseable sample value {value!r}: {line!r}"
+    return name, labels, value
+
+
+def base_name(name):
+    """The declared metric a sample belongs to: histogram samples are
+    rendered under <metric>_bucket / _sum / _count."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def le_key(value):
+    return float("inf") if value == "+Inf" else float(value)
+
+
+def validate(text):
+    """Returns a list of violation strings (empty = valid)."""
+    problems = []
+    types = {}          # metric name -> declared type
+    helps = set()
+    seen_series = set()  # (name, sorted label items)
+    # histogram series accumulation: (metric, labels-minus-le) -> parts
+    histograms = {}
+    sample_names = set()
+    documents = set()
+
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            problems.append(f"line {lineno}: blank line in exposition")
+            continue
+        if line.startswith("# HELP "):
+            parts = line.split(" ", 3)
+            if len(parts) < 4 or not NAME_RE.fullmatch(parts[2]):
+                problems.append(f"line {lineno}: malformed HELP: {line!r}")
+                continue
+            if parts[2] in helps:
+                problems.append(
+                    f"line {lineno}: duplicate HELP for {parts[2]}")
+            helps.add(parts[2])
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if len(parts) != 4 or not NAME_RE.fullmatch(parts[2]):
+                problems.append(f"line {lineno}: malformed TYPE: {line!r}")
+                continue
+            name, kind = parts[2], parts[3]
+            if kind not in VALID_TYPES:
+                problems.append(
+                    f"line {lineno}: invalid type {kind!r} for {name}")
+            if name in types:
+                problems.append(
+                    f"line {lineno}: duplicate TYPE for {name}")
+            if name in sample_names:
+                problems.append(
+                    f"line {lineno}: TYPE for {name} after its samples")
+            types[name] = kind
+            continue
+        if line.startswith("#"):
+            problems.append(f"line {lineno}: unknown comment: {line!r}")
+            continue
+
+        parsed = parse_sample(line)
+        if isinstance(parsed, str):
+            problems.append(f"line {lineno}: {parsed}")
+            continue
+        name, labels, value = parsed
+        metric = base_name(name)
+        sample_names.add(metric)
+        sample_names.add(name)
+
+        series_key = (name, tuple(sorted(labels.items())))
+        if series_key in seen_series:
+            problems.append(
+                f"line {lineno}: duplicate series {name}"
+                f"{dict(sorted(labels.items()))}")
+        seen_series.add(series_key)
+
+        if metric not in types and name not in types:
+            problems.append(
+                f"line {lineno}: sample for {name} has no # TYPE")
+            continue
+        declared = types.get(metric, types.get(name))
+        if "document" in labels:
+            documents.add(labels["document"])
+
+        if declared == "histogram":
+            if name == metric:
+                problems.append(
+                    f"line {lineno}: bare sample {name!r} under "
+                    "histogram type (expected _bucket/_sum/_count)")
+                continue
+            key = (metric,
+                   tuple(sorted((k, v) for k, v in labels.items()
+                                if k != "le")))
+            parts = histograms.setdefault(
+                key, {"buckets": [], "sum": None, "count": None,
+                      "line": lineno})
+            if name.endswith("_bucket"):
+                if "le" not in labels:
+                    problems.append(
+                        f"line {lineno}: histogram bucket without le")
+                    continue
+                parts["buckets"].append(
+                    (le_key(labels["le"]), float(value)))
+            elif name.endswith("_sum"):
+                parts["sum"] = float(value)
+            elif name.endswith("_count"):
+                parts["count"] = float(value)
+        elif "le" in labels:
+            problems.append(
+                f"line {lineno}: le label on non-histogram {name}")
+
+    for (metric, labels), parts in sorted(histograms.items()):
+        where = f"{metric}{{{', '.join('='.join(k) for k in labels)}}}"
+        buckets = parts["buckets"]
+        if not buckets:
+            problems.append(f"{where}: histogram with no buckets")
+            continue
+        if parts["sum"] is None:
+            problems.append(f"{where}: histogram missing _sum")
+        if parts["count"] is None:
+            problems.append(f"{where}: histogram missing _count")
+        bounds = [b for b, _ in buckets]
+        if bounds != sorted(bounds):
+            problems.append(f"{where}: bucket le bounds out of order")
+        counts = [c for _, c in buckets]
+        if any(b > a for a, b in zip(counts[1:], counts)):
+            problems.append(
+                f"{where}: cumulative bucket counts decrease")
+        if bounds and bounds[-1] != float("inf"):
+            problems.append(f"{where}: no +Inf bucket")
+        elif parts["count"] is not None and counts[-1] != parts["count"]:
+            problems.append(
+                f"{where}: +Inf bucket {counts[-1]} != _count "
+                f"{parts['count']}")
+
+    present = {name for name, _ in seen_series}
+    for required in REQUIRED_STORE_SERIES:
+        if required not in present:
+            problems.append(f"required series missing: {required}")
+    if documents:
+        for required in REQUIRED_DOCUMENT_SERIES:
+            hits = {n for n, _ in seen_series
+                    if base_name(n) == required or n == required}
+            if not hits:
+                problems.append(
+                    f"documents {sorted(documents)} exposed but "
+                    f"required series missing: {required}")
+    return problems
+
+
+# --- self test --------------------------------------------------------------
+
+GOOD_PAYLOAD = """\
+# HELP xcq_store_loads_total Documents loaded.
+# TYPE xcq_store_loads_total counter
+xcq_store_loads_total 2
+# TYPE xcq_store_documents gauge
+xcq_store_documents 1
+# TYPE xcq_server_uptime_seconds gauge
+xcq_server_uptime_seconds 12.5
+# TYPE xcq_document_queries_total counter
+xcq_document_queries_total{document="bib"} 3
+# TYPE xcq_document_qps gauge
+xcq_document_qps{document="bib"} 0.24
+# TYPE xcq_document_batch_share_rate gauge
+xcq_document_batch_share_rate{document="bib"} 1
+# TYPE xcq_document_scratch_resident gauge
+xcq_document_scratch_resident{document="bib"} 4
+# TYPE xcq_phase_seconds_total counter
+xcq_phase_seconds_total{document="bib",phase="sweep"} 0.002
+# TYPE xcq_sweep_prune_ratio gauge
+xcq_sweep_prune_ratio{axis="downward",document="bib"} 0.5
+# TYPE xcq_query_seconds histogram
+xcq_query_seconds_bucket{document="bib",le="0.001"} 1
+xcq_query_seconds_bucket{document="bib",le="0.1"} 3
+xcq_query_seconds_bucket{document="bib",le="+Inf"} 3
+xcq_query_seconds_sum{document="bib"} 0.004
+xcq_query_seconds_count{document="bib"} 3
+# TYPE xcq_query_seconds_p50 gauge
+xcq_query_seconds_p50{document="bib"} 0.001
+# TYPE xcq_query_seconds_p95 gauge
+xcq_query_seconds_p95{document="bib"} 0.09
+# TYPE xcq_query_seconds_p99 gauge
+xcq_query_seconds_p99{document="bib"} 0.098
+"""
+
+# Each bad payload must trip at least one check; the trailing comment
+# names it.
+BAD_PAYLOADS = [
+    # duplicate series
+    GOOD_PAYLOAD + "xcq_store_documents 2\n",
+    # sample without TYPE
+    GOOD_PAYLOAD + "xcq_untyped_total 1\n",
+    # non-monotone histogram
+    GOOD_PAYLOAD.replace(
+        'xcq_query_seconds_bucket{document="bib",le="0.1"} 3',
+        'xcq_query_seconds_bucket{document="bib",le="0.1"} 0'),
+    # +Inf != _count
+    GOOD_PAYLOAD.replace(
+        'xcq_query_seconds_bucket{document="bib",le="+Inf"} 3',
+        'xcq_query_seconds_bucket{document="bib",le="+Inf"} 7'),
+    # missing +Inf bucket
+    GOOD_PAYLOAD.replace(
+        'xcq_query_seconds_bucket{document="bib",le="+Inf"} 3\n', ''),
+    # required document series missing
+    GOOD_PAYLOAD.replace(
+        '# TYPE xcq_document_qps gauge\n'
+        'xcq_document_qps{document="bib"} 0.24\n', ''),
+    # required store series missing
+    GOOD_PAYLOAD.replace(
+        '# TYPE xcq_server_uptime_seconds gauge\n'
+        'xcq_server_uptime_seconds 12.5\n', ''),
+    # bad label syntax
+    GOOD_PAYLOAD + "# TYPE xcq_bad gauge\nxcq_bad{document=bib} 1\n",
+    # unparseable value
+    GOOD_PAYLOAD + "xcq_store_loads_total{document=\"x\"} banana\n",
+    # invalid declared type
+    GOOD_PAYLOAD + "# TYPE xcq_weird summary\nxcq_weird 1\n",
+]
+
+
+def self_test():
+    failures = 0
+    good_problems = validate(GOOD_PAYLOAD)
+    if good_problems:
+        failures += 1
+        print("self-test: GOOD payload flagged:")
+        for problem in good_problems:
+            print(f"  {problem}")
+    for i, payload in enumerate(BAD_PAYLOADS):
+        if not validate(payload):
+            failures += 1
+            print(f"self-test: BAD payload #{i} passed validation")
+    if failures:
+        print(f"self-test FAILED ({failures} case(s))")
+        return 1
+    print(f"self-test OK: 1 good + {len(BAD_PAYLOADS)} bad payloads "
+          "behave")
+    return 0
+
+
+def main(argv):
+    if len(argv) != 2:
+        print(__doc__.strip().splitlines()[0])
+        print(f"usage: {argv[0]} <exposition-file|-> | --self-test")
+        return 2
+    if argv[1] == "--self-test":
+        return self_test()
+    if argv[1] == "-":
+        text = sys.stdin.read()
+    else:
+        with open(argv[1], encoding="utf-8") as f:
+            text = f.read()
+    problems = validate(text)
+    if problems:
+        print(f"{len(problems)} exposition problem(s):")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    all_lines = text.splitlines()
+    samples = sum(1 for line in all_lines if not line.startswith("#"))
+    print(f"exposition OK: {len(all_lines)} lines, {samples} samples")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
