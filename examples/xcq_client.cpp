@@ -3,6 +3,7 @@
 //   ./build/examples/xcq_client <port> <request...>
 //   ./build/examples/xcq_client <port>            # read requests from stdin
 //   ./build/examples/xcq_client <port> metrics [--watch <sec>]
+//   ./build/examples/xcq_client <port> pipeline [--repeat N] [--quiet]
 //
 // Examples (against a server started with --preload=bib=bib.xml):
 //
@@ -11,6 +12,7 @@
 //   printf 'BATCH bib 2\n//paper\n//book\nQUIT\n' | xcq_client 7878
 //   xcq_client 7878 metrics                # one Prometheus scrape
 //   xcq_client 7878 metrics --watch 2      # deltas every 2 seconds
+//   printf 'QUERY bib //paper\nSTATS\n' | xcq_client 7878 pipeline --repeat 100
 //
 // The client sends each request line, then prints the response: one line
 // for LOAD/QUERY/EVICT, `OK <n>` plus n detail lines for BATCH/STATS.
@@ -20,6 +22,15 @@
 // repeatedly over one connection and prints only the series whose value
 // changed since the previous scrape, with the delta — a poor man's
 // `rate()` for eyeballing a live server.
+//
+// `pipeline` exercises the async front end: every stdin request (times
+// `--repeat`) is written without waiting for responses, from a writer
+// thread, while the main thread concurrently reads replies until EOF —
+// so the server's in-order pipelined replies and its backpressure
+// (stalled reads under a full queue) are both visible from one
+// command. After the last request the write side shuts down; the
+// server drains and closes. `--quiet` prints only the final summary
+// (`pipeline: <n> responses ...`) instead of every response line.
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
@@ -34,6 +45,7 @@
 #include <cstring>
 #include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 namespace {
@@ -54,11 +66,14 @@ int Dial(uint16_t port) {
 }
 
 bool SendLine(int fd, const std::string& line) {
+  // MSG_NOSIGNAL: in pipelined mode the server may close (QUIT, error)
+  // while requests are still being written; surface that as a failed
+  // send, not a SIGPIPE.
   const std::string framed = line + "\n";
   size_t sent = 0;
   while (sent < framed.size()) {
     const ssize_t n =
-        ::send(fd, framed.data() + sent, framed.size() - sent, 0);
+        ::send(fd, framed.data() + sent, framed.size() - sent, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
       return false;
@@ -205,6 +220,67 @@ int RunMetrics(int fd, double watch_seconds) {
   }
 }
 
+/// The `pipeline` subcommand: blast every stdin request (times
+/// `repeats`) down the socket from a writer thread while this thread
+/// reads responses until the server closes. The two must run
+/// concurrently — with enough requests in flight both directions fill,
+/// and a write-then-read client would deadlock against the server's
+/// own (correct) backpressure.
+int RunPipeline(int fd, unsigned long long repeats, bool quiet) {
+  std::vector<std::string> requests;
+  char buffer[65536];
+  while (std::fgets(buffer, sizeof(buffer), stdin) != nullptr) {
+    std::string line(buffer);
+    while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
+      line.pop_back();
+    }
+    if (!line.empty()) requests.push_back(std::move(line));
+  }
+
+  timespec start;
+  ::clock_gettime(CLOCK_MONOTONIC, &start);
+  std::thread writer([fd, &requests, repeats] {
+    for (unsigned long long rep = 0; rep < repeats; ++rep) {
+      for (const std::string& request : requests) {
+        if (!SendLine(fd, request)) return;  // server closed early
+      }
+    }
+    // No more requests: half-close so the server sees EOF, answers
+    // everything in flight, and closes — our read loop then ends.
+    ::shutdown(fd, SHUT_WR);
+  });
+
+  LineReader reader(fd);
+  unsigned long long responses = 0;
+  std::string line;
+  while (reader.ReadLine(&line)) {
+    if (!quiet) std::printf("%s\n", line.c_str());
+    unsigned long long detail_lines = 0;
+    if (std::sscanf(line.c_str(), "OK %llu", &detail_lines) == 1) {
+      bool truncated = false;
+      for (unsigned long long i = 0; i < detail_lines; ++i) {
+        if (!reader.ReadLine(&line)) {
+          truncated = true;
+          break;
+        }
+        if (!quiet) std::printf("%s\n", line.c_str());
+      }
+      if (truncated) break;
+    }
+    ++responses;
+  }
+  writer.join();
+  timespec end;
+  ::clock_gettime(CLOCK_MONOTONIC, &end);
+  const double seconds =
+      static_cast<double>(end.tv_sec - start.tv_sec) +
+      static_cast<double>(end.tv_nsec - start.tv_nsec) / 1e9;
+  std::printf("pipeline: %llu responses in %.3fs (%llu request(s) x %llu)\n",
+              responses, seconds,
+              static_cast<unsigned long long>(requests.size()), repeats);
+  return responses > 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -239,6 +315,31 @@ int main(int argc, char** argv) {
     const int metrics_status = RunMetrics(fd, watch_seconds);
     ::close(fd);
     return metrics_status;
+  }
+  if (argc >= 3 && std::strcmp(argv[2], "pipeline") == 0) {
+    unsigned long long repeats = 1;
+    bool quiet = false;
+    bool bad_args = false;
+    for (int i = 3; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--quiet") == 0) {
+        quiet = true;
+      } else if (std::strcmp(argv[i], "--repeat") == 0 && i + 1 < argc) {
+        repeats = std::strtoull(argv[++i], nullptr, 10);
+        if (repeats < 1) bad_args = true;
+      } else {
+        bad_args = true;
+      }
+    }
+    if (bad_args) {
+      std::fprintf(stderr,
+                   "usage: %s <port> pipeline [--repeat N] [--quiet]\n",
+                   argv[0]);
+      ::close(fd);
+      return 2;
+    }
+    const int pipeline_status = RunPipeline(fd, repeats, quiet);
+    ::close(fd);
+    return pipeline_status;
   }
   LineReader reader(fd);
 

@@ -39,6 +39,17 @@
 //                       (docs/OBSERVABILITY.md): off (default), all
 //                       traces every query, slow:<ms> only queries
 //                       slower than <ms> milliseconds end to end.
+//   --max-connections=N cap on concurrent client connections; excess
+//                       connects get one `ERR ResourceExhausted` line
+//                       and a close (default 0 = unlimited)
+//   --idle-timeout=SEC  disconnect clients with no traffic and nothing
+//                       in flight after SEC seconds (default 0 = never)
+//   --write-timeout=SEC disconnect clients whose pending replies make
+//                       no write progress for SEC seconds (default 0 =
+//                       never)
+//   --queue-depth=N     bound on the evaluation submission queue; a
+//                       full queue pauses socket reads (backpressure)
+//                       instead of erroring (default 256; 0 = unbounded)
 //
 // Protocol (line-oriented; try it with `nc 127.0.0.1 7878`):
 //
@@ -75,7 +86,9 @@ int Usage(const char* argv0) {
                "usage: %s [--port=N] [--threads=N] [--engine-threads=N] "
                "[--capacity-mb=N] [--preload=NAME=PATH]... "
                "[--minimize[=off|full|incremental]] "
-               "[--prune=on|off|verify] [--trace=off|slow:<ms>|all]\n",
+               "[--prune=on|off|verify] [--trace=off|slow:<ms>|all] "
+               "[--max-connections=N] [--idle-timeout=SEC] "
+               "[--write-timeout=SEC] [--queue-depth=N]\n",
                argv0);
   return 2;
 }
@@ -103,6 +116,26 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--capacity-mb=", 0) == 0) {
       options.capacity_bytes =
           std::strtoull(arg.substr(14).data(), nullptr, 10) * 1024 * 1024;
+    } else if (arg.rfind("--max-connections=", 0) == 0) {
+      options.max_connections =
+          std::strtoull(arg.substr(18).data(), nullptr, 10);
+    } else if (arg.rfind("--idle-timeout=", 0) == 0) {
+      char* end = nullptr;
+      options.idle_timeout_s = std::strtod(arg.substr(15).data(), &end);
+      if (end == arg.substr(15).data() || options.idle_timeout_s < 0) {
+        std::fprintf(stderr, "bad --idle-timeout: %s\n", argv[i]);
+        return 2;
+      }
+    } else if (arg.rfind("--write-timeout=", 0) == 0) {
+      char* end = nullptr;
+      options.write_timeout_s = std::strtod(arg.substr(16).data(), &end);
+      if (end == arg.substr(16).data() || options.write_timeout_s < 0) {
+        std::fprintf(stderr, "bad --write-timeout: %s\n", argv[i]);
+        return 2;
+      }
+    } else if (arg.rfind("--queue-depth=", 0) == 0) {
+      options.queue_depth =
+          std::strtoull(arg.substr(14).data(), nullptr, 10);
     } else if (arg.rfind("--preload=", 0) == 0) {
       const std::string_view spec = arg.substr(10);
       const size_t eq = spec.find('=');

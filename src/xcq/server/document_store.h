@@ -105,6 +105,11 @@ struct DocumentInfo {
   double p50_ms = 0.0;            ///< Query latency percentiles, from the
   double p95_ms = 0.0;            ///  same histogram METRICS exports.
   double p99_ms = 0.0;
+  uint64_t queued = 0;            ///< Tasks waiting in the service queue for
+                                  ///  this document (filled by STATS, not by
+                                  ///  StoredDocument::Info — the store does
+                                  ///  not know the service).
+  uint64_t inflight = 0;          ///< Tasks executing for this document now.
 };
 
 /// \brief A cached compressed document: a `QuerySession` plus serving

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <utility>
 
 #include "xcq/util/string_util.h"
 
@@ -23,6 +24,27 @@ std::string_view NextToken(std::string_view* rest) {
     *rest = Trim(rest->substr(space + 1));
   }
   return token;
+}
+
+/// Appends the serialize span to `outcome`'s trace and emits the
+/// one-line JSON trace when `StoreOptions::trace` says so. Thread-safe
+/// like the sink it forwards to: traces come from whatever thread
+/// served the query.
+void MaybeEmitTrace(const DocumentStore* store, const std::string& document,
+                    const std::string& query, const QueryOutcome& outcome) {
+  const TraceOptions& trace_options = store->options().trace;
+  if (trace_options.mode == TraceOptions::Mode::kOff) return;
+  if (trace_options.mode == TraceOptions::Mode::kSlow &&
+      outcome.trace.Elapsed() < trace_options.slow_threshold_s) {
+    return;
+  }
+  const std::string line = outcome.trace.ToJson(
+      document, query, outcome.selected_tree_nodes, outcome.stats.splits);
+  if (trace_options.sink) {
+    trace_options.sink(line);
+  } else {
+    std::fprintf(stderr, "%s\n", line.c_str());
+  }
 }
 
 }  // namespace
@@ -115,7 +137,7 @@ std::string FormatDocumentInfo(const DocumentInfo& info) {
       "skipped=%llu scratch_resident=%zu scratch_hits=%llu "
       "scratch_allocs=%llu traversal_builds=%llu summary_builds=%llu "
       "label_s=%.6f minimize_s=%.6f qps=%.3f share_rate=%.3f "
-      "p50_ms=%.3f p95_ms=%.3f p99_ms=%.3f",
+      "p50_ms=%.3f p95_ms=%.3f p99_ms=%.3f queued=%llu inflight=%llu",
       info.name.c_str(), info.memory_bytes, info.vertex_count,
       static_cast<unsigned long long>(info.rle_edges),
       static_cast<unsigned long long>(info.tree_nodes), info.tracked_tags,
@@ -136,7 +158,9 @@ std::string FormatDocumentInfo(const DocumentInfo& info) {
       static_cast<unsigned long long>(info.traversal_builds),
       static_cast<unsigned long long>(info.summary_builds),
       info.label_seconds, info.minimize_seconds, info.qps,
-      info.share_rate, info.p50_ms, info.p95_ms, info.p99_ms);
+      info.share_rate, info.p50_ms, info.p95_ms, info.p99_ms,
+      static_cast<unsigned long long>(info.queued),
+      static_cast<unsigned long long>(info.inflight));
 }
 
 std::string FormatError(const Status& status) {
@@ -147,22 +171,156 @@ std::string FormatError(const Status& status) {
   return "ERR " + flat;
 }
 
-void RequestHandler::MaybeEmitTrace(const std::string& document,
-                                    const std::string& query,
-                                    const QueryOutcome& outcome) const {
-  const TraceOptions& trace_options = store_->options().trace;
-  if (trace_options.mode == TraceOptions::Mode::kOff) return;
-  if (trace_options.mode == TraceOptions::Mode::kSlow &&
-      outcome.trace.Elapsed() < trace_options.slow_threshold_s) {
-    return;
+void StripTrailingCr(std::string* line) {
+  if (!line->empty() && line->back() == '\r') line->pop_back();
+}
+
+void LineFramer::Append(std::string_view bytes) {
+  // Past overflow the stream cannot be re-framed — drop everything so
+  // a hostile peer cannot grow the buffer either.
+  if (overflowed_) return;
+  data_.append(bytes);
+}
+
+LineFramer::Next LineFramer::NextLine(std::string* line) {
+  if (overflowed_) return Next::kOverflow;
+  const size_t newline = data_.find('\n', scan_);
+  if (newline == std::string::npos) {
+    scan_ = data_.size();
+    if (data_.size() > max_line_bytes_) {
+      overflowed_ = true;
+      data_.clear();
+      data_.shrink_to_fit();
+      scan_ = 0;
+      return Next::kOverflow;
+    }
+    return Next::kNeedMore;
   }
-  const std::string line = outcome.trace.ToJson(
-      document, query, outcome.selected_tree_nodes, outcome.stats.splits);
-  if (trace_options.sink) {
-    trace_options.sink(line);
-  } else {
-    std::fprintf(stderr, "%s\n", line.c_str());
+  if (newline > max_line_bytes_) {
+    overflowed_ = true;
+    data_.clear();
+    data_.shrink_to_fit();
+    scan_ = 0;
+    return Next::kOverflow;
   }
+  line->assign(data_, 0, newline);
+  StripTrailingCr(line);
+  data_.erase(0, newline + 1);
+  scan_ = 0;
+  return Next::kLine;
+}
+
+bool LineFramer::TakeResidual(std::string* line) {
+  if (overflowed_ || data_.empty()) return false;
+  *line = std::move(data_);
+  data_.clear();
+  scan_ = 0;
+  StripTrailingCr(line);
+  return true;
+}
+
+std::vector<std::string> BuildLoadReply(DocumentStore* store,
+                                        const std::string& name,
+                                        const std::string& path) {
+  const Status status = store->LoadFile(name, path);
+  if (!status.ok()) {
+    return {FormatError(status)};
+  }
+  const std::shared_ptr<StoredDocument> doc = store->Find(name);
+  // The document cannot disappear between load and lookup unless a
+  // concurrent EVICT raced us; report the load either way.
+  if (doc == nullptr) {
+    return {StrFormat("OK loaded %s", name.c_str())};
+  }
+  const DocumentInfo info = doc->Info(name);
+  return {StrFormat("OK loaded %s vertices=%zu edges=%llu bytes=%zu source=%s",
+                    name.c_str(), info.vertex_count,
+                    static_cast<unsigned long long>(info.rle_edges),
+                    info.memory_bytes, info.has_source ? "xml" : "xcqi")};
+}
+
+std::vector<std::string> BuildQueryReply(DocumentStore* store,
+                                         const std::string& name,
+                                         const std::string& query,
+                                         const QueryResponse& response) {
+  if (!response.ok()) {
+    return {FormatError(response.status())};
+  }
+  QueryOutcome outcome = response->front();
+  std::string formatted;
+  {
+    obs::QueryTrace::Scope serialize_span(&outcome.trace,
+                                          obs::Phase::kSerialize);
+    formatted = "OK " + FormatOutcome(outcome);
+  }
+  MaybeEmitTrace(store, name, query, outcome);
+  return {std::move(formatted)};
+}
+
+std::vector<std::string> BuildBatchReply(
+    DocumentStore* store, const std::string& name,
+    const std::vector<std::string>& queries, const QueryResponse& response) {
+  if (!response.ok()) {
+    return {FormatError(response.status())};
+  }
+  std::vector<std::string> lines;
+  lines.reserve(response->size() + 1);
+  lines.push_back(StrFormat("OK %zu", response->size()));
+  for (size_t i = 0; i < response->size(); ++i) {
+    QueryOutcome outcome = (*response)[i];
+    std::string formatted;
+    {
+      obs::QueryTrace::Scope serialize_span(&outcome.trace,
+                                            obs::Phase::kSerialize);
+      formatted = StrFormat("%zu ", i) + FormatOutcome(outcome);
+    }
+    MaybeEmitTrace(store, name,
+                   i < queries.size() ? queries[i] : std::string(), outcome);
+    lines.push_back(std::move(formatted));
+  }
+  return lines;
+}
+
+std::vector<std::string> BuildStatsReply(DocumentStore* store,
+                                         QueryService* service) {
+  std::vector<DocumentInfo> infos = store->Stats();
+  std::vector<std::string> lines;
+  lines.reserve(infos.size() + 1);
+  lines.push_back(StrFormat("OK %zu", infos.size()));
+  for (DocumentInfo& info : infos) {
+    if (service != nullptr) {
+      service->PendingForDocument(info.name, &info.queued, &info.inflight);
+    }
+    lines.push_back(FormatDocumentInfo(info));
+  }
+  return lines;
+}
+
+std::vector<std::string> BuildMetricsReply(DocumentStore* store) {
+  const std::string exposition = store->ScrapeMetrics();
+  // Split into lines for the `OK <n>` framing; the exposition never
+  // contains empty interior lines, and the trailing newline does not
+  // produce a phantom final line.
+  std::vector<std::string> lines;
+  lines.push_back("");  // placeholder for the OK header
+  size_t begin = 0;
+  while (begin < exposition.size()) {
+    size_t end = exposition.find('\n', begin);
+    if (end == std::string::npos) end = exposition.size();
+    lines.push_back(exposition.substr(begin, end - begin));
+    begin = end + 1;
+  }
+  lines.front() = StrFormat("OK %zu", lines.size() - 1);
+  return lines;
+}
+
+std::vector<std::string> BuildEvictReply(DocumentStore* store,
+                                         const std::string& name) {
+  if (store->Evict(name)) {
+    return {StrFormat("OK evicted %s", name.c_str())};
+  }
+  return {FormatError(Status::NotFound(
+      StrFormat("no document named '%s' is loaded", name.c_str())))};
 }
 
 bool RequestHandler::Handle(
@@ -176,53 +334,23 @@ bool RequestHandler::Handle(
   }
   const Request& request = *parsed;
 
+  std::vector<std::string> reply;
   switch (request.kind) {
     case Request::Kind::kQuit:
       write_line("OK bye");
       return false;
 
-    case Request::Kind::kLoad: {
-      const Status status = store_->LoadFile(request.name, request.path);
-      if (!status.ok()) {
-        write_line(FormatError(status));
-        return true;
-      }
-      const std::shared_ptr<StoredDocument> doc = store_->Find(request.name);
-      // The document cannot disappear between load and lookup unless a
-      // concurrent EVICT raced us; report the load either way.
-      if (doc == nullptr) {
-        write_line(StrFormat("OK loaded %s", request.name.c_str()));
-      } else {
-        const DocumentInfo info = doc->Info(request.name);
-        write_line(StrFormat(
-            "OK loaded %s vertices=%zu edges=%llu bytes=%zu source=%s",
-            request.name.c_str(), info.vertex_count,
-            static_cast<unsigned long long>(info.rle_edges),
-            info.memory_bytes, info.has_source ? "xml" : "xcqi"));
-      }
-      return true;
-    }
+    case Request::Kind::kLoad:
+      reply = BuildLoadReply(store_, request.name, request.path);
+      break;
 
     case Request::Kind::kQuery: {
       QueryJob job;
       job.document = request.name;
       job.queries.push_back(request.query);
-      const QueryResponse response =
-          service_->Submit(std::move(job)).get();
-      if (!response.ok()) {
-        write_line(FormatError(response.status()));
-      } else {
-        QueryOutcome outcome = response->front();
-        std::string formatted;
-        {
-          obs::QueryTrace::Scope serialize_span(&outcome.trace,
-                                                obs::Phase::kSerialize);
-          formatted = "OK " + FormatOutcome(outcome);
-        }
-        MaybeEmitTrace(request.name, request.query, outcome);
-        write_line(formatted);
-      }
-      return true;
+      const QueryResponse response = service_->Submit(std::move(job)).get();
+      reply = BuildQueryReply(store_, request.name, request.query, response);
+      break;
     }
 
     case Request::Kind::kBatch: {
@@ -240,71 +368,206 @@ bool RequestHandler::Handle(
         job.queries.push_back(std::move(query));
       }
       const std::vector<std::string> queries = job.queries;
-      const QueryResponse response =
-          service_->Submit(std::move(job)).get();
-      if (!response.ok()) {
-        write_line(FormatError(response.status()));
-        return true;
-      }
-      write_line(StrFormat("OK %zu", response->size()));
-      for (size_t i = 0; i < response->size(); ++i) {
-        QueryOutcome outcome = (*response)[i];
-        std::string formatted;
-        {
-          obs::QueryTrace::Scope serialize_span(&outcome.trace,
-                                                obs::Phase::kSerialize);
-          formatted = StrFormat("%zu ", i) + FormatOutcome(outcome);
-        }
-        MaybeEmitTrace(request.name,
-                       i < queries.size() ? queries[i] : std::string(),
-                       outcome);
-        write_line(formatted);
-      }
-      return true;
+      const QueryResponse response = service_->Submit(std::move(job)).get();
+      reply = BuildBatchReply(store_, request.name, queries, response);
+      break;
     }
 
-    case Request::Kind::kStats: {
-      const std::vector<DocumentInfo> infos = store_->Stats();
-      write_line(StrFormat("OK %zu", infos.size()));
-      for (const DocumentInfo& info : infos) {
-        write_line(FormatDocumentInfo(info));
-      }
-      return true;
-    }
+    case Request::Kind::kStats:
+      reply = BuildStatsReply(store_, service_);
+      break;
 
-    case Request::Kind::kMetrics: {
-      const std::string exposition = store_->ScrapeMetrics();
-      // Split into lines for the `OK <n>` framing; the exposition never
-      // contains empty interior lines, and the trailing newline does
-      // not produce a phantom final line.
-      std::vector<std::string_view> lines;
-      size_t begin = 0;
-      while (begin < exposition.size()) {
-        size_t end = exposition.find('\n', begin);
-        if (end == std::string::npos) end = exposition.size();
-        lines.push_back(
-            std::string_view(exposition).substr(begin, end - begin));
-        begin = end + 1;
-      }
-      write_line(StrFormat("OK %zu", lines.size()));
-      for (const std::string_view metric_line : lines) {
-        write_line(metric_line);
-      }
-      return true;
-    }
+    case Request::Kind::kMetrics:
+      reply = BuildMetricsReply(store_);
+      break;
 
-    case Request::Kind::kEvict: {
-      if (store_->Evict(request.name)) {
-        write_line(StrFormat("OK evicted %s", request.name.c_str()));
-      } else {
-        write_line(FormatError(Status::NotFound(StrFormat(
-            "no document named '%s' is loaded", request.name.c_str()))));
-      }
-      return true;
-    }
+    case Request::Kind::kEvict:
+      reply = BuildEvictReply(store_, request.name);
+      break;
   }
-  write_line(FormatError(Status::Internal("unhandled request kind")));
+  for (const std::string& reply_line : reply) {
+    write_line(reply_line);
+  }
   return true;
+}
+
+PipelinedHandler::PipelinedHandler(DocumentStore* store, QueryService* service,
+                                   ReplySink sink, Limits limits, Hooks hooks)
+    : store_(store),
+      service_(service),
+      sink_(std::move(sink)),
+      limits_(limits),
+      hooks_(hooks) {
+  if (limits_.max_inflight < 1) limits_.max_inflight = 1;
+}
+
+PipelinedHandler::PipelinedHandler(DocumentStore* store, QueryService* service,
+                                   ReplySink sink)
+    : PipelinedHandler(store, service, std::move(sink), Limits{}, Hooks{}) {}
+
+std::string PipelinedHandler::JoinLines(const std::vector<std::string>& lines) {
+  size_t total = 0;
+  for (const std::string& line : lines) total += line.size() + 1;
+  std::string bytes;
+  bytes.reserve(total);
+  for (const std::string& line : lines) {
+    bytes.append(line);
+    bytes.push_back('\n');
+  }
+  return bytes;
+}
+
+void PipelinedHandler::EmitNow(std::vector<std::string> lines,
+                               bool close_after) {
+  sink_(next_seq_++, JoinLines(lines), close_after);
+}
+
+PipelinedHandler::FeedResult PipelinedHandler::Feed(const std::string& line) {
+  if (closed_) return FeedResult::kClose;
+
+  if (collecting_.has_value()) {
+    // BATCH body: every line — blank included — is one query.
+    batch_body_.push_back(line);
+    if (batch_body_.size() < collecting_->batch_size) return FeedResult::kOk;
+    Request request = std::move(*collecting_);
+    collecting_.reset();
+    return Dispatch(std::move(request), std::move(batch_body_));
+  }
+
+  if (Trim(line).empty()) return FeedResult::kOk;  // blank keep-alive lines
+
+  Result<Request> parsed = ParseRequest(line);
+  if (!parsed.ok()) {
+    EmitNow({FormatError(parsed.status())}, /*close_after=*/false);
+    return FeedResult::kOk;
+  }
+
+  if (parsed->kind == Request::Kind::kBatch) {
+    collecting_ = std::move(*parsed);
+    batch_body_.clear();
+    batch_body_.reserve(collecting_->batch_size);
+    return FeedResult::kOk;
+  }
+  return Dispatch(std::move(*parsed), {});
+}
+
+PipelinedHandler::FeedResult PipelinedHandler::Dispatch(
+    Request request, std::vector<std::string> batch_queries) {
+  // QUIT and EVICT answer inline on the loop thread: both are cheap
+  // (no document lock, no evaluation) and EVICT-after-QUERY pipelines
+  // read more naturally when the evict does not overtake the queue.
+  if (request.kind == Request::Kind::kQuit) {
+    closed_ = true;
+    EmitNow({"OK bye"}, /*close_after=*/true);
+    return FeedResult::kClose;
+  }
+  if (request.kind == Request::Kind::kEvict) {
+    EmitNow(BuildEvictReply(store_, request.name), /*close_after=*/false);
+    return FeedResult::kOk;
+  }
+
+  if (inflight_.load(std::memory_order_relaxed) >= limits_.max_inflight) {
+    deferred_ = Deferred{std::move(request), std::move(batch_queries)};
+    return FeedResult::kStalled;
+  }
+
+  // The work closure runs on a QueryService worker: evaluate (or load,
+  // or scrape), format through the shared builders, hand the bytes to
+  // the sink. `self` keeps the handler alive past connection close;
+  // the payload is shared so a *refused* submission (queue full) can
+  // recover the request for parking instead of losing it.
+  const uint64_t seq = next_seq_;
+  auto self = shared_from_this();
+  auto payload = std::make_shared<Deferred>(
+      Deferred{std::move(request), std::move(batch_queries)});
+  auto work = [self, seq, payload] {
+    const Request& req = payload->request;
+    std::vector<std::string> lines;
+    switch (req.kind) {
+      case Request::Kind::kLoad:
+        lines = BuildLoadReply(self->store_, req.name, req.path);
+        break;
+      case Request::Kind::kQuery: {
+        QueryJob job;
+        job.document = req.name;
+        job.queries.push_back(req.query);
+        lines = BuildQueryReply(self->store_, req.name, req.query,
+                                self->service_->Execute(job));
+        break;
+      }
+      case Request::Kind::kBatch: {
+        QueryJob job;
+        job.document = req.name;
+        job.queries = payload->batch_queries;
+        lines = BuildBatchReply(self->store_, req.name,
+                                payload->batch_queries,
+                                self->service_->Execute(job));
+        break;
+      }
+      case Request::Kind::kStats:
+        lines = BuildStatsReply(self->store_, self->service_);
+        break;
+      case Request::Kind::kMetrics:
+        lines = BuildMetricsReply(self->store_);
+        break;
+      case Request::Kind::kEvict:
+      case Request::Kind::kQuit:
+        lines = {FormatError(Status::Internal("unreachable dispatch kind"))};
+        break;
+    }
+    self->inflight_.fetch_sub(1, std::memory_order_relaxed);
+    self->sink_(seq, JoinLines(lines), /*close_after=*/false);
+  };
+
+  // Count in flight *before* TrySubmitWork: a worker could finish the
+  // task before a post-submit fetch_add ran and the counter would go
+  // negative.
+  inflight_.fetch_add(1, std::memory_order_relaxed);
+  if (!service_->TrySubmitWork(payload->request.name, std::move(work))) {
+    // Refused — the closure was destroyed un-run, so `payload` is ours
+    // again. Park it; the caller stops reading this socket until a
+    // completion frees queue capacity.
+    inflight_.fetch_sub(1, std::memory_order_relaxed);
+    deferred_ = std::move(*payload);
+    return FeedResult::kStalled;
+  }
+  ++next_seq_;
+  if (hooks_.requests != nullptr) hooks_.requests->Increment();
+  return FeedResult::kOk;
+}
+
+PipelinedHandler::FeedResult PipelinedHandler::ResumeDeferred() {
+  if (!deferred_.has_value()) return FeedResult::kOk;
+  Deferred deferred = std::move(*deferred_);
+  deferred_.reset();
+  return Dispatch(std::move(deferred.request),
+                  std::move(deferred.batch_queries));
+}
+
+void PipelinedHandler::OnInputClosed() {
+  if (closed_) return;
+  closed_ = true;
+  if (collecting_.has_value()) {
+    // The blocking handler's early-EOF contract: answer ERR, close.
+    EmitNow({FormatError(Status::InvalidArgument(
+                StrFormat("input ended after %zu of %zu batch queries",
+                          batch_body_.size(), collecting_->batch_size)))},
+            /*close_after=*/true);
+    collecting_.reset();
+    return;
+  }
+  // Nothing mid-frame: close once everything in flight has flushed.
+  // An empty reply advances no protocol state but carries the
+  // close_after marker at the right position in the sequence.
+  EmitNow({}, /*close_after=*/true);
+}
+
+void PipelinedHandler::FeedOversized(size_t max_line_bytes) {
+  if (closed_) return;
+  closed_ = true;
+  EmitNow({FormatError(Status::InvalidArgument(StrFormat(
+              "request line exceeds %zu bytes", max_line_bytes)))},
+          /*close_after=*/true);
 }
 
 }  // namespace xcq::server

@@ -30,8 +30,25 @@
 /// separated, in the exact order documented in docs/SERVER.md; new
 /// fields are appended, existing ones never move or disappear —
 /// scripts may parse by position or by key.
+///
+/// Three layers, outermost first:
+///
+///  * `LineFramer` — incremental byte→line framing with a bounded line
+///    length, shared by the epoll front end and the fuzzer.
+///  * `Build*Reply` — pure request→response-lines functions; every
+///    front end (blocking or pipelined) formats replies through these,
+///    so both speak byte-identical protocol.
+///  * `RequestHandler` (blocking, one request at a time over abstract
+///    line I/O — the unit-test surface) and `PipelinedHandler` (the
+///    event loop's per-connection state machine: many requests in
+///    flight, replies reassembled by sequence number, admission
+///    control + per-connection in-flight limits).
 
+#include <atomic>
+#include <cstdint>
 #include <functional>
+#include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -66,12 +83,102 @@ std::string FormatDocumentInfo(const DocumentInfo& info);
 /// always stays one line.
 std::string FormatError(const Status& status);
 
+/// Default `LineFramer` bound; also the daemon's request-line cap.
+inline constexpr size_t kDefaultMaxLineBytes = 64 * 1024;
+
+/// \brief Incremental line framing over a byte stream.
+///
+/// Feed arbitrary byte chunks with `Append` (partial lines, many lines
+/// at once — however the socket delivered them) and pull complete lines
+/// with `NextLine`. Lines are LF-terminated; one trailing `\r` is
+/// stripped (so `\r\n` and `\n` are equivalent, and a bare interior
+/// `\r` stays part of the line). A line longer than `max_line_bytes`
+/// trips the **sticky overflow** state: the buffer is discarded, later
+/// `Append`s are dropped, and `NextLine` keeps answering `kOverflow` —
+/// the connection is beyond repair (the discarded bytes cannot be
+/// re-framed) and must be closed after one canonical `ERR`. This is
+/// what bounds per-connection input memory no matter what bytes arrive.
+class LineFramer {
+ public:
+  explicit LineFramer(size_t max_line_bytes = kDefaultMaxLineBytes)
+      : max_line_bytes_(max_line_bytes) {}
+
+  enum class Next {
+    kLine,      ///< `*line` holds the next complete line.
+    kNeedMore,  ///< No complete line buffered; Append more bytes.
+    kOverflow,  ///< A line exceeded the bound; the stream is unusable.
+  };
+
+  void Append(std::string_view bytes);
+
+  Next NextLine(std::string* line);
+
+  /// At end of input: the final unterminated line, if any (trailing
+  /// `\r` stripped, like a terminated line). False when nothing is
+  /// buffered or the framer overflowed.
+  bool TakeResidual(std::string* line);
+
+  size_t buffered() const { return data_.size(); }
+  bool overflowed() const { return overflowed_; }
+  size_t max_line_bytes() const { return max_line_bytes_; }
+
+ private:
+  size_t max_line_bytes_;
+  std::string data_;
+  /// Resume point for the newline scan, so repeated `kNeedMore` polls
+  /// do not rescan the prefix.
+  size_t scan_ = 0;
+  bool overflowed_ = false;
+};
+
+/// Strips one trailing '\r' (the `\r\n` tolerance) in place.
+void StripTrailingCr(std::string* line);
+
+/// \name Reply builders
+/// Each returns the complete response as lines (no terminators). They
+/// are the single source of truth for response bytes: the blocking
+/// `RequestHandler` and the event loop's `PipelinedHandler` both format
+/// through them, from whatever thread runs the work. Trace emission
+/// (`StoreOptions::trace`) happens inside the query/batch builders.
+/// @{
+
+/// Performs the load and formats its reply.
+std::vector<std::string> BuildLoadReply(DocumentStore* store,
+                                        const std::string& name,
+                                        const std::string& path);
+
+/// Formats one QUERY response (one `OK ...` or `ERR ...` line).
+std::vector<std::string> BuildQueryReply(DocumentStore* store,
+                                         const std::string& name,
+                                         const std::string& query,
+                                         const QueryResponse& response);
+
+/// Formats one BATCH response (`OK <n>` + n detail lines, or one ERR).
+std::vector<std::string> BuildBatchReply(
+    DocumentStore* store, const std::string& name,
+    const std::vector<std::string>& queries, const QueryResponse& response);
+
+/// `OK <n>` + one frozen-format line per document. `service` may be
+/// null (no queue columns — the embedder case); with a service the
+/// per-document `queued=`/`inflight=` fields read its counts.
+std::vector<std::string> BuildStatsReply(DocumentStore* store,
+                                         QueryService* service);
+
+/// `OK <n>` + the Prometheus exposition, one line each.
+std::vector<std::string> BuildMetricsReply(DocumentStore* store);
+
+/// Performs the evict and formats its reply.
+std::vector<std::string> BuildEvictReply(DocumentStore* store,
+                                         const std::string& name);
+
+/// @}
+
 /// \brief Drives one client conversation over abstract line I/O.
 ///
-/// The TCP front end runs it over a socket; tests run it over string
-/// vectors. `read_line` must yield the next input line (without the
-/// newline) and return false at end of input; `write_line` receives
-/// response lines (also without newlines).
+/// Blocking, one request at a time; tests run it over string vectors.
+/// `read_line` must yield the next input line (without the newline) and
+/// return false at end of input; `write_line` receives response lines
+/// (also without newlines).
 class RequestHandler {
  public:
   RequestHandler(DocumentStore* store, QueryService* service)
@@ -85,14 +192,129 @@ class RequestHandler {
               const std::function<void(std::string_view)>& write_line);
 
  private:
-  /// Appends the serialize span to `outcome`'s trace and emits the
-  /// one-line JSON trace when `StoreOptions::trace` says so.
-  void MaybeEmitTrace(const std::string& document,
-                      const std::string& query,
-                      const QueryOutcome& outcome) const;
+  DocumentStore* store_;
+  QueryService* service_;
+};
+
+/// \brief Per-connection protocol state machine for the epoll front end:
+/// pipelined requests, in-order replies, admission control.
+///
+/// The event loop feeds framed lines in arrival order; the handler
+/// assigns each request a **sequence number** at dispatch and hands the
+/// work to the `QueryService` pool. Completions run on worker threads,
+/// format the reply through the `Build*Reply` functions, and deliver
+/// the bytes via the `ReplySink` — the event loop reassembles them in
+/// sequence order, so replies always come back in request order even
+/// though evaluations may finish out of order. (Replies are *written*
+/// in order; side-effecting verbs — LOAD, EVICT — may still *execute*
+/// concurrently with earlier in-flight queries. A client that needs
+/// strict effect ordering waits for each reply, exactly as it would
+/// without pipelining.)
+///
+/// Backpressure: a dispatch is refused — and the request **parked**,
+/// not dropped — when this connection already has `max_inflight`
+/// requests outstanding or the service's bounded queue is full. `Feed`
+/// then answers `kStalled`; the event loop stops reading the socket
+/// (kernel TCP backpressure does the rest) and calls `ResumeDeferred`
+/// when a completion frees capacity.
+///
+/// Threading: `Feed` / `ResumeDeferred` / `OnInputClosed` /
+/// `FeedOversized` are called from the event-loop thread only. The
+/// completion path (and therefore the sink) runs on worker threads.
+/// The handler is held by `shared_ptr`; worker closures keep it alive
+/// past connection close, and the sink is responsible for tolerating
+/// completions for connections that no longer exist.
+class PipelinedHandler
+    : public std::enable_shared_from_this<PipelinedHandler> {
+ public:
+  /// Receives one complete reply: `bytes` is newline-terminated wire
+  /// data; replies must be written strictly in `seq` order (0,1,2,...).
+  /// `close_after` asks the front end to close the connection once
+  /// every reply up to and including `seq` is flushed. May be invoked
+  /// from worker threads or inline from the event-loop thread.
+  using ReplySink =
+      std::function<void(uint64_t seq, std::string bytes, bool close_after)>;
+
+  struct Limits {
+    /// Outstanding (dispatched, not yet completed) requests allowed on
+    /// this connection before `Feed` stalls it.
+    size_t max_inflight = 32;
+  };
+  struct Hooks {
+    /// Incremented once per dispatched request (optional).
+    obs::Counter* requests = nullptr;
+  };
+
+  PipelinedHandler(DocumentStore* store, QueryService* service,
+                   ReplySink sink, Limits limits, Hooks hooks);
+  /// Default limits, no hooks. (A separate overload: the nested
+  /// structs' member initializers cannot serve as `= {}` default
+  /// arguments while the enclosing class is incomplete.)
+  PipelinedHandler(DocumentStore* store, QueryService* service,
+                   ReplySink sink);
+
+  enum class FeedResult {
+    kOk,       ///< Line consumed; keep feeding.
+    kStalled,  ///< Request parked — stop reading until ResumeDeferred.
+    kClose,    ///< Conversation over (QUIT / fatal framing error); stop
+               ///< reading, flush, close.
+  };
+
+  /// Consumes one framed input line.
+  FeedResult Feed(const std::string& line);
+
+  /// Retries the parked request, if any. `kOk` means capacity was found
+  /// (or nothing was parked) and reading may resume; `kStalled` means
+  /// still no room.
+  FeedResult ResumeDeferred();
+
+  /// End of input. Emits the truncated-BATCH error if a batch body was
+  /// being collected (the blocking handler's behavior on early EOF).
+  void OnInputClosed();
+
+  /// The framer overflowed: emit the canonical oversized-line `ERR`
+  /// (close_after) — the stream cannot be re-framed.
+  void FeedOversized(size_t max_line_bytes);
+
+  bool has_deferred() const { return deferred_.has_value(); }
+
+  /// Requests dispatched but not yet completed (worker side decrements).
+  uint64_t inflight() const {
+    return inflight_.load(std::memory_order_relaxed);
+  }
+
+  /// Sequence numbers handed out so far == replies owed to the client.
+  uint64_t dispatched() const { return next_seq_; }
+
+ private:
+  struct Deferred {
+    Request request;
+    std::vector<std::string> batch_queries;
+  };
+
+  /// Admission-checks and dispatches one parsed request; parks it and
+  /// returns kStalled when out of capacity.
+  FeedResult Dispatch(Request request, std::vector<std::string> batch_queries);
+  /// Emits an already-built reply inline (loop thread), in sequence.
+  void EmitNow(std::vector<std::string> lines, bool close_after);
+  /// Response lines → newline-terminated wire bytes.
+  static std::string JoinLines(const std::vector<std::string>& lines);
 
   DocumentStore* store_;
   QueryService* service_;
+  ReplySink sink_;
+  Limits limits_;
+  Hooks hooks_;
+  /// Next sequence number to assign; loop thread only. Monotonic in
+  /// request order because nothing feeds while a request is parked.
+  uint64_t next_seq_ = 0;
+  std::atomic<uint64_t> inflight_{0};
+  /// BATCH body being collected (header seen, queries outstanding).
+  std::optional<Request> collecting_;
+  std::vector<std::string> batch_body_;
+  /// Request admitted nowhere yet — retried by ResumeDeferred.
+  std::optional<Deferred> deferred_;
+  bool closed_ = false;
 };
 
 }  // namespace xcq::server

@@ -7,8 +7,22 @@
 namespace xcq::server {
 
 QueryService::QueryService(DocumentStore* store, ServiceOptions options)
-    : store_(store) {
-  const size_t n = options.worker_threads < 1 ? 1 : options.worker_threads;
+    : store_(store), options_(options) {
+  obs::Registry* registry = store_->registry();
+  queue_depth_gauge_ = registry->GetGauge(
+      "xcq_server_queue_depth", {},
+      "Tasks waiting in the QueryService submission queue");
+  queue_limit_gauge_ = registry->GetGauge(
+      "xcq_server_queue_limit", {},
+      "Configured submission-queue bound (0 = unbounded)");
+  rejections_total_ = registry->GetCounter(
+      "xcq_server_queue_rejections_total", {},
+      "Admission-controlled submissions refused because the queue was full");
+  inflight_gauge_ =
+      registry->GetGauge("xcq_server_jobs_inflight", {},
+                         "Tasks currently executing on worker threads");
+  queue_limit_gauge_->Set(static_cast<double>(options_.queue_depth));
+  const size_t n = options_.worker_threads < 1 ? 1 : options_.worker_threads;
   workers_.reserve(n);
   for (size_t i = 0; i < n; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -24,10 +38,18 @@ QueryService::~QueryService() {
   for (std::thread& worker : workers_) worker.join();
 }
 
+void QueryService::EnqueueLocked(Task task) {
+  ++pending_[task.document].queued;
+  queue_.push_back(std::move(task));
+  ++jobs_submitted_;
+  queue_depth_gauge_->Set(static_cast<double>(queue_.size()));
+}
+
 std::future<QueryResponse> QueryService::Submit(QueryJob job) {
-  std::packaged_task<QueryResponse()> task(
+  std::string document = job.document;
+  auto task = std::make_shared<std::packaged_task<QueryResponse()>>(
       [this, job = std::move(job)] { return Execute(job); });
-  std::future<QueryResponse> future = task.get_future();
+  std::future<QueryResponse> future = task->get_future();
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (stopping_) {
@@ -38,11 +60,27 @@ std::future<QueryResponse> QueryService::Submit(QueryJob job) {
       rejected();
       return future;
     }
-    queue_.push(std::move(task));
-    ++jobs_submitted_;
+    EnqueueLocked(
+        Task{std::move(document), [task = std::move(task)] { (*task)(); }});
   }
   cv_.notify_one();
   return future;
+}
+
+bool QueryService::TrySubmitWork(std::string document,
+                                 std::function<void()> work) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_ ||
+        (options_.queue_depth > 0 && queue_.size() >= options_.queue_depth)) {
+      ++rejected_;
+      rejections_total_->Increment();
+      return false;
+    }
+    EnqueueLocked(Task{std::move(document), std::move(work)});
+  }
+  cv_.notify_one();
+  return true;
 }
 
 QueryResponse QueryService::Execute(const QueryJob& job) {
@@ -67,17 +105,64 @@ uint64_t QueryService::jobs_submitted() const {
   return jobs_submitted_;
 }
 
+uint64_t QueryService::rejected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rejected_;
+}
+
+size_t QueryService::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+size_t QueryService::jobs_inflight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return inflight_;
+}
+
+void QueryService::PendingForDocument(const std::string& document,
+                                      uint64_t* queued,
+                                      uint64_t* inflight) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = pending_.find(document);
+  if (it == pending_.end()) {
+    *queued = 0;
+    *inflight = 0;
+    return;
+  }
+  *queued = it->second.queued;
+  *inflight = it->second.inflight;
+}
+
 void QueryService::WorkerLoop() {
   while (true) {
-    std::packaged_task<QueryResponse()> task;
+    Task task;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stopping_ and drained
       task = std::move(queue_.front());
-      queue_.pop();
+      queue_.pop_front();
+      Pending& pending = pending_[task.document];
+      --pending.queued;
+      ++pending.inflight;
+      ++inflight_;
+      queue_depth_gauge_->Set(static_cast<double>(queue_.size()));
+      inflight_gauge_->Set(static_cast<double>(inflight_));
     }
-    task();
+    task.run();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      const auto it = pending_.find(task.document);
+      if (it != pending_.end()) {
+        --it->second.inflight;
+        if (it->second.queued == 0 && it->second.inflight == 0) {
+          pending_.erase(it);
+        }
+      }
+      --inflight_;
+      inflight_gauge_->Set(static_cast<double>(inflight_));
+    }
   }
 }
 

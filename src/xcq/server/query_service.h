@@ -3,25 +3,48 @@
 
 /// \file query_service.h
 /// Fixed-size worker pool that compiles and evaluates queries against
-/// `DocumentStore` documents.
+/// `DocumentStore` documents, behind a **bounded submission queue** —
+/// the admission-control point between the async front end and the
+/// evaluation workers.
 ///
-/// Every QUERY / BATCH request becomes a `QueryJob` executed on one of
-/// `worker_threads` pool threads, so the number of concurrent
+/// Every QUERY / BATCH / LOAD / STATS request becomes a task executed
+/// on one of `worker_threads` pool threads, so the number of concurrent
 /// evaluations — and therefore peak split-growth memory — is bounded no
-/// matter how many clients connect. Front ends block on the returned
-/// future; the pool is the single throttling point.
+/// matter how many clients connect. Two submission paths exist:
+///
+///  * `Submit(job)` — the embedder API: always enqueues (unbounded) and
+///    returns a future. Tests and simple callers block on it.
+///  * `TrySubmitWork(document, work)` — the front-end API: refuses
+///    (returns false, nothing enqueued) when the bounded queue
+///    (`ServiceOptions::queue_depth`) is full. The event loop reacts by
+///    *pausing the connection's socket reads* — natural TCP
+///    backpressure — and retrying when a completion frees a slot, so
+///    overload stalls clients instead of dropping or reordering work.
+///
+/// Completions are plain callbacks run on the worker thread that
+/// executed the task; the async front end's callbacks format the
+/// response and hand the bytes back to the event loop (the "completion
+/// enqueues bytes" inversion — see tcp_server.h).
 ///
 /// Batching: a job carrying N queries is evaluated via
 /// `QuerySession::RunBatch`, which unions the label sets of all N
 /// queries *before* the one merge+evaluate pass — the common-extension
 /// work is paid once per batch instead of once per query.
+///
+/// Observability: the service registers `xcq_server_queue_depth`,
+/// `xcq_server_queue_limit`, `xcq_server_queue_rejections_total`, and
+/// `xcq_server_jobs_inflight` on the store's registry
+/// (docs/OBSERVABILITY.md) and keeps per-document queued/in-flight
+/// counts for the STATS `queued=`/`inflight=` fields.
 
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
+#include <functional>
 #include <future>
+#include <map>
 #include <memory>
 #include <mutex>
-#include <queue>
 #include <string>
 #include <thread>
 #include <vector>
@@ -34,6 +57,10 @@ namespace xcq::server {
 struct ServiceOptions {
   /// Worker pool size; clamped to at least 1.
   size_t worker_threads = 4;
+  /// Bound on tasks waiting in the queue for the admission-controlled
+  /// `TrySubmitWork` path; 0 = unbounded. The blocking `Submit` path
+  /// always enqueues regardless (embedders manage their own pressure).
+  size_t queue_depth = 0;
 };
 
 /// \brief One unit of work: evaluate `queries` against document `name`.
@@ -56,8 +83,15 @@ class QueryService {
   QueryService& operator=(const QueryService&) = delete;
 
   /// Enqueues `job` for the pool; the future resolves when a worker has
-  /// evaluated it.
+  /// evaluated it. Never refused (the embedder path).
   std::future<QueryResponse> Submit(QueryJob job);
+
+  /// Admission-controlled enqueue: runs `work` on a worker thread, or
+  /// returns false *without enqueueing* when the bounded queue is full.
+  /// `document` attributes the task in the per-document queue counts
+  /// (STATS `queued=`/`inflight=`); pass "" for store-wide work.
+  /// `work` owns its own completion delivery.
+  bool TrySubmitWork(std::string document, std::function<void()> work);
 
   /// Evaluates `job` on the calling thread (the worker path, also
   /// useful for tests and simple embedders).
@@ -66,17 +100,57 @@ class QueryService {
   /// Jobs accepted so far (served + queued).
   uint64_t jobs_submitted() const;
 
+  /// TrySubmitWork refusals so far (each one paused a connection; no
+  /// request is ever dropped).
+  uint64_t rejected() const;
+
+  /// Tasks currently waiting in the queue (not yet picked by a worker).
+  size_t queue_depth() const;
+
+  /// The configured bound (0 = unbounded).
+  size_t queue_limit() const { return options_.queue_depth; }
+
+  /// Tasks currently executing on workers.
+  size_t jobs_inflight() const;
+
+  /// Queue introspection for one document: tasks waiting (`queued`) and
+  /// executing (`inflight`) right now.
+  void PendingForDocument(const std::string& document, uint64_t* queued,
+                          uint64_t* inflight) const;
+
   size_t worker_count() const { return workers_.size(); }
 
  private:
+  struct Task {
+    std::string document;
+    std::function<void()> run;
+  };
+  struct Pending {
+    uint64_t queued = 0;
+    uint64_t inflight = 0;
+  };
+
   void WorkerLoop();
+  /// Appends a task and refreshes the queue gauges; mu_ must be held.
+  void EnqueueLocked(Task task);
 
   DocumentStore* store_;
+  ServiceOptions options_;
+  /// Resolved once; registered on the store's registry so the daemon's
+  /// METRICS scrape carries the admission-control series.
+  obs::Gauge* queue_depth_gauge_;
+  obs::Gauge* queue_limit_gauge_;
+  obs::Counter* rejections_total_;
+  obs::Gauge* inflight_gauge_;
   mutable std::mutex mu_;
   std::condition_variable cv_;
-  std::queue<std::packaged_task<QueryResponse()>> queue_;
+  std::deque<Task> queue_;
+  /// Per-document queued/in-flight counts; entries erased at zero.
+  std::map<std::string, Pending> pending_;
+  size_t inflight_ = 0;
   bool stopping_ = false;
   uint64_t jobs_submitted_ = 0;
+  uint64_t rejected_ = 0;
   std::vector<std::thread> workers_;
 };
 

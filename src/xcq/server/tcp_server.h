@@ -2,22 +2,49 @@
 #define XCQ_SERVER_TCP_SERVER_H_
 
 /// \file tcp_server.h
-/// `xcq_serverd`'s front end: a POSIX TCP listener speaking the line
-/// protocol of protocol.h.
+/// `xcq_serverd`'s front end: a non-blocking **epoll event loop**
+/// speaking the line protocol of protocol.h with pipelined requests.
 ///
-/// Threading model (three layers, each bounded):
-///  * one accept thread,
-///  * one connection thread per client, which only parses lines and
-///    blocks on futures — it never evaluates queries itself,
-///  * the `QueryService` worker pool, where all evaluation happens.
+/// One event-loop thread owns every socket: edge-triggered
+/// accept/read/write, per-connection input framing (`LineFramer`) and a
+/// coalescing output buffer. Requests are dispatched to the
+/// `QueryService` worker pool through a `PipelinedHandler` per
+/// connection — many requests from one socket may be in flight at once;
+/// completions run on worker threads, format the reply bytes, and post
+/// them back to the loop (eventfd wakeup), which reassembles them in
+/// sequence order. Replies therefore always come back in request order.
 ///
-/// So the expensive, memory-growing work is capped at `worker_threads`
-/// regardless of client count, and a slow query on one document never
-/// blocks queries against other documents.
+/// Backpressure, outside-in:
+///  * `max_connections` caps sockets; excess connects get one `ERR
+///    ResourceExhausted` line and a close.
+///  * Per-connection `max_inflight_per_connection` and the service's
+///    bounded `queue_depth` gate dispatch; when either is exhausted the
+///    parked request stays parked and the loop **stops reading that
+///    socket** — kernel TCP backpressure stalls the client, nothing is
+///    dropped or reordered — until a completion frees capacity.
+///  * `write_high_watermark` bounds the output buffer of a slow reader
+///    the same way: reads pause until the backlog flushes.
+///  * `max_line_bytes` bounds input framing; an oversized request line
+///    gets a canonical `ERR` and the connection closes (the stream
+///    cannot be re-framed).
+///
+/// Timers: `idle_timeout_s` disconnects connections with no traffic and
+/// nothing owed; `write_timeout_s` disconnects peers that stop draining
+/// their replies. `Stop()` drains gracefully — in-flight requests are
+/// answered and flushed (bounded by `drain_timeout_s`), idle
+/// connections close immediately.
+///
+/// All evaluation still happens in the worker pool, so the expensive,
+/// memory-growing work stays capped at `worker_threads` regardless of
+/// client count, and the loop thread never runs a query, a LOAD, or a
+/// STATS/METRICS scrape (all of which can block on document locks).
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -42,6 +69,28 @@ struct ServerOptions {
   SessionOptions session;
   /// Per-query trace logging (`--trace=off|slow:<ms>|all`).
   TraceOptions trace;
+  /// Concurrent-connection cap; 0 = unlimited (`--max-connections`).
+  size_t max_connections = 0;
+  /// Disconnect a connection with no traffic and nothing in flight
+  /// after this many seconds; 0 = never (`--idle-timeout`).
+  double idle_timeout_s = 0.0;
+  /// Disconnect a peer whose pending replies make no write progress
+  /// for this many seconds; 0 = never (`--write-timeout`).
+  double write_timeout_s = 0.0;
+  /// Bound on the QueryService submission queue (`--queue-depth`);
+  /// 0 = unbounded. Full queue = stalled sockets, not errors.
+  size_t queue_depth = 256;
+  /// Outstanding requests allowed per connection before its reads stall.
+  size_t max_inflight_per_connection = 32;
+  /// Request-line length cap; longer lines answer a canonical ERR and
+  /// close (the framing cannot recover).
+  size_t max_line_bytes = kDefaultMaxLineBytes;
+  /// Pause reading a connection whose unflushed output exceeds this
+  /// (the slow-reader guard); resumes when the backlog flushes.
+  size_t write_high_watermark = size_t{1} << 20;
+  /// Graceful-shutdown bound: Stop() force-closes connections still
+  /// owing replies after this many seconds.
+  double drain_timeout_s = 30.0;
 };
 
 class TcpServer {
@@ -54,12 +103,14 @@ class TcpServer {
   TcpServer(const TcpServer&) = delete;
   TcpServer& operator=(const TcpServer&) = delete;
 
-  /// Binds, listens, and spawns the accept thread. After an OK return,
-  /// `port()` is the actually-bound port.
+  /// Binds, listens, and spawns the event-loop thread. After an OK
+  /// return, `port()` is the actually-bound port.
   Status Start();
 
-  /// Closes the listener, wakes every connection, joins all threads.
-  /// Idempotent; also run by the destructor.
+  /// Graceful drain: stops accepting, closes idle connections
+  /// immediately, answers and flushes everything in flight (bounded by
+  /// `drain_timeout_s`), then joins the loop. Idempotent; also run by
+  /// the destructor.
   void Stop();
 
   uint16_t port() const { return port_; }
@@ -67,33 +118,80 @@ class TcpServer {
   DocumentStore& store() { return store_; }
   QueryService& service() { return service_; }
 
-  /// Connections accepted so far.
+  /// Connections accepted (admitted, not rejected) so far.
   uint64_t connections_accepted() const { return connections_accepted_; }
 
  private:
-  struct Connection {
-    std::thread thread;
-    /// Set by the connection thread as its last act, so the accept loop
-    /// can reap finished threads without blocking on live ones.
-    std::shared_ptr<std::atomic<bool>> done;
+  /// A reply formatted by a worker, waiting for the loop to flush it.
+  struct Completion {
+    uint64_t conn_id = 0;
+    uint64_t seq = 0;
+    std::string bytes;
+    bool close_after = false;
   };
 
-  void AcceptLoop();
-  void ServeConnection(int fd);
-  /// Joins and drops finished connection threads; conn_mu_ must be held.
-  void ReapFinishedLocked();
+  struct Conn;
+
+  void EventLoop();
+  void AcceptNew();
+  void ReadFromConn(Conn* conn);
+  /// Pulls framed lines out of the connection's buffer into the
+  /// handler until it needs more bytes, stalls, or closes.
+  void ProcessInput(Conn* conn);
+  void HandleEof(Conn* conn);
+  /// Moves ready in-sequence replies to the output buffer and writes.
+  /// False when the connection was closed.
+  bool FlushConn(Conn* conn);
+  bool WriteOut(Conn* conn);
+  void DrainCompletions();
+  /// Re-tries parked requests after completions freed capacity.
+  void RetryStalled();
+  void CheckTimers();
+  /// First Stop() observation: close the listener, close idle conns.
+  void BeginDrain();
+  /// Closes conns that owe nothing; true when none remain.
+  bool DrainStep();
+  void UpdateEvents(Conn* conn);
+  void CloseConn(uint64_t id);
+  void PostCompletion(Completion completion);
+  void WakeLoop();
+  /// True when the connection owes the client nothing.
+  static bool ConnFinished(const Conn& conn);
 
   ServerOptions options_;
   DocumentStore store_;
+
+  /// Completion plumbing, shared with worker threads. Declared before
+  /// `service_`: its destructor joins workers whose closures still post
+  /// completions, so this must outlive it.
+  std::mutex completion_mu_;
+  std::vector<Completion> completions_;
+  int event_fd_ = -1;  ///< Guarded by completion_mu_ for write/close.
+
   QueryService service_;
-  std::atomic<int> listen_fd_{-1};
+
+  /// Front-end metric handles, resolved once in the constructor.
+  obs::Gauge* connections_gauge_;
+  obs::Counter* connections_total_;
+  obs::Counter* rejected_total_;
+  obs::Gauge* stalled_gauge_;
+  obs::Counter* stalls_total_;
+  obs::Counter* idle_disconnects_total_;
+  obs::Counter* write_timeouts_total_;
+  obs::Counter* pipelined_requests_total_;
+
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
   uint16_t port_ = 0;
   std::atomic<bool> stopping_{false};
   std::atomic<uint64_t> connections_accepted_{0};
-  std::thread accept_thread_;
-  std::mutex conn_mu_;
-  std::vector<Connection> connections_;
-  std::vector<int> open_fds_;
+  std::thread loop_thread_;
+
+  /// Everything below is owned by the event-loop thread.
+  std::map<uint64_t, std::unique_ptr<Conn>> conns_;
+  uint64_t next_conn_id_ = 2;  ///< 0 = listener, 1 = eventfd.
+  bool draining_ = false;
+  std::chrono::steady_clock::time_point drain_deadline_{};
 };
 
 }  // namespace xcq::server

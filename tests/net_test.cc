@@ -1,0 +1,725 @@
+// Protocol torture tests for the epoll front end (ISSUE 8): incremental
+// line framing (byte-at-a-time and randomly split frames), pipelining
+// with strict in-order replies, admission-control backpressure (full
+// submission queue stalls the socket, nothing dropped or reordered),
+// slow-reader write backpressure, idle/write timeouts, the
+// connection cap, oversized-line handling, and graceful-shutdown drain
+// with queries still in flight — all against real loopback sockets.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <map>
+#include <memory>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "xcq/api.h"
+
+namespace xcq::server {
+namespace {
+
+// Tags t0/t1/t2 match testing::RandomXml(seed, nodes, /*tag_count=*/3).
+const char* kStormQueries[] = {
+    "//t0",
+    "//t1/t2",
+    "//t0[t1]",
+    "//t2/parent::t1",
+    "//t1[not(t2)]",
+    "//t0/descendant::t2",
+    "//t1/following-sibling::t2",
+    "//t2/ancestor::t0",
+    "/descendant-or-self::t1[t0 or t2]",
+    "//t0[t1/t2]",
+};
+constexpr size_t kStormQueryCount = std::size(kStormQueries);
+
+std::string StormXml() { return testing::RandomXml(1234, 1500, 3); }
+
+/// Single-threaded reference: tree-node count per query. Tree counts
+/// are the semantic result and are independent of evaluation order, so
+/// they identify which reply answered which request.
+std::map<std::string, uint64_t> ReferenceCounts(const std::string& xml) {
+  auto session = QuerySession::Open(xml);
+  EXPECT_TRUE(session.ok());
+  std::map<std::string, uint64_t> counts;
+  for (const char* query : kStormQueries) {
+    auto outcome = session->Run(query);
+    EXPECT_TRUE(outcome.ok()) << query << ": " << outcome.status();
+    counts[query] = outcome->selected_tree_nodes;
+  }
+  return counts;
+}
+
+/// Polls `pred` until it holds or ~5 seconds pass.
+bool WaitFor(const std::function<bool()>& pred) {
+  for (int i = 0; i < 1000; ++i) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return pred();
+}
+
+/// Blocking loopback client. Unlike server_test's one-line-at-a-time
+/// helper this one can ship raw pre-framed byte streams (pipelining,
+/// split frames) and half-close its write side.
+class NetClient {
+ public:
+  explicit NetClient(uint16_t port, int rcvbuf_bytes = 0) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (rcvbuf_bytes > 0) {
+      ::setsockopt(fd_, SOL_SOCKET, SO_RCVBUF, &rcvbuf_bytes,
+                   sizeof(rcvbuf_bytes));
+    }
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) < 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+  ~NetClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  bool connected() const { return fd_ >= 0; }
+
+  /// Bounds every blocking recv so a server bug fails the test instead
+  /// of hanging it.
+  void SetRecvTimeout(int seconds) {
+    timeval tv{};
+    tv.tv_sec = seconds;
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  }
+
+  bool SendRaw(const std::string& bytes) {
+    size_t sent = 0;
+    while (sent < bytes.size()) {
+      const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                               MSG_NOSIGNAL);
+      if (n <= 0) return false;
+      sent += static_cast<size_t>(n);
+    }
+    return true;
+  }
+
+  bool Send(const std::string& line) { return SendRaw(line + "\n"); }
+
+  void ShutdownWrite() { ::shutdown(fd_, SHUT_WR); }
+
+  bool ReadLine(std::string* line) {
+    line->clear();
+    while (true) {
+      const size_t newline = buffer_.find('\n');
+      if (newline != std::string::npos) {
+        *line = buffer_.substr(0, newline);
+        buffer_.erase(0, newline + 1);
+        return true;
+      }
+      char chunk[4096];
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) return false;
+      buffer_.append(chunk, static_cast<size_t>(n));
+    }
+  }
+
+  /// Reads one response unit: the header line plus, for `OK <n>`
+  /// headers, the n detail lines.
+  std::vector<std::string> ReadResponse() {
+    std::vector<std::string> response;
+    std::string line;
+    if (!ReadLine(&line)) return response;
+    response.push_back(line);
+    unsigned long long details = 0;
+    if (std::sscanf(line.c_str(), "OK %llu", &details) == 1) {
+      for (unsigned long long i = 0; i < details; ++i) {
+        if (!ReadLine(&line)) break;
+        response.push_back(line);
+      }
+    }
+    return response;
+  }
+
+  std::vector<std::string> Ask(const std::string& request) {
+    if (!Send(request)) return {};
+    return ReadResponse();
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+uint64_t TreeCount(const std::string& reply_line) {
+  unsigned long long dag = 0, tree = 0;
+  EXPECT_EQ(std::sscanf(reply_line.c_str(), "OK dag=%llu tree=%llu", &dag,
+                        &tree),
+            2)
+      << reply_line;
+  return tree;
+}
+
+/// Strips the run-dependent timing fields so replies can be compared
+/// across servers: "OK dag=8 tree=21 splits=3 label_s=…" → prefix.
+std::string StripTimings(const std::string& line) {
+  const size_t pos = line.find(" label_s=");
+  return pos == std::string::npos ? line : line.substr(0, pos);
+}
+
+double Counter(TcpServer& server, const char* name) {
+  return server.store().registry()->CounterValue(name, obs::LabelSet{});
+}
+
+double Gauge(TcpServer& server, const char* name) {
+  return server.store().registry()->GaugeValue(name, obs::LabelSet{});
+}
+
+ServerOptions BaseOptions(size_t worker_threads) {
+  ServerOptions options;
+  options.port = 0;
+  options.worker_threads = worker_threads;
+  return options;
+}
+
+// --- LineFramer ------------------------------------------------------------
+
+TEST(LineFramerTest, ByteAtATimeReassemblesLines) {
+  LineFramer framer;
+  const std::string stream = "QUERY doc //t0\r\nSTATS\n\nQUIT\r\n";
+  std::vector<std::string> lines;
+  for (char byte : stream) {
+    framer.Append(std::string_view(&byte, 1));
+    std::string line;
+    while (framer.NextLine(&line) == LineFramer::Next::kLine) {
+      lines.push_back(line);
+    }
+  }
+  EXPECT_EQ(lines,
+            (std::vector<std::string>{"QUERY doc //t0", "STATS", "", "QUIT"}));
+  EXPECT_EQ(framer.buffered(), 0u);
+}
+
+TEST(LineFramerTest, RandomSplitsPreserveOrderAndContent) {
+  std::vector<std::string> expected;
+  std::string stream;
+  for (int i = 0; i < 200; ++i) {
+    expected.push_back("line-" + std::to_string(i));
+    stream += expected.back() + (i % 3 == 0 ? "\r\n" : "\n");
+  }
+  for (uint32_t seed : {1u, 7u, 42u}) {
+    std::mt19937 rng(seed);
+    LineFramer framer;
+    std::vector<std::string> lines;
+    size_t offset = 0;
+    while (offset < stream.size()) {
+      const size_t chunk = std::min<size_t>(
+          1 + rng() % 17, stream.size() - offset);
+      framer.Append(std::string_view(stream).substr(offset, chunk));
+      offset += chunk;
+      std::string line;
+      while (framer.NextLine(&line) == LineFramer::Next::kLine) {
+        lines.push_back(line);
+      }
+    }
+    EXPECT_EQ(lines, expected) << "seed " << seed;
+  }
+}
+
+TEST(LineFramerTest, BareCrIsContentOnlyCrLfIsTerminator) {
+  LineFramer framer;
+  framer.Append("a\r\nb\rc\nx\r\r\n\r\n");
+  std::string line;
+  ASSERT_EQ(framer.NextLine(&line), LineFramer::Next::kLine);
+  EXPECT_EQ(line, "a");  // \r\n terminator, CR stripped
+  ASSERT_EQ(framer.NextLine(&line), LineFramer::Next::kLine);
+  EXPECT_EQ(line, "b\rc");  // interior bare CR is content
+  ASSERT_EQ(framer.NextLine(&line), LineFramer::Next::kLine);
+  EXPECT_EQ(line, "x\r");  // only ONE trailing CR stripped
+  ASSERT_EQ(framer.NextLine(&line), LineFramer::Next::kLine);
+  EXPECT_EQ(line, "");  // bare \r\n frames an empty line
+  EXPECT_EQ(framer.NextLine(&line), LineFramer::Next::kNeedMore);
+}
+
+TEST(LineFramerTest, ResidualReturnsFinalUnterminatedLine) {
+  LineFramer framer;
+  framer.Append("STATS\nQUIT\r");
+  std::string line;
+  ASSERT_EQ(framer.NextLine(&line), LineFramer::Next::kLine);
+  EXPECT_EQ(line, "STATS");
+  EXPECT_EQ(framer.NextLine(&line), LineFramer::Next::kNeedMore);
+  std::string residual;
+  ASSERT_TRUE(framer.TakeResidual(&residual));
+  EXPECT_EQ(residual, "QUIT");  // trailing CR stripped like a real line
+  EXPECT_FALSE(framer.TakeResidual(&residual));
+}
+
+TEST(LineFramerTest, OverflowIsStickyAndDropsTheBuffer) {
+  LineFramer framer(8);
+  framer.Append("0123456789abcdef");  // no newline, past the bound
+  std::string line;
+  EXPECT_EQ(framer.NextLine(&line), LineFramer::Next::kOverflow);
+  EXPECT_TRUE(framer.overflowed());
+  EXPECT_EQ(framer.buffered(), 0u) << "overflow must not retain bytes";
+  framer.Append("OK\n");  // later bytes cannot resynchronize the stream
+  EXPECT_EQ(framer.NextLine(&line), LineFramer::Next::kOverflow);
+  std::string residual;
+  EXPECT_FALSE(framer.TakeResidual(&residual));
+}
+
+TEST(LineFramerTest, TerminatedButOversizedLineAlsoOverflows) {
+  LineFramer framer(8);
+  framer.Append("way-too-long-line\nSHORT\n");
+  std::string line;
+  EXPECT_EQ(framer.NextLine(&line), LineFramer::Next::kOverflow);
+  EXPECT_EQ(framer.NextLine(&line), LineFramer::Next::kOverflow)
+      << "the short line after the bad one must not be resurrected";
+}
+
+TEST(LineFramerTest, LinesAtExactlyTheBoundPass) {
+  LineFramer framer(8);
+  framer.Append("12345678\n");  // 8 bytes + terminator
+  std::string line;
+  ASSERT_EQ(framer.NextLine(&line), LineFramer::Next::kLine);
+  EXPECT_EQ(line, "12345678");
+  EXPECT_FALSE(framer.overflowed());
+}
+
+// --- Pipelining and framing over real sockets ------------------------------
+
+class NetPipelineTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(NetPipelineTest, PipelinedRequestsAnsweredInOrder) {
+  const std::string xml = StormXml();
+  const std::map<std::string, uint64_t> reference = ReferenceCounts(xml);
+
+  TcpServer server(BaseOptions(/*worker_threads=*/GetParam()));
+  XCQ_ASSERT_OK(server.store().LoadXml("doc", xml));
+  XCQ_ASSERT_OK(server.Start());
+
+  constexpr size_t kRequests = 60;
+  std::string payload;
+  for (size_t i = 0; i < kRequests; ++i) {
+    payload += std::string("QUERY doc ") + kStormQueries[i % kStormQueryCount];
+    payload += "\n";
+  }
+
+  NetClient client(server.port());
+  ASSERT_TRUE(client.connected());
+  client.SetRecvTimeout(30);
+  ASSERT_TRUE(client.SendRaw(payload));  // all 60 on the wire at once
+
+  for (size_t i = 0; i < kRequests; ++i) {
+    const char* query = kStormQueries[i % kStormQueryCount];
+    std::string line;
+    ASSERT_TRUE(client.ReadLine(&line)) << "reply " << i;
+    EXPECT_EQ(TreeCount(line), reference.at(query))
+        << "reply " << i << " should answer " << query;
+  }
+  EXPECT_EQ(Counter(server, "xcq_server_pipelined_requests_total"), kRequests);
+}
+
+INSTANTIATE_TEST_SUITE_P(WorkerThreads, NetPipelineTest,
+                         ::testing::Values(1, 4));
+
+TEST(NetTest, ByteAtATimeFramesOverSocket) {
+  TcpServer server(BaseOptions(2));
+  XCQ_ASSERT_OK(server.store().LoadXml("doc", testing::BibExampleXml()));
+  XCQ_ASSERT_OK(server.Start());
+
+  NetClient client(server.port());
+  ASSERT_TRUE(client.connected());
+  client.SetRecvTimeout(30);
+  const std::string stream = "QUERY doc //paper/author\r\nSTATS\n";
+  for (char byte : stream) {
+    ASSERT_TRUE(client.SendRaw(std::string(1, byte)));
+  }
+  std::string line;
+  ASSERT_TRUE(client.ReadLine(&line));
+  EXPECT_EQ(TreeCount(line), 2u);
+  const std::vector<std::string> stats = client.ReadResponse();
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_EQ(stats[0], "OK 1");
+}
+
+TEST(NetTest, RandomlySplitFramesOverSocket) {
+  const std::string xml = StormXml();
+  const std::map<std::string, uint64_t> reference = ReferenceCounts(xml);
+
+  TcpServer server(BaseOptions(2));
+  XCQ_ASSERT_OK(server.store().LoadXml("doc", xml));
+  XCQ_ASSERT_OK(server.Start());
+
+  constexpr size_t kRequests = 30;
+  std::string payload;
+  for (size_t i = 0; i < kRequests; ++i) {
+    payload += std::string("QUERY doc ") + kStormQueries[i % kStormQueryCount];
+    payload += i % 2 == 0 ? "\r\n" : "\n";
+  }
+
+  NetClient client(server.port());
+  ASSERT_TRUE(client.connected());
+  client.SetRecvTimeout(30);
+  std::mt19937 rng(20260807);
+  size_t offset = 0;
+  while (offset < payload.size()) {
+    const size_t chunk =
+        std::min<size_t>(1 + rng() % 13, payload.size() - offset);
+    ASSERT_TRUE(client.SendRaw(payload.substr(offset, chunk)));
+    offset += chunk;
+  }
+  for (size_t i = 0; i < kRequests; ++i) {
+    const char* query = kStormQueries[i % kStormQueryCount];
+    std::string line;
+    ASSERT_TRUE(client.ReadLine(&line)) << "reply " << i;
+    EXPECT_EQ(TreeCount(line), reference.at(query)) << "reply " << i;
+  }
+}
+
+TEST(NetTest, BlankAndCrLfLinesAreTolerated) {
+  TcpServer server(BaseOptions(1));
+  XCQ_ASSERT_OK(server.store().LoadXml("doc", testing::BibExampleXml()));
+  XCQ_ASSERT_OK(server.Start());
+
+  NetClient client(server.port());
+  ASSERT_TRUE(client.connected());
+  client.SetRecvTimeout(30);
+  // Blank lines (both flavours) between requests are skipped, not errors.
+  ASSERT_TRUE(client.SendRaw("\r\n\nQUERY doc //paper\r\n\r\nQUIT\r\n"));
+  std::string line;
+  ASSERT_TRUE(client.ReadLine(&line));
+  EXPECT_EQ(line.rfind("OK dag=", 0), 0u) << line;
+  ASSERT_TRUE(client.ReadLine(&line));
+  EXPECT_EQ(line, "OK bye");
+  EXPECT_FALSE(client.ReadLine(&line)) << "QUIT must close the connection";
+}
+
+TEST(NetTest, FinalUnterminatedLineIsServedAtEof) {
+  TcpServer server(BaseOptions(1));
+  XCQ_ASSERT_OK(server.store().LoadXml("doc", testing::BibExampleXml()));
+  XCQ_ASSERT_OK(server.Start());
+
+  NetClient client(server.port());
+  ASSERT_TRUE(client.connected());
+  client.SetRecvTimeout(30);
+  ASSERT_TRUE(client.SendRaw("QUERY doc //paper/author"));  // no newline
+  client.ShutdownWrite();
+  std::string line;
+  ASSERT_TRUE(client.ReadLine(&line));
+  EXPECT_EQ(TreeCount(line), 2u);
+  EXPECT_FALSE(client.ReadLine(&line)) << "server closes after EOF drain";
+}
+
+TEST(NetTest, OversizedLineGetsCanonicalErrAndClose) {
+  ServerOptions options = BaseOptions(1);
+  options.max_line_bytes = 64;
+  TcpServer server(options);
+  XCQ_ASSERT_OK(server.Start());
+
+  {
+    NetClient client(server.port());
+    ASSERT_TRUE(client.connected());
+    client.SetRecvTimeout(30);
+    ASSERT_TRUE(client.SendRaw(std::string(200, 'a') + "\nSTATS\n"));
+    std::string line;
+    ASSERT_TRUE(client.ReadLine(&line));
+    EXPECT_EQ(line.rfind("ERR InvalidArgument", 0), 0u) << line;
+    EXPECT_NE(line.find("exceeds 64 bytes"), std::string::npos) << line;
+    EXPECT_FALSE(client.ReadLine(&line))
+        << "the stream cannot be re-framed; STATS must not be answered";
+  }
+  {
+    // Same bound hit without ever seeing a newline.
+    NetClient client(server.port());
+    ASSERT_TRUE(client.connected());
+    client.SetRecvTimeout(30);
+    ASSERT_TRUE(client.SendRaw(std::string(200, 'b')));
+    std::string line;
+    ASSERT_TRUE(client.ReadLine(&line));
+    EXPECT_EQ(line.rfind("ERR InvalidArgument", 0), 0u) << line;
+    EXPECT_FALSE(client.ReadLine(&line));
+  }
+}
+
+// --- Backpressure ----------------------------------------------------------
+
+TEST(NetTest, FullSubmissionQueueStallsSocketWithoutDropsOrReorders) {
+  const std::string xml = StormXml();
+  const std::map<std::string, uint64_t> reference = ReferenceCounts(xml);
+
+  ServerOptions options = BaseOptions(/*worker_threads=*/1);
+  options.queue_depth = 1;  // one task queued behind the running one
+  options.max_inflight_per_connection = 64;  // queue is the bottleneck
+  TcpServer server(options);
+  XCQ_ASSERT_OK(server.store().LoadXml("doc", xml));
+  XCQ_ASSERT_OK(server.Start());
+
+  constexpr size_t kRequests = 80;
+  std::string payload;
+  for (size_t i = 0; i < kRequests; ++i) {
+    payload += std::string("QUERY doc ") + kStormQueries[i % kStormQueryCount];
+    payload += "\n";
+  }
+
+  NetClient client(server.port());
+  ASSERT_TRUE(client.connected());
+  client.SetRecvTimeout(60);
+  ASSERT_TRUE(client.SendRaw(payload));
+
+  for (size_t i = 0; i < kRequests; ++i) {
+    const char* query = kStormQueries[i % kStormQueryCount];
+    std::string line;
+    ASSERT_TRUE(client.ReadLine(&line)) << "reply " << i << " dropped";
+    EXPECT_EQ(TreeCount(line), reference.at(query))
+        << "reply " << i << " out of order";
+  }
+  // The bounded queue must actually have refused dispatches (parking
+  // the request and pausing the socket) — otherwise this test proved
+  // nothing about the stall path.
+  EXPECT_GT(server.service().rejected(), 0u);
+  EXPECT_GT(Counter(server, "xcq_server_queue_rejections_total"), 0.0);
+  EXPECT_GT(Counter(server, "xcq_server_stalls_total"), 0.0);
+  EXPECT_EQ(Gauge(server, "xcq_server_stalled_connections"), 0.0)
+      << "all stalls must have been resumed";
+}
+
+TEST(NetTest, SlowReaderHitsWriteWatermarkThenDrains) {
+  ServerOptions options = BaseOptions(2);
+  options.write_high_watermark = 1024;
+  options.max_inflight_per_connection = 256;
+  options.queue_depth = 0;  // only the write watermark can stall
+  TcpServer server(options);
+  XCQ_ASSERT_OK(server.store().LoadXml("doc", testing::BibExampleXml()));
+  XCQ_ASSERT_OK(server.Start());
+
+  // Enough reply volume (~9 KB per METRICS scrape) to overrun even an
+  // autotuned kernel send buffer (tcp_wmem grows to ~4 MB).
+  constexpr size_t kRequests = 600;
+  std::string payload;
+  for (size_t i = 0; i < kRequests; ++i) payload += "METRICS\n";
+
+  // A tiny receive buffer makes the kernel window fill fast, so the
+  // server's output backlog crosses the watermark while we sit idle.
+  NetClient client(server.port(), /*rcvbuf_bytes=*/4096);
+  ASSERT_TRUE(client.connected());
+  client.SetRecvTimeout(60);
+  ASSERT_TRUE(client.SendRaw(payload));
+
+  ASSERT_TRUE(WaitFor([&] {
+    return Counter(server, "xcq_server_stalls_total") > 0.0;
+  })) << "slow reader never stalled the connection";
+
+  // Now drain: every reply must still arrive, well-formed and counted.
+  for (size_t i = 0; i < kRequests; ++i) {
+    const std::vector<std::string> response = client.ReadResponse();
+    ASSERT_FALSE(response.empty()) << "reply " << i << " lost";
+    EXPECT_EQ(response[0].rfind("OK ", 0), 0u) << response[0];
+  }
+  EXPECT_TRUE(WaitFor([&] {
+    return Gauge(server, "xcq_server_stalled_connections") == 0.0;
+  }));
+}
+
+// --- Limits and timeouts ---------------------------------------------------
+
+TEST(NetTest, ConnectionCapRejectsExcessClientsWithOneErrLine) {
+  ServerOptions options = BaseOptions(1);
+  options.max_connections = 1;
+  TcpServer server(options);
+  XCQ_ASSERT_OK(server.Start());
+
+  auto first = std::make_unique<NetClient>(server.port());
+  ASSERT_TRUE(first->connected());
+  first->SetRecvTimeout(30);
+  ASSERT_EQ(first->Ask("STATS").size(), 1u);  // admitted and serving
+
+  NetClient second(server.port());
+  ASSERT_TRUE(second.connected());
+  second.SetRecvTimeout(30);
+  std::string line;
+  ASSERT_TRUE(second.ReadLine(&line));
+  EXPECT_EQ(line.rfind("ERR ResourceExhausted", 0), 0u) << line;
+  EXPECT_NE(line.find("connection limit (1)"), std::string::npos) << line;
+  EXPECT_FALSE(second.ReadLine(&line)) << "rejected client must be closed";
+  EXPECT_EQ(Counter(server, "xcq_server_connections_rejected_total"), 1.0);
+
+  // The admitted client is unaffected by the rejection…
+  ASSERT_EQ(first->Ask("STATS").size(), 1u);
+
+  // …and its slot is reusable once it disconnects.
+  first.reset();
+  ASSERT_TRUE(WaitFor([&] {
+    return Gauge(server, "xcq_server_connections") == 0.0;
+  }));
+  NetClient third(server.port());
+  ASSERT_TRUE(third.connected());
+  third.SetRecvTimeout(30);
+  EXPECT_EQ(third.Ask("STATS").size(), 1u);
+}
+
+TEST(NetTest, IdleTimeoutDisconnectsQuietClients) {
+  ServerOptions options = BaseOptions(1);
+  options.idle_timeout_s = 0.15;
+  TcpServer server(options);
+  XCQ_ASSERT_OK(server.store().LoadXml("doc", testing::BibExampleXml()));
+  XCQ_ASSERT_OK(server.Start());
+
+  NetClient client(server.port());
+  ASSERT_TRUE(client.connected());
+  client.SetRecvTimeout(10);
+  ASSERT_EQ(client.Ask("QUERY doc //paper").size(), 1u);  // live traffic
+  std::string line;
+  EXPECT_FALSE(client.ReadLine(&line))
+      << "server should close an idle connection: " << line;
+  EXPECT_GE(Counter(server, "xcq_server_idle_disconnects_total"), 1.0);
+}
+
+TEST(NetTest, WriteTimeoutDropsReadersThatNeverDrain) {
+  ServerOptions options = BaseOptions(2);
+  options.write_timeout_s = 0.25;
+  options.write_high_watermark = 1024;
+  options.max_inflight_per_connection = 256;
+  TcpServer server(options);
+  XCQ_ASSERT_OK(server.store().LoadXml("doc", testing::BibExampleXml()));
+  XCQ_ASSERT_OK(server.Start());
+
+  NetClient client(server.port(), /*rcvbuf_bytes=*/4096);
+  ASSERT_TRUE(client.connected());
+  client.SetRecvTimeout(30);
+  std::string payload;
+  for (int i = 0; i < 600; ++i) payload += "METRICS\n";
+  ASSERT_TRUE(client.SendRaw(payload));
+  // Never read: the kernel window fills, the server makes no write
+  // progress, and the write timeout must sever the connection.
+  ASSERT_TRUE(WaitFor([&] {
+    return Counter(server, "xcq_server_write_timeouts_total") > 0.0;
+  }));
+  ASSERT_TRUE(WaitFor([&] {
+    return Gauge(server, "xcq_server_connections") == 0.0;
+  }));
+}
+
+// --- Graceful shutdown -----------------------------------------------------
+
+TEST(NetTest, GracefulShutdownDrainsInFlightRepliesThenCloses) {
+  const std::string xml = StormXml();
+  const std::map<std::string, uint64_t> reference = ReferenceCounts(xml);
+
+  TcpServer server(BaseOptions(/*worker_threads=*/1));
+  XCQ_ASSERT_OK(server.store().LoadXml("doc", xml));
+  XCQ_ASSERT_OK(server.Start());
+
+  constexpr size_t kRequests = 6;
+  std::string payload;
+  for (size_t i = 0; i < kRequests; ++i) {
+    payload += std::string("QUERY doc ") + kStormQueries[i];
+    payload += "\n";
+  }
+  NetClient client(server.port());
+  ASSERT_TRUE(client.connected());
+  client.SetRecvTimeout(60);
+  ASSERT_TRUE(client.SendRaw(payload));
+
+  // Wait until the loop has dispatched everything, then pull the plug
+  // with the single worker still grinding through the backlog.
+  ASSERT_TRUE(WaitFor([&] {
+    return server.service().jobs_submitted() >= kRequests;
+  }));
+  server.Stop();
+
+  for (size_t i = 0; i < kRequests; ++i) {
+    std::string line;
+    ASSERT_TRUE(client.ReadLine(&line))
+        << "drain lost in-flight reply " << i;
+    EXPECT_EQ(TreeCount(line), reference.at(kStormQueries[i]))
+        << "reply " << i;
+  }
+  std::string line;
+  EXPECT_FALSE(client.ReadLine(&line)) << "post-drain close expected";
+}
+
+// --- Acceptance: pipelined answers are bit-identical to sequential ---------
+
+TEST(NetTest, PipelinedMixMatchesSequentialBaselineBitForBit) {
+  const std::string xml = StormXml();
+  // One request script, QUERY and BATCH interleaved.
+  const std::vector<std::string> script = {
+      "QUERY doc //t0",
+      "BATCH doc 3",
+      "//t1/t2",
+      "//t0[t1]",
+      "//t2/parent::t1",
+      "QUERY doc //t1[not(t2)]",
+      "BATCH doc 2",
+      "//t0/descendant::t2",
+      "//t1/following-sibling::t2",
+      "QUERY doc //t2/ancestor::t0",
+      "QUERY doc //t0[t1/t2]",
+  };
+  constexpr size_t kResponseUnits = 4 + 2;  // 4 QUERYs + 2 BATCHes
+
+  // Baseline: one request at a time, fresh server.
+  std::vector<std::vector<std::string>> baseline;
+  {
+    TcpServer server(BaseOptions(/*worker_threads=*/1));
+    XCQ_ASSERT_OK(server.store().LoadXml("doc", xml));
+    XCQ_ASSERT_OK(server.Start());
+    NetClient client(server.port());
+    ASSERT_TRUE(client.connected());
+    client.SetRecvTimeout(60);
+    size_t i = 0;
+    while (i < script.size()) {
+      unsigned long long batch = 0;
+      std::string unit = script[i] + "\n";
+      if (std::sscanf(script[i].c_str(), "BATCH doc %llu", &batch) == 1) {
+        for (unsigned long long q = 0; q < batch; ++q) {
+          unit += script[++i] + "\n";
+        }
+      }
+      ++i;
+      ASSERT_TRUE(client.SendRaw(unit));
+      baseline.push_back(client.ReadResponse());
+      ASSERT_FALSE(baseline.back().empty());
+    }
+    ASSERT_EQ(baseline.size(), kResponseUnits);
+  }
+
+  // Pipelined: the same script in one write against a fresh server.
+  TcpServer server(BaseOptions(/*worker_threads=*/1));
+  XCQ_ASSERT_OK(server.store().LoadXml("doc", xml));
+  XCQ_ASSERT_OK(server.Start());
+  NetClient client(server.port());
+  ASSERT_TRUE(client.connected());
+  client.SetRecvTimeout(60);
+  std::string payload;
+  for (const std::string& line : script) payload += line + "\n";
+  ASSERT_TRUE(client.SendRaw(payload));
+
+  for (size_t unit = 0; unit < kResponseUnits; ++unit) {
+    const std::vector<std::string> response = client.ReadResponse();
+    ASSERT_EQ(response.size(), baseline[unit].size()) << "unit " << unit;
+    for (size_t line = 0; line < response.size(); ++line) {
+      // Timing fields are wall-clock; everything else — dag, tree, and
+      // split counts — must match the per-request baseline exactly.
+      EXPECT_EQ(StripTimings(response[line]), StripTimings(baseline[unit][line]))
+          << "unit " << unit << " line " << line;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace xcq::server

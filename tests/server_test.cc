@@ -642,7 +642,7 @@ TEST(ProtocolTest, StatsFieldSetIsFrozen) {
       "scratch_allocs",  "traversal_builds", "summary_builds",
       "label_s",         "minimize_s",     "qps",
       "share_rate",      "p50_ms",         "p95_ms",
-      "p99_ms",
+      "p99_ms",          "queued",         "inflight",
   };
   EXPECT_EQ(StatsKeys(output[3]), expected) << output[3];
   std::remove(xml_path.c_str());

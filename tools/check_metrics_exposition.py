@@ -49,11 +49,15 @@ REQUIRED_DOCUMENT_SERIES = [
     "xcq_phase_seconds_total",
 ]
 
-# Store-level series that must appear on every scrape.
+# Store-level series that must appear on every scrape. The
+# xcq_server_* entries are the epoll front end's admission-control
+# surface (ISSUE 8): submission-queue depth and the connection gauge.
 REQUIRED_STORE_SERIES = [
     "xcq_store_loads_total",
     "xcq_store_documents",
     "xcq_server_uptime_seconds",
+    "xcq_server_queue_depth",
+    "xcq_server_connections",
 ]
 
 VALID_TYPES = {"counter", "gauge", "histogram"}
@@ -261,6 +265,10 @@ xcq_store_loads_total 2
 xcq_store_documents 1
 # TYPE xcq_server_uptime_seconds gauge
 xcq_server_uptime_seconds 12.5
+# TYPE xcq_server_queue_depth gauge
+xcq_server_queue_depth 0
+# TYPE xcq_server_connections gauge
+xcq_server_connections 1
 # TYPE xcq_document_queries_total counter
 xcq_document_queries_total{document="bib"} 3
 # TYPE xcq_document_qps gauge
