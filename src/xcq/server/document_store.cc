@@ -343,9 +343,13 @@ Status DocumentStore::LoadXml(const std::string& name, std::string xml) {
       std::make_shared<StoredDocument>(std::move(session), name, &registry_);
   doc->last_used_.store(++clock_);
   loads_total_->Increment();
-  std::unique_lock<std::shared_mutex> lock(mu_);
-  docs_[name] = std::move(doc);
-  EnforceCapacityLocked(name);
+  // Capacity victims destruct after `mu_` is released (see Evict).
+  std::vector<std::shared_ptr<StoredDocument>> doomed;
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    docs_[name] = std::move(doc);
+    EnforceCapacityLocked(name, &doomed);
+  }
   return Status::OK();
 }
 
@@ -358,9 +362,13 @@ Status DocumentStore::LoadInstance(const std::string& name,
       std::make_shared<StoredDocument>(std::move(session), name, &registry_);
   doc->last_used_.store(++clock_);
   loads_total_->Increment();
-  std::unique_lock<std::shared_mutex> lock(mu_);
-  docs_[name] = std::move(doc);
-  EnforceCapacityLocked(name);
+  // Capacity victims destruct after `mu_` is released (see Evict).
+  std::vector<std::shared_ptr<StoredDocument>> doomed;
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    docs_[name] = std::move(doc);
+    EnforceCapacityLocked(name, &doomed);
+  }
   return Status::OK();
 }
 
@@ -393,12 +401,22 @@ std::shared_ptr<StoredDocument> DocumentStore::Find(
 }
 
 bool DocumentStore::Evict(const std::string& name) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
-  if (docs_.erase(name) == 0) return false;
-  evictions_total_->Increment();
-  // Stop rendering the evicted document's series; cached handles stay
-  // valid (clients may still hold the StoredDocument shared_ptr).
-  registry_.RemoveLabeled("document", name);
+  // Move the document out of the map and let it destruct after the
+  // exclusive lock is released: when the map held the last reference,
+  // freeing a large instance under `mu_` would stall every concurrent
+  // Find() (and whoever called us) for the whole teardown.
+  std::shared_ptr<StoredDocument> doomed;
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    const auto it = docs_.find(name);
+    if (it == docs_.end()) return false;
+    doomed = std::move(it->second);
+    docs_.erase(it);
+    evictions_total_->Increment();
+    // Stop rendering the evicted document's series; cached handles stay
+    // valid (clients may still hold the StoredDocument shared_ptr).
+    registry_.RemoveLabeled("document", name);
+  }
   return true;
 }
 
@@ -436,7 +454,9 @@ size_t DocumentStore::TotalBytesLocked() const {
   return total;
 }
 
-void DocumentStore::EnforceCapacityLocked(const std::string& keep) {
+void DocumentStore::EnforceCapacityLocked(
+    const std::string& keep,
+    std::vector<std::shared_ptr<StoredDocument>>* doomed) {
   if (options_.capacity_bytes == 0) return;
   while (docs_.size() > 1 &&
          TotalBytesLocked() > options_.capacity_bytes) {
@@ -452,6 +472,7 @@ void DocumentStore::EnforceCapacityLocked(const std::string& keep) {
     if (victim == docs_.end()) return;  // only `keep` is left
     evictions_total_->Increment();
     registry_.RemoveLabeled("document", victim->first);
+    doomed->push_back(std::move(victim->second));
     docs_.erase(victim);
   }
 }

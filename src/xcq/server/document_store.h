@@ -241,6 +241,9 @@ class DocumentStore {
 
   /// Drops `name`. False if absent. The evicted document's metric
   /// series stop rendering (RemoveLabeled), and `evictions_total` moves.
+  /// When the map held the last reference, the document is destroyed on
+  /// the calling thread *after* the store lock is released, so a large
+  /// teardown never blocks concurrent `Find()`s.
   bool Evict(const std::string& name);
 
   /// Snapshot of every cached document, name order.
@@ -265,8 +268,12 @@ class DocumentStore {
 
  private:
   /// Must hold `mu_` exclusively. Evicts LRU entries (excluding `keep`)
-  /// until the footprint fits `capacity_bytes`.
-  void EnforceCapacityLocked(const std::string& keep);
+  /// until the footprint fits `capacity_bytes`. Victims are moved into
+  /// `doomed` instead of destroyed, so the caller can release `mu_`
+  /// before the (potentially large) frees run.
+  void EnforceCapacityLocked(const std::string& keep,
+                             std::vector<std::shared_ptr<StoredDocument>>*
+                                 doomed);
   size_t TotalBytesLocked() const;
 
   /// Declared first: documents cache raw handle pointers into the

@@ -327,6 +327,9 @@ bool RequestHandler::Handle(
     std::string_view line,
     const std::function<bool(std::string*)>& read_line,
     const std::function<void(std::string_view)>& write_line) {
+  // Blank keep-alive lines between requests are skipped, not answered —
+  // the one defined behavior for both front ends (see the header).
+  if (Trim(line).empty()) return true;
   const Result<Request> parsed = ParseRequest(line);
   if (!parsed.ok()) {
     write_line(FormatError(parsed.status()));
@@ -434,7 +437,8 @@ PipelinedHandler::FeedResult PipelinedHandler::Feed(const std::string& line) {
     return Dispatch(std::move(request), std::move(batch_body_));
   }
 
-  if (Trim(line).empty()) return FeedResult::kOk;  // blank keep-alive lines
+  // Blank keep-alive lines: same skip as RequestHandler (see header).
+  if (Trim(line).empty()) return FeedResult::kOk;
 
   Result<Request> parsed = ParseRequest(line);
   if (!parsed.ok()) {
@@ -453,17 +457,15 @@ PipelinedHandler::FeedResult PipelinedHandler::Feed(const std::string& line) {
 
 PipelinedHandler::FeedResult PipelinedHandler::Dispatch(
     Request request, std::vector<std::string> batch_queries) {
-  // QUIT and EVICT answer inline on the loop thread: both are cheap
-  // (no document lock, no evaluation) and EVICT-after-QUERY pipelines
-  // read more naturally when the evict does not overtake the queue.
+  // Only QUIT answers inline on the loop thread (pure protocol state,
+  // no store access). Everything else — EVICT included — goes through
+  // the worker pool: Evict takes the store's exclusive lock and may
+  // destroy an entire document, which must never run on (or block) the
+  // thread that owns every socket.
   if (request.kind == Request::Kind::kQuit) {
     closed_ = true;
     EmitNow({"OK bye"}, /*close_after=*/true);
     return FeedResult::kClose;
-  }
-  if (request.kind == Request::Kind::kEvict) {
-    EmitNow(BuildEvictReply(store_, request.name), /*close_after=*/false);
-    return FeedResult::kOk;
   }
 
   if (inflight_.load(std::memory_order_relaxed) >= limits_.max_inflight) {
@@ -511,6 +513,8 @@ PipelinedHandler::FeedResult PipelinedHandler::Dispatch(
         lines = BuildMetricsReply(self->store_);
         break;
       case Request::Kind::kEvict:
+        lines = BuildEvictReply(self->store_, req.name);
+        break;
       case Request::Kind::kQuit:
         lines = {FormatError(Status::Internal("unreachable dispatch kind"))};
         break;

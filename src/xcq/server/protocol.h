@@ -20,6 +20,11 @@
 ///   EVICT <name>            drop a document
 ///   QUIT                    close the conversation
 ///
+/// Blank (or whitespace-only) lines *between* requests are keep-alive
+/// no-ops: both front ends skip them without answering. Inside a BATCH
+/// body a blank line still counts as one (empty) query. A request line
+/// that is non-blank but has no parseable verb answers `ERR`.
+///
 /// Responses: first line `OK ...` or `ERR <Code>: <message>`. QUERY:
 /// `OK dag=<d> tree=<t> splits=<s> label_s=<x> eval_s=<y>`. BATCH,
 /// STATS, and METRICS: `OK <n>` followed by exactly n detail lines, so

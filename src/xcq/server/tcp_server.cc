@@ -237,6 +237,9 @@ void TcpServer::EventLoop() {
     } else if (options_.idle_timeout_s > 0 || options_.write_timeout_s > 0) {
       timeout_ms = 50;
     }
+    if (accept_retry_ && (timeout_ms < 0 || timeout_ms > 50)) {
+      timeout_ms = 50;  // a failed accept must be retried without an edge
+    }
     const int n = ::epoll_wait(epoll_fd_, events, 64, timeout_ms);
     if (n < 0) {
       if (errno == EINTR) continue;
@@ -269,6 +272,10 @@ void TcpServer::EventLoop() {
         ReadFromConn(conn);
       }
     }
+    // Retry a backlog stalled on descriptor pressure: events handled
+    // above may have freed fds, and no new listener edge will fire for
+    // connections that were already queued when accept4 failed.
+    if (accept_retry_ && !draining_) AcceptNew();
     DrainCompletions();
     CheckTimers();
   }
@@ -282,14 +289,19 @@ void TcpServer::EventLoop() {
 }
 
 void TcpServer::AcceptNew() {
+  accept_retry_ = false;
   while (true) {
     const int cfd =
         ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
     if (cfd < 0) {
       if (errno == EINTR || errno == ECONNABORTED) continue;
-      // EAGAIN = drained; EMFILE/ENFILE/ENOBUFS/ENOMEM = transient
-      // descriptor pressure — either way, return to the loop rather
-      // than spin, and retry on the next listener edge.
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;  // drained
+      // EMFILE/ENFILE/ENOBUFS/ENOMEM: transient descriptor pressure.
+      // The listener is edge-triggered, so connections already queued
+      // in the accept backlog would hang until a *fresh* SYN produced
+      // another edge — arm a short-timeout retry in the event loop
+      // instead of spinning here.
+      accept_retry_ = true;
       return;
     }
     if (draining_) {
@@ -298,13 +310,15 @@ void TcpServer::AcceptNew() {
     }
     if (options_.max_connections > 0 &&
         conns_.size() >= options_.max_connections) {
+      // Count before the close: a client may observe the EOF the
+      // instant close() runs, and the metric should already agree.
+      rejected_total_->Increment();
       SendBestEffort(cfd,
                      FormatError(Status::ResourceExhausted(StrFormat(
                          "connection limit (%zu) reached",
                          options_.max_connections))) +
                          "\n");
       ::close(cfd);
-      rejected_total_->Increment();
       continue;
     }
 
@@ -476,10 +490,18 @@ bool TcpServer::WriteOut(Conn* conn) {
     // Backlog drained: resume parsing buffered frames, then the socket
     // (edge-triggered reads need the manual retry — no new edge will
     // fire for bytes that already arrived).
+    const uint64_t id = conn->id;
     conn->stalled_write = false;
     stalled_gauge_->Add(-1);
     ProcessInput(conn);
-    if (!conn->read_closed && !conn->stalled()) ReadFromConn(conn);
+    if (!conn->read_closed && !conn->stalled()) {
+      ReadFromConn(conn);
+      // The nested read may have hit a hard recv error and closed —
+      // freed — the connection. Report that, so no caller (e.g. the
+      // event loop handling the EPOLLIN bit of the same event mask)
+      // touches `conn` again.
+      if (conns_.find(id) == conns_.end()) return false;
+    }
   }
   return true;
 }
@@ -574,6 +596,7 @@ void TcpServer::CheckTimers() {
 
 void TcpServer::BeginDrain() {
   draining_ = true;
+  accept_retry_ = false;
   drain_deadline_ =
       Clock::now() + std::chrono::duration_cast<Clock::duration>(
                          std::chrono::duration<double>(

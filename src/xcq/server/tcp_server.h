@@ -36,8 +36,10 @@
 ///
 /// All evaluation still happens in the worker pool, so the expensive,
 /// memory-growing work stays capped at `worker_threads` regardless of
-/// client count, and the loop thread never runs a query, a LOAD, or a
-/// STATS/METRICS scrape (all of which can block on document locks).
+/// client count, and the loop thread never runs a query, a LOAD, an
+/// EVICT, or a STATS/METRICS scrape (all of which can block on store or
+/// document locks — an EVICT can even free a whole document). Only QUIT
+/// and parse errors answer inline.
 
 #include <atomic>
 #include <chrono>
@@ -142,6 +144,9 @@ class TcpServer {
   /// Moves ready in-sequence replies to the output buffer and writes.
   /// False when the connection was closed.
   bool FlushConn(Conn* conn);
+  /// Sends the output buffer. False when the connection was closed —
+  /// including by the nested read-resume after a write stall — in which
+  /// case `conn` has been freed and must not be touched again.
   bool WriteOut(Conn* conn);
   void DrainCompletions();
   /// Re-tries parked requests after completions freed capacity.
@@ -190,6 +195,10 @@ class TcpServer {
   /// Everything below is owned by the event-loop thread.
   std::map<uint64_t, std::unique_ptr<Conn>> conns_;
   uint64_t next_conn_id_ = 2;  ///< 0 = listener, 1 = eventfd.
+  /// Accept4 failed transiently (EMFILE-class): the edge-triggered
+  /// listener will not re-fire for already-queued connections, so the
+  /// loop re-runs AcceptNew on a short timeout until the backlog drains.
+  bool accept_retry_ = false;
   bool draining_ = false;
   std::chrono::steady_clock::time_point drain_deadline_{};
 };

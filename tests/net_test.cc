@@ -122,6 +122,18 @@ class NetClient {
 
   void ShutdownWrite() { ::shutdown(fd_, SHUT_WR); }
 
+  /// Hard-closes with an RST (SO_LINGER 0): the server's next recv or
+  /// send on this socket fails with ECONNRESET instead of seeing EOF.
+  void Abort() {
+    if (fd_ < 0) return;
+    linger lg{};
+    lg.l_onoff = 1;
+    lg.l_linger = 0;
+    ::setsockopt(fd_, SOL_SOCKET, SO_LINGER, &lg, sizeof(lg));
+    ::close(fd_);
+    fd_ = -1;
+  }
+
   bool ReadLine(std::string* line) {
     line->clear();
     while (true) {
@@ -534,6 +546,49 @@ TEST(NetTest, SlowReaderHitsWriteWatermarkThenDrains) {
   }));
 }
 
+TEST(NetTest, ConnectionResetDuringWriteStallDrainIsSurvived) {
+  // Regression: WriteOut's backlog-drained resume re-enters
+  // ReadFromConn; a hard recv error there (RST racing the epoll event)
+  // closes and frees the connection mid-call. The caller must learn of
+  // the closure instead of touching the freed Conn (use-after-free
+  // caught by ASAN/TSAN builds when the race fires).
+  ServerOptions options = BaseOptions(2);
+  options.write_high_watermark = 1024;
+  options.max_inflight_per_connection = 256;
+  options.queue_depth = 0;
+  TcpServer server(options);
+  XCQ_ASSERT_OK(server.store().LoadXml("doc", testing::BibExampleXml()));
+  XCQ_ASSERT_OK(server.Start());
+
+  for (int round = 0; round < 4; ++round) {
+    NetClient client(server.port(), /*rcvbuf_bytes=*/4096);
+    ASSERT_TRUE(client.connected());
+    client.SetRecvTimeout(60);
+    std::string payload;
+    for (int i = 0; i < 600; ++i) payload += "METRICS\n";
+    const double stalls_before = Counter(server, "xcq_server_stalls_total");
+    ASSERT_TRUE(client.SendRaw(payload));
+    ASSERT_TRUE(WaitFor([&] {
+      return Counter(server, "xcq_server_stalls_total") > stalls_before;
+    })) << "round " << round << " never stalled";
+    // Read a little so the server cycles stall -> resume -> stall with
+    // input still buffered, then pull the plug with an RST mid-drain.
+    for (int i = 0; i < 5 + round; ++i) client.ReadResponse();
+    client.Abort();
+    ASSERT_TRUE(WaitFor([&] {
+      return Gauge(server, "xcq_server_connections") == 0.0;
+    })) << "round " << round << " leaked its connection slot";
+  }
+
+  // The loop survived every reset: a fresh client still gets served.
+  NetClient after(server.port());
+  ASSERT_TRUE(after.connected());
+  after.SetRecvTimeout(30);
+  const std::vector<std::string> reply = after.Ask("QUERY doc //paper/author");
+  ASSERT_EQ(reply.size(), 1u);
+  EXPECT_EQ(TreeCount(reply[0]), 2u);
+}
+
 // --- Limits and timeouts ---------------------------------------------------
 
 TEST(NetTest, ConnectionCapRejectsExcessClientsWithOneErrLine) {
@@ -555,7 +610,11 @@ TEST(NetTest, ConnectionCapRejectsExcessClientsWithOneErrLine) {
   EXPECT_EQ(line.rfind("ERR ResourceExhausted", 0), 0u) << line;
   EXPECT_NE(line.find("connection limit (1)"), std::string::npos) << line;
   EXPECT_FALSE(second.ReadLine(&line)) << "rejected client must be closed";
-  EXPECT_EQ(Counter(server, "xcq_server_connections_rejected_total"), 1.0);
+  // Poll: the loop thread's counter write has no synchronization edge
+  // with this thread's read, only the close() it precedes.
+  EXPECT_TRUE(WaitFor([&] {
+    return Counter(server, "xcq_server_connections_rejected_total") == 1.0;
+  }));
 
   // The admitted client is unaffected by the rejection…
   ASSERT_EQ(first->Ask("STATS").size(), 1u);

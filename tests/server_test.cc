@@ -371,12 +371,14 @@ TEST(ProtocolTest, RequestHandlerConversation) {
       &store, &service,
       {
           "LOAD bib " + xml_path,
+          "",                   // blank keep-alive line: skipped, no reply
           "QUERY bib //paper/author",
           "BATCH bib 2",
           "//book/author",
           "//paper",
           "QUERY bib //[",      // parse error -> ERR, conversation continues
           "QUERY ghost //a",    // unknown document -> ERR
+          "  \r",               // whitespace-only line: also skipped
           "STATS",
           "EVICT bib",
           "QUIT",
