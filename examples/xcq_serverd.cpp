@@ -50,6 +50,16 @@
 //   --queue-depth=N     bound on the evaluation submission queue; a
 //                       full queue pauses socket reads (backpressure)
 //                       instead of erroring (default 256; 0 = unbounded)
+//   --data-dir=PATH     spill directory for durable documents: every
+//                       loaded document is persisted there (checksummed
+//                       .xcqi + manifest) and a restart with the same
+//                       directory answers queries without re-LOADing
+//                       (docs/SERVER.md §Persistence). Default: off,
+//                       memory-only.
+//   --warm-start=MODE   on (default) registers every manifest entry as
+//                       a warm document at startup; off starts cold but
+//                       keeps the spill catalog intact. Only meaningful
+//                       with --data-dir.
 //
 // Protocol (line-oriented; try it with `nc 127.0.0.1 7878`):
 //
@@ -88,7 +98,8 @@ int Usage(const char* argv0) {
                "[--minimize[=off|full|incremental]] "
                "[--prune=on|off|verify] [--trace=off|slow:<ms>|all] "
                "[--max-connections=N] [--idle-timeout=SEC] "
-               "[--write-timeout=SEC] [--queue-depth=N]\n",
+               "[--write-timeout=SEC] [--queue-depth=N] "
+               "[--data-dir=PATH] [--warm-start=on|off]\n",
                argv0);
   return 2;
 }
@@ -136,6 +147,16 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--queue-depth=", 0) == 0) {
       options.queue_depth =
           std::strtoull(arg.substr(14).data(), nullptr, 10);
+    } else if (arg.rfind("--data-dir=", 0) == 0) {
+      options.data_dir = std::string(arg.substr(11));
+      if (options.data_dir.empty()) {
+        std::fprintf(stderr, "bad --data-dir: %s\n", argv[i]);
+        return 2;
+      }
+    } else if (arg == "--warm-start=on") {
+      options.warm_start = true;
+    } else if (arg == "--warm-start=off") {
+      options.warm_start = false;
     } else if (arg.rfind("--preload=", 0) == 0) {
       const std::string_view spec = arg.substr(10);
       const size_t eq = spec.find('=');
@@ -185,6 +206,26 @@ int main(int argc, char** argv) {
   }
 
   xcq::server::TcpServer server(options);
+  if (!options.data_dir.empty()) {
+    const xcq::Status durable = server.store().durability_status();
+    if (!durable.ok()) {
+      // An explicitly requested data dir that cannot be used is a
+      // configuration error, not something to silently run without.
+      std::fprintf(stderr, "--data-dir=%s unusable: %s\n",
+                   options.data_dir.c_str(), durable.ToString().c_str());
+      return 1;
+    }
+    const xcq::server::RecoveryStats& recovery =
+        server.store().recovery_stats();
+    std::printf("data dir %s: recovered %zu warm document(s)%s in %.3fs\n",
+                options.data_dir.c_str(), recovery.recovered,
+                recovery.errors == 0
+                    ? ""
+                    : xcq::StrFormat(" (%zu entr%s skipped)", recovery.errors,
+                                     recovery.errors == 1 ? "y" : "ies")
+                          .c_str(),
+                recovery.seconds);
+  }
   for (const auto& [name, path] : preloads) {
     const xcq::Status status = server.store().LoadFile(name, path);
     if (!status.ok()) {

@@ -1,5 +1,10 @@
 #include "xcq/instance/instance_io.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
 #include <cstring>
 
 #include "xcq/util/string_util.h"
@@ -11,6 +16,24 @@ namespace {
 
 constexpr char kMagic[4] = {'X', 'C', 'Q', 'I'};
 constexpr uint32_t kVersion = 1;
+
+/// End-of-file magic of the checksum footer. Distinct from the header
+/// magic so a truncated-to-prefix file can never look footered.
+constexpr char kFooterMagic[4] = {'X', 'C', 'Q', 'F'};
+/// u32 crc | u64 payload_size | kFooterMagic.
+constexpr size_t kFooterSize = 4 + 8 + 4;
+
+std::array<uint32_t, 256> MakeCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
 
 void PutVarint(std::string* out, uint64_t v) {
   while (v >= 0x80) {
@@ -85,6 +108,15 @@ class Reader {
 
 }  // namespace
 
+uint32_t Crc32(std::string_view bytes) {
+  static const std::array<uint32_t, 256> kTable = MakeCrcTable();
+  uint32_t c = 0xFFFFFFFFu;
+  for (const char ch : bytes) {
+    c = kTable[(c ^ static_cast<unsigned char>(ch)) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
 std::string SerializeInstance(const Instance& instance) {
   std::string out;
   out.append(kMagic, 4);
@@ -119,7 +151,34 @@ std::string SerializeInstance(const Instance& instance) {
   return out;
 }
 
+std::string SerializeInstanceChecksummed(const Instance& instance) {
+  std::string out = SerializeInstance(instance);
+  const uint32_t crc = Crc32(out);
+  const uint64_t payload_size = out.size();
+  PutU32(&out, crc);
+  PutU64(&out, payload_size);
+  out.append(kFooterMagic, 4);
+  return out;
+}
+
 Result<Instance> DeserializeInstance(std::string_view bytes) {
+  if (bytes.size() >= kFooterSize &&
+      std::memcmp(bytes.data() + bytes.size() - 4, kFooterMagic, 4) == 0) {
+    uint32_t crc = 0;
+    uint64_t payload_size = 0;
+    std::memcpy(&crc, bytes.data() + bytes.size() - kFooterSize, 4);
+    std::memcpy(&payload_size, bytes.data() + bytes.size() - kFooterSize + 4,
+                8);
+    if (payload_size != bytes.size() - kFooterSize) {
+      return Status::Corruption(
+          "spill footer payload size mismatch (torn write)");
+    }
+    const std::string_view payload = bytes.substr(0, payload_size);
+    if (Crc32(payload) != crc) {
+      return Status::Corruption("spill payload CRC mismatch");
+    }
+    bytes = payload;
+  }
   Reader reader(bytes);
   std::string_view magic;
   XCQ_RETURN_IF_ERROR(reader.GetBytes(4, &magic));
@@ -212,8 +271,53 @@ Result<Instance> DeserializeInstance(std::string_view bytes) {
   return instance;
 }
 
+Status AtomicWriteFile(const std::string& path, std::string_view bytes) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::IoError(
+        StrFormat("cannot open '%s': %s", tmp.c_str(), std::strerror(errno)));
+  }
+  size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int err = errno;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return Status::IoError(StrFormat("short write to '%s': %s", tmp.c_str(),
+                                       std::strerror(err)));
+    }
+    off += static_cast<size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    const int err = errno;
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return Status::IoError(
+        StrFormat("fsync '%s': %s", tmp.c_str(), std::strerror(err)));
+  }
+  ::close(fd);
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const int err = errno;
+    ::unlink(tmp.c_str());
+    return Status::IoError(StrFormat("rename '%s' -> '%s': %s", tmp.c_str(),
+                                     path.c_str(), std::strerror(err)));
+  }
+  // Persist the rename itself: fsync the containing directory.
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
+  }
+  return Status::OK();
+}
+
 Status SaveInstance(const Instance& instance, const std::string& path) {
-  return xml::WriteStringToFile(path, SerializeInstance(instance));
+  return AtomicWriteFile(path, SerializeInstanceChecksummed(instance));
 }
 
 Result<Instance> LoadInstance(const std::string& path) {

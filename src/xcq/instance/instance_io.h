@@ -14,6 +14,16 @@
 ///   | per vertex: varint run_count, (varint child, varint count)*
 ///   | per relation: bitset words
 ///
+/// Files written since the durable store landed carry a 16-byte
+/// trailing footer so a half-written or bit-flipped spill is detected
+/// before any of it is interpreted:
+///
+///   u32 crc32(payload) | u64 payload_size | end magic "XCQF"
+///
+/// `DeserializeInstance` accepts both forms: bytes ending in the footer
+/// magic are checksum-verified first, anything else takes the legacy
+/// footer-less path, so pre-footer `.xcqi` files keep loading.
+///
 /// `LoadInstance` validates everything (ids, acyclicity, RLE form) before
 /// returning, so corrupt files surface as `StatusCode::kCorruption`.
 
@@ -24,16 +34,31 @@
 
 namespace xcq {
 
-/// \brief Serializes `instance` (live relations only) to bytes.
+/// \brief CRC-32 (IEEE 802.3 polynomial) of `bytes`.
+uint32_t Crc32(std::string_view bytes);
+
+/// \brief Serializes `instance` (live relations only) to bytes, without
+/// a checksum footer. This is the legacy on-disk form; prefer
+/// `SerializeInstanceChecksummed` for anything that touches a disk.
 std::string SerializeInstance(const Instance& instance);
 
-/// \brief Parses bytes produced by `SerializeInstance`.
+/// \brief Serializes `instance` and appends the CRC footer.
+std::string SerializeInstanceChecksummed(const Instance& instance);
+
+/// \brief Parses bytes produced by either Serialize variant. A present
+/// footer is verified (size + CRC) before the payload is interpreted.
 Result<Instance> DeserializeInstance(std::string_view bytes);
 
-/// \brief Serializes to a file.
+/// \brief Crash-safe whole-file write: `bytes` goes to `path + ".tmp"`,
+/// is fsync'd, and is atomically renamed over `path` (the containing
+/// directory is fsync'd too). After a crash `path` holds either the old
+/// or the new content, never a mix.
+Status AtomicWriteFile(const std::string& path, std::string_view bytes);
+
+/// \brief Serializes to a file: checksummed format, atomic write.
 Status SaveInstance(const Instance& instance, const std::string& path);
 
-/// \brief Loads and validates an instance file.
+/// \brief Loads and validates an instance file (either format).
 Result<Instance> LoadInstance(const std::string& path);
 
 }  // namespace xcq

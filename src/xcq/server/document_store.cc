@@ -1,5 +1,14 @@
 #include "xcq/server/document_store.h"
 
+#include <dirent.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <utility>
 
 #include "xcq/instance/instance_io.h"
@@ -24,7 +33,340 @@ obs::LabelSet DocAxisLabels(const std::string& name,
       {"axis", std::string(engine::AxisFamilyName(family))}};
 }
 
+/// Manifest header: format magic + version, own line.
+constexpr std::string_view kManifestHeader = "XCQM 1";
+constexpr std::string_view kManifestName = "MANIFEST";
+
+/// Percent-encodes `s` so it is safe both as a file-name stem and as a
+/// space-separated manifest token. Conservative: everything outside
+/// [A-Za-z0-9._-] is escaped.
+std::string EscapeToken(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    const bool plain = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                       (c >= '0' && c <= '9') || c == '.' || c == '_' ||
+                       c == '-';
+    if (plain) {
+      out.push_back(c);
+    } else {
+      static const char* kHex = "0123456789ABCDEF";
+      out.push_back('%');
+      out.push_back(kHex[(static_cast<unsigned char>(c) >> 4) & 0xF]);
+      out.push_back(kHex[static_cast<unsigned char>(c) & 0xF]);
+    }
+  }
+  return out;
+}
+
+bool UnescapeToken(std::string_view s, std::string* out) {
+  out->clear();
+  out->reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '%') {
+      out->push_back(s[i]);
+      continue;
+    }
+    if (i + 2 >= s.size()) return false;
+    auto hex = [](char c) -> int {
+      if (c >= '0' && c <= '9') return c - '0';
+      if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+      if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+      return -1;
+    };
+    const int hi = hex(s[i + 1]);
+    const int lo = hex(s[i + 2]);
+    if (hi < 0 || lo < 0) return false;
+    out->push_back(static_cast<char>((hi << 4) | lo));
+    i += 2;
+  }
+  return true;
+}
+
+std::vector<std::string_view> SplitTokens(std::string_view line) {
+  std::vector<std::string_view> tokens;
+  size_t pos = 0;
+  while (pos < line.size()) {
+    const size_t space = line.find(' ', pos);
+    const size_t end = space == std::string_view::npos ? line.size() : space;
+    if (end > pos) tokens.push_back(line.substr(pos, end - pos));
+    pos = end + 1;
+  }
+  return tokens;
+}
+
+bool ParseU64Token(std::string_view token, uint64_t* out) {
+  if (token.empty() || token.size() > 20) return false;
+  uint64_t value = 0;
+  for (const char c : token) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *out = value;
+  return true;
+}
+
 }  // namespace
+
+// --- SpillManager ----------------------------------------------------------
+
+Status SpillManager::Init(const std::string& data_dir, RecoveryStats* stats) {
+  if (::mkdir(data_dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    return Status::IoError(StrFormat("cannot create data dir '%s': %s",
+                                     data_dir.c_str(), std::strerror(errno)));
+  }
+  struct stat st{};
+  if (::stat(data_dir.c_str(), &st) != 0 || !S_ISDIR(st.st_mode)) {
+    return Status::IoError(
+        StrFormat("data dir '%s' is not a directory", data_dir.c_str()));
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  records_.clear();
+  const std::string manifest_path =
+      data_dir + "/" + std::string(kManifestName);
+  bool catalog_trusted = true;  // cleanup may delete unreferenced files
+  if (::access(manifest_path.c_str(), F_OK) == 0) {
+    Result<std::string> text = xml::ReadFileToString(manifest_path);
+    if (!text.ok()) {
+      ++stats->errors;
+      std::fprintf(stderr, "xcq: recovery: manifest unreadable: %s\n",
+                   text.status().ToString().c_str());
+      catalog_trusted = false;
+    } else {
+      size_t line_no = 0;
+      size_t pos = 0;
+      bool header_ok = false;
+      while (pos <= text->size()) {
+        const size_t nl = text->find('\n', pos);
+        // A manifest is rewritten atomically and always ends in '\n';
+        // a final fragment without one is a torn line — skip it.
+        const bool torn = nl == std::string::npos;
+        const std::string_view line =
+            std::string_view(*text).substr(
+                pos, torn ? text->size() - pos : nl - pos);
+        pos = torn ? text->size() + 1 : nl + 1;
+        if (line.empty() && torn) break;  // text ended cleanly in '\n'
+        ++line_no;
+        if (line.empty()) continue;
+        if (line_no == 1) {
+          if (!torn && line == kManifestHeader) {
+            header_ok = true;
+            continue;
+          }
+          ++stats->errors;
+          std::fprintf(stderr,
+                       "xcq: recovery: manifest header unrecognized; "
+                       "starting cold\n");
+          catalog_trusted = false;
+          break;
+        }
+        if (!header_ok) break;
+        std::string reason;
+        SpillRecord rec;
+        std::string name;
+        const std::vector<std::string_view> tokens = SplitTokens(line);
+        uint64_t bytes = 0;
+        uint64_t crc = 0;
+        if (torn) {
+          reason = "torn line";
+        } else if (tokens.size() != 7 || tokens[0] != "doc") {
+          reason = "malformed line";
+        } else if (!UnescapeToken(tokens[1], &name) || name.empty()) {
+          reason = "bad document name";
+        } else if (tokens[2].find('/') != std::string_view::npos ||
+                   tokens[2].empty()) {
+          reason = "bad spill file name";
+        } else if (!ParseU64Token(tokens[3], &bytes) ||
+                   !ParseU64Token(tokens[4], &crc) || crc > UINT32_MAX ||
+                   !ParseU64Token(tokens[5], &rec.generation)) {
+          reason = "bad numeric field";
+        }
+        if (!reason.empty()) {
+          ++stats->errors;
+          std::fprintf(stderr,
+                       "xcq: recovery: manifest line %zu skipped (%s)\n",
+                       line_no, reason.c_str());
+          continue;
+        }
+        rec.file = std::string(tokens[2]);
+        rec.bytes = bytes;
+        rec.crc = static_cast<uint32_t>(crc);
+        if (tokens[6] != "-") {
+          size_t lp = 0;
+          const std::string_view packed = tokens[6];
+          while (lp <= packed.size()) {
+            const size_t comma = packed.find(',', lp);
+            const size_t end =
+                comma == std::string_view::npos ? packed.size() : comma;
+            std::string label;
+            if (end > lp && UnescapeToken(packed.substr(lp, end - lp),
+                                          &label)) {
+              rec.labels.push_back(std::move(label));
+            }
+            if (comma == std::string_view::npos) break;
+            lp = comma + 1;
+          }
+        }
+        next_generation_ = std::max(next_generation_, rec.generation + 1);
+        // Duplicate names: last entry wins (a rewritten manifest never
+        // has duplicates; tolerating them keeps recovery total).
+        records_[name] = std::move(rec);
+      }
+      if (!header_ok) catalog_trusted = false;
+    }
+  }
+
+  // Clean torn temp files always; clean unreferenced spills only when
+  // the manifest was trusted (they are then crash leftovers from the
+  // window between a spill rename and the manifest rewrite).
+  DIR* dir = ::opendir(data_dir.c_str());
+  if (dir != nullptr) {
+    std::vector<std::string> referenced;
+    for (const auto& [name, rec] : records_) referenced.push_back(rec.file);
+    while (struct dirent* entry = ::readdir(dir)) {
+      const std::string_view file = entry->d_name;
+      if (file == "." || file == ".." || file == kManifestName) continue;
+      const bool tmp = file.size() > 4 &&
+                       file.substr(file.size() - 4) == ".tmp";
+      const bool spill = file.size() > 5 &&
+                         file.substr(file.size() - 5) == ".xcqi";
+      const bool orphan =
+          spill && catalog_trusted &&
+          std::find(referenced.begin(), referenced.end(), file) ==
+              referenced.end();
+      if (tmp || orphan) {
+        ::unlink((data_dir + "/" + std::string(file)).c_str());
+      }
+    }
+    ::closedir(dir);
+  }
+
+  dir_ = data_dir;
+  return Status::OK();
+}
+
+Result<SpillRecord> SpillManager::Write(const std::string& name,
+                                        const Instance& instance) {
+  if (!enabled()) {
+    return Status::InvalidArgument("spill manager is disabled");
+  }
+  // Serialize outside the manager lock: callers hold their document
+  // lock, so the instance cannot mutate underneath us.
+  std::string bytes = SerializeInstanceChecksummed(instance);
+  std::vector<std::string> labels;
+  for (const RelationId r : instance.LiveRelations()) {
+    labels.push_back(instance.schema().Name(r));
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  SpillRecord rec;
+  rec.generation = next_generation_++;
+  rec.file = EscapeToken(name) + ".g" + std::to_string(rec.generation) +
+             ".xcqi";
+  rec.bytes = bytes.size();
+  rec.crc = Crc32(bytes);
+  rec.labels = std::move(labels);
+  XCQ_RETURN_IF_ERROR(AtomicWriteFile(dir_ + "/" + rec.file, bytes));
+  std::string superseded;
+  const auto it = records_.find(name);
+  if (it != records_.end() && it->second.file != rec.file) {
+    superseded = it->second.file;
+  }
+  records_[name] = rec;
+  // Crash order: the new spill is durable before the manifest points at
+  // it, and the old generation is deleted only after the manifest no
+  // longer references it — every crash point leaves a consistent view.
+  XCQ_RETURN_IF_ERROR(RewriteManifestLocked());
+  if (!superseded.empty()) {
+    ::unlink((dir_ + "/" + superseded).c_str());
+  }
+  return rec;
+}
+
+Result<Instance> SpillManager::Read(const std::string& name) const {
+  SpillRecord rec;
+  if (!Lookup(name, &rec)) {
+    return Status::NotFound(
+        StrFormat("no spill for document '%s'", name.c_str()));
+  }
+  XCQ_ASSIGN_OR_RETURN(const std::string bytes,
+                       xml::ReadFileToString(dir_ + "/" + rec.file));
+  if (bytes.size() != rec.bytes) {
+    return Status::Corruption(
+        StrFormat("spill '%s' is %zu bytes, manifest says %zu",
+                  rec.file.c_str(), bytes.size(), rec.bytes));
+  }
+  if (Crc32(bytes) != rec.crc) {
+    return Status::Corruption(StrFormat(
+        "spill '%s' CRC does not match the manifest", rec.file.c_str()));
+  }
+  return DeserializeInstance(bytes);
+}
+
+bool SpillManager::Remove(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = records_.find(name);
+  if (it == records_.end()) return false;
+  const std::string file = it->second.file;
+  records_.erase(it);
+  // Manifest first, file second: a crash in between leaves an orphan
+  // spill, which the next recovery scan cleans up. Rewrite failure is
+  // tolerated — a stale entry pointing at a deleted file degrades to a
+  // cold miss at the next fault-in, never to wrong data.
+  const Status status = RewriteManifestLocked();
+  if (!status.ok()) {
+    std::fprintf(stderr, "xcq: manifest rewrite after FORGET failed: %s\n",
+                 status.ToString().c_str());
+  }
+  ::unlink((dir_ + "/" + file).c_str());
+  return true;
+}
+
+bool SpillManager::Lookup(const std::string& name, SpillRecord* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = records_.find(name);
+  if (it == records_.end()) return false;
+  *out = it->second;
+  return true;
+}
+
+std::vector<std::string> SpillManager::Names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(records_.size());
+  for (const auto& [name, rec] : records_) names.push_back(name);
+  return names;
+}
+
+size_t SpillManager::TotalBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t total = 0;
+  for (const auto& [name, rec] : records_) total += rec.bytes;
+  return total;
+}
+
+Status SpillManager::RewriteManifestLocked() {
+  std::string out(kManifestHeader);
+  out.push_back('\n');
+  for (const auto& [name, rec] : records_) {
+    out.append("doc ");
+    out.append(EscapeToken(name));
+    out.push_back(' ');
+    out.append(rec.file);
+    out.append(StrFormat(" %zu %u %llu ", rec.bytes, rec.crc,
+                         static_cast<unsigned long long>(rec.generation)));
+    if (rec.labels.empty()) {
+      out.push_back('-');
+    } else {
+      for (size_t i = 0; i < rec.labels.size(); ++i) {
+        if (i > 0) out.push_back(',');
+        out.append(EscapeToken(rec.labels[i]));
+      }
+    }
+    out.push_back('\n');
+  }
+  return AtomicWriteFile(dir_ + "/" + std::string(kManifestName), out);
+}
 
 // --- StoredDocument --------------------------------------------------------
 
@@ -147,6 +489,7 @@ Result<QueryOutcome> StoredDocument::Query(std::string_view query_text) {
     AccumulateSweepStats(outcome->stats);
     if (handles_.queries != nullptr) handles_.queries->Increment();
     RecordOutcomeMetricsLocked(*outcome, elapsed);
+    MaybeSpillLocked();
   } else if (handles_.query_errors != nullptr) {
     handles_.query_errors->Increment();
   }
@@ -190,11 +533,64 @@ Result<std::vector<QueryOutcome>> StoredDocument::Batch(
             static_cast<double>(shared_delta));
       }
     }
+    MaybeSpillLocked();
   } else if (handles_.query_errors != nullptr) {
     handles_.query_errors->Increment(
         static_cast<double>(query_texts.size()));
   }
   return outcomes;
+}
+
+void StoredDocument::MaybeSpillLocked() {
+  if (owner_ == nullptr || !owner_->spills_.enabled()) return;
+  if (!session_.has_instance()) return;
+  const size_t labels =
+      session_.tracked_tag_count() + session_.tracked_pattern_count();
+  if (spilled_ && labels == spilled_labels_) return;
+  const Status status = owner_->WriteSpill(name_, session_.instance());
+  if (status.ok()) {
+    spilled_ = true;
+    spilled_labels_ = labels;
+    spill_error_logged_ = false;
+  } else if (!spill_error_logged_) {
+    // Log once per failure streak: durability degrades, serving does
+    // not, and every later label growth retries the write.
+    spill_error_logged_ = true;
+    std::fprintf(stderr, "xcq: spill of document '%s' failed: %s\n",
+                 name_.c_str(), status.ToString().c_str());
+  }
+}
+
+void StoredDocument::PersistIfDirty() {
+  std::lock_guard<std::mutex> lock(mu_);
+  MaybeSpillLocked();
+}
+
+Status StoredDocument::ForcePersist() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (owner_ == nullptr || !owner_->spills_.enabled()) {
+    return Status::InvalidArgument(
+        "persistence is disabled; start the server with --data-dir");
+  }
+  if (!session_.has_instance()) {
+    return Status::InvalidArgument(StrFormat(
+        "document '%s' has no compiled instance to persist yet; "
+        "run a query first",
+        name_.c_str()));
+  }
+  XCQ_RETURN_IF_ERROR(owner_->WriteSpill(name_, session_.instance()));
+  spilled_ = true;
+  spilled_labels_ =
+      session_.tracked_tag_count() + session_.tracked_pattern_count();
+  spill_error_logged_ = false;
+  return Status::OK();
+}
+
+void StoredDocument::MarkSpilledClean() {
+  std::lock_guard<std::mutex> lock(mu_);
+  spilled_ = true;
+  spilled_labels_ =
+      session_.tracked_tag_count() + session_.tracked_pattern_count();
 }
 
 void StoredDocument::AccumulateSweepStats(const engine::EvalStats& stats) {
@@ -327,13 +723,63 @@ DocumentStore::DocumentStore(StoreOptions options)
       evictions_total_(registry_.GetCounter(
           "xcq_store_evictions_total", {},
           "Documents dropped (EVICT requests and capacity eviction)")),
+      spill_writes_total_(registry_.GetCounter(
+          "xcq_store_spill_writes_total", {},
+          "Durable document spills written to the data dir")),
+      spill_errors_total_(registry_.GetCounter(
+          "xcq_store_spill_errors_total", {},
+          "Spill or manifest writes that failed")),
+      warm_hits_total_(registry_.GetCounter(
+          "xcq_store_warm_hits_total", {},
+          "Warm documents faulted back in from their spill")),
+      warm_misses_total_(registry_.GetCounter(
+          "xcq_store_warm_misses_total", {},
+          "Warm fault-ins that failed (corrupt or missing spill)")),
+      recovered_total_(registry_.GetCounter(
+          "xcq_store_recovered_total", {},
+          "Warm documents registered by the startup recovery scan")),
+      recovery_errors_total_(registry_.GetCounter(
+          "xcq_store_recovery_errors_total", {},
+          "Manifest lines or spill artifacts skipped during recovery")),
       documents_gauge_(registry_.GetGauge("xcq_store_documents", {},
                                           "Documents currently cached")),
+      warm_documents_gauge_(registry_.GetGauge(
+          "xcq_store_warm_documents", {},
+          "Spill-backed documents currently not resident")),
+      spill_bytes_gauge_(registry_.GetGauge(
+          "xcq_store_spill_bytes", {},
+          "Summed on-disk size of durable spills")),
       bytes_gauge_(registry_.GetGauge(
           "xcq_store_bytes", {},
           "Summed instance footprint of cached documents")),
       uptime_gauge_(registry_.GetGauge("xcq_server_uptime_seconds", {},
-                                       "Seconds since the store started")) {
+                                       "Seconds since the store started")),
+      recovery_seconds_gauge_(registry_.GetGauge(
+          "xcq_store_recovery_seconds", {},
+          "Wall time of the startup recovery scan")) {
+  if (!options_.data_dir.empty()) {
+    double seconds = 0.0;
+    {
+      ScopedTimer timer(&seconds);
+      durability_status_ = spills_.Init(options_.data_dir, &recovery_);
+      if (durability_status_.ok() && options_.warm_start) {
+        for (const std::string& name : spills_.Names()) {
+          warm_.emplace(name, WarmEntry{});
+          ++recovery_.recovered;
+        }
+      }
+    }
+    recovery_.seconds = seconds;
+    if (!durability_status_.ok()) {
+      std::fprintf(stderr,
+                   "xcq: data dir '%s' unusable, running memory-only: %s\n",
+                   options_.data_dir.c_str(),
+                   durability_status_.ToString().c_str());
+    }
+    recovered_total_->Increment(static_cast<double>(recovery_.recovered));
+    recovery_errors_total_->Increment(static_cast<double>(recovery_.errors));
+    recovery_seconds_gauge_->Set(recovery_.seconds);
+  }
 }
 
 Status DocumentStore::LoadXml(const std::string& name, std::string xml) {
@@ -341,15 +787,11 @@ Status DocumentStore::LoadXml(const std::string& name, std::string xml) {
                        QuerySession::Open(std::move(xml), options_.session));
   auto doc =
       std::make_shared<StoredDocument>(std::move(session), name, &registry_);
-  doc->last_used_.store(++clock_);
+  doc->owner_ = this;
+  // No instance exists before the first query of an XML-loaded document,
+  // so there is nothing to spill yet; the first query writes it.
   loads_total_->Increment();
-  // Capacity victims destruct after `mu_` is released (see Evict).
-  std::vector<std::shared_ptr<StoredDocument>> doomed;
-  {
-    std::unique_lock<std::shared_mutex> lock(mu_);
-    docs_[name] = std::move(doc);
-    EnforceCapacityLocked(name, &doomed);
-  }
+  InstallDocument(name, std::move(doc));
   return Status::OK();
 }
 
@@ -360,16 +802,29 @@ Status DocumentStore::LoadInstance(const std::string& name,
       QuerySession::FromInstance(std::move(instance), options_.session));
   auto doc =
       std::make_shared<StoredDocument>(std::move(session), name, &registry_);
-  doc->last_used_.store(++clock_);
+  doc->owner_ = this;
+  // Eager spill before publication: an instance LOAD is durable by the
+  // time the reply goes out.
+  doc->PersistIfDirty();
   loads_total_->Increment();
+  InstallDocument(name, std::move(doc));
+  return Status::OK();
+}
+
+void DocumentStore::InstallDocument(const std::string& name,
+                                    std::shared_ptr<StoredDocument> doc) {
+  doc->last_used_.store(++clock_);
   // Capacity victims destruct after `mu_` is released (see Evict).
   std::vector<std::shared_ptr<StoredDocument>> doomed;
   {
     std::unique_lock<std::shared_mutex> lock(mu_);
+    // A fresh LOAD supersedes any warm entry (and orphans an in-flight
+    // fault-in, which detects the latch mismatch and discards itself).
+    warm_.erase(name);
     docs_[name] = std::move(doc);
     EnforceCapacityLocked(name, &doomed);
   }
-  return Status::OK();
+  FinalizeDoomed(&doomed);
 }
 
 Status DocumentStore::LoadFile(const std::string& name,
@@ -400,24 +855,202 @@ std::shared_ptr<StoredDocument> DocumentStore::Find(
   return it->second;
 }
 
+Result<std::shared_ptr<StoredDocument>> DocumentStore::Acquire(
+    const std::string& name) {
+  for (;;) {
+    {
+      std::shared_lock<std::shared_mutex> lock(mu_);
+      const auto it = docs_.find(name);
+      if (it != docs_.end()) {
+        it->second->last_used_.store(++clock_);
+        return it->second;
+      }
+    }
+    std::shared_ptr<FaultIn> latch;
+    bool loader = false;
+    {
+      std::unique_lock<std::shared_mutex> lock(mu_);
+      const auto it = docs_.find(name);
+      if (it != docs_.end()) {  // installed between the two lock grabs
+        it->second->last_used_.store(++clock_);
+        return it->second;
+      }
+      const auto wit = warm_.find(name);
+      if (wit == warm_.end()) {
+        load_misses_total_->Increment();
+        return Status::NotFound(
+            StrFormat("no document named '%s' is loaded", name.c_str()));
+      }
+      if (wit->second.inflight == nullptr) {
+        wit->second.inflight = std::make_shared<FaultIn>();
+        loader = true;
+      }
+      latch = wit->second.inflight;
+    }
+    if (loader) {
+      const Status status = FaultInDocument(name, latch);
+      {
+        std::lock_guard<std::mutex> flock(latch->mu);
+        latch->done = true;
+        latch->status = status;
+      }
+      latch->cv.notify_all();
+      if (!status.ok()) return status;
+      continue;  // the document is resident now
+    }
+    // Single-flight: wait for the loader, then re-resolve. Every waiter
+    // of a failed fault-in gets the loader's canonical status.
+    std::unique_lock<std::mutex> flock(latch->mu);
+    latch->cv.wait(flock, [&latch] { return latch->done; });
+    if (!latch->status.ok()) return latch->status;
+  }
+}
+
+Status DocumentStore::FaultInDocument(const std::string& name,
+                                      const std::shared_ptr<FaultIn>& latch) {
+  spill_reads_.fetch_add(1);
+  Result<QuerySession> session = Status::Internal("fault-in did not run");
+  {
+    Result<Instance> instance = spills_.Read(name);
+    if (instance.ok()) {
+      session =
+          QuerySession::FromInstance(std::move(*instance), options_.session);
+    } else {
+      session = instance.status();
+    }
+  }
+  if (!session.ok()) {
+    // The canonical cold-miss degradation: drop the entry and its
+    // artifacts, log one line, fail this document only.
+    warm_misses_total_->Increment();
+    const Status canonical = Status::Corruption(
+        StrFormat("warm document '%s' unrecoverable: %s", name.c_str(),
+                  session.status().message().c_str()));
+    std::fprintf(stderr, "xcq: %s\n", canonical.ToString().c_str());
+    {
+      std::unique_lock<std::shared_mutex> lock(mu_);
+      const auto wit = warm_.find(name);
+      if (wit != warm_.end() && wit->second.inflight == latch) {
+        warm_.erase(wit);
+      }
+    }
+    spills_.Remove(name);
+    return canonical;
+  }
+  auto doc =
+      std::make_shared<StoredDocument>(std::move(*session), name, &registry_);
+  doc->owner_ = this;
+  // The spill we just read is current — do not rewrite it on the next
+  // query unless the label set actually grows.
+  doc->MarkSpilledClean();
+  doc->last_used_.store(++clock_);
+  std::vector<std::shared_ptr<StoredDocument>> doomed;
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    const auto wit = warm_.find(name);
+    if (wit == warm_.end() || wit->second.inflight != latch) {
+      // Superseded by a LOAD or FORGET while the spill was being read;
+      // discard our result — waiters re-resolve against current state.
+      return Status::OK();
+    }
+    warm_.erase(wit);
+    docs_[name] = std::move(doc);
+    warm_hits_total_->Increment();
+    EnforceCapacityLocked(name, &doomed);
+  }
+  FinalizeDoomed(&doomed);
+  return Status::OK();
+}
+
 bool DocumentStore::Evict(const std::string& name) {
   // Move the document out of the map and let it destruct after the
   // exclusive lock is released: when the map held the last reference,
   // freeing a large instance under `mu_` would stall every concurrent
   // Find() (and whoever called us) for the whole teardown.
   std::shared_ptr<StoredDocument> doomed;
+  bool demoted = false;
   {
     std::unique_lock<std::shared_mutex> lock(mu_);
     const auto it = docs_.find(name);
-    if (it == docs_.end()) return false;
+    if (it == docs_.end()) {
+      // Warm-only names have no residency to drop; they stay warm.
+      return warm_.count(name) > 0;
+    }
     doomed = std::move(it->second);
     docs_.erase(it);
     evictions_total_->Increment();
     // Stop rendering the evicted document's series; cached handles stay
     // valid (clients may still hold the StoredDocument shared_ptr).
+    // A later fault-in re-registers them with counters intact.
     registry_.RemoveLabeled("document", name);
+    SpillRecord rec;
+    if (spills_.Lookup(name, &rec)) {
+      // Demote: keep the spill, drop residency. The next Acquire
+      // faults the document back in.
+      warm_.emplace(name, WarmEntry{});
+      demoted = true;
+    }
   }
+  // Final spill refresh off the store lock: if queries grew the label
+  // set since the last spill, capture that before the session goes
+  // away. (A fault-in racing this reads the previous spill — answers
+  // from it are correct, it merely lags the newest labels.)
+  if (demoted) doomed->PersistIfDirty();
   return true;
+}
+
+Status DocumentStore::Persist(const std::string& name) {
+  if (!spills_.enabled()) {
+    return Status::InvalidArgument(
+        "persistence is disabled; start the server with --data-dir");
+  }
+  std::shared_ptr<StoredDocument> doc;
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    const auto it = docs_.find(name);
+    if (it != docs_.end()) {
+      doc = it->second;
+    } else if (warm_.count(name) > 0) {
+      return Status::OK();  // warm = already durable; no-op
+    }
+  }
+  if (doc == nullptr) {
+    return Status::NotFound(
+        StrFormat("no document named '%s' is loaded", name.c_str()));
+  }
+  return doc->ForcePersist();
+}
+
+bool DocumentStore::Forget(const std::string& name) {
+  std::shared_ptr<StoredDocument> doomed;
+  bool existed = false;
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    const auto it = docs_.find(name);
+    if (it != docs_.end()) {
+      doomed = std::move(it->second);
+      docs_.erase(it);
+      registry_.RemoveLabeled("document", name);
+      existed = true;
+    }
+    existed = warm_.erase(name) > 0 || existed;
+  }
+  existed = spills_.Remove(name) || existed;
+  if (existed) evictions_total_->Increment();
+  return existed;
+}
+
+void DocumentStore::FlushSpills() {
+  if (!spills_.enabled()) return;
+  std::vector<std::shared_ptr<StoredDocument>> docs;
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    docs.reserve(docs_.size());
+    for (const auto& [name, doc] : docs_) docs.push_back(doc);
+  }
+  for (const std::shared_ptr<StoredDocument>& doc : docs) {
+    doc->PersistIfDirty();
+  }
 }
 
 std::vector<DocumentInfo> DocumentStore::Stats() const {
@@ -425,14 +1058,40 @@ std::vector<DocumentInfo> DocumentStore::Stats() const {
   // document's own lock outside of it — Info() can be slow (tree-node
   // counting) and must not block loads.
   std::vector<std::pair<std::string, std::shared_ptr<StoredDocument>>> docs;
+  std::vector<std::string> warm_only;
   {
     std::shared_lock<std::shared_mutex> lock(mu_);
     docs.reserve(docs_.size());
     for (const auto& [name, doc] : docs_) docs.emplace_back(name, doc);
+    warm_only.reserve(warm_.size());
+    for (const auto& [name, entry] : warm_) warm_only.push_back(name);
   }
   std::vector<DocumentInfo> infos;
-  infos.reserve(docs.size());
-  for (auto& [name, doc] : docs) infos.push_back(doc->Info(std::move(name)));
+  infos.reserve(docs.size() + warm_only.size());
+  for (auto& [name, doc] : docs) {
+    DocumentInfo info = doc->Info(name);
+    info.resident = true;
+    SpillRecord rec;
+    if (spills_.Lookup(name, &rec)) {
+      info.warm = true;
+      info.spill_bytes = rec.bytes;
+    }
+    infos.push_back(std::move(info));
+  }
+  // Warm entries get a metadata-only row: only the fields the manifest
+  // knows are filled, everything else reads zero until a fault-in.
+  for (const std::string& name : warm_only) {
+    DocumentInfo info;
+    info.name = name;
+    info.warm = true;
+    SpillRecord rec;
+    if (spills_.Lookup(name, &rec)) info.spill_bytes = rec.bytes;
+    infos.push_back(std::move(info));
+  }
+  std::sort(infos.begin(), infos.end(),
+            [](const DocumentInfo& a, const DocumentInfo& b) {
+              return a.name < b.name;
+            });
   return infos;
 }
 
@@ -444,6 +1103,22 @@ size_t DocumentStore::total_bytes() const {
 size_t DocumentStore::document_count() const {
   std::shared_lock<std::shared_mutex> lock(mu_);
   return docs_.size();
+}
+
+size_t DocumentStore::warm_count() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return warm_.size();
+}
+
+Status DocumentStore::WriteSpill(const std::string& name,
+                                 const Instance& instance) {
+  const Result<SpillRecord> rec = spills_.Write(name, instance);
+  if (!rec.ok()) {
+    spill_errors_total_->Increment();
+    return rec.status();
+  }
+  spill_writes_total_->Increment();
+  return Status::OK();
 }
 
 size_t DocumentStore::TotalBytesLocked() const {
@@ -472,9 +1147,24 @@ void DocumentStore::EnforceCapacityLocked(
     if (victim == docs_.end()) return;  // only `keep` is left
     evictions_total_->Increment();
     registry_.RemoveLabeled("document", victim->first);
+    SpillRecord rec;
+    if (spills_.Lookup(victim->first, &rec)) {
+      // Demote spill-backed victims to warm entries instead of
+      // discarding; FinalizeDoomed refreshes the spill if stale.
+      warm_.emplace(victim->first, WarmEntry{});
+    }
     doomed->push_back(std::move(victim->second));
     docs_.erase(victim);
   }
+}
+
+void DocumentStore::FinalizeDoomed(
+    std::vector<std::shared_ptr<StoredDocument>>* doomed) {
+  for (const std::shared_ptr<StoredDocument>& doc : *doomed) {
+    SpillRecord rec;
+    if (spills_.Lookup(doc->name_, &rec)) doc->PersistIfDirty();
+  }
+  doomed->clear();  // destruction happens here, off the store lock
 }
 
 std::string DocumentStore::ScrapeMetrics() {
@@ -492,6 +1182,8 @@ std::string DocumentStore::ScrapeMetrics() {
     doc->UpdateScrapeGauges(uptime);
   }
   documents_gauge_->Set(static_cast<double>(document_count()));
+  warm_documents_gauge_->Set(static_cast<double>(warm_count()));
+  spill_bytes_gauge_->Set(static_cast<double>(spills_.TotalBytes()));
   bytes_gauge_->Set(static_cast<double>(total_bytes()));
   uptime_gauge_->Set(uptime);
   return registry_.RenderPrometheus();

@@ -29,8 +29,30 @@
 /// re-minimization pass (incremental or full), so the accounting sees
 /// the reclaimed size — including the in-instance hash-cons cache the
 /// incremental pass keeps (`MinimizeCache`), which is real heap.
+///
+/// Durability (docs/SERVER.md §Persistence): with a non-empty
+/// `StoreOptions::data_dir` every document whose compressed instance
+/// exists is also spilled to disk as a checksummed `.xcqi` file, and a
+/// manifest maps names to spill files. A document is then in one of
+/// three states:
+///
+///   resident — a `StoredDocument` in `docs_`; serves queries.
+///   warm     — no session in memory, but a spill + manifest entry; the
+///              first `Acquire()` faults it back in via `FromInstance`
+///              (zero source re-parses), single-flight per document.
+///   cold     — nothing; only LOAD can (re)create it.
+///
+/// Restart replays the manifest and registers warm entries lazily, so
+/// startup is O(manifest), not O(corpus). Capacity eviction and EVICT
+/// demote a spill-backed resident to warm instead of discarding it.
+/// Spills are rewritten whenever a query grows the tracked label set,
+/// so a SIGKILL loses at most the labels merged since the last spill —
+/// never the document. All spill/manifest writes are atomic
+/// (temp + fsync + rename); recovery tolerates any torn artifact by
+/// degrading that one document to a cold miss.
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -72,6 +94,30 @@ struct StoreOptions {
   SessionOptions session;
   /// Per-query trace logging; off by default.
   TraceOptions trace;
+  /// Spill directory for durable documents; "" disables durability.
+  /// Created (one level) if absent. See docs/SERVER.md §Persistence.
+  std::string data_dir;
+  /// Replay the manifest at construction and register recovered
+  /// documents as warm entries. With `false` the catalog is still
+  /// loaded (so later spills do not orphan prior ones) but nothing is
+  /// registered — the store starts cold.
+  bool warm_start = true;
+};
+
+/// \brief One durable spill as the manifest tracks it.
+struct SpillRecord {
+  std::string file;      ///< File name inside the data dir.
+  size_t bytes = 0;      ///< Size of the spill file on disk.
+  uint32_t crc = 0;      ///< CRC-32 of the whole file.
+  uint64_t generation = 0;  ///< Monotonic per-store write counter.
+  std::vector<std::string> labels;  ///< Tracked labels (informational).
+};
+
+/// \brief What the recovery scan found at startup.
+struct RecoveryStats {
+  size_t recovered = 0;  ///< Warm entries registered from the manifest.
+  size_t errors = 0;     ///< Manifest lines / artifacts skipped.
+  double seconds = 0.0;  ///< Wall time of the scan.
 };
 
 /// \brief One row of STATS: a snapshot of a cached document.
@@ -110,6 +156,57 @@ struct DocumentInfo {
                                   ///  StoredDocument::Info — the store does
                                   ///  not know the service).
   uint64_t inflight = 0;          ///< Tasks executing for this document now.
+  bool warm = false;              ///< A durable spill backs this document.
+  bool resident = false;          ///< The session is in memory.
+  size_t spill_bytes = 0;         ///< Spill file size on disk (0 = none).
+};
+
+/// \brief The durable side of the store: spill files plus the manifest
+/// that catalogs them, all writes crash-safe (temp + fsync + rename).
+/// Thread-safe behind its own mutex, which is a leaf in the lock order
+/// (store lock or document lock may be held when calling in; the spill
+/// manager never calls out).
+class SpillManager {
+ public:
+  /// Prepares `data_dir` (created if absent, one level) and parses the
+  /// manifest fault-tolerantly: unreadable lines are skipped and
+  /// counted in `stats->errors`, torn `.tmp` artifacts and
+  /// unreferenced spill files are cleaned up (cleanup is skipped when
+  /// the manifest itself is unusable — then nothing is trusted enough
+  /// to delete). A hard failure (directory not creatable) leaves the
+  /// manager disabled.
+  Status Init(const std::string& data_dir, RecoveryStats* stats);
+
+  bool enabled() const { return !dir_.empty(); }
+
+  /// Serializes `instance` and atomically writes it as `name`'s spill
+  /// under a fresh generation, rewrites the manifest, then removes the
+  /// superseded generation's file.
+  Result<SpillRecord> Write(const std::string& name,
+                            const Instance& instance);
+
+  /// Reads and fully verifies `name`'s spill (size + CRC against the
+  /// manifest, then footer + structural validation).
+  Result<Instance> Read(const std::string& name) const;
+
+  /// Drops `name`'s spill file and manifest entry. False if absent.
+  bool Remove(const std::string& name);
+
+  bool Lookup(const std::string& name, SpillRecord* out) const;
+
+  /// Names with a durable spill, sorted.
+  std::vector<std::string> Names() const;
+
+  /// Summed on-disk size of all cataloged spills.
+  size_t TotalBytes() const;
+
+ private:
+  Status RewriteManifestLocked();
+
+  std::string dir_;  ///< "" until Init succeeds (manager disabled).
+  mutable std::mutex mu_;
+  std::map<std::string, SpillRecord> records_;
+  uint64_t next_generation_ = 1;
 };
 
 /// \brief A cached compressed document: a `QuerySession` plus serving
@@ -185,6 +282,28 @@ class StoredDocument {
   /// Recomputes the cached footprint; mu_ must be held.
   void RefreshFootprintLocked();
 
+  /// Rewrites this document's spill when the tracked label set grew
+  /// since the last spill (or none was written yet); mu_ must be held.
+  /// No-op without an owning store, without durability, or before the
+  /// session has built an instance. Write failures are logged once per
+  /// document and serving continues (durability degrades, availability
+  /// does not).
+  void MaybeSpillLocked();
+
+  /// Spill-if-dirty with its own locking — the store calls this on
+  /// load, on demotion, and from FlushSpills().
+  void PersistIfDirty();
+
+  /// Unconditionally rewrites the spill (PERSIST verb). Fails with
+  /// kInvalidArgument before the first query of an XML-loaded document
+  /// (there is no compiled instance to persist yet).
+  Status ForcePersist();
+
+  /// Marks the current label set as already spilled — set after a
+  /// fault-in so the first query does not immediately rewrite the spill
+  /// it was just read from.
+  void MarkSpilledClean();
+
   /// Folds one outcome's pruning counters into the cumulative totals;
   /// mu_ must be held.
   void AccumulateSweepStats(const engine::EvalStats& stats);
@@ -200,6 +319,11 @@ class StoredDocument {
   std::string name_;
   obs::Registry* registry_;  ///< Null = metrics disabled.
   Handles handles_;
+  /// The owning store, for spill writes; null for store-less embedders.
+  class DocumentStore* owner_ = nullptr;
+  bool spilled_ = false;          ///< A spill of this session exists.
+  size_t spilled_labels_ = 0;     ///< Tracked label count at last spill.
+  bool spill_error_logged_ = false;
   std::atomic<size_t> footprint_{0};
   /// LRU stamp, owned by the store; atomic so Find() can bump it under
   /// the store's *shared* lock.
@@ -234,17 +358,47 @@ class DocumentStore {
   /// sniffing the format from the leading bytes.
   Status LoadFile(const std::string& name, const std::string& path);
 
-  /// The document, bumping its LRU stamp; null if absent. Takes the
-  /// store lock shared: lookups from concurrent queries never serialize
-  /// on each other.
+  /// The *resident* document, bumping its LRU stamp; null if absent or
+  /// warm. Takes the store lock shared: lookups from concurrent queries
+  /// never serialize on each other.
   std::shared_ptr<StoredDocument> Find(const std::string& name);
 
-  /// Drops `name`. False if absent. The evicted document's metric
-  /// series stop rendering (RemoveLabeled), and `evictions_total` moves.
-  /// When the map held the last reference, the document is destroyed on
-  /// the calling thread *after* the store lock is released, so a large
-  /// teardown never blocks concurrent `Find()`s.
+  /// The document for serving: a resident hit is as cheap as `Find`; a
+  /// warm entry is faulted back in from its spill via `FromInstance`
+  /// (single-flight — N concurrent acquires of one warm document do one
+  /// spill read, everyone else blocks on the loader). A spill that
+  /// fails verification degrades to a cold miss: the entry and its
+  /// artifacts are dropped, one canonical line is logged, and every
+  /// waiter gets the same `kCorruption` status — other documents are
+  /// unaffected. `kNotFound` for names that are neither.
+  Result<std::shared_ptr<StoredDocument>> Acquire(const std::string& name);
+
+  /// Drops `name`'s residency. With durability, a spill-backed document
+  /// is *demoted* to a warm entry (its spill is refreshed if the label
+  /// set grew since the last write) and the next Acquire faults it back
+  /// in; without, this is a full drop as before. False if the name is
+  /// neither resident nor warm (warm-only names return true and stay
+  /// warm). The evicted document's metric series stop rendering
+  /// (RemoveLabeled), and `evictions_total` moves. When the map held
+  /// the last reference, the document is destroyed on the calling
+  /// thread *after* the store lock is released, so a large teardown
+  /// never blocks concurrent `Find()`s.
   bool Evict(const std::string& name);
+
+  /// Forces a spill write for resident `name` (PERSIST verb); a
+  /// warm-only name is already durable and succeeds as a no-op.
+  /// `kNotFound` for unknown names, `kInvalidArgument` when durability
+  /// is off or the document has no compiled instance yet.
+  Status Persist(const std::string& name);
+
+  /// Removes `name` everywhere: residency, warm entry, spill file, and
+  /// manifest entry (FORGET verb). False if nothing existed.
+  bool Forget(const std::string& name);
+
+  /// Rewrites every resident document's spill that is stale (graceful
+  /// shutdown hook; the destructor deliberately does NOT do this, so a
+  /// destructed store models a hard stop). No-op without durability.
+  void FlushSpills();
 
   /// Snapshot of every cached document, name order.
   std::vector<DocumentInfo> Stats() const;
@@ -264,17 +418,70 @@ class DocumentStore {
 
   size_t document_count() const;
 
+  /// Warm (spill-backed, non-resident) entries right now.
+  size_t warm_count() const;
+
+  /// Spill reads performed since construction (fault-ins, successful or
+  /// not) — the single-flight tests pin this to 1 per warm document.
+  uint64_t spill_reads() const { return spill_reads_.load(); }
+
+  /// What the startup recovery scan found; zeros without `data_dir`.
+  const RecoveryStats& recovery_stats() const { return recovery_; }
+
+  /// OK when durability is off or the data dir initialized cleanly;
+  /// the error otherwise (the store then runs memory-only).
+  const Status& durability_status() const { return durability_status_; }
+
+  bool durable() const { return spills_.enabled(); }
+
   const StoreOptions& options() const { return options_; }
 
  private:
+  friend class StoredDocument;
+
+  /// Single-flight latch for one warm document's fault-in.
+  struct FaultIn {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    Status status;
+  };
+  /// A warm (spill-backed, non-resident) entry: presence marks the
+  /// state, `inflight` is non-null while a fault-in runs. The spill
+  /// metadata itself lives in the SpillManager's catalog.
+  struct WarmEntry {
+    std::shared_ptr<FaultIn> inflight;
+  };
+
   /// Must hold `mu_` exclusively. Evicts LRU entries (excluding `keep`)
-  /// until the footprint fits `capacity_bytes`. Victims are moved into
-  /// `doomed` instead of destroyed, so the caller can release `mu_`
-  /// before the (potentially large) frees run.
+  /// until the footprint fits `capacity_bytes`. Spill-backed victims
+  /// are demoted to warm entries. Victims are moved into `doomed`
+  /// instead of destroyed, so the caller can release `mu_` before the
+  /// (potentially large) frees run — via `FinalizeDoomed`, which also
+  /// refreshes stale spills of demoted documents first.
   void EnforceCapacityLocked(const std::string& keep,
                              std::vector<std::shared_ptr<StoredDocument>>*
                                  doomed);
+  /// Runs after `mu_` is released: final spill refresh for spill-backed
+  /// victims, then destruction.
+  void FinalizeDoomed(std::vector<std::shared_ptr<StoredDocument>>* doomed);
   size_t TotalBytesLocked() const;
+
+  /// Registers `doc` under `name` (exclusive lock inside), displacing
+  /// any warm entry, and enforces capacity. Shared tail of the Load*
+  /// paths and the fault-in.
+  void InstallDocument(const std::string& name,
+                       std::shared_ptr<StoredDocument> doc);
+
+  /// The loader side of Acquire: reads the spill, rebuilds the session,
+  /// installs the document. `latch` is this fault-in's single-flight
+  /// latch; a warm entry whose latch no longer matches was superseded
+  /// (LOAD/FORGET raced) and the result is quietly discarded.
+  Status FaultInDocument(const std::string& name,
+                         const std::shared_ptr<FaultIn>& latch);
+
+  /// Spill write + metrics, called from StoredDocument under its lock.
+  Status WriteSpill(const std::string& name, const Instance& instance);
 
   /// Declared first: documents cache raw handle pointers into the
   /// registry, so it must outlive `docs_` during destruction.
@@ -284,12 +491,27 @@ class DocumentStore {
   obs::Counter* loads_total_;
   obs::Counter* load_misses_total_;
   obs::Counter* evictions_total_;
+  obs::Counter* spill_writes_total_;
+  obs::Counter* spill_errors_total_;
+  obs::Counter* warm_hits_total_;
+  obs::Counter* warm_misses_total_;
+  obs::Counter* recovered_total_;
+  obs::Counter* recovery_errors_total_;
   obs::Gauge* documents_gauge_;
+  obs::Gauge* warm_documents_gauge_;
+  obs::Gauge* spill_bytes_gauge_;
   obs::Gauge* bytes_gauge_;
   obs::Gauge* uptime_gauge_;
+  obs::Gauge* recovery_seconds_gauge_;
+  SpillManager spills_;
+  RecoveryStats recovery_;
+  Status durability_status_;
+  std::atomic<uint64_t> spill_reads_{0};
   mutable std::shared_mutex mu_;
   /// Ordered so STATS is stable.
   std::map<std::string, std::shared_ptr<StoredDocument>> docs_;
+  /// Warm entries; disjoint from `docs_` keys by invariant.
+  std::map<std::string, WarmEntry> warm_;
   std::atomic<uint64_t> clock_{0};
 };
 

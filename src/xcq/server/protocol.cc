@@ -105,12 +105,24 @@ Result<Request> ParseRequest(std::string_view line) {
     if (request.name.empty()) {
       return Status::InvalidArgument("usage: EVICT <name>");
     }
+  } else if (verb == "PERSIST") {
+    request.kind = Request::Kind::kPersist;
+    request.name = std::string(rest);
+    if (request.name.empty()) {
+      return Status::InvalidArgument("usage: PERSIST <name>");
+    }
+  } else if (verb == "FORGET") {
+    request.kind = Request::Kind::kForget;
+    request.name = std::string(rest);
+    if (request.name.empty()) {
+      return Status::InvalidArgument("usage: FORGET <name>");
+    }
   } else if (verb == "QUIT") {
     request.kind = Request::Kind::kQuit;
   } else {
     return Status::InvalidArgument(
         StrFormat("unknown verb '%s' (expected LOAD, QUERY, BATCH, STATS, "
-                  "METRICS, EVICT, or QUIT)",
+                  "METRICS, EVICT, PERSIST, FORGET, or QUIT)",
                   std::string(verb).c_str()));
   }
   return request;
@@ -137,7 +149,8 @@ std::string FormatDocumentInfo(const DocumentInfo& info) {
       "skipped=%llu scratch_resident=%zu scratch_hits=%llu "
       "scratch_allocs=%llu traversal_builds=%llu summary_builds=%llu "
       "label_s=%.6f minimize_s=%.6f qps=%.3f share_rate=%.3f "
-      "p50_ms=%.3f p95_ms=%.3f p99_ms=%.3f queued=%llu inflight=%llu",
+      "p50_ms=%.3f p95_ms=%.3f p99_ms=%.3f queued=%llu inflight=%llu "
+      "warm=%d resident=%d spill_bytes=%zu",
       info.name.c_str(), info.memory_bytes, info.vertex_count,
       static_cast<unsigned long long>(info.rle_edges),
       static_cast<unsigned long long>(info.tree_nodes), info.tracked_tags,
@@ -160,7 +173,8 @@ std::string FormatDocumentInfo(const DocumentInfo& info) {
       info.label_seconds, info.minimize_seconds, info.qps,
       info.share_rate, info.p50_ms, info.p95_ms, info.p99_ms,
       static_cast<unsigned long long>(info.queued),
-      static_cast<unsigned long long>(info.inflight));
+      static_cast<unsigned long long>(info.inflight),
+      info.warm ? 1 : 0, info.resident ? 1 : 0, info.spill_bytes);
 }
 
 std::string FormatError(const Status& status) {
@@ -323,6 +337,24 @@ std::vector<std::string> BuildEvictReply(DocumentStore* store,
       StrFormat("no document named '%s' is loaded", name.c_str())))};
 }
 
+std::vector<std::string> BuildPersistReply(DocumentStore* store,
+                                           const std::string& name) {
+  const Status status = store->Persist(name);
+  if (!status.ok()) {
+    return {FormatError(status)};
+  }
+  return {StrFormat("OK persisted %s", name.c_str())};
+}
+
+std::vector<std::string> BuildForgetReply(DocumentStore* store,
+                                          const std::string& name) {
+  if (store->Forget(name)) {
+    return {StrFormat("OK forgot %s", name.c_str())};
+  }
+  return {FormatError(Status::NotFound(
+      StrFormat("no document named '%s' is loaded", name.c_str())))};
+}
+
 bool RequestHandler::Handle(
     std::string_view line,
     const std::function<bool(std::string*)>& read_line,
@@ -386,6 +418,14 @@ bool RequestHandler::Handle(
 
     case Request::Kind::kEvict:
       reply = BuildEvictReply(store_, request.name);
+      break;
+
+    case Request::Kind::kPersist:
+      reply = BuildPersistReply(store_, request.name);
+      break;
+
+    case Request::Kind::kForget:
+      reply = BuildForgetReply(store_, request.name);
       break;
   }
   for (const std::string& reply_line : reply) {
@@ -514,6 +554,12 @@ PipelinedHandler::FeedResult PipelinedHandler::Dispatch(
         break;
       case Request::Kind::kEvict:
         lines = BuildEvictReply(self->store_, req.name);
+        break;
+      case Request::Kind::kPersist:
+        lines = BuildPersistReply(self->store_, req.name);
+        break;
+      case Request::Kind::kForget:
+        lines = BuildForgetReply(self->store_, req.name);
         break;
       case Request::Kind::kQuit:
         lines = {FormatError(Status::Internal("unreachable dispatch kind"))};

@@ -17,7 +17,13 @@
 ///   STATS                   one line per cached document
 ///   METRICS                 Prometheus text exposition format scrape
 ///                           (docs/OBSERVABILITY.md)
-///   EVICT <name>            drop a document
+///   EVICT <name>            drop a document's residency (spill-backed
+///                           documents demote to warm entries and fault
+///                           back in on the next QUERY/BATCH)
+///   PERSIST <name>          force a durable spill write now (requires
+///                           `--data-dir`; see docs/SERVER.md)
+///   FORGET <name>           remove a document everywhere: residency,
+///                           warm entry, spill file, manifest entry
 ///   QUIT                    close the conversation
 ///
 /// Blank (or whitespace-only) lines *between* requests are keep-alive
@@ -66,9 +72,20 @@ namespace xcq::server {
 
 /// \brief A parsed request line.
 struct Request {
-  enum class Kind { kLoad, kQuery, kBatch, kStats, kMetrics, kEvict, kQuit };
+  enum class Kind {
+    kLoad,
+    kQuery,
+    kBatch,
+    kStats,
+    kMetrics,
+    kEvict,
+    kPersist,
+    kForget,
+    kQuit,
+  };
   Kind kind = Kind::kStats;
-  std::string name;      ///< Document name (LOAD/QUERY/BATCH/EVICT).
+  std::string name;      ///< Document name (LOAD/QUERY/BATCH/EVICT/
+                         ///  PERSIST/FORGET).
   std::string path;      ///< LOAD only.
   std::string query;     ///< QUERY only — the rest of the line.
   size_t batch_size = 0; ///< BATCH only.
@@ -175,6 +192,14 @@ std::vector<std::string> BuildMetricsReply(DocumentStore* store);
 /// Performs the evict and formats its reply.
 std::vector<std::string> BuildEvictReply(DocumentStore* store,
                                          const std::string& name);
+
+/// Performs the forced spill write and formats its reply.
+std::vector<std::string> BuildPersistReply(DocumentStore* store,
+                                           const std::string& name);
+
+/// Removes the document everywhere and formats its reply.
+std::vector<std::string> BuildForgetReply(DocumentStore* store,
+                                          const std::string& name);
 
 /// @}
 

@@ -87,11 +87,11 @@ QueryResponse QueryService::Execute(const QueryJob& job) {
   if (job.queries.empty()) {
     return Status::InvalidArgument("job carries no queries");
   }
-  const std::shared_ptr<StoredDocument> doc = store_->Find(job.document);
-  if (doc == nullptr) {
-    return Status::NotFound(
-        StrFormat("no document named '%s' is loaded", job.document.c_str()));
-  }
+  // Acquire, not Find: a warm (spill-backed) document is faulted back
+  // in here, on a worker thread — single-flight per document, so a
+  // stampede of queries does one spill read.
+  XCQ_ASSIGN_OR_RETURN(const std::shared_ptr<StoredDocument> doc,
+                       store_->Acquire(job.document));
   if (job.queries.size() == 1) {
     XCQ_ASSIGN_OR_RETURN(const QueryOutcome outcome,
                          doc->Query(job.queries.front()));

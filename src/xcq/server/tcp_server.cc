@@ -75,7 +75,8 @@ bool TcpServer::ConnFinished(const Conn& conn) {
 TcpServer::TcpServer(ServerOptions options)
     : options_(std::move(options)),
       store_(StoreOptions{options_.capacity_bytes, options_.session,
-                          options_.trace}),
+                          options_.trace, options_.data_dir,
+                          options_.warm_start}),
       service_(&store_,
                ServiceOptions{options_.worker_threads, options_.queue_depth}) {
   obs::Registry* registry = store_.registry();
@@ -199,11 +200,18 @@ void TcpServer::Stop() {
     ::close(epoll_fd_);
     epoll_fd_ = -1;
   }
-  std::lock_guard<std::mutex> lock(completion_mu_);
-  if (event_fd_ >= 0) {
-    ::close(event_fd_);
-    event_fd_ = -1;
+  {
+    std::lock_guard<std::mutex> lock(completion_mu_);
+    if (event_fd_ >= 0) {
+      ::close(event_fd_);
+      event_fd_ = -1;
+    }
   }
+  // Graceful stop: every in-flight request has been answered, so the
+  // residents' label sets are final — write any dirty spills now. A
+  // hard stop (SIGKILL) skips this and recovery still works; the flush
+  // just captures labels learned since the last per-query spill.
+  store_.FlushSpills();
 }
 
 void TcpServer::WakeLoop() {

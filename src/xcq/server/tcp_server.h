@@ -67,6 +67,13 @@ struct ServerOptions {
   size_t worker_threads = 4;
   /// Document store capacity (0 = unlimited).
   size_t capacity_bytes = 0;
+  /// Spill directory for durable documents (`--data-dir`); empty keeps
+  /// the store memory-only.
+  std::string data_dir;
+  /// Register spilled documents as warm entries on startup
+  /// (`--warm-start=on|off`). Off still loads the manifest (so spills
+  /// are never orphaned) but answers NotFound until an explicit LOAD.
+  bool warm_start = true;
   /// Session behaviour for every stored document.
   SessionOptions session;
   /// Per-query trace logging (`--trace=off|slow:<ms>|all`).

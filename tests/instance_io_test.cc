@@ -201,6 +201,103 @@ TEST(InstanceIoTest, RootOutOfRangeIsCorruption) {
   EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
 }
 
+TEST(InstanceIoTest, ChecksummedRoundTrip) {
+  const Instance original = CompressedBib();
+  const std::string bytes = SerializeInstanceChecksummed(original);
+  // Footer = crc32 | payload size | "XCQF", 16 bytes past the payload.
+  ASSERT_EQ(bytes.size(), SerializeInstance(original).size() + 16);
+  EXPECT_EQ(bytes.substr(bytes.size() - 4), "XCQF");
+  XCQ_ASSERT_OK_AND_ASSIGN(const Instance reloaded,
+                           DeserializeInstance(bytes));
+  XCQ_ASSERT_OK(reloaded.Validate());
+  EXPECT_EQ(reloaded.vertex_count(), original.vertex_count());
+  EXPECT_EQ(TreeNodeCount(reloaded), TreeNodeCount(original));
+}
+
+TEST(InstanceIoTest, ChecksummedTruncatedFooterIsCorruption) {
+  const std::string bytes =
+      SerializeInstanceChecksummed(CompressedBib());
+  // Dropping any suffix of the footer destroys the end magic, so the
+  // stream falls back to the legacy parse — which then chokes on the
+  // partial footer as trailing bytes. Either way: kCorruption.
+  for (size_t drop = 1; drop <= 15; ++drop) {
+    const auto result = DeserializeInstance(
+        std::string_view(bytes).substr(0, bytes.size() - drop));
+    ASSERT_FALSE(result.ok()) << "dropped " << drop << " bytes";
+    EXPECT_EQ(result.status().code(), StatusCode::kCorruption)
+        << "dropped " << drop << " bytes";
+  }
+}
+
+TEST(InstanceIoTest, ChecksummedPayloadFlipIsCrcMismatch) {
+  std::string bytes = SerializeInstanceChecksummed(CompressedBib());
+  for (const size_t pos : {size_t{9}, bytes.size() / 2, bytes.size() - 17}) {
+    SCOPED_TRACE(pos);
+    std::string flipped = bytes;
+    flipped[pos] = static_cast<char>(flipped[pos] ^ 0x40);
+    const auto result = DeserializeInstance(flipped);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+    EXPECT_NE(result.status().message().find("CRC"), std::string::npos);
+  }
+}
+
+TEST(InstanceIoTest, ChecksummedTornWriteIsSizeMismatch) {
+  // A torn write that somehow kept the 16-byte footer but lost payload
+  // bytes: the recorded payload size no longer matches.
+  const std::string bytes =
+      SerializeInstanceChecksummed(CompressedBib());
+  const std::string torn = bytes.substr(0, bytes.size() / 2) +
+                           bytes.substr(bytes.size() - 16);
+  const auto result = DeserializeInstance(torn);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+  EXPECT_NE(result.status().message().find("torn"), std::string::npos);
+}
+
+TEST(InstanceIoTest, SaveInstanceWritesChecksummedFormat) {
+  const std::string path =
+      ::testing::TempDir() + "/instance_io_test_checksummed.xcqi";
+  XCQ_ASSERT_OK(SaveInstance(CompressedBib(), path));
+  std::string raw;
+  XCQ_ASSERT_OK_AND_ASSIGN(raw, xml::ReadFileToString(path));
+  ASSERT_GE(raw.size(), 20u);
+  EXPECT_EQ(raw.substr(raw.size() - 4), "XCQF");
+  // And no stray temp file from the atomic write.
+  std::FILE* tmp = std::fopen((path + ".tmp").c_str(), "rb");
+  EXPECT_EQ(tmp, nullptr);
+  if (tmp != nullptr) std::fclose(tmp);
+  std::remove(path.c_str());
+}
+
+TEST(InstanceIoTest, LegacyFooterlessFixtureStillLoads) {
+  // tests/data/legacy_bib.xcqi is a checked-in bare (pre-footer) spill
+  // of the bib example. It must load forever: a --data-dir written by an
+  // older build survives the format upgrade.
+  XCQ_ASSERT_OK_AND_ASSIGN(
+      const Instance legacy,
+      LoadInstance(std::string(XCQ_TEST_DATA_DIR) + "/legacy_bib.xcqi"));
+  XCQ_ASSERT_OK(legacy.Validate());
+  XCQ_ASSERT_OK_AND_ASSIGN(QuerySession session,
+                           QuerySession::FromInstance(legacy));
+  XCQ_ASSERT_OK_AND_ASSIGN(
+      QuerySession reference,
+      QuerySession::Open(testing::BibExampleXml()));
+  XCQ_ASSERT_OK_AND_ASSIGN(const QueryOutcome want,
+                           reference.Run("//paper/author"));
+  XCQ_ASSERT_OK_AND_ASSIGN(const QueryOutcome got,
+                           session.Run("//paper/author"));
+  EXPECT_EQ(got.selected_tree_nodes, want.selected_tree_nodes);
+}
+
+TEST(InstanceIoTest, Crc32MatchesKnownVectors) {
+  // IEEE 802.3 check values pin the polynomial and bit order.
+  EXPECT_EQ(Crc32(""), 0x00000000u);
+  EXPECT_EQ(Crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(Crc32("The quick brown fox jumps over the lazy dog"),
+            0x414FA339u);
+}
+
 TEST(InstanceIoTest, SaveLoadFileRoundTrip) {
   const Instance original = CompressedBib();
   const std::string path =

@@ -306,6 +306,14 @@ TEST(ProtocolTest, ParsesEveryVerb) {
   EXPECT_EQ(evict.kind, Request::Kind::kEvict);
   EXPECT_EQ(evict.name, "bib");
 
+  XCQ_ASSERT_OK_AND_ASSIGN(Request persist, ParseRequest("PERSIST bib"));
+  EXPECT_EQ(persist.kind, Request::Kind::kPersist);
+  EXPECT_EQ(persist.name, "bib");
+
+  XCQ_ASSERT_OK_AND_ASSIGN(Request forget, ParseRequest("FORGET bib"));
+  EXPECT_EQ(forget.kind, Request::Kind::kForget);
+  EXPECT_EQ(forget.name, "bib");
+
   XCQ_ASSERT_OK_AND_ASSIGN(Request quit, ParseRequest("QUIT"));
   EXPECT_EQ(quit.kind, Request::Kind::kQuit);
 }
@@ -323,6 +331,8 @@ TEST(ProtocolTest, RejectsMalformedRequests) {
       "BATCH doc 3 extra",   // trailing junk
       "STATS doc",           // STATS takes no arguments
       "EVICT",               // missing name
+      "PERSIST",             // missing name
+      "FORGET",              // missing name
   };
   for (const char* line : bad) {
     SCOPED_TRACE(line);
@@ -595,6 +605,116 @@ TEST(TcpServerTest, StopUnblocksIdleClient) {
   EXPECT_FALSE(idle.ReadLine(&line));
 }
 
+// --- Durability (ISSUE 9) --------------------------------------------------
+
+TEST(TcpServerTest, RestartOnSameDataDirServesWithoutReload) {
+  const std::string xml_path = ::testing::TempDir() + "/durable_bib.xml";
+  XCQ_ASSERT_OK(xml::WriteStringToFile(xml_path, testing::BibExampleXml()));
+  std::string data_dir = ::testing::TempDir() + "/xcq_tcp_durable_XXXXXX";
+  ASSERT_NE(::mkdtemp(data_dir.data()), nullptr);
+
+  std::string want;
+  {
+    ServerOptions options;
+    options.port = 0;
+    options.worker_threads = 2;
+    options.data_dir = data_dir;
+    TcpServer server(options);
+    XCQ_ASSERT_OK(server.store().durability_status());
+    XCQ_ASSERT_OK(server.Start());
+    TestClient client(server.port());
+    ASSERT_TRUE(client.connected());
+    auto loaded = client.Ask("LOAD bib " + xml_path);
+    ASSERT_EQ(loaded.size(), 1u);
+    EXPECT_EQ(loaded[0].rfind("OK loaded bib", 0), 0u) << loaded[0];
+    const auto queried = client.Ask("QUERY bib //paper/author");
+    ASSERT_EQ(queried.size(), 1u);
+    ASSERT_EQ(queried[0].rfind("OK dag=", 0), 0u) << queried[0];
+    // The *answer* is dag=/tree=; splits and timings are per-run (the
+    // replayed spill already carries the splits baked in).
+    want = queried[0].substr(0, queried[0].find(" splits="));
+    client.Ask("QUIT");
+    server.Stop();  // graceful: flushes any stale spill
+  }
+
+  ServerOptions options;
+  options.port = 0;
+  options.worker_threads = 2;
+  options.data_dir = data_dir;
+  TcpServer server(options);
+  EXPECT_EQ(server.store().recovery_stats().recovered, 1u);
+  XCQ_ASSERT_OK(server.Start());
+  TestClient client(server.port());
+  ASSERT_TRUE(client.connected());
+
+  // Before any query: the document is warm metadata, not resident.
+  auto stats = client.Ask("STATS");
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_EQ(stats[1].rfind("bib ", 0), 0u) << stats[1];
+  EXPECT_NE(stats[1].find(" warm=1"), std::string::npos) << stats[1];
+  EXPECT_NE(stats[1].find(" resident=0"), std::string::npos) << stats[1];
+
+  // QUERY with no LOAD: identical answer, zero source parses.
+  const auto queried = client.Ask("QUERY bib //paper/author");
+  ASSERT_EQ(queried.size(), 1u);
+  EXPECT_EQ(queried[0].substr(0, queried[0].find(" splits=")), want)
+      << queried[0];
+  stats = client.Ask("STATS");
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_NE(stats[1].find(" warm=1"), std::string::npos) << stats[1];
+  EXPECT_NE(stats[1].find(" resident=1"), std::string::npos) << stats[1];
+  EXPECT_NE(stats[1].find(" parses=0"), std::string::npos) << stats[1];
+
+  // EVICT demotes the spill-backed document: residency drops, the warm
+  // entry (and its spill) survive, and the next QUERY faults it back.
+  auto evicted = client.Ask("EVICT bib");
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0], "OK evicted bib");
+  stats = client.Ask("STATS");
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_NE(stats[1].find(" warm=1"), std::string::npos) << stats[1];
+  EXPECT_NE(stats[1].find(" resident=0"), std::string::npos) << stats[1];
+  const auto again = client.Ask("QUERY bib //paper/author");
+  ASSERT_EQ(again.size(), 1u);
+  EXPECT_EQ(again[0].substr(0, again[0].find(" splits=")), want)
+      << again[0];
+
+  // PERSIST on a resident document succeeds; FORGET removes everything.
+  auto persisted = client.Ask("PERSIST bib");
+  ASSERT_EQ(persisted.size(), 1u);
+  EXPECT_EQ(persisted[0], "OK persisted bib");
+  auto forgotten = client.Ask("FORGET bib");
+  ASSERT_EQ(forgotten.size(), 1u);
+  EXPECT_EQ(forgotten[0], "OK forgot bib");
+  const auto gone = client.Ask("QUERY bib //paper/author");
+  ASSERT_EQ(gone.size(), 1u);
+  EXPECT_EQ(gone[0].rfind("ERR NotFound", 0), 0u) << gone[0];
+  stats = client.Ask("STATS");
+  EXPECT_EQ(stats.size(), 1u);  // no rows left
+
+  client.Ask("QUIT");
+  server.Stop();
+  std::remove(xml_path.c_str());
+}
+
+TEST(ProtocolTest, PersistAndForgetWithoutDataDir) {
+  const std::string xml_path = ::testing::TempDir() + "/mem_bib.xml";
+  XCQ_ASSERT_OK(xml::WriteStringToFile(xml_path, testing::BibExampleXml()));
+  DocumentStore store;
+  QueryService service(&store, ServiceOptions{1});
+  const std::vector<std::string> output =
+      Converse(&store, &service,
+               {"LOAD bib " + xml_path, "PERSIST bib", "FORGET bib",
+                "FORGET bib"});
+  ASSERT_EQ(output.size(), 4u);
+  // Memory-only store: PERSIST is a configuration error, FORGET still
+  // drops the resident document (idempotent second call: NotFound).
+  EXPECT_EQ(output[1].rfind("ERR InvalidArgument", 0), 0u) << output[1];
+  EXPECT_EQ(output[2], "OK forgot bib");
+  EXPECT_EQ(output[3].rfind("ERR NotFound", 0), 0u) << output[3];
+  std::remove(xml_path.c_str());
+}
+
 // --- Observability (ISSUE 7) -----------------------------------------------
 
 /// Splits a STATS row into its ordered `key=` names (the token before
@@ -645,6 +765,7 @@ TEST(ProtocolTest, StatsFieldSetIsFrozen) {
       "label_s",         "minimize_s",     "qps",
       "share_rate",      "p50_ms",         "p95_ms",
       "p99_ms",          "queued",         "inflight",
+      "warm",            "resident",       "spill_bytes",
   };
   EXPECT_EQ(StatsKeys(output[3]), expected) << output[3];
   std::remove(xml_path.c_str());

@@ -58,6 +58,18 @@ REQUIRED_STORE_SERIES = [
     "xcq_server_uptime_seconds",
     "xcq_server_queue_depth",
     "xcq_server_connections",
+    # Durable-store surface (ISSUE 9). All registered unconditionally —
+    # a memory-only daemon exposes them at zero — so every scrape must
+    # carry them.
+    "xcq_store_spill_writes_total",
+    "xcq_store_spill_errors_total",
+    "xcq_store_warm_hits_total",
+    "xcq_store_warm_misses_total",
+    "xcq_store_recovered_total",
+    "xcq_store_recovery_errors_total",
+    "xcq_store_warm_documents",
+    "xcq_store_spill_bytes",
+    "xcq_store_recovery_seconds",
 ]
 
 VALID_TYPES = {"counter", "gauge", "histogram"}
@@ -269,6 +281,24 @@ xcq_server_uptime_seconds 12.5
 xcq_server_queue_depth 0
 # TYPE xcq_server_connections gauge
 xcq_server_connections 1
+# TYPE xcq_store_spill_writes_total counter
+xcq_store_spill_writes_total 2
+# TYPE xcq_store_spill_errors_total counter
+xcq_store_spill_errors_total 0
+# TYPE xcq_store_warm_hits_total counter
+xcq_store_warm_hits_total 1
+# TYPE xcq_store_warm_misses_total counter
+xcq_store_warm_misses_total 0
+# TYPE xcq_store_recovered_total counter
+xcq_store_recovered_total 1
+# TYPE xcq_store_recovery_errors_total counter
+xcq_store_recovery_errors_total 0
+# TYPE xcq_store_warm_documents gauge
+xcq_store_warm_documents 0
+# TYPE xcq_store_spill_bytes gauge
+xcq_store_spill_bytes 133
+# TYPE xcq_store_recovery_seconds gauge
+xcq_store_recovery_seconds 0.002
 # TYPE xcq_document_queries_total counter
 xcq_document_queries_total{document="bib"} 3
 # TYPE xcq_document_qps gauge
