@@ -7,7 +7,10 @@
 /// The paper's motivating use is to keep skeletons of very large
 /// documents resident in main memory; persisting the compressed instance
 /// lets an application parse + compress once and reload the (small) DAG
-/// afterwards. The format is a little-endian, varint-compressed dump:
+/// afterwards. The format is a varint-compressed dump whose fixed-width
+/// fields (u32 version, bitset words, footer) are written in host byte
+/// order — `.xcqi` files are a same-host cache, not an interchange
+/// format, and do not port between hosts of different endianness:
 ///
 ///   magic "XCQI" | u32 version | varint vertex_count | varint root
 ///   | varint relation_count | (name_len name_bytes)*      -- live schema
@@ -19,6 +22,8 @@
 /// before any of it is interpreted:
 ///
 ///   u32 crc32(payload) | u64 payload_size | end magic "XCQF"
+///
+/// (footer integers host-endian, matching the rest of the format).
 ///
 /// `DeserializeInstance` accepts both forms: bytes ending in the footer
 /// magic are checksum-verified first, anything else takes the legacy

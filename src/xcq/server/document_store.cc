@@ -1,6 +1,7 @@
 #include "xcq/server/document_store.h"
 
 #include <dirent.h>
+#include <fcntl.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
@@ -100,10 +101,46 @@ bool ParseU64Token(std::string_view token, uint64_t* out) {
   uint64_t value = 0;
   for (const char c : token) {
     if (c < '0' || c > '9') return false;
-    value = value * 10 + static_cast<uint64_t>(c - '0');
+    const auto digit = static_cast<uint64_t>(c - '0');
+    // A wrapped value would look valid and then fail the size check as
+    // a spurious corruption (or regress the generation counter).
+    if (value > (UINT64_MAX - digit) / 10) return false;
+    value = value * 10 + digit;
   }
   *out = value;
   return true;
+}
+
+/// Whole-file read that distinguishes a verified-missing file
+/// (kNotFound) from a transient I/O failure such as fd pressure
+/// (kIoError) — the fault-in policy may delete durable state only on
+/// the former.
+Result<std::string> ReadSpillBytes(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    if (errno == ENOENT) {
+      return Status::NotFound(
+          StrFormat("spill file '%s' is missing", path.c_str()));
+    }
+    return Status::IoError(StrFormat("cannot open '%s': %s", path.c_str(),
+                                     std::strerror(errno)));
+  }
+  std::string out;
+  char buf[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof buf);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const Status status = Status::IoError(StrFormat(
+          "error reading '%s': %s", path.c_str(), std::strerror(errno)));
+      ::close(fd);
+      return status;
+    }
+    if (n == 0) break;
+    out.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return out;
 }
 
 }  // namespace
@@ -283,30 +320,65 @@ Result<SpillRecord> SpillManager::Write(const std::string& name,
   return rec;
 }
 
-Result<Instance> SpillManager::Read(const std::string& name) const {
+Result<Instance> SpillManager::Read(const std::string& name,
+                                    uint64_t* generation) const {
   SpillRecord rec;
   if (!Lookup(name, &rec)) {
     return Status::NotFound(
         StrFormat("no spill for document '%s'", name.c_str()));
   }
-  XCQ_ASSIGN_OR_RETURN(const std::string bytes,
-                       xml::ReadFileToString(dir_ + "/" + rec.file));
-  if (bytes.size() != rec.bytes) {
-    return Status::Corruption(
-        StrFormat("spill '%s' is %zu bytes, manifest says %zu",
-                  rec.file.c_str(), bytes.size(), rec.bytes));
+  for (;;) {
+    if (generation != nullptr) *generation = rec.generation;
+    Status failure = Status::OK();
+    const Result<std::string> bytes = ReadSpillBytes(dir_ + "/" + rec.file);
+    if (!bytes.ok()) {
+      failure = bytes.status();
+    } else if (bytes->size() != rec.bytes) {
+      failure = Status::Corruption(
+          StrFormat("spill '%s' is %zu bytes, manifest says %zu",
+                    rec.file.c_str(), bytes->size(), rec.bytes));
+    } else if (Crc32(*bytes) != rec.crc) {
+      failure = Status::Corruption(StrFormat(
+          "spill '%s' CRC does not match the manifest", rec.file.c_str()));
+    } else {
+      Result<Instance> instance = DeserializeInstance(*bytes);
+      if (instance.ok()) return instance;
+      failure = instance.status();
+    }
+    // A concurrent respill (demotion, PERSIST, label growth) may have
+    // superseded `rec` — Write unlinks the old generation's file right
+    // after the manifest rename, so a reader holding the stale record
+    // sees ENOENT. If the catalog moved on, the failure was against
+    // stale state: retry against the fresh record. Generations strictly
+    // increase, so every retry consumes a completed Write — progress.
+    SpillRecord fresh;
+    if (Lookup(name, &fresh) && fresh.generation != rec.generation) {
+      rec = std::move(fresh);
+      continue;
+    }
+    return failure;
   }
-  if (Crc32(bytes) != rec.crc) {
-    return Status::Corruption(StrFormat(
-        "spill '%s' CRC does not match the manifest", rec.file.c_str()));
-  }
-  return DeserializeInstance(bytes);
 }
 
 bool SpillManager::Remove(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
   const auto it = records_.find(name);
   if (it == records_.end()) return false;
+  return RemoveEntryLocked(it);
+}
+
+bool SpillManager::RemoveIfGeneration(const std::string& name,
+                                      uint64_t generation) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = records_.find(name);
+  if (it == records_.end() || it->second.generation != generation) {
+    return false;  // superseded (or gone) — the newer spill must survive
+  }
+  return RemoveEntryLocked(it);
+}
+
+bool SpillManager::RemoveEntryLocked(
+    std::map<std::string, SpillRecord>::iterator it) {
   const std::string file = it->second.file;
   records_.erase(it);
   // Manifest first, file second: a crash in between leaves an orphan
@@ -315,7 +387,7 @@ bool SpillManager::Remove(const std::string& name) {
   // cold miss at the next fault-in, never to wrong data.
   const Status status = RewriteManifestLocked();
   if (!status.ok()) {
-    std::fprintf(stderr, "xcq: manifest rewrite after FORGET failed: %s\n",
+    std::fprintf(stderr, "xcq: manifest rewrite after removal failed: %s\n",
                  status.ToString().c_str());
   }
   ::unlink((dir_ + "/" + file).c_str());
@@ -734,7 +806,8 @@ DocumentStore::DocumentStore(StoreOptions options)
           "Warm documents faulted back in from their spill")),
       warm_misses_total_(registry_.GetCounter(
           "xcq_store_warm_misses_total", {},
-          "Warm fault-ins that failed (corrupt or missing spill)")),
+          "Warm fault-ins that failed (corrupt, missing, or unreadable "
+          "spill)")),
       recovered_total_(registry_.GetCounter(
           "xcq_store_recovered_total", {},
           "Warm documents registered by the startup recovery scan")),
@@ -909,9 +982,10 @@ Result<std::shared_ptr<StoredDocument>> DocumentStore::Acquire(
 Status DocumentStore::FaultInDocument(const std::string& name,
                                       const std::shared_ptr<FaultIn>& latch) {
   spill_reads_.fetch_add(1);
+  uint64_t generation = 0;
   Result<QuerySession> session = Status::Internal("fault-in did not run");
   {
-    Result<Instance> instance = spills_.Read(name);
+    Result<Instance> instance = spills_.Read(name, &generation);
     if (instance.ok()) {
       session =
           QuerySession::FromInstance(std::move(*instance), options_.session);
@@ -920,9 +994,28 @@ Status DocumentStore::FaultInDocument(const std::string& name,
     }
   }
   if (!session.ok()) {
+    warm_misses_total_->Increment();
+    // Only a *verified* permanent failure — CRC/size/structural mismatch
+    // (kCorruption) or a spill file that is provably gone (kNotFound) —
+    // may destroy durable state. Anything else (fd pressure, ENOMEM,
+    // permissions) is transient: keep the warm entry and the spill,
+    // hand every waiter a retryable error, and let the next Acquire
+    // start a fresh fault-in.
+    const StatusCode code = session.status().code();
+    if (code != StatusCode::kCorruption && code != StatusCode::kNotFound) {
+      const Status retryable = Status::IoError(
+          StrFormat("warm document '%s' fault-in failed, will retry: %s",
+                    name.c_str(), session.status().message().c_str()));
+      std::fprintf(stderr, "xcq: %s\n", retryable.ToString().c_str());
+      std::unique_lock<std::shared_mutex> lock(mu_);
+      const auto wit = warm_.find(name);
+      if (wit != warm_.end() && wit->second.inflight == latch) {
+        wit->second.inflight = nullptr;
+      }
+      return retryable;
+    }
     // The canonical cold-miss degradation: drop the entry and its
     // artifacts, log one line, fail this document only.
-    warm_misses_total_->Increment();
     const Status canonical = Status::Corruption(
         StrFormat("warm document '%s' unrecoverable: %s", name.c_str(),
                   session.status().message().c_str()));
@@ -934,7 +1027,9 @@ Status DocumentStore::FaultInDocument(const std::string& name,
         warm_.erase(wit);
       }
     }
-    spills_.Remove(name);
+    // Generation-guarded: a LOAD or respill that superseded the record
+    // mid-fault-in wrote a *new* good spill — never delete that one.
+    spills_.RemoveIfGeneration(name, generation);
     return canonical;
   }
   auto doc =

@@ -186,11 +186,25 @@ class SpillManager {
                             const Instance& instance);
 
   /// Reads and fully verifies `name`'s spill (size + CRC against the
-  /// manifest, then footer + structural validation).
-  Result<Instance> Read(const std::string& name) const;
+  /// manifest, then footer + structural validation). A read that races
+  /// a respill (Write unlinks the superseded generation's file) retries
+  /// against the fresh catalog record. `generation`, when non-null,
+  /// receives the generation of the record the final attempt used
+  /// (0 when no record existed) so callers can make removal decisions
+  /// race-free via `RemoveIfGeneration`. Failure codes: `kCorruption`
+  /// for verified mismatches, `kNotFound` for an absent record or a
+  /// verified-missing file, `kIoError` for transient read failures
+  /// (fd pressure and the like — the spill is presumed intact).
+  Result<Instance> Read(const std::string& name,
+                        uint64_t* generation = nullptr) const;
 
   /// Drops `name`'s spill file and manifest entry. False if absent.
   bool Remove(const std::string& name);
+
+  /// Like `Remove`, but a no-op unless the cataloged record still has
+  /// `generation` — a concurrent Write that superseded it wrote a newer
+  /// spill, which must survive.
+  bool RemoveIfGeneration(const std::string& name, uint64_t generation);
 
   bool Lookup(const std::string& name, SpillRecord* out) const;
 
@@ -202,6 +216,8 @@ class SpillManager {
 
  private:
   Status RewriteManifestLocked();
+  /// Shared tail of Remove/RemoveIfGeneration; mu_ must be held.
+  bool RemoveEntryLocked(std::map<std::string, SpillRecord>::iterator it);
 
   std::string dir_;  ///< "" until Init succeeds (manager disabled).
   mutable std::mutex mu_;
@@ -367,10 +383,14 @@ class DocumentStore {
   /// warm entry is faulted back in from its spill via `FromInstance`
   /// (single-flight — N concurrent acquires of one warm document do one
   /// spill read, everyone else blocks on the loader). A spill that
-  /// fails verification degrades to a cold miss: the entry and its
+  /// fails *verification* (CRC/size/structural mismatch, or a file that
+  /// is provably gone) degrades to a cold miss: the entry and its
   /// artifacts are dropped, one canonical line is logged, and every
   /// waiter gets the same `kCorruption` status — other documents are
-  /// unaffected. `kNotFound` for names that are neither.
+  /// unaffected. A *transient* read failure (fd pressure, ENOMEM)
+  /// never destroys durable state: the warm entry and spill stay, and
+  /// waiters get a retryable `kIoError` — the next Acquire starts a
+  /// fresh fault-in. `kNotFound` for names that are neither.
   Result<std::shared_ptr<StoredDocument>> Acquire(const std::string& name);
 
   /// Drops `name`'s residency. With durability, a spill-backed document

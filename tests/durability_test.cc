@@ -18,12 +18,15 @@
 //    any effect on the other documents.
 
 #include <dirent.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <fstream>
 #include <map>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -311,6 +314,46 @@ TEST(DurabilityTest, MissingSpillFileIsIsolatedColdMiss) {
   }
 }
 
+TEST(DurabilityTest, TransientReadFailureKeepsWarmEntryAndRetries) {
+  const std::string dir = FreshDataDir("transient");
+  uint64_t want = 0;
+  {
+    DocumentStore store(DurableOptions(dir));
+    XCQ_ASSERT_OK(store.LoadXml("alpha", testing::BibExampleXml()));
+    want = QueryTreeCount(&store, "alpha", "//paper/author");
+  }
+  DocumentStore restarted(DurableOptions(dir));
+  ASSERT_EQ(restarted.warm_count(), 1u);
+  // Make the spill temporarily unreadable without deleting it: swap a
+  // directory in at its path (open succeeds, read fails EISDIR) — the
+  // moral equivalent of fd pressure or a flaky disk, and unlike
+  // chmod 0 it fails for root too.
+  const std::string spill = SpillPathFor(dir, "alpha");
+  ASSERT_FALSE(spill.empty());
+  const std::string hidden = spill + ".hidden";
+  ASSERT_EQ(::rename(spill.c_str(), hidden.c_str()), 0);
+  ASSERT_EQ(::mkdir(spill.c_str(), 0755), 0);
+
+  const auto acquired = restarted.Acquire("alpha");
+  ASSERT_FALSE(acquired.ok());
+  EXPECT_EQ(acquired.status().code(), StatusCode::kIoError);
+  EXPECT_NE(acquired.status().message().find("will retry"),
+            std::string::npos)
+      << acquired.status().ToString();
+  // A transient failure must not destroy durable state: the entry is
+  // still warm and its manifest record and spill bytes are untouched.
+  EXPECT_EQ(restarted.warm_count(), 1u);
+  EXPECT_TRUE(InfoFor(&restarted, "alpha").warm);
+  EXPECT_TRUE(FileExists(hidden));
+
+  // Heal the "disk": the very next request faults in normally.
+  ASSERT_EQ(::rmdir(spill.c_str()), 0);
+  ASSERT_EQ(::rename(hidden.c_str(), spill.c_str()), 0);
+  EXPECT_EQ(QueryTreeCount(&restarted, "alpha", "//paper/author"), want);
+  EXPECT_EQ(restarted.warm_count(), 0u);
+  EXPECT_EQ(InfoFor(&restarted, "alpha").source_parses, 0u);
+}
+
 TEST(DurabilityTest, ZeroByteSpillIsIsolatedColdMiss) {
   const std::string dir = FreshDataDir("zerobyte");
   auto expected = [&] {
@@ -325,6 +368,51 @@ TEST(DurabilityTest, ZeroByteSpillIsIsolatedColdMiss) {
   const auto acquired = restarted.Acquire("alpha");
   ASSERT_FALSE(acquired.ok());
   EXPECT_EQ(acquired.status().code(), StatusCode::kCorruption);
+  for (const std::string name : {"beta", "gamma"}) {
+    SCOPED_TRACE(name);
+    EXPECT_EQ(QueryTreeCount(&restarted, name, expected[name].first),
+              expected[name].second);
+  }
+}
+
+TEST(DurabilityTest, OverflowedManifestNumberIsRejectedNotWrapped) {
+  const std::string dir = FreshDataDir("overflow");
+  auto expected = [&] {
+    DocumentStore store(DurableOptions(dir));
+    return SeedCorpus(&store);
+  }();
+  // Rewrite alpha's bytes field as a 20-digit value above 2^64-1.
+  // Without an overflow check it wraps silently — a wrapped size later
+  // fails the fault-in size check as a spurious corruption, a wrapped
+  // generation regresses the collision-avoidance counter. With one the
+  // line is skipped at recovery like any other malformed line.
+  const std::string manifest_path = dir + "/MANIFEST";
+  std::string manifest = ReadRawFile(manifest_path);
+  const size_t line_start = manifest.find("doc alpha ");
+  ASSERT_NE(line_start, std::string::npos);
+  const size_t line_end = manifest.find('\n', line_start);
+  ASSERT_NE(line_end, std::string::npos);
+  std::istringstream line(
+      manifest.substr(line_start, line_end - line_start));
+  std::vector<std::string> tokens;
+  std::string token;
+  while (line >> token) tokens.push_back(token);
+  ASSERT_EQ(tokens.size(), 7u);  // doc name file bytes crc gen labels
+  tokens[3] = "99999999999999999999";
+  std::string rebuilt;
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    if (i > 0) rebuilt += ' ';
+    rebuilt += tokens[i];
+  }
+  manifest.replace(line_start, line_end - line_start, rebuilt);
+  WriteRawFile(manifest_path, manifest);
+
+  DocumentStore restarted(DurableOptions(dir));
+  XCQ_ASSERT_OK(restarted.durability_status());
+  EXPECT_GE(restarted.recovery_stats().errors, 1u);
+  EXPECT_EQ(restarted.warm_count(), 2u);
+  EXPECT_EQ(restarted.Acquire("alpha").status().code(),
+            StatusCode::kNotFound);
   for (const std::string name : {"beta", "gamma"}) {
     SCOPED_TRACE(name);
     EXPECT_EQ(QueryTreeCount(&restarted, name, expected[name].first),
@@ -429,6 +517,39 @@ TEST(DurabilityTest, ConcurrentAcquireIsSingleFlight) {
   EXPECT_EQ(
       restarted.registry()->CounterValue("xcq_store_warm_hits_total", {}),
       1.0);
+}
+
+TEST(DurabilityTest, ConcurrentRespillAndFaultInNeverLoseTheDocument) {
+  // The respill ↔ fault-in race: PERSIST (or a demotion refresh) writes
+  // generation N+1 and unlinks generation N's file while a fault-in
+  // that looked the record up before the catalog update is still trying
+  // to read it. The reader must retry against the fresh record — the
+  // document must never degrade to cold, and its durable copy must
+  // survive the churn.
+  const std::string dir = FreshDataDir("respillrace");
+  DocumentStore store(DurableOptions(dir));
+  XCQ_ASSERT_OK(store.LoadXml("alpha", testing::BibExampleXml()));
+  const uint64_t want = QueryTreeCount(&store, "alpha", "//paper/author");
+
+  std::thread churner([&store] {
+    for (int i = 0; i < 80; ++i) {
+      // Resident: forces a new spill generation. Warm-only: a no-op.
+      const Status persisted = store.Persist("alpha");
+      EXPECT_TRUE(persisted.ok()) << persisted.ToString();
+      EXPECT_TRUE(store.Evict("alpha"));  // demote (or keep warm)
+    }
+  });
+  for (int i = 0; i < 80; ++i) {
+    const auto acquired = store.Acquire("alpha");
+    ASSERT_TRUE(acquired.ok()) << "iteration " << i << ": "
+                               << acquired.status().ToString();
+    const auto outcome = acquired.Value()->Query("//paper/author");
+    ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+    EXPECT_EQ(outcome.Value().selected_tree_nodes, want);
+  }
+  churner.join();
+  EXPECT_EQ(QueryTreeCount(&store, "alpha", "//paper/author"), want);
+  EXPECT_FALSE(SpillPathFor(dir, "alpha").empty());
 }
 
 TEST(DurabilityTest, EvictDemotesToWarmAndFaultsBack) {
