@@ -1,7 +1,7 @@
 // xcq_client — minimal client for xcq_serverd's line protocol.
 //
-//   ./build/examples/xcq_client <port> <request...>
-//   ./build/examples/xcq_client <port>            # read requests from stdin
+//   ./build/examples/xcq_client [--no-retry] <port> <request...>
+//   ./build/examples/xcq_client [--no-retry] <port>   # requests from stdin
 //   ./build/examples/xcq_client <port> metrics [--watch <sec>]
 //   ./build/examples/xcq_client <port> pipeline [--repeat N] [--quiet]
 //
@@ -16,6 +16,16 @@
 //
 // The client sends each request line, then prints the response: one line
 // for LOAD/QUERY/EVICT, `OK <n>` plus n detail lines for BATCH/STATS.
+//
+// Transient server errors are retried: a reply whose first line is
+// `ERR IoError: ... will retry ...` (the server's marker for a failed
+// warm-document fault-in it expects to succeed on a later attempt) is
+// resent on the same connection with exponential backoff and full
+// jitter, up to 4 tries total. `--no-retry` disables this and prints
+// the first reply verbatim — useful for scripting and for tests that
+// assert on the transient error itself. Retries apply to the
+// request/response modes only (argv and stdin), never to `pipeline`,
+// whose responses are ordered, or `metrics`.
 //
 // `metrics` scrapes the METRICS verb and prints the raw Prometheus text
 // exposition (docs/OBSERVABILITY.md). With `--watch <sec>` it scrapes
@@ -142,20 +152,78 @@ bool IsAcceptedBatchHeader(const std::string& line,
   return *count >= 1;
 }
 
-/// Prints a whole response: `OK <n>`-headed responses are followed by n
-/// detail lines; everything else is a single line.
-bool PrintResponse(LineReader* reader) {
+/// Reads a whole response into `lines`: `OK <n>`-headed responses are
+/// followed by n detail lines; everything else is a single line. False
+/// on a connection or framing error.
+bool ReadResponse(LineReader* reader, std::vector<std::string>* lines) {
+  lines->clear();
   std::string line;
   if (!reader->ReadLine(&line)) return false;
-  std::printf("%s\n", line.c_str());
   unsigned long long detail_lines = 0;
-  if (std::sscanf(line.c_str(), "OK %llu", &detail_lines) == 1) {
+  const bool has_details =
+      std::sscanf(line.c_str(), "OK %llu", &detail_lines) == 1;
+  lines->push_back(std::move(line));
+  if (has_details) {
     for (unsigned long long i = 0; i < detail_lines; ++i) {
       if (!reader->ReadLine(&line)) return false;
-      std::printf("%s\n", line.c_str());
+      lines->push_back(std::move(line));
     }
   }
   return true;
+}
+
+struct RetryPolicy {
+  bool enabled = true;      ///< Cleared by `--no-retry`.
+  int max_attempts = 4;     ///< Total tries, including the first.
+  unsigned base_delay_ms = 100;
+};
+
+/// True for replies the server marks as transient: a warm-document
+/// fault-in that failed but is expected to succeed when resent.
+bool IsRetryableReply(const std::string& first_line) {
+  return first_line.rfind("ERR IoError:", 0) == 0 &&
+         first_line.find("will retry") != std::string::npos;
+}
+
+/// Full-jitter exponential backoff: uniform in [1, base * 2^attempt]
+/// milliseconds, so concurrent retrying clients spread out instead of
+/// hammering the server in lockstep.
+unsigned BackoffDelayMs(int attempt, unsigned base_ms, unsigned* seed) {
+  const unsigned cap = base_ms << attempt;
+  *seed = *seed * 1664525u + 1013904223u;
+  return 1 + *seed % cap;
+}
+
+/// Sends one whole request (header plus any BATCH body lines) and
+/// prints the reply. A retryable reply is resent on the same
+/// connection after a jittered backoff until it succeeds, turns
+/// permanent, or the attempt cap is hit — the last reply is printed
+/// either way. False on a connection error.
+bool ExchangeWithRetry(int fd, LineReader* reader,
+                       const std::vector<std::string>& request,
+                       const RetryPolicy& retry, unsigned* seed) {
+  for (int attempt = 1;; ++attempt) {
+    for (const std::string& line : request) {
+      if (!SendLine(fd, line)) return false;
+    }
+    std::vector<std::string> reply;
+    if (!ReadResponse(reader, &reply)) return false;
+    if (retry.enabled && !reply.empty() && IsRetryableReply(reply.front()) &&
+        attempt < retry.max_attempts) {
+      const unsigned delay_ms =
+          BackoffDelayMs(attempt - 1, retry.base_delay_ms, seed);
+      std::fprintf(stderr, "transient: %s; retrying (%d/%d) in %ums\n",
+                   reply.front().c_str(), attempt + 1, retry.max_attempts,
+                   delay_ms);
+      timespec delay;
+      delay.tv_sec = static_cast<time_t>(delay_ms / 1000);
+      delay.tv_nsec = static_cast<long>(delay_ms % 1000) * 1000000L;
+      ::nanosleep(&delay, nullptr);
+      continue;
+    }
+    for (const std::string& line : reply) std::printf("%s\n", line.c_str());
+    return true;
+  }
 }
 
 /// One METRICS scrape over `fd`. Prints the raw exposition lines when
@@ -284,8 +352,16 @@ int RunPipeline(int fd, unsigned long long repeats, bool quiet) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  RetryPolicy retry;
+  if (argc >= 2 && std::strcmp(argv[1], "--no-retry") == 0) {
+    retry.enabled = false;
+    argv[1] = argv[0];  // keep the program name in argv[0] after the shift
+    ++argv;
+    --argc;
+  }
   if (argc < 2) {
-    std::fprintf(stderr, "usage: %s <port> [request words...]\n", argv[0]);
+    std::fprintf(stderr, "usage: %s [--no-retry] <port> [request words...]\n",
+                 argv[0]);
     return 2;
   }
   const auto port =
@@ -342,6 +418,8 @@ int main(int argc, char** argv) {
     return pipeline_status;
   }
   LineReader reader(fd);
+  unsigned seed =
+      static_cast<unsigned>(::time(nullptr)) ^ static_cast<unsigned>(::getpid());
 
   int status = 0;
   if (argc > 2) {
@@ -351,14 +429,16 @@ int main(int argc, char** argv) {
       if (i > 2) request += ' ';
       request += argv[i];
     }
-    if (!SendLine(fd, request) || !PrintResponse(&reader)) {
+    if (!ExchangeWithRetry(fd, &reader, {request}, retry, &seed)) {
       std::fprintf(stderr, "connection closed mid-request\n");
       status = 1;
     }
   } else {
-    // Requests from stdin. BATCH bodies are forwarded without waiting
-    // for a response, matching the protocol.
+    // Requests from stdin. A whole request — one line, or a BATCH
+    // header plus its body — is buffered before sending so a retryable
+    // reply can resend it intact.
     char buffer[65536];
+    std::vector<std::string> request;
     unsigned long long pending_body = 0;
     while (std::fgets(buffer, sizeof(buffer), stdin) != nullptr) {
       std::string line(buffer);
@@ -367,25 +447,24 @@ int main(int argc, char** argv) {
         line.pop_back();
       }
       if (line.empty()) continue;
-      if (!SendLine(fd, line)) {
+      if (pending_body > 0) {
+        // This line is part of a BATCH body; respond after the last one.
+        request.push_back(std::move(line));
+        if (--pending_body > 0) continue;
+      } else {
+        request.assign(1, line);
+        unsigned long long n = 0;
+        if (IsAcceptedBatchHeader(line, &n)) {
+          pending_body = n;
+          continue;  // body lines follow
+        }
+      }
+      if (!ExchangeWithRetry(fd, &reader, request, retry, &seed)) {
         std::fprintf(stderr, "connection closed\n");
         status = 1;
         break;
       }
-      if (pending_body > 0) {
-        // This line was part of a BATCH body; no response yet.
-        --pending_body;
-        if (pending_body > 0) continue;
-        if (!PrintResponse(&reader)) break;
-        continue;
-      }
-      unsigned long long n = 0;
-      if (IsAcceptedBatchHeader(line, &n)) {
-        pending_body = n;
-        continue;  // body lines follow; respond after the last one
-      }
-      if (!PrintResponse(&reader)) break;
-      if (line == "QUIT") break;
+      if (request.size() == 1 && request.front() == "QUIT") break;
     }
   }
   ::close(fd);

@@ -50,6 +50,15 @@
 //   --queue-depth=N     bound on the evaluation submission queue; a
 //                       full queue pauses socket reads (backpressure)
 //                       instead of erroring (default 256; 0 = unbounded)
+//   --default-deadline-ms=N
+//                       deadline applied to every QUERY/BATCH without
+//                       an explicit TIMEOUT clause; a request that
+//                       misses it answers `ERR DeadlineExceeded`, and a
+//                       request whose deadline passes while queued is
+//                       shed without being evaluated (default 0 = none)
+//   --max-batch=N       cap on BATCH body sizes; a header announcing
+//                       more queries answers `ERR InvalidArgument`
+//                       without consuming the body (default 100000)
 //   --data-dir=PATH     spill directory for durable documents: every
 //                       loaded document is persisted there (checksummed
 //                       .xcqi + manifest) and a restart with the same
@@ -99,6 +108,7 @@ int Usage(const char* argv0) {
                "[--prune=on|off|verify] [--trace=off|slow:<ms>|all] "
                "[--max-connections=N] [--idle-timeout=SEC] "
                "[--write-timeout=SEC] [--queue-depth=N] "
+               "[--default-deadline-ms=N] [--max-batch=N] "
                "[--data-dir=PATH] [--warm-start=on|off]\n",
                argv0);
   return 2;
@@ -147,6 +157,15 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--queue-depth=", 0) == 0) {
       options.queue_depth =
           std::strtoull(arg.substr(14).data(), nullptr, 10);
+    } else if (arg.rfind("--default-deadline-ms=", 0) == 0) {
+      options.default_deadline_ms =
+          std::strtoull(arg.substr(22).data(), nullptr, 10);
+    } else if (arg.rfind("--max-batch=", 0) == 0) {
+      options.max_batch = std::strtoull(arg.substr(12).data(), nullptr, 10);
+      if (options.max_batch < 1) {
+        std::fprintf(stderr, "bad --max-batch: %s\n", argv[i]);
+        return 2;
+      }
     } else if (arg.rfind("--data-dir=", 0) == 0) {
       options.data_dir = std::string(arg.substr(11));
       if (options.data_dir.empty()) {

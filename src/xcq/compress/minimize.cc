@@ -135,6 +135,12 @@ Status MinimizeInPlace(Instance* instance,
   InPlaceMinimizeStats& out = stats != nullptr ? *stats : local;
   out = InPlaceMinimizeStats{};
 
+  // Entry poll: nothing consumed yet, so a dead request aborts with
+  // the dirty set and cache fully intact.
+  if (options.cancel != nullptr) {
+    XCQ_RETURN_IF_ERROR(options.cancel->Check());
+  }
+
   MinimizeCache& cache = instance->minimize_cache();
   std::vector<VertexId> dirty_in = instance->TakeDirtyVertices();
   // The pass itself rewrites edges; do not track its own mutations.
@@ -186,6 +192,18 @@ Status MinimizeInPlace(Instance* instance,
     // than rebuilding the table outright: escalate to a reseed.
     if (reachable_dirty * 2 >= post.size()) do_reseed = true;
   }
+
+  // Mid-pass cancellation. Every committed merge is tree-preserving,
+  // so the instance is consistent at any bucket/stride boundary — but
+  // the dirty set is already consumed and the table partially updated,
+  // so the cache is declared invalid: the next pass reseeds instead of
+  // trusting partial bookkeeping.
+  const auto abort_cancelled = [&](const Status& cancelled) {
+    cache.valid = false;
+    instance->SetDirtyTracking(was_tracking);
+    out.seconds = timer.Seconds();
+    return cancelled;
+  };
 
   // remap[v] != kNoVertex: v was folded into that vertex. Chains can
   // form (a -> b, later b -> c), so canonical() chases; cycles cannot
@@ -243,7 +261,12 @@ Status MinimizeInPlace(Instance* instance,
       instance->RelationBits(live[i]).ForEach(
           [&label_sum, mixed](size_t v) { label_sum[v] += mixed; });
     }
+    size_t processed = 0;
     for (const VertexId v : post) {
+      if (options.cancel != nullptr && ++processed % 4096 == 0) {
+        const Status cancelled = options.cancel->Check();
+        if (!cancelled.ok()) return abort_cancelled(cancelled);
+      }
       ++out.dirty;
       const VertexId target = process(v, label_sum[v]);
       if (target != kNoVertex) {
@@ -300,6 +323,10 @@ Status MinimizeInPlace(Instance* instance,
       if (is_dirty[v]) buckets[height[v]].push_back(v);
     }
     for (uint32_t h = 0; h <= max_height; ++h) {
+      if (options.cancel != nullptr && !buckets[h].empty()) {
+        const Status cancelled = options.cancel->Check();
+        if (!cancelled.ok()) return abort_cancelled(cancelled);
+      }
       for (size_t i = 0; i < buckets[h].size(); ++i) {
         const VertexId v = buckets[h][i];
         ++out.dirty;

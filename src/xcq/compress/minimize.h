@@ -30,6 +30,7 @@
 
 #include "xcq/instance/instance.h"
 #include "xcq/tree/tree_builder.h"
+#include "xcq/util/cancel.h"
 #include "xcq/util/result.h"
 
 namespace xcq {
@@ -49,6 +50,12 @@ struct InPlaceMinimizeOptions {
   /// drops schema tombstones, and reseeds the cache on the next call.
   /// <= 0 disables compaction.
   double compact_garbage_ratio = 0.5;
+  /// Cooperative cancellation, polled between height buckets (and on a
+  /// vertex stride during reseeding). A cancelled pass returns the
+  /// token's status with the instance structurally consistent — merges
+  /// already applied are tree-preserving — but invalidates the
+  /// hash-cons cache, so the next pass reseeds. Borrowed; may be null.
+  const CancelToken* cancel = nullptr;
 };
 
 /// \brief Counters reported by one `MinimizeInPlace` call.

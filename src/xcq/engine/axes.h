@@ -11,6 +11,7 @@
 /// at most doubling the instance (Prop. 3.2 / Thm. 3.6). `following` and
 /// `preceding` are compositions (Sec. 3.2) handled by the evaluator.
 
+#include "xcq/engine/guard.h"
 #include "xcq/instance/instance.h"
 #include "xcq/util/result.h"
 #include "xcq/xpath/ast.h"
@@ -40,6 +41,15 @@ struct AxisStats {
 /// (those forms admit region filtering without changing split order);
 /// the caller guarantees the region is closed per docs/INTERNALS.md §9,
 /// which makes the pruned sweep bit-identical to the unpruned one.
+///
+/// An optional `guard` (engine/guard.h) is charged with the sweep's
+/// visit/split counts at band, phase, and stride boundaries — never
+/// inside the inner loops — and aborts the sweep with the guard's
+/// status (`kCancelled` / `kDeadlineExceeded` / `kResourceExhausted`).
+/// Every abort point sits between mutation phases, so an aborted sweep
+/// leaves the instance structurally consistent and representing the
+/// same tree (at worst with unreachable clone leftovers, exactly like
+/// the shared-batch optimistic abort).
 
 /// \brief child / descendant / descendant-or-self — the Fig. 4 algorithm,
 /// implemented iteratively (sequential) or as a root-first height-band
@@ -47,14 +57,16 @@ struct AxisStats {
 Status ApplyDownwardAxis(Instance* instance, xpath::Axis axis,
                          RelationId src, RelationId dst,
                          AxisStats* stats = nullptr, size_t threads = 1,
-                         const DynamicBitset* region = nullptr);
+                         const DynamicBitset* region = nullptr,
+                         EvalGuard* guard = nullptr);
 
 /// \brief self / parent / ancestor / ancestor-or-self — single bottom-up
 /// pass (leaf-first bands in parallel), never splits.
 Status ApplyUpwardAxis(Instance* instance, xpath::Axis axis, RelationId src,
                        RelationId dst, AxisStats* stats = nullptr,
                        size_t threads = 1,
-                       const DynamicBitset* region = nullptr);
+                       const DynamicBitset* region = nullptr,
+                       EvalGuard* guard = nullptr);
 
 /// \brief following-sibling / preceding-sibling — one pass over child
 /// lists, multiplicity-aware run splitting (demand/resolve/rewrite
@@ -62,7 +74,8 @@ Status ApplyUpwardAxis(Instance* instance, xpath::Axis axis, RelationId src,
 Status ApplySiblingAxis(Instance* instance, xpath::Axis axis,
                         RelationId src, RelationId dst,
                         AxisStats* stats = nullptr, size_t threads = 1,
-                        const DynamicBitset* region = nullptr);
+                        const DynamicBitset* region = nullptr,
+                        EvalGuard* guard = nullptr);
 
 }  // namespace xcq::engine
 

@@ -51,6 +51,12 @@ class SharedBatchRunner {
         instance_->root() == kNoVertex) {
       return result;
     }
+    // Work budgets are *per query* and shared sweeps have no per-query
+    // attribution, so a budgeted evaluation takes the per-query path —
+    // where the budgets are enforced exactly.
+    if (options_.max_sweep_visits != 0 || options_.max_split_growth != 0) {
+      return result;
+    }
     size_t max_ops = 0;
     for (const algebra::QueryPlan& plan : plans_) {
       if (plan.ops.empty()) return result;  // vanilla path reports it
@@ -82,6 +88,15 @@ class SharedBatchRunner {
     }
 
     for (size_t round = 0; round < max_ops; ++round) {
+      // Cancellation checkpoint between lockstep rounds, reusing the
+      // optimistic-abort path: the shared run never mutates the DAG,
+      // so disengaging here leaves the instance untouched and the
+      // per-query fallback surfaces the canonical error at its first
+      // guard poll.
+      if (options_.cancel != nullptr && !options_.cancel->Check().ok()) {
+        ReleaseAll();
+        return result;
+      }
       if (stats_ != nullptr) ++stats_->rounds;
       if (!RunRound(round)) {
         ReleaseAll();

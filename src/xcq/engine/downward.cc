@@ -29,9 +29,20 @@ namespace {
 ///    final, rewritten child lists.
 Status ApplyDownwardAxisSequential(Instance* instance, Axis axis,
                                    RelationId src, RelationId dst,
-                                   AxisStats* stats) {
+                                   AxisStats* stats, EvalGuard* guard) {
   const bool inherit = axis != Axis::kChild;          // descendant / d-o-s
   const bool or_self = axis == Axis::kDescendantOrSelf;
+
+  // Guard checkpoint stride: every iteration leaves the instance
+  // consistent (a clone and its re-pointed edge land in the same
+  // iteration), so any iteration boundary is a safe abort point; the
+  // stride only keeps the poll off the hot path.
+  constexpr uint64_t kGuardStride = 4096;
+  uint64_t iterations = 0;
+  uint64_t visit_count = 0;
+  uint64_t split_count = 0;
+  uint64_t charged_visits = 0;
+  uint64_t charged_splits = 0;
 
   std::vector<uint8_t> visited(instance->vertex_count(), 0);
   std::vector<VertexId> aux(instance->vertex_count(), kNoVertex);
@@ -41,6 +52,7 @@ Status ApplyDownwardAxisSequential(Instance* instance, Axis axis,
     visited[v] = 1;
     instance->AssignBit(dst, v, sv);
     stack.emplace_back(v, 0);
+    ++visit_count;
     if (stats != nullptr) ++stats->visited;
   };
 
@@ -48,6 +60,12 @@ Status ApplyDownwardAxisSequential(Instance* instance, Axis axis,
   push_visit(root, or_self && instance->Test(src, root));
 
   while (!stack.empty()) {
+    if (guard != nullptr && ++iterations % kGuardStride == 0) {
+      XCQ_RETURN_IF_ERROR(guard->Charge(visit_count - charged_visits,
+                                        split_count - charged_splits));
+      charged_visits = visit_count;
+      charged_splits = split_count;
+    }
     const VertexId v = stack.back().first;
     const uint32_t i = stack.back().second;
     if (i >= instance->Children(v).size()) {
@@ -77,6 +95,7 @@ Status ApplyDownwardAxisSequential(Instance* instance, Axis axis,
       aux.push_back(kNoVertex);
       aux[w] = counterpart;
       aux[counterpart] = w;
+      ++split_count;
       if (stats != nullptr) ++stats->splits;
       if (inherit) {
         // Descendants of the copy must see the new inherited selection.
@@ -88,6 +107,10 @@ Status ApplyDownwardAxisSequential(Instance* instance, Axis axis,
       }
     }
     instance->MutableChildren(v)[i].child = counterpart;
+  }
+  if (guard != nullptr) {
+    XCQ_RETURN_IF_ERROR(guard->Charge(visit_count - charged_visits,
+                                      split_count - charged_splits));
   }
   return Status::OK();
 }
@@ -129,7 +152,8 @@ Status ApplyDownwardAxisSequential(Instance* instance, Axis axis,
 Status ApplyDownwardAxisBanded(Instance* instance, Axis axis,
                                RelationId src, RelationId dst,
                                AxisStats* stats, size_t threads,
-                               const DynamicBitset* region) {
+                               const DynamicBitset* region,
+                               EvalGuard* guard) {
   const bool inherit = axis != Axis::kChild;
   const bool or_self = axis == Axis::kDescendantOrSelf;
 
@@ -150,6 +174,7 @@ Status ApplyDownwardAxisBanded(Instance* instance, Axis axis,
   std::vector<uint8_t> dst_bit(n0, 0);
   std::vector<VertexId> counterpart(n0, kNoVertex);
   uint64_t split_count = 0;
+  uint64_t charged_splits = 0;
 
   parallel::TaskPool& pool = parallel::SharedPool(threads);
   std::vector<std::pair<size_t, size_t>> ranges;
@@ -168,6 +193,17 @@ Status ApplyDownwardAxisBanded(Instance* instance, Axis axis,
   for (size_t h = plan.bands.size(); h-- > 0;) {
     const std::vector<VertexId>& band = plan.bands[h];
     if (band.empty()) continue;
+
+    // Guard checkpoint between bands: clones allocated so far are
+    // unreachable (edges re-point only in the deferred pass below) and
+    // the dst column is untouched until the final bit pass, so an
+    // abort here leaves the instance representing the same tree, at
+    // worst with unreachable clone leftovers.
+    if (guard != nullptr) {
+      const uint64_t before = split_count;
+      XCQ_RETURN_IF_ERROR(guard->Charge(band.size(), before - charged_splits));
+      charged_splits = before;
+    }
 
     // Decide-and-push phase. Decisions depend only on flags accumulated
     // by (finalized) higher bands, so they are independent of sharding;
@@ -216,6 +252,12 @@ Status ApplyDownwardAxisBanded(Instance* instance, Axis axis,
         push_from(clone, true);
       }
     }
+  }
+
+  // Last checkpoint before the commit phases (re-point + bit pass):
+  // past this point the sweep runs to completion.
+  if (guard != nullptr) {
+    XCQ_RETURN_IF_ERROR(guard->Charge(0, split_count - charged_splits));
   }
 
   // Deferred re-point pass, skipped when nothing split: every edge to a
@@ -292,7 +334,8 @@ Status ApplyDownwardAxisBanded(Instance* instance, Axis axis,
 
 Status ApplyDownwardAxis(Instance* instance, Axis axis, RelationId src,
                          RelationId dst, AxisStats* stats,
-                         size_t threads, const DynamicBitset* region) {
+                         size_t threads, const DynamicBitset* region,
+                         EvalGuard* guard) {
   if (axis != Axis::kChild && axis != Axis::kDescendant &&
       axis != Axis::kDescendantOrSelf) {
     return Status::InvalidArgument("ApplyDownwardAxis: not a downward axis");
@@ -305,9 +348,9 @@ Status ApplyDownwardAxis(Instance* instance, Axis axis, RelationId src,
   if (region != nullptr ||
       (threads > 1 && instance->vertex_count() >= 2 * kSweepGrain)) {
     return ApplyDownwardAxisBanded(instance, axis, src, dst, stats,
-                                   threads, region);
+                                   threads, region, guard);
   }
-  return ApplyDownwardAxisSequential(instance, axis, src, dst, stats);
+  return ApplyDownwardAxisSequential(instance, axis, src, dst, stats, guard);
 }
 
 }  // namespace xcq::engine

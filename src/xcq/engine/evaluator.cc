@@ -30,10 +30,17 @@ class PlanRunner {
  public:
   PlanRunner(Instance* instance, const EvalOptions& options,
              EvalStats* stats)
-      : instance_(instance), options_(options), stats_(stats) {}
+      : instance_(instance),
+        options_(options),
+        stats_(stats),
+        guard_(options.cancel, options.max_sweep_visits,
+               options.max_split_growth) {}
 
   Result<RelationId> Run(const algebra::QueryPlan& plan) {
     op_relation_.assign(plan.ops.size(), kNoRelation);
+    // Poll before the pruner binding: a bind may build the path
+    // summary (a full-DAG walk), so a dead request skips it entirely.
+    XCQ_RETURN_IF_ERROR(guard_.Poll());
     if (options_.prune_sweeps) {
       ScopedTimer bind(stats_ != nullptr ? &stats_->prune_bind_seconds
                                          : nullptr);
@@ -41,6 +48,9 @@ class PlanRunner {
     }
     const Status status = [&] {
       for (size_t i = 0; i < plan.ops.size(); ++i) {
+        // Op boundaries are always between mutation phases; the
+        // kernels add their own band/phase-granular checkpoints.
+        XCQ_RETURN_IF_ERROR(guard_.Poll());
         XCQ_RETURN_IF_ERROR(RunOp(plan, i));
       }
       return Status::OK();
@@ -238,18 +248,18 @@ class PlanRunner {
         case Axis::kAncestor:
         case Axis::kAncestorOrSelf:
           status = ApplyUpwardAxis(instance_, axis, s, d, &sweep_stats,
-                                   options_.threads, gate.region);
+                                   options_.threads, gate.region, &guard_);
           break;
         case Axis::kChild:
         case Axis::kDescendant:
         case Axis::kDescendantOrSelf:
           status = ApplyDownwardAxis(instance_, axis, s, d, &sweep_stats,
-                                     options_.threads, gate.region);
+                                     options_.threads, gate.region, &guard_);
           break;
         case Axis::kFollowingSibling:
         case Axis::kPrecedingSibling:
           status = ApplySiblingAxis(instance_, axis, s, d, &sweep_stats,
-                                    options_.threads, gate.region);
+                                    options_.threads, gate.region, &guard_);
           break;
         default:
           status = Status::Internal("Sweep: unexpected axis");
@@ -316,6 +326,7 @@ class PlanRunner {
   Instance* instance_;
   const EvalOptions& options_;
   EvalStats* stats_;
+  EvalGuard guard_;
   std::optional<PlanPruner> pruner_;
   std::vector<RelationId> op_relation_;
   /// Scratch columns checked out for this run (released in Run()).

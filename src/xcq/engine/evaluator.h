@@ -23,6 +23,7 @@
 
 #include "xcq/algebra/op.h"
 #include "xcq/instance/instance.h"
+#include "xcq/util/cancel.h"
 #include "xcq/util/result.h"
 
 namespace xcq::engine {
@@ -47,6 +48,17 @@ struct EvalOptions {
   /// resulting instance are independent of the value; `false` is the
   /// full-sweep oracle.
   bool prune_sweeps = true;
+  /// Cooperative cancellation (docs/INTERNALS.md §10). Polled between
+  /// ops and between kernel mutation phases; a tripped token aborts the
+  /// evaluation with `kCancelled` / `kDeadlineExceeded`, leaving the
+  /// instance representing the same tree. Borrowed; may be null.
+  const CancelToken* cancel = nullptr;
+  /// Per-evaluation work budgets; 0 = unlimited. When the cumulative
+  /// vertices visited (resp. vertices cloned) by this evaluation's
+  /// sweeps exceeds the cap, the evaluation aborts with a clean
+  /// `kResourceExhausted` at the next checkpoint.
+  uint64_t max_sweep_visits = 0;
+  uint64_t max_split_growth = 0;
 };
 
 /// \brief The three sweep-kernel families, the `axis=` label of the

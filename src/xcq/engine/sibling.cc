@@ -47,11 +47,15 @@ class VariantResolver {
       aux_.push_back(kNoVertex);
       aux_[w] = clone;
       aux_[clone] = w;
+      ++splits;
       if (stats_ != nullptr) ++stats_->splits;
       Adopt(clone, bit);
     }
     return aux_[w];
   }
+
+  /// Clones made so far (guard accounting, independent of `stats_`).
+  uint64_t splits = 0;
 
   bool HasWork() const { return !work_.empty(); }
   VertexId PopWork() {
@@ -130,16 +134,28 @@ void FinishBackwardList(std::vector<Edge>* rewritten) {
 
 Status ApplySiblingAxisSequential(Instance* instance, Axis axis,
                                   RelationId src, RelationId dst,
-                                  AxisStats* stats) {
+                                  AxisStats* stats, EvalGuard* guard) {
   const bool forward = axis == Axis::kFollowingSibling;
   const DynamicBitset& src_bits = instance->RelationBits(src);
 
   VariantResolver resolver(instance, src, dst, stats);
   resolver.AdoptRoot(instance->root());
 
+  // Guard checkpoint stride: each loop iteration commits one complete
+  // rewritten child list (clones and their SetEdges land together), so
+  // every iteration boundary is a safe abort point.
+  constexpr uint64_t kGuardStride = 1024;
+  uint64_t pops = 0;
+  uint64_t charged_splits = 0;
+
   std::vector<Edge> rewritten;
   std::vector<Edge> original;
   while (resolver.HasWork()) {
+    if (guard != nullptr && ++pops % kGuardStride == 0) {
+      XCQ_RETURN_IF_ERROR(
+          guard->Charge(kGuardStride, resolver.splits - charged_splits));
+      charged_splits = resolver.splits;
+    }
     const VertexId v = resolver.PopWork();
     const std::span<const Edge> current = instance->Children(v);
     if (current.empty()) continue;
@@ -182,7 +198,8 @@ Status ApplySiblingAxisSequential(Instance* instance, Axis axis,
 Status ApplySiblingAxisPhased(Instance* instance, Axis axis,
                               RelationId src, RelationId dst,
                               AxisStats* stats, size_t threads,
-                              const DynamicBitset* region) {
+                              const DynamicBitset* region,
+                              EvalGuard* guard) {
   const bool forward = axis == Axis::kFollowingSibling;
   // Cache reference; safe across the mutations below for the same
   // reason as in downward.cc (no mid-sweep cache re-read).
@@ -207,6 +224,13 @@ Status ApplySiblingAxisPhased(Instance* instance, Axis axis,
   });
   demand[instance->root()].fetch_or(1, std::memory_order_relaxed);
 
+  // Guard checkpoint between demand and resolve: nothing has mutated
+  // yet (demand writes only the side flags), so an abort here leaves
+  // the instance untouched.
+  if (guard != nullptr) {
+    XCQ_RETURN_IF_ERROR(guard->Charge(plan.order.size(), 0));
+  }
+
   // Resolve phase: allocate clones in plan order (deterministic).
   std::vector<uint8_t> dst_bit(n0, 0);
   std::vector<VertexId> counterpart(n0, kNoVertex);
@@ -217,6 +241,14 @@ Status ApplySiblingAxisPhased(Instance* instance, Axis axis,
       counterpart[v] = instance->CloneVertex(v);
       if (stats != nullptr) ++stats->splits;
     }
+  }
+
+  // Guard checkpoint between resolve and rewrite: the clones allocated
+  // above are unreachable until the commit phase re-points parents at
+  // them, so an abort here leaves only clone leftovers. Past this
+  // point the sweep runs to completion.
+  if (guard != nullptr) {
+    XCQ_RETURN_IF_ERROR(guard->Charge(0, instance->vertex_count() - n0));
   }
 
   // Rewrite phase: per-shard buffers, no Instance mutation.
@@ -292,7 +324,8 @@ Status ApplySiblingAxisPhased(Instance* instance, Axis axis,
 /// mentions under Prop. 3.4).
 Status ApplySiblingAxis(Instance* instance, Axis axis, RelationId src,
                         RelationId dst, AxisStats* stats,
-                        size_t threads, const DynamicBitset* region) {
+                        size_t threads, const DynamicBitset* region,
+                        EvalGuard* guard) {
   if (axis != Axis::kFollowingSibling && axis != Axis::kPrecedingSibling) {
     return Status::InvalidArgument("ApplySiblingAxis: not a sibling axis");
   }
@@ -303,9 +336,9 @@ Status ApplySiblingAxis(Instance* instance, Axis axis, RelationId src,
   if (region != nullptr ||
       (threads > 1 && instance->vertex_count() >= 2 * kSweepGrain)) {
     return ApplySiblingAxisPhased(instance, axis, src, dst, stats,
-                                  threads, region);
+                                  threads, region, guard);
   }
-  return ApplySiblingAxisSequential(instance, axis, src, dst, stats);
+  return ApplySiblingAxisSequential(instance, axis, src, dst, stats, guard);
 }
 
 }  // namespace xcq::engine

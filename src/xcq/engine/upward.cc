@@ -26,7 +26,8 @@ namespace {
 /// children are read as up_bit = 0, which is their unpruned value.
 Status ApplyUpwardAxisBanded(Instance* instance, Axis axis, RelationId src,
                              RelationId dst, AxisStats* stats,
-                             size_t threads, const DynamicBitset* region) {
+                             size_t threads, const DynamicBitset* region,
+                             EvalGuard* guard) {
   const bool ancestor =
       axis == Axis::kAncestor || axis == Axis::kAncestorOrSelf;
   const SweepPlan& plan =
@@ -51,7 +52,12 @@ Status ApplyUpwardAxisBanded(Instance* instance, Axis axis, RelationId src,
   };
 
   if (!ancestor) {
-    // kParent: no cross-vertex dependency at all.
+    // kParent: no cross-vertex dependency at all. Upward sweeps never
+    // mutate, so a single guard charge up front suffices — an abort
+    // here costs at most one flat pass of overshoot.
+    if (guard != nullptr) {
+      XCQ_RETURN_IF_ERROR(guard->Charge(plan.order.size(), 0));
+    }
     const size_t shards = SweepShardCount(plan.order.size(), threads);
     const auto ranges = parallel::SplitRange(plan.order.size(), shards);
     pool.Run(ranges.size(), [&](size_t s) {
@@ -59,9 +65,13 @@ Status ApplyUpwardAxisBanded(Instance* instance, Axis axis, RelationId src,
     });
   } else {
     // kAncestor: leaf-first bands; a band only reads bits of strictly
-    // lower bands, finalized before the previous barrier.
+    // lower bands, finalized before the previous barrier. Read-only,
+    // so the between-band checkpoint may abort anywhere.
     for (const std::vector<VertexId>& band : plan.bands) {
       if (band.empty()) continue;
+      if (guard != nullptr) {
+        XCQ_RETURN_IF_ERROR(guard->Charge(band.size(), 0));
+      }
       const size_t shards = SweepShardCount(band.size(), threads);
       if (shards == 1) {
         sweep_slice(band, 0, band.size());
@@ -96,7 +106,7 @@ Status ApplyUpwardAxisBanded(Instance* instance, Axis axis, RelationId src,
 /// suffices.
 Status ApplyUpwardAxis(Instance* instance, Axis axis, RelationId src,
                        RelationId dst, AxisStats* stats, size_t threads,
-                       const DynamicBitset* region) {
+                       const DynamicBitset* region, EvalGuard* guard) {
   if (!xpath::IsUpwardAxis(axis)) {
     return Status::InvalidArgument("ApplyUpwardAxis: not an upward axis");
   }
@@ -110,8 +120,19 @@ Status ApplyUpwardAxis(Instance* instance, Axis axis, RelationId src,
       (region != nullptr ||
        (threads > 1 && instance->vertex_count() >= 2 * kSweepGrain))) {
     return ApplyUpwardAxisBanded(instance, axis, src, dst, stats, threads,
-                                 region);
+                                 region, guard);
   }
+
+  // Sequential upward sweeps only read the DAG and set bits of the
+  // zeroed dst column, so any stride boundary is a safe abort point.
+  constexpr uint64_t kGuardStride = 4096;
+  uint64_t since_charge = 0;
+  const auto charge_stride = [&]() -> Status {
+    if (guard != nullptr && ++since_charge % kGuardStride == 0) {
+      return guard->Charge(kGuardStride, 0);
+    }
+    return Status::OK();
+  };
 
   switch (axis) {
     case Axis::kSelf: {
@@ -123,6 +144,7 @@ Status ApplyUpwardAxis(Instance* instance, Axis axis, RelationId src,
       // selected; reachability restriction keeps split leftovers silent.
       // Upward axes never mutate, so the cached order is read directly.
       for (VertexId v : instance->EnsureTraversal().order) {
+        XCQ_RETURN_IF_ERROR(charge_stride());
         for (const Edge& e : instance->Children(v)) {
           if (instance->Test(src, e.child)) {
             instance->SetBit(dst, v);
@@ -139,6 +161,7 @@ Status ApplyUpwardAxis(Instance* instance, Axis axis, RelationId src,
     case Axis::kAncestorOrSelf: {
       // Children-first: dst[child] is final before any parent reads it.
       for (VertexId v : instance->EnsureTraversal().order) {
+        XCQ_RETURN_IF_ERROR(charge_stride());
         for (const Edge& e : instance->Children(v)) {
           if (instance->Test(src, e.child) ||
               instance->Test(dst, e.child)) {

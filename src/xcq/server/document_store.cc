@@ -544,13 +544,14 @@ void StoredDocument::RefreshFootprintLocked() {
                        : 0);
 }
 
-Result<QueryOutcome> StoredDocument::Query(std::string_view query_text) {
+Result<QueryOutcome> StoredDocument::Query(std::string_view query_text,
+                                           const QueryControl& control) {
   std::lock_guard<std::mutex> lock(mu_);
   double elapsed = 0.0;
   Result<QueryOutcome> outcome = Status::Internal("query did not run");
   {
     ScopedTimer timer(&elapsed);
-    outcome = session_.Run(query_text);
+    outcome = session_.Run(query_text, control);
   }
   // Even failed runs can have merged labels in before erroring.
   RefreshFootprintLocked();
@@ -569,7 +570,8 @@ Result<QueryOutcome> StoredDocument::Query(std::string_view query_text) {
 }
 
 Result<std::vector<QueryOutcome>> StoredDocument::Batch(
-    const std::vector<std::string>& query_texts) {
+    const std::vector<std::string>& query_texts,
+    const QueryControl& control) {
   std::lock_guard<std::mutex> lock(mu_);
   const uint64_t shared_before = session_.shared_batch_count();
   double elapsed = 0.0;
@@ -577,7 +579,7 @@ Result<std::vector<QueryOutcome>> StoredDocument::Batch(
       Status::Internal("batch did not run");
   {
     ScopedTimer timer(&elapsed);
-    outcomes = session_.RunBatch(query_texts);
+    outcomes = session_.RunBatch(query_texts, control);
   }
   RefreshFootprintLocked();
   if (outcomes.ok()) {

@@ -156,6 +156,11 @@ struct DocumentInfo {
                                   ///  StoredDocument::Info — the store does
                                   ///  not know the service).
   uint64_t inflight = 0;          ///< Tasks executing for this document now.
+  uint64_t shed = 0;              ///< Tasks shed expired at dequeue, ever
+                                  ///  (cumulative; filled by STATS from the
+                                  ///  service, like queued/inflight).
+  uint64_t cancelled = 0;         ///< Tasks cancelled (client disconnect),
+                                  ///  ever; filled by STATS likewise.
   bool warm = false;              ///< A durable spill backs this document.
   bool resident = false;          ///< The session is in memory.
   size_t spill_bytes = 0;         ///< Spill file size on disk (0 = none).
@@ -236,13 +241,18 @@ class StoredDocument {
   StoredDocument(QuerySession session, std::string name,
                  obs::Registry* registry);
 
-  /// Evaluates one query (exclusive document lock).
-  Result<QueryOutcome> Query(std::string_view query_text);
+  /// Evaluates one query (exclusive document lock). `control` carries
+  /// the request's cancellation token and budget overrides; a cancelled
+  /// evaluation fails with `kCancelled` / `kDeadlineExceeded` and leaves
+  /// the cached instance consistent — the document keeps serving.
+  Result<QueryOutcome> Query(std::string_view query_text,
+                             const QueryControl& control = {});
 
   /// Evaluates a batch with one merged label pass (exclusive lock held
   /// across the whole batch, so a batch is atomic w.r.t. other clients).
   Result<std::vector<QueryOutcome>> Batch(
-      const std::vector<std::string>& query_texts);
+      const std::vector<std::string>& query_texts,
+      const QueryControl& control = {});
 
   DocumentInfo Info(std::string name) const;
 

@@ -1,5 +1,6 @@
 #include "xcq/server/protocol.h"
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <utility>
@@ -26,6 +27,22 @@ std::string_view NextToken(std::string_view* rest) {
   return token;
 }
 
+/// Parses the `<ms>` value of a `TIMEOUT` clause: all digits, 1 ms to
+/// one hour. The cap keeps a typo ("TIMEOUT 50000000000") from quietly
+/// meaning "no deadline at all".
+Result<uint64_t> ParseTimeoutMs(std::string_view token) {
+  const std::string str(token);
+  char* end = nullptr;
+  const unsigned long long n = std::strtoull(str.c_str(), &end, 10);
+  if (str.empty() || end != str.c_str() + str.size() || n == 0 ||
+      n > 3600000ULL) {
+    return Status::InvalidArgument(
+        "TIMEOUT must be an integer number of milliseconds between 1 and "
+        "3600000");
+  }
+  return static_cast<uint64_t>(n);
+}
+
 /// Appends the serialize span to `outcome`'s trace and emits the
 /// one-line JSON trace when `StoreOptions::trace` says so. Thread-safe
 /// like the sink it forwards to: traces come from whatever thread
@@ -45,6 +62,26 @@ void MaybeEmitTrace(const DocumentStore* store, const std::string& document,
   } else {
     std::fprintf(stderr, "%s\n", line.c_str());
   }
+}
+
+/// The request's deadline token: the explicit `TIMEOUT` clause wins,
+/// then the handler's default deadline; null when neither applies.
+std::shared_ptr<CancelToken> MakeDeadlineToken(uint64_t request_ms,
+                                               uint64_t default_ms) {
+  const uint64_t ms = request_ms != 0 ? request_ms : default_ms;
+  if (ms == 0) return nullptr;
+  auto token = std::make_shared<CancelToken>();
+  token->SetTimeout(std::chrono::milliseconds(ms));
+  return token;
+}
+
+/// The canonical over-limit BATCH reply (`--max-batch`). Emitted for
+/// the header alone — like a count the parser rejects, no body line is
+/// ever consumed for a refused batch.
+std::string FormatBatchLimitError(size_t batch_size, size_t max_batch) {
+  return FormatError(Status::InvalidArgument(
+      StrFormat("BATCH count %zu exceeds the server's limit of %zu queries",
+                batch_size, max_batch)));
 }
 
 }  // namespace
@@ -67,16 +104,41 @@ Result<Request> ParseRequest(std::string_view line) {
   } else if (verb == "QUERY") {
     request.kind = Request::Kind::kQuery;
     request.name = std::string(NextToken(&rest));
+    // Optional deadline clause; `TIMEOUT` is reserved as the first
+    // query token (Core XPath queries start with '/', so no real query
+    // collides).
+    std::string_view peek = rest;
+    if (NextToken(&peek) == "TIMEOUT") {
+      NextToken(&rest);  // consume the keyword
+      const Result<uint64_t> ms = ParseTimeoutMs(NextToken(&rest));
+      if (!ms.ok()) return ms.status();
+      request.timeout_ms = *ms;
+    }
     request.query = std::string(rest);
     if (request.name.empty() || request.query.empty()) {
-      return Status::InvalidArgument("usage: QUERY <name> <query>");
+      return Status::InvalidArgument(
+          "usage: QUERY <name> [TIMEOUT <ms>] <query>");
     }
   } else if (verb == "BATCH") {
     request.kind = Request::Kind::kBatch;
     request.name = std::string(NextToken(&rest));
     const std::string_view count = NextToken(&rest);
-    if (request.name.empty() || count.empty() || !rest.empty()) {
-      return Status::InvalidArgument("usage: BATCH <name> <count>");
+    if (request.name.empty() || count.empty()) {
+      return Status::InvalidArgument(
+          "usage: BATCH <name> <count> [TIMEOUT <ms>]");
+    }
+    if (!rest.empty()) {
+      if (NextToken(&rest) != "TIMEOUT") {
+        return Status::InvalidArgument(
+            "usage: BATCH <name> <count> [TIMEOUT <ms>]");
+      }
+      const Result<uint64_t> ms = ParseTimeoutMs(NextToken(&rest));
+      if (!ms.ok()) return ms.status();
+      request.timeout_ms = *ms;
+      if (!rest.empty()) {
+        return Status::InvalidArgument(
+            "usage: BATCH <name> <count> [TIMEOUT <ms>]");
+      }
     }
     const std::string count_str(count);
     char* end = nullptr;
@@ -150,7 +212,7 @@ std::string FormatDocumentInfo(const DocumentInfo& info) {
       "scratch_allocs=%llu traversal_builds=%llu summary_builds=%llu "
       "label_s=%.6f minimize_s=%.6f qps=%.3f share_rate=%.3f "
       "p50_ms=%.3f p95_ms=%.3f p99_ms=%.3f queued=%llu inflight=%llu "
-      "warm=%d resident=%d spill_bytes=%zu",
+      "warm=%d resident=%d spill_bytes=%zu shed=%llu cancelled=%llu",
       info.name.c_str(), info.memory_bytes, info.vertex_count,
       static_cast<unsigned long long>(info.rle_edges),
       static_cast<unsigned long long>(info.tree_nodes), info.tracked_tags,
@@ -174,7 +236,9 @@ std::string FormatDocumentInfo(const DocumentInfo& info) {
       info.share_rate, info.p50_ms, info.p95_ms, info.p99_ms,
       static_cast<unsigned long long>(info.queued),
       static_cast<unsigned long long>(info.inflight),
-      info.warm ? 1 : 0, info.resident ? 1 : 0, info.spill_bytes);
+      info.warm ? 1 : 0, info.resident ? 1 : 0, info.spill_bytes,
+      static_cast<unsigned long long>(info.shed),
+      static_cast<unsigned long long>(info.cancelled));
 }
 
 std::string FormatError(const Status& status) {
@@ -304,6 +368,7 @@ std::vector<std::string> BuildStatsReply(DocumentStore* store,
   for (DocumentInfo& info : infos) {
     if (service != nullptr) {
       service->PendingForDocument(info.name, &info.queued, &info.inflight);
+      service->ShedForDocument(info.name, &info.shed, &info.cancelled);
     }
     lines.push_back(FormatDocumentInfo(info));
   }
@@ -369,6 +434,12 @@ bool RequestHandler::Handle(
   }
   const Request& request = *parsed;
 
+  if (request.kind == Request::Kind::kBatch &&
+      request.batch_size > options_.max_batch) {
+    write_line(FormatBatchLimitError(request.batch_size, options_.max_batch));
+    return true;
+  }
+
   std::vector<std::string> reply;
   switch (request.kind) {
     case Request::Kind::kQuit:
@@ -383,6 +454,8 @@ bool RequestHandler::Handle(
       QueryJob job;
       job.document = request.name;
       job.queries.push_back(request.query);
+      job.token = MakeDeadlineToken(request.timeout_ms,
+                                    options_.default_deadline_ms);
       const QueryResponse response = service_->Submit(std::move(job)).get();
       reply = BuildQueryReply(store_, request.name, request.query, response);
       break;
@@ -402,6 +475,8 @@ bool RequestHandler::Handle(
         }
         job.queries.push_back(std::move(query));
       }
+      job.token = MakeDeadlineToken(request.timeout_ms,
+                                    options_.default_deadline_ms);
       const std::vector<std::string> queries = job.queries;
       const QueryResponse response = service_->Submit(std::move(job)).get();
       reply = BuildBatchReply(store_, request.name, queries, response);
@@ -435,18 +510,37 @@ bool RequestHandler::Handle(
 }
 
 PipelinedHandler::PipelinedHandler(DocumentStore* store, QueryService* service,
-                                   ReplySink sink, Limits limits, Hooks hooks)
+                                   ReplySink sink, Limits limits, Hooks hooks,
+                                   HandlerOptions options)
     : store_(store),
       service_(service),
       sink_(std::move(sink)),
       limits_(limits),
-      hooks_(hooks) {
+      hooks_(hooks),
+      options_(options) {
   if (limits_.max_inflight < 1) limits_.max_inflight = 1;
 }
 
 PipelinedHandler::PipelinedHandler(DocumentStore* store, QueryService* service,
                                    ReplySink sink)
     : PipelinedHandler(store, service, std::move(sink), Limits{}, Hooks{}) {}
+
+void PipelinedHandler::Complete(uint64_t seq, std::vector<std::string> lines) {
+  {
+    std::lock_guard<std::mutex> lock(tokens_mu_);
+    outstanding_.erase(seq);
+  }
+  inflight_.fetch_sub(1, std::memory_order_relaxed);
+  sink_(seq, JoinLines(lines), /*close_after=*/false);
+}
+
+void PipelinedHandler::CancelOutstanding() {
+  std::lock_guard<std::mutex> lock(tokens_mu_);
+  for (auto& [seq, token] : outstanding_) {
+    (void)seq;
+    token->Cancel();
+  }
+}
 
 std::string PipelinedHandler::JoinLines(const std::vector<std::string>& lines) {
   size_t total = 0;
@@ -474,7 +568,7 @@ PipelinedHandler::FeedResult PipelinedHandler::Feed(const std::string& line) {
     if (batch_body_.size() < collecting_->batch_size) return FeedResult::kOk;
     Request request = std::move(*collecting_);
     collecting_.reset();
-    return Dispatch(std::move(request), std::move(batch_body_));
+    return Dispatch(std::move(request), std::move(batch_body_), nullptr);
   }
 
   // Blank keep-alive lines: same skip as RequestHandler (see header).
@@ -487,16 +581,24 @@ PipelinedHandler::FeedResult PipelinedHandler::Feed(const std::string& line) {
   }
 
   if (parsed->kind == Request::Kind::kBatch) {
+    if (parsed->batch_size > options_.max_batch) {
+      // Refused at the header, so no body line is ever collected — the
+      // same framing contract as a count the parser itself rejects.
+      EmitNow({FormatBatchLimitError(parsed->batch_size, options_.max_batch)},
+              /*close_after=*/false);
+      return FeedResult::kOk;
+    }
     collecting_ = std::move(*parsed);
     batch_body_.clear();
     batch_body_.reserve(collecting_->batch_size);
     return FeedResult::kOk;
   }
-  return Dispatch(std::move(*parsed), {});
+  return Dispatch(std::move(*parsed), {}, nullptr);
 }
 
 PipelinedHandler::FeedResult PipelinedHandler::Dispatch(
-    Request request, std::vector<std::string> batch_queries) {
+    Request request, std::vector<std::string> batch_queries,
+    std::shared_ptr<CancelToken> token) {
   // Only QUIT answers inline on the loop thread (pure protocol state,
   // no store access). Everything else — EVICT included — goes through
   // the worker pool: Evict takes the store's exclusive lock and may
@@ -508,8 +610,20 @@ PipelinedHandler::FeedResult PipelinedHandler::Dispatch(
     return FeedResult::kClose;
   }
 
+  // Every QUERY/BATCH carries a token — even without a deadline it is
+  // the disconnect-cancellation handle. Created at the first dispatch
+  // attempt only (null `token` means this is it), so parking on a full
+  // queue does not restart the deadline clock.
+  if (token == nullptr && (request.kind == Request::Kind::kQuery ||
+                           request.kind == Request::Kind::kBatch)) {
+    token = MakeDeadlineToken(request.timeout_ms,
+                              options_.default_deadline_ms);
+    if (token == nullptr) token = std::make_shared<CancelToken>();
+  }
+
   if (inflight_.load(std::memory_order_relaxed) >= limits_.max_inflight) {
-    deferred_ = Deferred{std::move(request), std::move(batch_queries)};
+    deferred_ =
+        Deferred{std::move(request), std::move(batch_queries), std::move(token)};
     return FeedResult::kStalled;
   }
 
@@ -520,8 +634,8 @@ PipelinedHandler::FeedResult PipelinedHandler::Dispatch(
   // recover the request for parking instead of losing it.
   const uint64_t seq = next_seq_;
   auto self = shared_from_this();
-  auto payload = std::make_shared<Deferred>(
-      Deferred{std::move(request), std::move(batch_queries)});
+  auto payload = std::make_shared<Deferred>(Deferred{
+      std::move(request), std::move(batch_queries), std::move(token)});
   auto work = [self, seq, payload] {
     const Request& req = payload->request;
     std::vector<std::string> lines;
@@ -533,6 +647,7 @@ PipelinedHandler::FeedResult PipelinedHandler::Dispatch(
         QueryJob job;
         job.document = req.name;
         job.queries.push_back(req.query);
+        job.token = payload->token;
         lines = BuildQueryReply(self->store_, req.name, req.query,
                                 self->service_->Execute(job));
         break;
@@ -541,6 +656,7 @@ PipelinedHandler::FeedResult PipelinedHandler::Dispatch(
         QueryJob job;
         job.document = req.name;
         job.queries = payload->batch_queries;
+        job.token = payload->token;
         lines = BuildBatchReply(self->store_, req.name,
                                 payload->batch_queries,
                                 self->service_->Execute(job));
@@ -565,19 +681,39 @@ PipelinedHandler::FeedResult PipelinedHandler::Dispatch(
         lines = {FormatError(Status::Internal("unreachable dispatch kind"))};
         break;
     }
-    self->inflight_.fetch_sub(1, std::memory_order_relaxed);
-    self->sink_(seq, JoinLines(lines), /*close_after=*/false);
+    self->Complete(seq, std::move(lines));
   };
 
   // Count in flight *before* TrySubmitWork: a worker could finish the
   // task before a post-submit fetch_add ran and the counter would go
-  // negative.
+  // negative. The token registers first for the same reason — a worker
+  // completion erases it.
   inflight_.fetch_add(1, std::memory_order_relaxed);
-  if (!service_->TrySubmitWork(payload->request.name, std::move(work))) {
+  if (payload->token != nullptr) {
+    std::lock_guard<std::mutex> lock(tokens_mu_);
+    outstanding_[seq] = payload->token;
+  }
+  WorkItem item;
+  item.document = payload->request.name;
+  item.run = std::move(work);
+  item.token = payload->token;
+  if (payload->token != nullptr) {
+    // The shed path: the service refused to evaluate a dead request
+    // (deadline passed / client gone while queued) but the reply slot
+    // at `seq` is still owed — fill it with the canonical error.
+    item.shed = [self, seq](const Status& status) {
+      self->Complete(seq, {FormatError(status)});
+    };
+  }
+  if (!service_->TrySubmitWork(std::move(item))) {
     // Refused — the closure was destroyed un-run, so `payload` is ours
     // again. Park it; the caller stops reading this socket until a
     // completion frees queue capacity.
     inflight_.fetch_sub(1, std::memory_order_relaxed);
+    if (payload->token != nullptr) {
+      std::lock_guard<std::mutex> lock(tokens_mu_);
+      outstanding_.erase(seq);
+    }
     deferred_ = std::move(*payload);
     return FeedResult::kStalled;
   }
@@ -591,7 +727,8 @@ PipelinedHandler::FeedResult PipelinedHandler::ResumeDeferred() {
   Deferred deferred = std::move(*deferred_);
   deferred_.reset();
   return Dispatch(std::move(deferred.request),
-                  std::move(deferred.batch_queries));
+                  std::move(deferred.batch_queries),
+                  std::move(deferred.token));
 }
 
 void PipelinedHandler::OnInputClosed() {

@@ -10,10 +10,18 @@
 ///   LOAD <name> <path>      cache file `path` (`.xcqi` instance or raw
 ///                           XML, sniffed from the leading bytes) as
 ///                           document `name`
-///   QUERY <name> <query>    evaluate one Core XPath query (the query is
-///                           the rest of the line, spaces included)
-///   BATCH <name> <count>    followed by <count> lines, one query each;
-///                           evaluated with a single merged label pass
+///   QUERY <name> [TIMEOUT <ms>] <query>
+///                           evaluate one Core XPath query (the query is
+///                           the rest of the line, spaces included). An
+///                           optional `TIMEOUT <ms>` clause right after
+///                           the name sets this request's deadline; a
+///                           request that misses it answers
+///                           `ERR DeadlineExceeded: ...` (`TIMEOUT` is
+///                           therefore a reserved word in that position)
+///   BATCH <name> <count> [TIMEOUT <ms>]
+///                           followed by <count> lines, one query each;
+///                           evaluated with a single merged label pass.
+///                           The optional deadline covers the whole batch
 ///   STATS                   one line per cached document
 ///   METRICS                 Prometheus text exposition format scrape
 ///                           (docs/OBSERVABILITY.md)
@@ -58,7 +66,9 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -89,6 +99,20 @@ struct Request {
   std::string path;      ///< LOAD only.
   std::string query;     ///< QUERY only — the rest of the line.
   size_t batch_size = 0; ///< BATCH only.
+  uint64_t timeout_ms = 0;  ///< QUERY/BATCH `TIMEOUT` clause; 0 = none
+                            ///  (the handler's default deadline applies).
+};
+
+/// \brief Conversation-level knobs shared by both front ends.
+struct HandlerOptions {
+  /// Deadline applied to QUERY/BATCH requests that carry no `TIMEOUT`
+  /// clause (daemon `--default-deadline-ms`); 0 = no default deadline.
+  uint64_t default_deadline_ms = 0;
+  /// Upper bound on BATCH body sizes (daemon `--max-batch`); a header
+  /// announcing more queries answers a canonical `ERR InvalidArgument`
+  /// without consuming any body lines (same contract as a count the
+  /// parser itself rejects).
+  size_t max_batch = 100000;
 };
 
 /// \brief Parses one request line; `kInvalidArgument` on malformed input
@@ -211,8 +235,9 @@ std::vector<std::string> BuildForgetReply(DocumentStore* store,
 /// (also without newlines).
 class RequestHandler {
  public:
-  RequestHandler(DocumentStore* store, QueryService* service)
-      : store_(store), service_(service) {}
+  RequestHandler(DocumentStore* store, QueryService* service,
+                 HandlerOptions options = {})
+      : store_(store), service_(service), options_(options) {}
 
   /// Handles the single request starting at `line` (consuming further
   /// input lines only for BATCH bodies). Writes the complete response.
@@ -224,6 +249,7 @@ class RequestHandler {
  private:
   DocumentStore* store_;
   QueryService* service_;
+  HandlerOptions options_;
 };
 
 /// \brief Per-connection protocol state machine for the epoll front end:
@@ -276,7 +302,8 @@ class PipelinedHandler
   };
 
   PipelinedHandler(DocumentStore* store, QueryService* service,
-                   ReplySink sink, Limits limits, Hooks hooks);
+                   ReplySink sink, Limits limits, Hooks hooks,
+                   HandlerOptions options = {});
   /// Default limits, no hooks. (A separate overload: the nested
   /// structs' member initializers cannot serve as `= {}` default
   /// arguments while the enclosing class is incomplete.)
@@ -306,6 +333,14 @@ class PipelinedHandler
   /// (close_after) — the stream cannot be re-framed.
   void FeedOversized(size_t max_line_bytes);
 
+  /// The client is gone: cancels every queued and in-flight request
+  /// dispatched by this connection. Queued work is then shed at dequeue
+  /// (never evaluated); in-flight evaluations abort at their next
+  /// cancellation checkpoint. Their replies still flow to the sink in
+  /// sequence order — the sink already tolerates completions for closed
+  /// connections. Loop thread only (like Feed), idempotent.
+  void CancelOutstanding();
+
   bool has_deferred() const { return deferred_.has_value(); }
 
   /// Requests dispatched but not yet completed (worker side decrements).
@@ -320,11 +355,21 @@ class PipelinedHandler
   struct Deferred {
     Request request;
     std::vector<std::string> batch_queries;
+    /// Created at the *first* dispatch attempt so the deadline keeps
+    /// running while the request is parked — parking must not extend a
+    /// request's deadline.
+    std::shared_ptr<CancelToken> token;
   };
 
   /// Admission-checks and dispatches one parsed request; parks it and
-  /// returns kStalled when out of capacity.
-  FeedResult Dispatch(Request request, std::vector<std::string> batch_queries);
+  /// returns kStalled when out of capacity. `token` is non-null only
+  /// when re-dispatching a parked request that already has one.
+  FeedResult Dispatch(Request request, std::vector<std::string> batch_queries,
+                      std::shared_ptr<CancelToken> token);
+  /// Worker-side completion shared by the run and shed paths: retires
+  /// `seq`'s token, decrements the in-flight count, and hands the bytes
+  /// to the sink.
+  void Complete(uint64_t seq, std::vector<std::string> lines);
   /// Emits an already-built reply inline (loop thread), in sequence.
   void EmitNow(std::vector<std::string> lines, bool close_after);
   /// Response lines → newline-terminated wire bytes.
@@ -335,6 +380,13 @@ class PipelinedHandler
   ReplySink sink_;
   Limits limits_;
   Hooks hooks_;
+  HandlerOptions options_;
+  /// Tokens of dispatched-but-uncompleted QUERY/BATCH requests, by
+  /// sequence number. Guarded by `tokens_mu_`: inserted on the loop
+  /// thread at dispatch, erased by workers at completion, swept by
+  /// `CancelOutstanding` when the connection dies.
+  std::mutex tokens_mu_;
+  std::map<uint64_t, std::shared_ptr<CancelToken>> outstanding_;
   /// Next sequence number to assign; loop thread only. Monotonic in
   /// request order because nothing feeds while a request is parked.
   uint64_t next_seq_ = 0;

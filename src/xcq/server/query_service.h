@@ -36,6 +36,20 @@
 /// `xcq_server_jobs_inflight` on the store's registry
 /// (docs/OBSERVABILITY.md) and keeps per-document queued/in-flight
 /// counts for the STATS `queued=`/`inflight=` fields.
+///
+/// Deadlines and load shedding: a `WorkItem` may carry a `CancelToken`
+/// (deadline and/or client-disconnect cancellation). The service never
+/// runs a dead request: a task whose token is expired or cancelled at
+/// dequeue is **shed** — its `shed` callback (which still owes the
+/// client a canonical `ERR DeadlineExceeded` / `ERR Cancelled` reply
+/// under the pipelined protocol) runs instead of `run`, off the worker's
+/// evaluation path. A *full* bounded queue additionally sheds one
+/// already-dead queued task to admit fresh work, so a storm of expired
+/// requests cannot wedge the queue ahead of live ones. Disjoint counter
+/// semantics per request: `shed_total` = deadline expired before
+/// execution; `cancelled_total` = token cancelled (queued or
+/// in-flight); `deadline_exceeded_total` = execution started and hit
+/// the deadline mid-evaluation.
 
 #include <condition_variable>
 #include <cstdint>
@@ -50,6 +64,7 @@
 #include <vector>
 
 #include "xcq/server/document_store.h"
+#include "xcq/util/cancel.h"
 #include "xcq/util/result.h"
 
 namespace xcq::server {
@@ -67,10 +82,28 @@ struct ServiceOptions {
 struct QueryJob {
   std::string document;
   std::vector<std::string> queries;
+  /// Cancellation / deadline state threaded into the evaluation as
+  /// `QueryControl::cancel`; null = unrestricted. Shared so the front
+  /// end can still cancel after handing the job off.
+  std::shared_ptr<CancelToken> token;
 };
 
 /// \brief Index-aligned outcomes for a job's queries.
 using QueryResponse = Result<std::vector<QueryOutcome>>;
+
+/// \brief One admission-controlled task with its cancellation state.
+struct WorkItem {
+  /// Attributes the task in the per-document counts; "" = store-wide.
+  std::string document;
+  /// The task body; runs on a worker thread when the token is live.
+  std::function<void()> run;
+  /// Owed-reply path: runs (with the token's terminal status) instead
+  /// of `run` when the task is dead at dequeue or shed from a full
+  /// queue. Null = the task is silently dropped when dead.
+  std::function<void(const Status&)> shed;
+  /// Deadline / cancellation state; null = never expires or cancels.
+  std::shared_ptr<CancelToken> token;
+};
 
 class QueryService {
  public:
@@ -92,6 +125,19 @@ class QueryService {
   /// (STATS `queued=`/`inflight=`); pass "" for store-wide work.
   /// `work` owns its own completion delivery.
   bool TrySubmitWork(std::string document, std::function<void()> work);
+
+  /// As above with cancellation state: a dead item is shed instead of
+  /// run, and a full queue sheds one already-dead queued task to admit
+  /// this one before refusing. The shed callback of a displaced task
+  /// runs on the submitting thread, after the queue lock is released.
+  bool TrySubmitWork(WorkItem item);
+
+  /// Records a request that *executed* and failed with `kCancelled`
+  /// (counted with the cancelled family and the document's STATS
+  /// `cancelled=`) or `kDeadlineExceeded` (counted in
+  /// `deadline_exceeded_total` only — it was not shed, it ran). Other
+  /// codes are ignored, so handlers can call this on every error.
+  void NoteRequestError(const std::string& document, StatusCode code);
 
   /// Evaluates `job` on the calling thread (the worker path, also
   /// useful for tests and simple embedders).
@@ -118,21 +164,45 @@ class QueryService {
   void PendingForDocument(const std::string& document, uint64_t* queued,
                           uint64_t* inflight) const;
 
+  /// Cumulative shed / cancelled request counts for one document (the
+  /// STATS `shed=`/`cancelled=` fields). Never reset while the service
+  /// lives, unlike the queued/inflight snapshot.
+  void ShedForDocument(const std::string& document, uint64_t* shed,
+                       uint64_t* cancelled) const;
+
+  /// Requests shed (deadline already expired at dequeue / displacement).
+  uint64_t shed_total() const;
+
+  /// Requests cancelled (token cancelled while queued or in flight).
+  uint64_t cancelled_total() const;
+
   size_t worker_count() const { return workers_.size(); }
 
  private:
   struct Task {
     std::string document;
     std::function<void()> run;
+    std::function<void(const Status&)> shed;
+    std::shared_ptr<CancelToken> token;
   };
   struct Pending {
     uint64_t queued = 0;
     uint64_t inflight = 0;
   };
+  /// Cumulative per-document shed/cancelled counts; never erased.
+  struct ShedCounts {
+    uint64_t shed = 0;
+    uint64_t cancelled = 0;
+  };
 
   void WorkerLoop();
   /// Appends a task and refreshes the queue gauges; mu_ must be held.
   void EnqueueLocked(Task task);
+  /// Books one dead-at-dequeue task under the shed or cancelled family
+  /// (by the status code) and drops its per-document queued count;
+  /// mu_ must be held. The caller runs the shed callback after
+  /// releasing mu_.
+  void CountDeadLocked(const std::string& document, const Status& status);
 
   DocumentStore* store_;
   ServiceOptions options_;
@@ -142,15 +212,23 @@ class QueryService {
   obs::Gauge* queue_limit_gauge_;
   obs::Counter* rejections_total_;
   obs::Gauge* inflight_gauge_;
+  obs::Counter* shed_counter_;
+  obs::Counter* cancelled_counter_;
+  obs::Counter* deadline_exceeded_counter_;
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<Task> queue_;
   /// Per-document queued/in-flight counts; entries erased at zero.
   std::map<std::string, Pending> pending_;
+  /// Per-document cumulative shed/cancelled counts (STATS); kept for
+  /// the service's lifetime.
+  std::map<std::string, ShedCounts> shed_counts_;
   size_t inflight_ = 0;
   bool stopping_ = false;
   uint64_t jobs_submitted_ = 0;
   uint64_t rejected_ = 0;
+  uint64_t shed_total_ = 0;
+  uint64_t cancelled_total_ = 0;
   std::vector<std::thread> workers_;
 };
 

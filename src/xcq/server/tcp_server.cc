@@ -342,7 +342,8 @@ void TcpServer::AcceptNew() {
           PostCompletion(Completion{id, seq, std::move(bytes), close_after});
         },
         PipelinedHandler::Limits{options_.max_inflight_per_connection},
-        PipelinedHandler::Hooks{pipelined_requests_total_});
+        PipelinedHandler::Hooks{pipelined_requests_total_},
+        HandlerOptions{options_.default_deadline_ms, options_.max_batch});
 
     epoll_event ev{};
     ev.events = EPOLLIN | EPOLLRDHUP | EPOLLET;
@@ -638,6 +639,12 @@ void TcpServer::CloseConn(uint64_t id) {
   const auto it = conns_.find(id);
   if (it == conns_.end()) return;
   Conn* conn = it->second.get();
+  // The client is gone, so nothing it still has queued or in flight is
+  // worth evaluating: cancel it all. Queued tasks are shed at dequeue;
+  // running evaluations abort at their next checkpoint. Their replies
+  // still post completions for this id, which DrainCompletions already
+  // tolerates for closed connections.
+  if (conn->handler != nullptr) conn->handler->CancelOutstanding();
   if (conn->stalled()) stalled_gauge_->Add(-1);
   ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
   ::close(conn->fd);

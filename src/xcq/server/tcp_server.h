@@ -100,6 +100,14 @@ struct ServerOptions {
   /// Graceful-shutdown bound: Stop() force-closes connections still
   /// owing replies after this many seconds.
   double drain_timeout_s = 30.0;
+  /// Deadline applied to QUERY/BATCH requests without a `TIMEOUT`
+  /// clause (`--default-deadline-ms`); 0 = none. Expired requests
+  /// answer `ERR DeadlineExceeded` — shed before evaluation when the
+  /// deadline passed while queued.
+  uint64_t default_deadline_ms = 0;
+  /// Upper bound on BATCH bodies (`--max-batch`); larger headers answer
+  /// a canonical `ERR InvalidArgument` without consuming body lines.
+  size_t max_batch = 100000;
 };
 
 class TcpServer {

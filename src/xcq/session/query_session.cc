@@ -160,8 +160,24 @@ Status QuerySession::EnsureLabels(const std::vector<std::string>& tags,
   return Status::OK();
 }
 
+engine::EvalOptions QuerySession::MakeEvalOptions(
+    const QueryControl& control) const {
+  engine::EvalOptions eval_options;
+  eval_options.threads = options_.engine_threads;
+  eval_options.prune_sweeps = options_.prune_sweeps;
+  eval_options.cancel = control.cancel;
+  eval_options.max_sweep_visits = control.max_sweep_visits != 0
+                                      ? control.max_sweep_visits
+                                      : options_.max_sweep_visits;
+  eval_options.max_split_growth = control.max_split_growth != 0
+                                      ? control.max_split_growth
+                                      : options_.max_split_growth;
+  return eval_options;
+}
+
 Result<QueryOutcome> QuerySession::EvaluatePlan(
-    const algebra::QueryPlan& plan, obs::QueryTrace* trace) {
+    const algebra::QueryPlan& plan, obs::QueryTrace* trace,
+    const QueryControl& control) {
   QueryOutcome outcome;
   const bool incremental =
       options_.minimize_after_query && options_.incremental_minimize;
@@ -188,9 +204,7 @@ Result<QueryOutcome> QuerySession::EvaluatePlan(
     snapshot = *instance_;
   }
 
-  engine::EvalOptions eval_options;
-  eval_options.threads = options_.engine_threads;
-  eval_options.prune_sweeps = options_.prune_sweeps;
+  const engine::EvalOptions eval_options = MakeEvalOptions(control);
   RelationId result = kNoRelation;
   {
     obs::QueryTrace::Scope sweep_span(trace, obs::Phase::kSweep);
@@ -221,14 +235,25 @@ Result<QueryOutcome> QuerySession::EvaluatePlan(
     obs::QueryTrace::Scope minimize_span(trace, obs::Phase::kMinimize);
     if (incremental) {
       MarkResultFlips(previous_result, had_previous, result);
+      InPlaceMinimizeOptions mopts;
+      mopts.cancel = control.cancel;
       InPlaceMinimizeStats mstats;
-      XCQ_RETURN_IF_ERROR(MinimizeInPlace(&*instance_, {}, &mstats));
+      // On a cancelled pass dirty tracking stays on and the cache is
+      // invalidated, so the next pass reseeds — the instance itself is
+      // already minimal-or-consistent either way.
+      XCQ_RETURN_IF_ERROR(MinimizeInPlace(&*instance_, mopts, &mstats));
       instance_->SetDirtyTracking(false);
       outcome.minimize_seconds = mstats.seconds;
       if (options_.verify_incremental_minimize) {
         XCQ_RETURN_IF_ERROR(VerifyIncrementalMinimize());
       }
     } else {
+      // The full pass rebuilds into a fresh instance, so mid-pass
+      // cancellation points are unnecessary for consistency; one poll
+      // up front keeps an expired request from paying for the rebuild.
+      if (control.cancel != nullptr) {
+        XCQ_RETURN_IF_ERROR(control.cancel->Check());
+      }
       Timer timer;
       XCQ_ASSIGN_OR_RETURN(Instance minimal, Minimize(*instance_));
       instance_ = std::move(minimal);
@@ -299,7 +324,13 @@ Status QuerySession::VerifyIncrementalMinimize() const {
   return Status::OK();
 }
 
-Result<QueryOutcome> QuerySession::Run(std::string_view query_text) {
+Result<QueryOutcome> QuerySession::Run(std::string_view query_text,
+                                       const QueryControl& control) {
+  // A request that expired while queued should not pay for parsing or
+  // a document scan; the engine re-polls throughout the evaluation.
+  if (control.cancel != nullptr) {
+    XCQ_RETURN_IF_ERROR(control.cancel->Check());
+  }
   obs::QueryTrace trace;
   obs::QueryTrace::Scope parse_span(&trace, obs::Phase::kParse);
   XCQ_ASSIGN_OR_RETURN(const xpath::Query query,
@@ -317,7 +348,8 @@ Result<QueryOutcome> QuerySession::Run(std::string_view query_text) {
     XCQ_RETURN_IF_ERROR(
         EnsureLabels(reqs.tags, reqs.patterns, &label_seconds));
   }
-  XCQ_ASSIGN_OR_RETURN(QueryOutcome outcome, EvaluatePlan(plan, &trace));
+  XCQ_ASSIGN_OR_RETURN(QueryOutcome outcome,
+                       EvaluatePlan(plan, &trace, control));
   outcome.label_seconds = label_seconds;
   outcome.trace = trace;
   return outcome;
@@ -392,7 +424,11 @@ Status QuerySession::VerifyPrunedSweeps(Instance snapshot,
 }
 
 Result<std::vector<QueryOutcome>> QuerySession::RunBatch(
-    const std::vector<std::string>& query_texts) {
+    const std::vector<std::string>& query_texts,
+    const QueryControl& control) {
+  if (control.cancel != nullptr) {
+    XCQ_RETURN_IF_ERROR(control.cancel->Check());
+  }
   // Parse and compile everything first — a batch is all-or-nothing, and
   // failing before EnsureLabels keeps the accumulated instance untouched
   // on bad input.
@@ -432,10 +468,8 @@ Result<std::vector<QueryOutcome>> QuerySession::RunBatch(
   // leaving the instance untouched — if any query demands a split.
   if (plans.size() >= 2 && options_.shared_batch_sweeps &&
       !options_.minimize_after_query) {
-    engine::EvalOptions eval_options;
+    engine::EvalOptions eval_options = MakeEvalOptions(control);
     eval_options.context_relation.clear();
-    eval_options.threads = options_.engine_threads;
-    eval_options.prune_sweeps = options_.prune_sweeps;
     engine::SharedBatchStats shared_stats;
     const double shared_start = traces.front().Elapsed();
     engine::SharedBatchResult shared = engine::EvaluateBatchShared(
@@ -492,7 +526,7 @@ Result<std::vector<QueryOutcome>> QuerySession::RunBatch(
   outcomes.reserve(plans.size());
   for (size_t i = 0; i < plans.size(); ++i) {
     XCQ_ASSIGN_OR_RETURN(QueryOutcome outcome,
-                         EvaluatePlan(plans[i], &traces[i]));
+                         EvaluatePlan(plans[i], &traces[i], control));
     outcome.trace = std::move(traces[i]);
     outcomes.push_back(std::move(outcome));
   }

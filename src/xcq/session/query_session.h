@@ -85,6 +85,27 @@ struct SessionOptions {
   /// server's worker pool, which parallelizes *across* documents —
   /// worker_threads × engine_threads is the daemon's peak lane count.
   size_t engine_threads = 1;
+  /// Default per-query work budgets (engine/guard.h); 0 = unlimited.
+  /// Applied to every evaluation unless the per-request `QueryControl`
+  /// overrides them. Blow-ups convert to `kResourceExhausted` instead
+  /// of unbounded latency.
+  uint64_t max_sweep_visits = 0;
+  uint64_t max_split_growth = 0;
+};
+
+/// \brief Per-request execution controls threaded from the serving
+/// layer: cooperative cancellation (deadline / client disconnect) and
+/// work-budget overrides. All fields optional; a default-constructed
+/// control runs unrestricted (minus the session's default budgets).
+struct QueryControl {
+  /// Borrowed cancellation token; polled at phase and band boundaries
+  /// throughout parsing, labeling, evaluation, and minimization. Null =
+  /// never cancelled.
+  const CancelToken* cancel = nullptr;
+  /// Overrides `SessionOptions::max_sweep_visits` when non-zero.
+  uint64_t max_sweep_visits = 0;
+  /// Overrides `SessionOptions::max_split_growth` when non-zero.
+  uint64_t max_split_growth = 0;
 };
 
 /// \brief Result summary of one query execution.
@@ -135,8 +156,13 @@ class QuerySession {
 
   /// Parses, compiles, and evaluates `query_text`; returns the outcome.
   /// The result selection also remains available as the
-  /// `engine::kResultRelation` relation of `instance()`.
-  Result<QueryOutcome> Run(std::string_view query_text);
+  /// `engine::kResultRelation` relation of `instance()`. A cancelled or
+  /// budget-exhausted run fails with `kCancelled` / `kDeadlineExceeded` /
+  /// `kResourceExhausted` and leaves the instance structurally
+  /// consistent (same represented tree; at most some unmerged splits,
+  /// reclaimed by the next minimization) — the session stays usable.
+  Result<QueryOutcome> Run(std::string_view query_text,
+                           const QueryControl& control = {});
 
   /// Evaluates a batch of queries in one pass: the label sets of all
   /// queries are unioned *before* the (single) scan + common-extension
@@ -145,7 +171,8 @@ class QuerySession {
   /// shared label time is reported on the first outcome. Fails as a
   /// whole if any query does not parse or compile.
   Result<std::vector<QueryOutcome>> RunBatch(
-      const std::vector<std::string>& query_texts);
+      const std::vector<std::string>& query_texts,
+      const QueryControl& control = {});
 
   /// The current accumulated instance (reuse mode), or the instance of
   /// the most recent query. Invalid before the first `Run`.
@@ -188,7 +215,13 @@ class QuerySession {
   /// and RunBatch. Records sweep / prune-bind / minimize spans on
   /// `trace` (null = no tracing).
   Result<QueryOutcome> EvaluatePlan(const algebra::QueryPlan& plan,
-                                    obs::QueryTrace* trace);
+                                    obs::QueryTrace* trace,
+                                    const QueryControl& control);
+
+  /// Engine options for one evaluation under `control`: session threads
+  /// and pruning, plus cancellation and the resolved work budgets
+  /// (per-request override wins over the session default).
+  engine::EvalOptions MakeEvalOptions(const QueryControl& control) const;
 
   /// Marks vertices whose result-relation bit flipped between queries as
   /// dirty (relation columns are rewritten wholesale, so the instance

@@ -26,6 +26,10 @@ const char* StatusCodeToString(StatusCode code) {
       return "Corruption";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case StatusCode::kCancelled:
+      return "Cancelled";
   }
   return "Unknown";
 }

@@ -28,6 +28,8 @@ enum class StatusCode : int {
   kIoError = 8,          ///< Filesystem read/write failure.
   kCorruption = 9,       ///< Serialized instance fails validation.
   kInternal = 10,        ///< Invariant violation; indicates a library bug.
+  kDeadlineExceeded = 11,///< The request's deadline passed before completion.
+  kCancelled = 12,       ///< The request was cancelled by the caller.
 };
 
 /// \brief Returns a stable human-readable name for a status code.
@@ -90,6 +92,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
  private:

@@ -766,6 +766,7 @@ TEST(ProtocolTest, StatsFieldSetIsFrozen) {
       "share_rate",      "p50_ms",         "p95_ms",
       "p99_ms",          "queued",         "inflight",
       "warm",            "resident",       "spill_bytes",
+      "shed",            "cancelled",
   };
   EXPECT_EQ(StatsKeys(output[3]), expected) << output[3];
   std::remove(xml_path.c_str());

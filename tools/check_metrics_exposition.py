@@ -70,6 +70,13 @@ REQUIRED_STORE_SERIES = [
     "xcq_store_warm_documents",
     "xcq_store_spill_bytes",
     "xcq_store_recovery_seconds",
+    # Deadline / cancellation / load-shedding surface (ISSUE 10), also
+    # registered unconditionally: shed = expired before execution,
+    # cancelled = token cancelled (disconnect), deadline_exceeded = ran
+    # and hit its deadline mid-flight. Disjoint per request.
+    "xcq_server_requests_shed_total",
+    "xcq_server_requests_cancelled_total",
+    "xcq_server_deadline_exceeded_total",
 ]
 
 VALID_TYPES = {"counter", "gauge", "histogram"}
@@ -299,6 +306,12 @@ xcq_store_warm_documents 0
 xcq_store_spill_bytes 133
 # TYPE xcq_store_recovery_seconds gauge
 xcq_store_recovery_seconds 0.002
+# TYPE xcq_server_requests_shed_total counter
+xcq_server_requests_shed_total 2
+# TYPE xcq_server_requests_cancelled_total counter
+xcq_server_requests_cancelled_total 1
+# TYPE xcq_server_deadline_exceeded_total counter
+xcq_server_deadline_exceeded_total 0
 # TYPE xcq_document_queries_total counter
 xcq_document_queries_total{document="bib"} 3
 # TYPE xcq_document_qps gauge
